@@ -1,0 +1,53 @@
+# Convenience targets for the reproduction. Everything is stdlib-only Go;
+# `go build ./...` with Go >= 1.22 is the only real requirement.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark family per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzz passes over every fuzz target (regression corpora run in
+# plain `make test` already).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/ntriples
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/rdfxml
+	$(GO) test -fuzz=FuzzParseObject -fuzztime=30s ./internal/rdfterm
+	$(GO) test -fuzz=FuzzCanonical -fuzztime=30s ./internal/rdfterm
+	$(GO) test -fuzz=FuzzParseQuery -fuzztime=30s ./internal/match
+	$(GO) test -fuzz=FuzzParseFilter -fuzztime=30s ./internal/match
+
+# Regenerate the paper's evaluation tables (10k + 100k by default; pass
+# SIZES=10000,100000,1000000,5000000 for the full sweep).
+SIZES ?= 10000,100000
+experiments:
+	$(GO) run ./cmd/benchrepro -sizes $(SIZES)
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/intelligence
+	$(GO) run ./examples/uniprot -triples 10000
+	$(GO) run ./examples/network
+	$(GO) run ./examples/provenance
+
+clean:
+	$(GO) clean ./...

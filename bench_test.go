@@ -1,0 +1,543 @@
+package repro
+
+// Benchmarks regenerating the paper's tables and figures (§7), one
+// Benchmark* family per artifact, plus ablations of the design decisions
+// called out in DESIGN.md §5. Dataset sizes default to 10k triples (the
+// paper's smallest point); cmd/benchrepro runs the full sweep.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/jena"
+	"repro/internal/match"
+	"repro/internal/rdfterm"
+	"repro/internal/uniprot"
+)
+
+// datasets are built once per size and shared across benchmarks.
+var (
+	dsMu     sync.Mutex
+	dsOracle = map[int]*bench.OracleDataset{}
+	dsJena   = map[int]*bench.Jena2Dataset{}
+)
+
+func oracleDS(b *testing.B, size int) *bench.OracleDataset {
+	b.Helper()
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsOracle[size]; ok {
+		return d
+	}
+	d, err := bench.LoadOracle(size, uniprot.PaperReifiedCount(size), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsOracle[size] = d
+	return d
+}
+
+func jenaDS(b *testing.B, size int) *bench.Jena2Dataset {
+	b.Helper()
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsJena[size]; ok {
+		return d
+	}
+	d, err := bench.LoadJena2(size, uniprot.PaperReifiedCount(size), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsJena[size] = d
+	return d
+}
+
+// --- Experiment I (§7.1.3, Figure 9): flat tables vs. member functions ---
+
+func BenchmarkExpI_MemberFunctions_10k(b *testing.B) {
+	d := oracleDS(b, 10_000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := d.App.QueryBySubject(d.SubIdx, uniprot.ProbeSubject)
+		if err != nil || len(rows) != uniprot.ProbeRows {
+			b.Fatalf("rows = %d, err = %v", len(rows), err)
+		}
+	}
+}
+
+func BenchmarkExpI_FlatTables_10k(b *testing.B) {
+	d := oracleDS(b, 10_000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := d.Store.FlatQueryBySubject(d.Model, uniprot.ProbeSubject)
+		if err != nil || len(rows) != uniprot.ProbeRows {
+			b.Fatalf("rows = %d, err = %v", len(rows), err)
+		}
+	}
+}
+
+// --- Experiment II (Table 1, Figure 10): Jena2 vs. RDF objects ---
+
+func benchTable1RDF(b *testing.B, size int) {
+	d := oracleDS(b, size)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := d.App.QueryBySubject(d.SubIdx, uniprot.ProbeSubject)
+		if err != nil || len(rows) != uniprot.ProbeRows {
+			b.Fatalf("rows = %d, err = %v", len(rows), err)
+		}
+	}
+}
+
+func benchTable1Jena(b *testing.B, size int) {
+	d := jenaDS(b, size)
+	sub := rdfterm.NewURI(uniprot.ProbeSubject)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := d.Store.Find(d.Model, &sub, nil, nil)
+		if err != nil || len(rows) != uniprot.ProbeRows {
+			b.Fatalf("rows = %d, err = %v", len(rows), err)
+		}
+	}
+}
+
+func BenchmarkTable1_RDFObjects_10k(b *testing.B)  { benchTable1RDF(b, 10_000) }
+func BenchmarkTable1_RDFObjects_100k(b *testing.B) { benchTable1RDF(b, 100_000) }
+func BenchmarkTable1_Jena2_10k(b *testing.B)       { benchTable1Jena(b, 10_000) }
+func BenchmarkTable1_Jena2_100k(b *testing.B)      { benchTable1Jena(b, 100_000) }
+
+// --- Experiment III (Table 2, Figure 11): IS_REIFIED ---
+
+func benchTable2RDF(b *testing.B, size int, wantTrue bool) {
+	d := oracleDS(b, size)
+	obj := uniprot.ProbeSeeAlso
+	if !wantTrue {
+		obj = uniprot.NonReifiedProbeObject
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := d.Store.IsReified(d.Model, uniprot.ProbeSubject, uniprot.SeeAlso, obj, nil)
+		if err != nil || got != wantTrue {
+			b.Fatalf("IsReified = %v, %v", got, err)
+		}
+	}
+}
+
+func benchTable2Jena(b *testing.B, size int, wantTrue bool) {
+	d := jenaDS(b, size)
+	probe := bench.ProbeStatement()
+	if !wantTrue {
+		probe = bench.NonReifiedStatement()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := d.Store.IsReified(d.Model, probe)
+		if err != nil || got != wantTrue {
+			b.Fatalf("IsReified = %v, %v", got, err)
+		}
+	}
+}
+
+func BenchmarkTable2_RDFObjects_10k_true(b *testing.B)   { benchTable2RDF(b, 10_000, true) }
+func BenchmarkTable2_RDFObjects_10k_false(b *testing.B)  { benchTable2RDF(b, 10_000, false) }
+func BenchmarkTable2_RDFObjects_100k_true(b *testing.B)  { benchTable2RDF(b, 100_000, true) }
+func BenchmarkTable2_RDFObjects_100k_false(b *testing.B) { benchTable2RDF(b, 100_000, false) }
+func BenchmarkTable2_Jena2_10k_true(b *testing.B)        { benchTable2Jena(b, 10_000, true) }
+func BenchmarkTable2_Jena2_10k_false(b *testing.B)       { benchTable2Jena(b, 10_000, false) }
+func BenchmarkTable2_Jena2_100k_true(b *testing.B)       { benchTable2Jena(b, 100_000, true) }
+func BenchmarkTable2_Jena2_100k_false(b *testing.B)      { benchTable2Jena(b, 100_000, false) }
+
+// --- §7.3: reification storage and lookup, streamlined vs. quad ---
+
+func BenchmarkReificationStorage_Streamlined(b *testing.B) {
+	st := core.New()
+	if _, err := st.CreateRDFModel("m", "", ""); err != nil {
+		b.Fatal(err)
+	}
+	tids := make([]int64, b.N)
+	for i := 0; i < b.N; i++ {
+		ts, err := st.InsertTerms("m",
+			rdfterm.NewURI(fmt.Sprintf("http://s/%d", i)),
+			rdfterm.NewURI("http://p"),
+			rdfterm.NewURI(fmt.Sprintf("http://o/%d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tids[i] = ts.TID
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Reify("m", tids[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "rows/reification")
+}
+
+func BenchmarkReificationStorage_QuadBaseline(b *testing.B) {
+	js := jena.NewJena2Store()
+	if err := js.CreateModel("m"); err != nil {
+		b.Fatal(err)
+	}
+	q := jena.NewQuadReifier(js, "m")
+	stmts := make([]jena.Statement, b.N)
+	for i := 0; i < b.N; i++ {
+		stmts[i] = jena.Statement{
+			Subject:   rdfterm.NewURI(fmt.Sprintf("http://s/%d", i)),
+			Predicate: rdfterm.NewURI("http://p"),
+			Object:    rdfterm.NewURI(fmt.Sprintf("http://o/%d", i)),
+		}
+		if err := js.Add("m", stmts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Reify(stmts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(4, "rows/reification")
+}
+
+// --- Figure 8: inference query over the IC models ---
+
+func BenchmarkFigure8InferenceQuery(b *testing.B) {
+	store := core.New()
+	govAliases := []rdfterm.Alias{
+		{Prefix: "gov", Namespace: "http://www.us.gov#"},
+		{Prefix: "id", Namespace: "http://www.us.id#"},
+	}
+	aliases := rdfterm.Default().With(govAliases...)
+	for _, m := range []string{"cia", "dhs", "fbi"} {
+		if _, err := store.CreateRDFModel(m, "", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range [][4]string{
+		{"cia", "gov:files", "gov:terrorSuspect", "id:JohnDoe"},
+		{"cia", "gov:files", "gov:terrorSuspect", "id:JaneDoe"},
+		{"dhs", "id:JimDoe", "gov:terrorAction", "bombing"},
+		{"dhs", "gov:files", "gov:terrorSuspect", "id:JohnDoe"},
+		{"fbi", "id:JohnDoe", "gov:enteredCountry", "June-20-2000"},
+		{"fbi", "gov:files", "gov:terrorSuspect", "id:JohnDoe"},
+	} {
+		if _, err := store.NewTripleS(r[0], r[1], r[2], r[3], aliases); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cat := inference.NewCatalog(store)
+	if _, err := cat.CreateRulebase("intel_rb"); err != nil {
+		b.Fatal(err)
+	}
+	if err := cat.AddRule("intel_rb", inference.Rule{
+		Name:       "intel_rule",
+		Antecedent: `(?x gov:terrorAction "bombing")`,
+		Consequent: `(gov:files gov:terrorSuspect ?x)`,
+		Aliases:    govAliases,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cat.CreateRulesIndex("rix", []string{"cia", "dhs", "fbi"},
+		[]string{inference.RDFSRulebaseName, "intel_rb"}); err != nil {
+		b.Fatal(err)
+	}
+	opts := match.Options{
+		Models:    []string{"cia", "dhs", "fbi"},
+		Rulebases: []string{inference.RDFSRulebaseName, "intel_rb"},
+		Resolver:  cat,
+		Aliases:   aliases,
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs, err := match.Match(store, `(gov:files gov:terrorSuspect ?name)`, opts)
+		if err != nil || rs.Len() < 3 {
+			b.Fatalf("rows = %d, err = %v", rs.Len(), err)
+		}
+	}
+}
+
+// --- §7.2: function-based index ablation ---
+
+func BenchmarkFunctionBasedIndex_Indexed(b *testing.B) {
+	d := oracleDS(b, 10_000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.App.QueryBySubject(d.SubIdx, uniprot.ProbeSubject); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFunctionBasedIndex_Unindexed(b *testing.B) {
+	d := oracleDS(b, 10_000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.App.UnindexedQueryBySubject(uniprot.ProbeSubject); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: value interning (central rdf_value$) vs. Jena2's
+// denormalized text columns — insert throughput of each design. ---
+
+func BenchmarkAblationInterning_OracleInsert(b *testing.B) {
+	st := core.New()
+	if _, err := st.CreateRDFModel("m", "", ""); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := st.InsertTerms("m",
+			rdfterm.NewURI(fmt.Sprintf("http://s/%d", i%1000)),
+			rdfterm.NewURI("http://p"),
+			rdfterm.NewURI(fmt.Sprintf("http://o/%d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationInterning_Jena2Insert(b *testing.B) {
+	js := jena.NewJena2Store()
+	if err := js.CreateModel("m"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := js.Add("m", jena.Statement{
+			Subject:   rdfterm.NewURI(fmt.Sprintf("http://s/%d", i%1000)),
+			Predicate: rdfterm.NewURI("http://p"),
+			Object:    rdfterm.NewURI(fmt.Sprintf("http://o/%d", i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: partition pruning — full-model scan when the store holds
+// ten models vs. the same data in one unpartitioned pile. ---
+
+func buildPartitionedStore(b *testing.B, models, perModel int) *core.Store {
+	b.Helper()
+	st := core.New()
+	for m := 0; m < models; m++ {
+		name := fmt.Sprintf("m%d", m)
+		if _, err := st.CreateRDFModel(name, "", ""); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < perModel; i++ {
+			_, err := st.InsertTerms(name,
+				rdfterm.NewURI(fmt.Sprintf("http://s/%d/%d", m, i)),
+				rdfterm.NewURI("http://p"),
+				rdfterm.NewURI(fmt.Sprintf("http://o/%d", i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return st
+}
+
+func BenchmarkAblationPartitioning_PrunedScan(b *testing.B) {
+	st := buildPartitionedStore(b, 10, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := st.Find("m5", core.Pattern{})
+		if err != nil || len(got) != 2000 {
+			b.Fatalf("rows = %d, err = %v", len(got), err)
+		}
+	}
+}
+
+func BenchmarkAblationPartitioning_SinglePileScan(b *testing.B) {
+	st := buildPartitionedStore(b, 1, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := st.Find("m0", core.Pattern{})
+		if err != nil || len(got) != 20000 {
+			b.Fatalf("rows = %d, err = %v", len(got), err)
+		}
+	}
+}
+
+// --- Ablation: canonical object IDs — lookups with non-canonical lexical
+// forms still hit the index (vs. a scan under lexical-only matching). ---
+
+func BenchmarkAblationCanonical_Lookup(b *testing.B) {
+	st := core.New()
+	if _, err := st.CreateRDFModel("m", "", ""); err != nil {
+		b.Fatal(err)
+	}
+	sub := rdfterm.NewURI("http://s")
+	prop := rdfterm.NewURI("http://p")
+	for i := 0; i < 10000; i++ {
+		_, err := st.InsertTerms("m",
+			rdfterm.NewURI(fmt.Sprintf("http://s%d", i)), prop,
+			rdfterm.NewTypedLiteral(fmt.Sprintf("%d", i), rdfterm.XSDInt))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := st.InsertTerms("m", sub, prop, rdfterm.NewTypedLiteral("42", rdfterm.XSDInt)); err != nil {
+		b.Fatal(err)
+	}
+	nonCanon := rdfterm.NewTypedLiteral("+042", rdfterm.XSDInt)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := st.IsTripleTerms("m", sub, prop, nonCanon)
+		if err != nil || !ok {
+			b.Fatalf("IsTriple = %v, %v", ok, err)
+		}
+	}
+}
+
+// --- Ablation: rules index (materialized) vs. inferring at query time ---
+
+func BenchmarkAblationRulesIndex_Materialized(b *testing.B) {
+	store, cat, opts := figure8Setup(b)
+	_ = store
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := match.Match(store, `(gov:files gov:terrorSuspect ?name)`, opts)
+		if err != nil || rs.Len() < 3 {
+			b.Fatalf("rows = %d, err = %v", rs.Len(), err)
+		}
+	}
+	_ = cat
+}
+
+func BenchmarkAblationRulesIndex_BuildPerQuery(b *testing.B) {
+	store, cat, opts := figure8Setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rebuild the index, then query — the cost a system pays without
+		// precomputed inference.
+		if err := cat.Rebuild("rix"); err != nil {
+			b.Fatal(err)
+		}
+		rs, err := match.Match(store, `(gov:files gov:terrorSuspect ?name)`, opts)
+		if err != nil || rs.Len() < 3 {
+			b.Fatalf("rows = %d, err = %v", rs.Len(), err)
+		}
+	}
+}
+
+func figure8Setup(b *testing.B) (*core.Store, *inference.Catalog, match.Options) {
+	b.Helper()
+	store := core.New()
+	govAliases := []rdfterm.Alias{
+		{Prefix: "gov", Namespace: "http://www.us.gov#"},
+		{Prefix: "id", Namespace: "http://www.us.id#"},
+	}
+	aliases := rdfterm.Default().With(govAliases...)
+	for _, m := range []string{"cia", "dhs", "fbi"} {
+		if _, err := store.CreateRDFModel(m, "", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range [][4]string{
+		{"cia", "gov:files", "gov:terrorSuspect", "id:JohnDoe"},
+		{"cia", "gov:files", "gov:terrorSuspect", "id:JaneDoe"},
+		{"dhs", "id:JimDoe", "gov:terrorAction", "bombing"},
+		{"fbi", "id:JohnDoe", "gov:enteredCountry", "June-20-2000"},
+	} {
+		if _, err := store.NewTripleS(r[0], r[1], r[2], r[3], aliases); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cat := inference.NewCatalog(store)
+	if _, err := cat.CreateRulebase("intel_rb"); err != nil {
+		b.Fatal(err)
+	}
+	if err := cat.AddRule("intel_rb", inference.Rule{
+		Name:       "intel_rule",
+		Antecedent: `(?x gov:terrorAction "bombing")`,
+		Consequent: `(gov:files gov:terrorSuspect ?x)`,
+		Aliases:    govAliases,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cat.CreateRulesIndex("rix", []string{"cia", "dhs", "fbi"}, []string{"intel_rb"}); err != nil {
+		b.Fatal(err)
+	}
+	return store, cat, match.Options{
+		Models:    []string{"cia", "dhs", "fbi"},
+		Rulebases: []string{"intel_rb"},
+		Resolver:  cat,
+		Aliases:   aliases,
+	}
+}
+
+// --- Ablation: normalized (Jena1) vs. denormalized (Jena2) find — the
+// §3.1 trade-off ("a three-way join was required for find operations" vs.
+// "the number of required table joins is reduced at query time"). ---
+
+func buildJenaPair(b *testing.B, n int) (*jena.Jena1Store, *jena.Jena2Store) {
+	b.Helper()
+	j1 := jena.NewJena1Store()
+	j2 := jena.NewJena2Store()
+	if err := j2.CreateModel("m"); err != nil {
+		b.Fatal(err)
+	}
+	triples, _, err := uniprot.Generate(uniprot.Config{Triples: n, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tr := range triples {
+		st := jena.Statement{Subject: tr.T.Subject, Predicate: tr.T.Predicate, Object: tr.T.Object}
+		if err := j1.Add(st); err != nil {
+			b.Fatal(err)
+		}
+		if err := j2.Add("m", st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return j1, j2
+}
+
+func BenchmarkAblationNormalization_Jena1Find(b *testing.B) {
+	j1, _ := buildJenaPair(b, 10_000)
+	sub := rdfterm.NewURI(uniprot.ProbeSubject)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := j1.Find(&sub, nil, nil)
+		if err != nil || len(rows) != uniprot.ProbeRows {
+			b.Fatalf("rows = %d, err = %v", len(rows), err)
+		}
+	}
+}
+
+func BenchmarkAblationNormalization_Jena2Find(b *testing.B) {
+	_, j2 := buildJenaPair(b, 10_000)
+	sub := rdfterm.NewURI(uniprot.ProbeSubject)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := j2.Find("m", &sub, nil, nil)
+		if err != nil || len(rows) != uniprot.ProbeRows {
+			b.Fatalf("rows = %d, err = %v", len(rows), err)
+		}
+	}
+}

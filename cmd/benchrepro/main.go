@@ -1,0 +1,154 @@
+// Command benchrepro regenerates every table and figure of the paper's
+// evaluation (§7) on the reproduction:
+//
+//	-exp 1  Experiment I   — flat storage tables vs. member functions (§7.1.3)
+//	-exp 2  Experiment II  — Jena2 vs. RDF storage objects (Table 1)
+//	-exp 3  Experiment III — IS_REIFIED in Jena2 vs. Oracle (Table 2)
+//	-exp 4  §7.3           — reification storage (streamlined vs. quad)
+//	-exp 5  §7.2           — function-based indexing ablation
+//	-exp 6  §3.1           — storage footprint per schema design
+//	-exp all (default)     — everything
+//
+// Dataset sizes default to 10k and 100k triples; pass -sizes to change
+// (e.g. -sizes 10000,100000,1000000,5000000 for the paper's full sweep —
+// the 5M load takes several minutes and several GiB of memory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/uniprot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchrepro", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: 1, 2, 3, 4, 5, 6, or all")
+	sizesArg := fs.String("sizes", "10000,100000", "comma-separated dataset sizes (triples)")
+	seed := fs.Int64("seed", 1, "dataset generator seed")
+	reifN := fs.Int("reifn", 2000, "reification count for the §7.3 storage experiment")
+	systems := fs.String("systems", "both", "systems to load: both, or rdf (object store only — halves memory; skips Jena2 columns and Experiment II)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sizes []int
+	for _, s := range strings.Split(*sizesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < uniprot.ProbeRows {
+			return fmt.Errorf("bad size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+
+	want := func(n string) bool { return *exp == "all" || *exp == n }
+
+	fmt.Fprintf(stdout, "benchrepro: sizes=%v seed=%d (timings are means of %d warm trials, as §7.1.2)\n\n",
+		sizes, *seed, bench.Trials)
+
+	// Experiments 1, 2, 3, and 5 share per-size datasets; build each size
+	// once.
+	if want("1") || want("2") || want("3") || want("5") {
+		var exp1 []bench.ExpIResult
+		var exp2 []bench.ExpIIResult
+		var exp3 []bench.ExpIIIResult
+		var exp5 []bench.IndexAblationResult
+		for _, n := range sizes {
+			reified := uniprot.PaperReifiedCount(n)
+			start := time.Now()
+			oracle, err := bench.LoadOracle(n, reified, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "loaded %d triples (%d reified) into the RDF object store in %v\n",
+				n, oracle.Reified, time.Since(start).Round(time.Millisecond))
+			var jena2 *bench.Jena2Dataset
+			if (want("2") || want("3")) && *systems == "both" {
+				start = time.Now()
+				if jena2, err = bench.LoadJena2(n, reified, *seed); err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "loaded %d triples (%d reified) into the Jena2 baseline in %v\n",
+					n, jena2.Reified, time.Since(start).Round(time.Millisecond))
+			}
+			if want("1") {
+				r, err := bench.RunExperimentI(oracle)
+				if err != nil {
+					return err
+				}
+				exp1 = append(exp1, r)
+			}
+			if want("2") && jena2 != nil {
+				r, err := bench.RunExperimentII(oracle, jena2)
+				if err != nil {
+					return err
+				}
+				exp2 = append(exp2, r)
+			}
+			if want("3") {
+				var r bench.ExpIIIResult
+				var err error
+				if jena2 != nil {
+					r, err = bench.RunExperimentIII(oracle, jena2)
+				} else {
+					r, err = bench.RunExperimentIIIRDFOnly(oracle)
+				}
+				if err != nil {
+					return err
+				}
+				exp3 = append(exp3, r)
+			}
+			if want("5") {
+				r, err := bench.RunIndexAblation(oracle)
+				if err != nil {
+					return err
+				}
+				exp5 = append(exp5, r)
+			}
+		}
+		fmt.Fprintln(stdout)
+		if want("1") {
+			fmt.Fprintln(stdout, bench.TableExpI(exp1))
+		}
+		if want("2") {
+			fmt.Fprintln(stdout, bench.TableExpII(exp2))
+		}
+		if want("3") {
+			fmt.Fprintln(stdout, bench.TableExpIII(exp3))
+		}
+		if want("5") {
+			fmt.Fprintln(stdout, bench.TableIndexAblation(exp5))
+		}
+	}
+
+	if want("4") {
+		r, err := bench.RunReificationStorage(*reifN, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, bench.TableReifStorage(r))
+	}
+
+	if want("6") {
+		n := sizes[0]
+		results, err := bench.RunStorageComparison(n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "(storage comparison over %d triples)\n", n)
+		fmt.Fprintln(stdout, bench.TableStorage(results))
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sizes", "500", "-reifn", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Experiment I",
+		"Table 1. Query times on the UniProt datasets",
+		"Table 2. IS_REIFIED() query times",
+		"Reification storage",
+		"Function-based indexing",
+		"Rows", "true", "false", "0.25",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sizes", "500", "-exp", "4", "-reifn", "40"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Reification storage") {
+		t.Errorf("output:\n%s", got)
+	}
+	if strings.Contains(got, "Table 1") {
+		t.Error("exp 4 also ran experiment 2")
+	}
+}
+
+func TestRunBadSizes(t *testing.T) {
+	for _, sizes := range []string{"abc", "5", "-1", ""} {
+		if err := run([]string{"-sizes", sizes}, &strings.Builder{}); err == nil {
+			t.Errorf("sizes %q accepted", sizes)
+		}
+	}
+}
+
+func TestRunRDFOnlySystems(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sizes", "500", "-exp", "3", "-systems", "rdf"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Table 2") {
+		t.Errorf("output:\n%s", got)
+	}
+	// Jena2 columns are dashed out.
+	if !strings.Contains(got, "-") {
+		t.Errorf("skipped Jena2 columns not marked:\n%s", got)
+	}
+	if strings.Contains(got, "Jena2 baseline in") {
+		t.Error("Jena2 dataset loaded despite -systems rdf")
+	}
+}

@@ -1,0 +1,131 @@
+// Command rdfload bulk-loads an N-Triples file into the RDF object store,
+// folding reification quads into the streamlined DBUri representation
+// (§5) — the reproduction of the paper's Java bulk-load API.
+//
+// The store is memory-resident; rdfload demonstrates the load pipeline and
+// prints the resulting storage statistics (rows, values, nodes, reified
+// statements, contexts).
+//
+// Usage:
+//
+//	rdfload -model name [-policy drop|insert|report] [-keep-orig] file.nt
+//	cat file.nt | rdfload -model name
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ntriples"
+	"repro/internal/rdfxml"
+	"repro/internal/reify"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rdfload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rdfload", flag.ContinueOnError)
+	model := fs.String("model", "data", "RDF model (graph) name to load into")
+	policy := fs.String("policy", "drop", "incomplete-quad policy: drop, insert, or report")
+	keepOrig := fs.Bool("keep-orig", false, "store original quad-resource URIs alongside DBUris")
+	save := fs.String("save", "", "write a store snapshot to this file after loading (readable by rdfquery -snapshot)")
+	format := fs.String("format", "nt", "input format: nt (N-Triples) or xml (RDF/XML)")
+	base := fs.String("base", "", "base URI for resolving rdf:ID in RDF/XML input")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	store := core.New()
+	if _, err := store.CreateRDFModel(*model, "", ""); err != nil {
+		return err
+	}
+	loader := &reify.Loader{
+		Store:            store,
+		Model:            *model,
+		KeepOriginalURIs: *keepOrig,
+		Report:           os.Stderr,
+	}
+	switch *policy {
+	case "drop":
+		loader.Policy = reify.DropIncomplete
+	case "insert":
+		loader.Policy = reify.InsertIncomplete
+	case "report":
+		loader.Policy = reify.ReportIncomplete
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	var stats reify.Stats
+	var err error
+	switch *format {
+	case "nt":
+		stats, err = loader.Load(in)
+	case "xml":
+		var parsed []ntriples.Triple
+		parsed, err = rdfxml.Parse(in, rdfxml.Options{Base: *base})
+		if err == nil {
+			stats, err = loader.LoadTriples(parsed)
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want nt or xml)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	triples, err := store.NumTriples(*model)
+	if err != nil {
+		return err
+	}
+	reified, err := store.ReifiedCount(*model)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "read:                 %d triples\n", stats.Read)
+	fmt.Fprintf(stdout, "base inserted:        %d\n", stats.Inserted)
+	fmt.Fprintf(stdout, "quads folded:         %d (4 input triples -> 1 stored row each)\n", stats.QuadsFolded)
+	fmt.Fprintf(stdout, "assertions rewritten: %d\n", stats.AssertionsRewritten)
+	fmt.Fprintf(stdout, "incomplete quads:     %d (%s)\n", stats.Incomplete, *policy)
+	fmt.Fprintf(stdout, "stored rows:          %d in rdf_link$ (model %q)\n", triples, *model)
+	fmt.Fprintf(stdout, "distinct values:      %d in rdf_value$\n", store.NumValues())
+	fmt.Fprintf(stdout, "graph nodes:          %d in rdf_node$\n", store.NumNodes())
+	fmt.Fprintf(stdout, "reified statements:   %d\n", reified)
+	if stats.Read > 0 && stats.QuadsFolded > 0 {
+		saved := 3 * stats.QuadsFolded
+		fmt.Fprintf(stdout, "rows saved by DBUri reification: %d (%.0f%% of quad storage)\n",
+			saved, 100*float64(stats.QuadsFolded)/float64(4*stats.QuadsFolded))
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := store.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "snapshot written to %s\n", *save)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const sample = `
+<http://gov/files> <http://gov/terrorSuspect> <http://id/JohnDoe> .
+_:r1 <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/1999/02/22-rdf-syntax-ns#Statement> .
+_:r1 <http://www.w3.org/1999/02/22-rdf-syntax-ns#subject> <http://gov/files> .
+_:r1 <http://www.w3.org/1999/02/22-rdf-syntax-ns#predicate> <http://gov/terrorSuspect> .
+_:r1 <http://www.w3.org/1999/02/22-rdf-syntax-ns#object> <http://id/JohnDoe> .
+<http://gov/MI5> <http://gov/source> _:r1 .
+`
+
+func TestRunLoadsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.nt")
+	if err := os.WriteFile(path, []byte(sample), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-model", "test", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"read:                 6 triples",
+		"quads folded:         1",
+		"assertions rewritten: 1",
+		"reified statements:   1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("<http://a> <http://p> <http://b> .\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "read:                 1 triples") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunBadPolicy(t *testing.T) {
+	if err := run([]string{"-policy", "explode"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"/nonexistent/file.nt"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunParseError(t *testing.T) {
+	if err := run(nil, strings.NewReader("garbage\n"), &strings.Builder{}); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+}
+
+func TestRunSaveSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "out.snap")
+	var out strings.Builder
+	err := run([]string{"-model", "m", "-save", snap},
+		strings.NewReader("<http://a> <http://p> <http://b> .\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "snapshot written") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := core.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.NumTriples("m"); n != 1 {
+		t.Fatalf("snapshot triples = %d", n)
+	}
+}
+
+const xmlSample = `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+        xmlns:gov="http://gov#">
+  <rdf:Description rdf:about="http://gov/files">
+    <gov:terrorSuspect rdf:ID="claim1" rdf:resource="http://id/JohnDoe"/>
+  </rdf:Description>
+</rdf:RDF>`
+
+func TestRunXMLFormat(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-format", "xml", "-base", "http://base", "-model", "m"},
+		strings.NewReader(xmlSample), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// The rdf:ID reification quad (4 triples) plus the base statement are
+	// read; the quad folds to one DBUri row.
+	for _, want := range []string{
+		"read:                 5 triples",
+		"quads folded:         1",
+		"stored rows:          2",
+		"reified statements:   1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunXMLBadFormatAndParse(t *testing.T) {
+	if err := run([]string{"-format", "weird"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"-format", "xml"}, strings.NewReader("<unclosed>"), &strings.Builder{}); err == nil {
+		t.Fatal("bad XML accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Command rdfquery loads N-Triples data and runs an SDO_RDF_MATCH-style
+// query against it (§6.1).
+//
+// Usage:
+//
+//	rdfquery -data file.nt -query '(?s ?p ?o)' [-filter '?s != "x"'] \
+//	         [-alias gov=http://www.us.gov#] [-rule 'ante=>cons' ...] [-rdfs]
+//	rdfquery -snapshot store.snap -model data -query '(?s ?p ?o)'
+//	rdfquery -data file.nt -stats
+//
+// Rules passed with -rule are collected into an ad-hoc rulebase, a rules
+// index is built, and the query runs with inference enabled. -snapshot
+// reopens a store written by rdfload -save; -stats prints the model's
+// storage statistics (rows, contexts, link types) instead of querying.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/match"
+	"repro/internal/rdfterm"
+	"repro/internal/reify"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rdfquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rdfquery", flag.ContinueOnError)
+	data := fs.String("data", "", "N-Triples file to load (default: stdin)")
+	snapshot := fs.String("snapshot", "", "store snapshot to open instead of loading N-Triples (see rdfload -save)")
+	query := fs.String("query", "", "match query, e.g. '(?s ?p ?o)'")
+	queryModel := fs.String("model", "data", "model to query when opening a snapshot")
+	stats := fs.Bool("stats", false, "print model storage statistics instead of running a query")
+	filter := fs.String("filter", "", "optional filter expression")
+	rdfs := fs.Bool("rdfs", false, "enable the built-in RDFS rulebase")
+	var aliases, rules multiFlag
+	fs.Var(&aliases, "alias", "namespace alias prefix=namespace (repeatable)")
+	fs.Var(&rules, "rule", "inference rule 'antecedent=>consequent' (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *query == "" && !*stats {
+		return fmt.Errorf("-query is required (or pass -stats)")
+	}
+
+	aliasSet := rdfterm.Default()
+	for _, a := range aliases {
+		prefix, ns, ok := strings.Cut(a, "=")
+		if !ok {
+			return fmt.Errorf("bad -alias %q (want prefix=namespace)", a)
+		}
+		al := rdfterm.Alias{Prefix: prefix, Namespace: ns}
+		if err := al.Validate(); err != nil {
+			return err
+		}
+		aliasSet = aliasSet.With(al)
+	}
+
+	var store *core.Store
+	model := *queryModel
+	if *snapshot != "" {
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			return err
+		}
+		store, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		n, err := store.NumTriples(model)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "opened snapshot %s: %d triples in model %q\n\n", *snapshot, n, model)
+	} else {
+		var in io.Reader = os.Stdin
+		if *data != "" {
+			f, err := os.Open(*data)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		store = core.New()
+		if _, err := store.CreateRDFModel(model, "", ""); err != nil {
+			return err
+		}
+		loader := &reify.Loader{Store: store, Model: model}
+		stats, err := loader.Load(in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loaded %d triples (%d reification quads folded)\n\n", stats.Read, stats.QuadsFolded)
+	}
+
+	if *stats {
+		st, err := store.ModelStatistics(model)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "model %q storage statistics:\n", model)
+		fmt.Fprintf(stdout, "  triples (rdf_link$ rows): %d\n", st.Triples)
+		fmt.Fprintf(stdout, "  reified statements:       %d\n", st.Reified)
+		fmt.Fprintf(stdout, "  CONTEXT=D (direct):       %d\n", st.Direct)
+		fmt.Fprintf(stdout, "  CONTEXT=I (implied):      %d\n", st.Indirect)
+		for _, lt := range []string{"STANDARD", "RDF_TYPE", "RDF_MEMBER", "RDF_*"} {
+			if n := st.ByLinkType[lt]; n > 0 {
+				fmt.Fprintf(stdout, "  LINK_TYPE %-10s      %d\n", lt+":", n)
+			}
+		}
+		return nil
+	}
+
+	opts := match.Options{
+		Models:  []string{model},
+		Aliases: aliasSet,
+		Filter:  *filter,
+	}
+	if len(rules) > 0 || *rdfs {
+		cat := inference.NewCatalog(store)
+		var rbNames []string
+		if *rdfs {
+			rbNames = append(rbNames, inference.RDFSRulebaseName)
+		}
+		if len(rules) > 0 {
+			if _, err := cat.CreateRulebase("cli_rb"); err != nil {
+				return err
+			}
+			var aliasList []rdfterm.Alias
+			for _, p := range aliasSet.Prefixes() {
+				ns, _ := aliasSet.Lookup(p)
+				aliasList = append(aliasList, rdfterm.Alias{Prefix: p, Namespace: ns})
+			}
+			for i, r := range rules {
+				ante, cons, ok := strings.Cut(r, "=>")
+				if !ok {
+					return fmt.Errorf("bad -rule %q (want 'antecedent=>consequent')", r)
+				}
+				if err := cat.AddRule("cli_rb", inference.Rule{
+					Name:       fmt.Sprintf("cli_rule_%d", i+1),
+					Antecedent: strings.TrimSpace(ante),
+					Consequent: strings.TrimSpace(cons),
+					Aliases:    aliasList,
+				}); err != nil {
+					return err
+				}
+			}
+			rbNames = append(rbNames, "cli_rb")
+		}
+		ix, err := cat.CreateRulesIndex("cli_rix", []string{model}, rbNames)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "rules index: %d inferred triples\n\n", ix.InferredCount())
+		opts.Rulebases = rbNames
+		opts.Resolver = cat
+	}
+
+	rs, err := match.Match(store, *query, opts)
+	if err != nil {
+		return err
+	}
+	headers := make([]string, len(rs.Vars))
+	for i, v := range rs.Vars {
+		headers[i] = "?" + v
+	}
+	fmt.Fprintln(stdout, strings.Join(headers, "\t"))
+	for i := 0; i < rs.Len(); i++ {
+		fmt.Fprintln(stdout, strings.Join(rs.Strings(i), "\t"))
+	}
+	fmt.Fprintf(stdout, "\n%d rows\n", rs.Len())
+	return nil
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/reify"
+)
+
+func writeData(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.nt")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const icData = `
+<http://www.us.gov#files> <http://www.us.gov#terrorSuspect> <http://www.us.id#JohnDoe> .
+<http://www.us.id#JimDoe> <http://www.us.gov#terrorAction> "bombing" .
+`
+
+func TestQueryBasic(t *testing.T) {
+	path := writeData(t, icData)
+	var out strings.Builder
+	err := run([]string{
+		"-data", path,
+		"-query", "(?s ?p ?o)",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 rows") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestQueryWithAliasAndFilter(t *testing.T) {
+	path := writeData(t, icData)
+	var out strings.Builder
+	err := run([]string{
+		"-data", path,
+		"-alias", "gov=http://www.us.gov#",
+		"-query", "(?s gov:terrorSuspect ?o)",
+		"-filter", `LIKE(?o, "%JohnDoe")`,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "1 rows") || !strings.Contains(got, "JohnDoe") {
+		t.Errorf("output:\n%s", got)
+	}
+}
+
+func TestQueryWithRule(t *testing.T) {
+	path := writeData(t, icData)
+	var out strings.Builder
+	err := run([]string{
+		"-data", path,
+		"-alias", "gov=http://www.us.gov#",
+		"-query", "(gov:files gov:terrorSuspect ?x)",
+		"-rule", `(?x gov:terrorAction "bombing") => (gov:files gov:terrorSuspect ?x)`,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "JimDoe") { // inferred
+		t.Errorf("inferred suspect missing:\n%s", got)
+	}
+	if !strings.Contains(got, "2 rows") {
+		t.Errorf("output:\n%s", got)
+	}
+}
+
+func TestQueryWithRDFS(t *testing.T) {
+	path := writeData(t, `
+<http://x#Dog> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://x#Animal> .
+<http://x#rex> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x#Dog> .
+`)
+	var out strings.Builder
+	err := run([]string{
+		"-data", path,
+		"-rdfs",
+		"-query", "(?x rdf:type <http://x#Animal>)",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rex") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	path := writeData(t, icData)
+	cases := [][]string{
+		{"-data", path},                  // missing -query
+		{"-data", path, "-query", "bad"}, // bad query
+		{"-data", path, "-query", "(?s ?p ?o)", "-alias", "noequals"},
+		{"-data", path, "-query", "(?s ?p ?o)", "-rule", "no arrow"},
+		{"-data", "/nonexistent.nt", "-query", "(?s ?p ?o)"},
+	}
+	for i, args := range cases {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestQuerySnapshot(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "d.nt")
+	if err := os.WriteFile(dataPath, []byte(icData), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Build a snapshot through the core API (what rdfload -save does).
+	snapPath := filepath.Join(dir, "s.snap")
+	buildSnapshot(t, dataPath, snapPath)
+
+	var out strings.Builder
+	err := run([]string{
+		"-snapshot", snapPath,
+		"-model", "data",
+		"-query", "(?s ?p ?o)",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 rows") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// Missing snapshot errors.
+	if err := run([]string{"-snapshot", "/nonexistent.snap", "-query", "(?s ?p ?o)"}, &strings.Builder{}); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}
+
+func buildSnapshot(t *testing.T, dataPath, snapPath string) {
+	t.Helper()
+	st := core.New()
+	if _, err := st.CreateRDFModel("data", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loader := &reify.Loader{Store: st, Model: "data"}
+	if _, err := loader.Load(f); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	if err := st.Save(sf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	path := writeData(t, icData)
+	var out strings.Builder
+	if err := run([]string{"-data", path, "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "triples (rdf_link$ rows): 2") {
+		t.Errorf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "CONTEXT=D (direct):       2") {
+		t.Errorf("output:\n%s", got)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdfxml"
+	"repro/internal/uniprot"
+)
+
+func TestGenerateBase(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-triples", "200", "-reified", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ntriples.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 200 {
+		t.Fatalf("emitted %d triples", len(ts))
+	}
+}
+
+func TestGenerateQuads(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-triples", "200", "-reified", "10", "-quads"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ntriples.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 200+4*10 {
+		t.Fatalf("emitted %d triples, want 240", len(ts))
+	}
+	// The probe statement's quad is present.
+	var hasProbeQuadSubject bool
+	for _, tr := range ts {
+		if tr.Predicate.Value == "http://www.w3.org/1999/02/22-rdf-syntax-ns#object" &&
+			tr.Object.Value == uniprot.ProbeSeeAlso {
+			hasProbeQuadSubject = true
+		}
+	}
+	if !hasProbeQuadSubject {
+		t.Fatal("probe quad missing")
+	}
+}
+
+func TestDefaultReifiedCount(t *testing.T) {
+	var out strings.Builder
+	// -reified defaults to the paper's count for the size.
+	if err := run([]string{"-triples", "10000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(out.String(), "\n")
+	if lines != 10000 {
+		t.Fatalf("emitted %d lines", lines)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	if err := run([]string{"-triples", "3"}, &strings.Builder{}); err == nil {
+		t.Fatal("tiny dataset accepted")
+	}
+}
+
+func TestGenerateXMLFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-triples", "100", "-reified", "5", "-format", "xml"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := rdfxml.Parse(strings.NewReader(out.String()), rdfxml.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 100 {
+		t.Fatalf("XML corpus parsed to %d triples", len(ts))
+	}
+	if err := run([]string{"-format", "weird"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

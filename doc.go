@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "RDF Object Type and
+// Reification in the Database" (Alexander & Ravada, Oracle Corporation,
+// ICDE 2006).
+//
+// The library implements the paper's full stack:
+//
+//   - internal/reldb — an embedded relational engine (heap tables, B-tree,
+//     unique and function-based indexes, list partitioning, sequences,
+//     views, iterator executor), standing in for the Oracle storage layer;
+//   - internal/ndm — the Network Data Model (directed logical networks and
+//     the NDM analysis suite);
+//   - internal/core — the paper's contribution: the central RDF schema
+//     (rdf_model$, rdf_value$, rdf_node$, rdf_link$, rdf_blank_node$), the
+//     SDO_RDF_TRIPLE / SDO_RDF_TRIPLE_S object types, and streamlined
+//     DBUri reification;
+//   - internal/match and internal/inference — SDO_RDF_MATCH querying,
+//     rulebases, the built-in RDFS rulebase, and rules indexes;
+//   - internal/jena — the Jena1/Jena2 baseline schemas and the naïve quad
+//     reification scheme the paper compares against;
+//   - internal/uniprot and internal/bench — the synthetic evaluation
+//     corpus and the harness regenerating every table and figure of §7.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each table/figure under `go test -bench`.
+package repro

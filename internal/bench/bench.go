@@ -1,0 +1,202 @@
+// Package bench is the experiment harness behind cmd/benchrepro and the
+// root bench_test.go: dataset construction for both systems under test
+// (the RDF object store and the Jena2 baseline), timing with the paper's
+// methodology ("the mean results of ten trials with warm caches",
+// §7.1.2), and paper-style table rendering.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jena"
+	"repro/internal/ntriples"
+	"repro/internal/rdfterm"
+	"repro/internal/reldb"
+	"repro/internal/uniprot"
+)
+
+// Trials is the number of timed trials per measurement (§7.1.2).
+const Trials = 10
+
+// Time runs f once to warm caches, then Trials times, returning the mean
+// duration.
+func Time(f func()) time.Duration {
+	f() // warm-up
+	start := time.Now()
+	for i := 0; i < Trials; i++ {
+		f()
+	}
+	return time.Since(start) / Trials
+}
+
+// Seconds formats a duration the way the paper's tables do (hundredths of
+// a second; "0.00 represents query times that are less than a hundredth
+// of a second").
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+// Table renders paper-style result tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	dashes := make([]string, len(t.Headers))
+	for i, w := range widths {
+		dashes[i] = strings.Repeat("-", w)
+	}
+	line(dashes)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// OracleDataset is a UniProt-like corpus loaded into the RDF object store:
+// central schema + application table + §7.2 function-based subject index.
+type OracleDataset struct {
+	Store   *core.Store
+	Model   string
+	App     *core.ApplicationTable
+	SubIdx  *reldb.Index
+	Triples int
+	Reified int
+}
+
+// LoadOracle builds the store for one dataset size. Reified statements are
+// created through the reification constructor (§5.1).
+func LoadOracle(triples, reified int, seed int64) (*OracleDataset, error) {
+	st := core.New()
+	const model = "uniprot"
+	if _, err := st.CreateRDFModel(model, "uniprot_app", "triple"); err != nil {
+		return nil, err
+	}
+	appDB := reldb.NewDatabase("APP")
+	app, err := core.CreateApplicationTable(appDB, st, "uniprot_app",
+		reldb.Column{Name: "ID", Kind: reldb.KindInt})
+	if err != nil {
+		return nil, err
+	}
+	row := int64(0)
+	actualReified := 0
+	_, err = uniprot.Stream(uniprot.Config{Triples: triples, Reified: reified, Seed: seed},
+		func(t ntriples.Triple, reify bool) error {
+			ts, err := st.InsertTerms(model, t.Subject, t.Predicate, t.Object)
+			if err != nil {
+				return err
+			}
+			row++
+			if _, err := app.Insert([]reldb.Value{reldb.Int(row)}, ts); err != nil {
+				return err
+			}
+			if reify {
+				if _, err := st.Reify(model, ts.TID); err != nil {
+					return err
+				}
+				actualReified++
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// §7.2: function-based index on triple.GET_SUBJECT().
+	subIdx, err := app.CreateSubjectIndex("up_sub_fbidx")
+	if err != nil {
+		return nil, err
+	}
+	return &OracleDataset{
+		Store: st, Model: model, App: app, SubIdx: subIdx,
+		Triples: triples, Reified: actualReified,
+	}, nil
+}
+
+// Jena2Dataset is the same corpus in the Jena2 baseline.
+type Jena2Dataset struct {
+	Store   *jena.Jena2Store
+	Model   string
+	Triples int
+	Reified int
+}
+
+// LoadJena2 builds the Jena2 store for one dataset size, using the same
+// generator stream so both systems hold identical data.
+func LoadJena2(triples, reified int, seed int64) (*Jena2Dataset, error) {
+	st := jena.NewJena2Store()
+	const model = "uniprot"
+	if err := st.CreateModel(model); err != nil {
+		return nil, err
+	}
+	actualReified := 0
+	_, err := uniprot.Stream(uniprot.Config{Triples: triples, Reified: reified, Seed: seed},
+		func(t ntriples.Triple, reify bool) error {
+			stm := jena.Statement{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object}
+			if err := st.Add(model, stm); err != nil {
+				return err
+			}
+			if reify {
+				if _, err := st.Reify(model, stm); err != nil {
+					return err
+				}
+				actualReified++
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Jena2Dataset{Store: st, Model: model, Triples: triples, Reified: actualReified}, nil
+}
+
+// ProbeStatement returns the Table 2 "true" probe as a Jena statement.
+func ProbeStatement() jena.Statement {
+	return jena.Statement{
+		Subject:   rdfterm.NewURI(uniprot.ProbeSubject),
+		Predicate: rdfterm.NewURI(uniprot.SeeAlso),
+		Object:    rdfterm.NewURI(uniprot.ProbeSeeAlso),
+	}
+}
+
+// NonReifiedStatement returns the Table 2 "false" probe.
+func NonReifiedStatement() jena.Statement {
+	return jena.Statement{
+		Subject:   rdfterm.NewURI(uniprot.ProbeSubject),
+		Predicate: rdfterm.NewURI(uniprot.SeeAlso),
+		Object:    rdfterm.NewURI(uniprot.NonReifiedProbeObject),
+	}
+}

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/uniprot"
+)
+
+func TestTimeReturnsMean(t *testing.T) {
+	calls := 0
+	d := Time(func() { calls++ })
+	if calls != Trials+1 { // warm-up + trials
+		t.Fatalf("calls = %d", calls)
+	}
+	if d < 0 {
+		t.Fatalf("duration = %v", d)
+	}
+}
+
+func TestSecondsFormat(t *testing.T) {
+	if got := Seconds(0); got != "0.00" {
+		t.Errorf("Seconds(0) = %q", got)
+	}
+	if got := Seconds(1500 * time.Millisecond); got != "1.50" {
+		t.Errorf("Seconds(1.5s) = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"A", "BB"}}
+	tb.Add("1", "2")
+	out := tb.String()
+	for _, want := range []string{"T\n", "A", "BB", "--", "1", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtTriples(t *testing.T) {
+	cases := map[int]string{
+		10_000:    "10 k",
+		100_000:   "100 k",
+		1_000_000: "1 M",
+		5_000_000: "5 M",
+		1234:      "1234",
+	}
+	for in, want := range cases {
+		if got := fmtTriples(in); got != want {
+			t.Errorf("fmtTriples(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func loadSmall(t *testing.T) (*OracleDataset, *Jena2Dataset) {
+	t.Helper()
+	o, err := LoadOracle(2000, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := LoadJena2(2000, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, j
+}
+
+func TestLoadersAgree(t *testing.T) {
+	o, j := loadSmall(t)
+	if o.Reified != j.Reified {
+		t.Fatalf("reified counts differ: oracle %d, jena2 %d", o.Reified, j.Reified)
+	}
+	n, err := o.Store.NumTriples(o.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle stores base triples + one reification row each.
+	if n != o.Triples+o.Reified {
+		t.Fatalf("oracle rows = %d, want %d", n, o.Triples+o.Reified)
+	}
+	jn, _ := j.Store.Len(j.Model)
+	if jn != j.Triples {
+		t.Fatalf("jena2 rows = %d, want %d", jn, j.Triples)
+	}
+}
+
+func TestRunExperimentI(t *testing.T) {
+	o, _ := loadSmall(t)
+	r, err := RunExperimentI(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RowsReturned != uniprot.ProbeRows {
+		t.Fatalf("rows = %d, want %d", r.RowsReturned, uniprot.ProbeRows)
+	}
+	out := TableExpI([]ExpIResult{r}).String()
+	if !strings.Contains(out, "24") {
+		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestRunExperimentII(t *testing.T) {
+	o, j := loadSmall(t)
+	r, err := RunExperimentII(o, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RowsReturned != uniprot.ProbeRows {
+		t.Fatalf("rows = %d, want %d (the paper's Table 1 row count)", r.RowsReturned, uniprot.ProbeRows)
+	}
+	_ = TableExpII([]ExpIIResult{r})
+}
+
+func TestRunExperimentIII(t *testing.T) {
+	o, j := loadSmall(t)
+	r, err := RunExperimentIII(o, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reified != 100 {
+		t.Fatalf("reified = %d", r.Reified)
+	}
+	out := TableExpIII([]ExpIIIResult{r}).String()
+	if !strings.Contains(out, "true") || !strings.Contains(out, "false") {
+		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestRunReificationStorage(t *testing.T) {
+	r, err := RunReificationStorage(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OracleRows != 50 {
+		t.Errorf("oracle rows = %d, want 50", r.OracleRows)
+	}
+	if r.QuadRows != 200 {
+		t.Errorf("quad rows = %d, want 200", r.QuadRows)
+	}
+	if r.Ratio != 0.25 { // §7.3: "25% of the storage"
+		t.Errorf("ratio = %v, want 0.25", r.Ratio)
+	}
+	_ = TableReifStorage(r)
+}
+
+func TestRunIndexAblation(t *testing.T) {
+	o, _ := loadSmall(t)
+	r, err := RunIndexAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2000 rows the full scan must be slower than the index lookup.
+	if r.Unindexed < r.Indexed {
+		t.Logf("warning: unindexed %v faster than indexed %v at this size", r.Unindexed, r.Indexed)
+	}
+	_ = TableIndexAblation([]IndexAblationResult{r})
+}
+
+func TestRunStorageComparison(t *testing.T) {
+	results, err := RunStorageComparison(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byName := map[string]StorageResult{}
+	for _, r := range results {
+		if r.TextBytes <= 0 || r.Rows <= 0 {
+			t.Fatalf("empty result %+v", r)
+		}
+		byName[r.Design] = r
+	}
+	oracle := byName["RDF objects (central rdf_value$)"]
+	j1 := byName["Jena1 (normalized)"]
+	j2 := byName["Jena2 (denormalized)"]
+	// §3.1's claim: the denormalized design stores more text than the
+	// normalized ones; interning matches Jena1's single-copy storage.
+	if j2.TextBytes <= j1.TextBytes {
+		t.Errorf("Jena2 text %d <= Jena1 text %d", j2.TextBytes, j1.TextBytes)
+	}
+	if j2.TextBytes <= oracle.TextBytes {
+		t.Errorf("Jena2 text %d <= oracle text %d", j2.TextBytes, oracle.TextBytes)
+	}
+	// Interned designs should be within ~2x of each other.
+	if oracle.TextBytes > 2*j1.TextBytes {
+		t.Errorf("oracle text %d far above Jena1 %d", oracle.TextBytes, j1.TextBytes)
+	}
+	out := TableStorage(results).String()
+	if !strings.Contains(out, "Jena2") {
+		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestFmtInt64(t *testing.T) {
+	cases := map[int64]string{
+		0: "0", 12: "12", 1234: "1,234", 1234567: "1,234,567", -5000: "-5,000",
+	}
+	for in, want := range cases {
+		if got := fmtInt64(in); got != want {
+			t.Errorf("fmtInt64(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

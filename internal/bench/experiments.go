@@ -1,0 +1,375 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jena"
+	"repro/internal/rdfterm"
+	"repro/internal/uniprot"
+)
+
+// This file implements the paper's experiments (§7). Each Run* function
+// measures one experiment over prebuilt datasets and returns the raw
+// numbers; the Table builders render them in the paper's layout.
+
+// ExpIResult holds Experiment I measurements (§7.1.3, Figure 9): member
+// functions vs. flat storage tables.
+type ExpIResult struct {
+	Triples      int
+	MemberFns    time.Duration
+	FlatTables   time.Duration
+	RowsReturned int
+}
+
+// RunExperimentI times the subject-lookup query through the object's
+// member functions (function-based index → GET_TRIPLE) and through the
+// flat storage tables (three-way value join).
+func RunExperimentI(d *OracleDataset) (ExpIResult, error) {
+	var rows []core.Triple
+	var err error
+	member := Time(func() {
+		rows, err = d.App.QueryBySubject(d.SubIdx, uniprot.ProbeSubject)
+	})
+	if err != nil {
+		return ExpIResult{}, err
+	}
+	memberRows := len(rows)
+	flat := Time(func() {
+		rows, err = d.Store.FlatQueryBySubject(d.Model, uniprot.ProbeSubject)
+	})
+	if err != nil {
+		return ExpIResult{}, err
+	}
+	if len(rows) != memberRows {
+		return ExpIResult{}, fmt.Errorf("bench: member functions returned %d rows, flat tables %d", memberRows, len(rows))
+	}
+	return ExpIResult{
+		Triples: d.Triples, MemberFns: member, FlatTables: flat, RowsReturned: memberRows,
+	}, nil
+}
+
+// ExpIIResult holds Experiment II / Table 1 measurements: Jena2 vs. RDF
+// storage objects on the subject query (Figure 10).
+type ExpIIResult struct {
+	Triples      int
+	Jena2        time.Duration
+	RDFObjects   time.Duration
+	RowsReturned int
+}
+
+// RunExperimentII times the Figure 10 query on both systems.
+func RunExperimentII(o *OracleDataset, j *Jena2Dataset) (ExpIIResult, error) {
+	sub := rdfterm.NewURI(uniprot.ProbeSubject)
+	var jRows []jena.Statement
+	var jErr error
+	jena2 := Time(func() {
+		jRows, jErr = j.Store.Find(j.Model, &sub, nil, nil)
+	})
+	if jErr != nil {
+		return ExpIIResult{}, jErr
+	}
+	var oRows []core.Triple
+	var oErr error
+	rdf := Time(func() {
+		oRows, oErr = o.App.QueryBySubject(o.SubIdx, uniprot.ProbeSubject)
+	})
+	if oErr != nil {
+		return ExpIIResult{}, oErr
+	}
+	if len(jRows) != len(oRows) {
+		return ExpIIResult{}, fmt.Errorf("bench: Jena2 returned %d rows, RDF objects %d", len(jRows), len(oRows))
+	}
+	return ExpIIResult{
+		Triples: o.Triples, Jena2: jena2, RDFObjects: rdf, RowsReturned: len(oRows),
+	}, nil
+}
+
+// ExpIIIResult holds Experiment III / Table 2 measurements: IS_REIFIED on
+// both systems, for a true and a false probe (Figure 11).
+type ExpIIIResult struct {
+	Triples    int
+	Reified    int
+	Jena2True  time.Duration
+	RDFTrue    time.Duration
+	Jena2False time.Duration
+	RDFFalse   time.Duration
+	// Jena2Skipped marks an RDF-only run (benchrepro -systems rdf).
+	Jena2Skipped bool
+}
+
+// RunExperimentIII times IS_REIFIED on both systems.
+func RunExperimentIII(o *OracleDataset, j *Jena2Dataset) (ExpIIIResult, error) {
+	probeTrue, probeFalse := ProbeStatement(), NonReifiedStatement()
+	var got bool
+	var err error
+
+	jena2True := Time(func() { got, err = j.Store.IsReified(j.Model, probeTrue) })
+	if err != nil || !got {
+		return ExpIIIResult{}, fmt.Errorf("bench: Jena2 IsReified(true probe) = %v, %v", got, err)
+	}
+	jena2False := Time(func() { got, err = j.Store.IsReified(j.Model, probeFalse) })
+	if err != nil || got {
+		return ExpIIIResult{}, fmt.Errorf("bench: Jena2 IsReified(false probe) = %v, %v", got, err)
+	}
+
+	rdfTrue := Time(func() {
+		got, err = o.Store.IsReified(o.Model, uniprot.ProbeSubject, uniprot.SeeAlso, uniprot.ProbeSeeAlso, nil)
+	})
+	if err != nil || !got {
+		return ExpIIIResult{}, fmt.Errorf("bench: RDF IsReified(true probe) = %v, %v", got, err)
+	}
+	rdfFalse := Time(func() {
+		got, err = o.Store.IsReified(o.Model, uniprot.ProbeSubject, uniprot.SeeAlso, uniprot.NonReifiedProbeObject, nil)
+	})
+	if err != nil || got {
+		return ExpIIIResult{}, fmt.Errorf("bench: RDF IsReified(false probe) = %v, %v", got, err)
+	}
+	return ExpIIIResult{
+		Triples: o.Triples, Reified: o.Reified,
+		Jena2True: jena2True, RDFTrue: rdfTrue,
+		Jena2False: jena2False, RDFFalse: rdfFalse,
+	}, nil
+}
+
+// RunExperimentIIIRDFOnly measures the RDF-objects side of Table 2 alone —
+// used for dataset sizes where holding both systems in memory is not
+// possible (the Jena2 columns are then reported at the sizes both fit).
+func RunExperimentIIIRDFOnly(o *OracleDataset) (ExpIIIResult, error) {
+	var got bool
+	var err error
+	rdfTrue := Time(func() {
+		got, err = o.Store.IsReified(o.Model, uniprot.ProbeSubject, uniprot.SeeAlso, uniprot.ProbeSeeAlso, nil)
+	})
+	if err != nil || !got {
+		return ExpIIIResult{}, fmt.Errorf("bench: RDF IsReified(true probe) = %v, %v", got, err)
+	}
+	rdfFalse := Time(func() {
+		got, err = o.Store.IsReified(o.Model, uniprot.ProbeSubject, uniprot.SeeAlso, uniprot.NonReifiedProbeObject, nil)
+	})
+	if err != nil || got {
+		return ExpIIIResult{}, fmt.Errorf("bench: RDF IsReified(false probe) = %v, %v", got, err)
+	}
+	return ExpIIIResult{
+		Triples: o.Triples, Reified: o.Reified,
+		RDFTrue: rdfTrue, RDFFalse: rdfFalse,
+		Jena2Skipped: true,
+	}, nil
+}
+
+// ReifStorageResult holds the §7.3 storage comparison: rows stored per N
+// reifications under the streamlined scheme vs. the naïve quad, plus
+// IS_REIFIED latency under both.
+type ReifStorageResult struct {
+	Reifications int
+	OracleRows   int
+	QuadRows     int
+	Ratio        float64
+	OracleLookup time.Duration
+	QuadLookup   time.Duration
+}
+
+// RunReificationStorage measures §7.3 on a fresh corpus of n base triples,
+// all reified.
+func RunReificationStorage(n int, seed int64) (ReifStorageResult, error) {
+	// Oracle scheme.
+	st := core.New()
+	if _, err := st.CreateRDFModel("m", "", ""); err != nil {
+		return ReifStorageResult{}, err
+	}
+	var firstTID int64
+	for i := 0; i < n; i++ {
+		ts, err := st.InsertTerms("m",
+			rdfterm.NewURI(fmt.Sprintf("http://s/%d", i)),
+			rdfterm.NewURI("http://p"),
+			rdfterm.NewURI(fmt.Sprintf("http://o/%d", i)))
+		if err != nil {
+			return ReifStorageResult{}, err
+		}
+		if i == 0 {
+			firstTID = ts.TID
+		}
+	}
+	base, _ := st.NumTriples("m")
+	for tid := firstTID; tid < firstTID+int64(n); tid++ {
+		if _, err := st.Reify("m", tid); err != nil {
+			return ReifStorageResult{}, err
+		}
+	}
+	after, _ := st.NumTriples("m")
+	oracleRows := after - base
+
+	// Quad scheme on the Jena2 baseline.
+	js := jena.NewJena2Store()
+	if err := js.CreateModel("m"); err != nil {
+		return ReifStorageResult{}, err
+	}
+	q := jena.NewQuadReifier(js, "m")
+	var firstStmt jena.Statement
+	for i := 0; i < n; i++ {
+		stm := jena.Statement{
+			Subject:   rdfterm.NewURI(fmt.Sprintf("http://s/%d", i)),
+			Predicate: rdfterm.NewURI("http://p"),
+			Object:    rdfterm.NewURI(fmt.Sprintf("http://o/%d", i)),
+		}
+		if i == 0 {
+			firstStmt = stm
+		}
+		if err := js.Add("m", stm); err != nil {
+			return ReifStorageResult{}, err
+		}
+	}
+	jBase, _ := js.Len("m")
+	for i := 0; i < n; i++ {
+		stm := jena.Statement{
+			Subject:   rdfterm.NewURI(fmt.Sprintf("http://s/%d", i)),
+			Predicate: rdfterm.NewURI("http://p"),
+			Object:    rdfterm.NewURI(fmt.Sprintf("http://o/%d", i)),
+		}
+		if _, err := q.Reify(stm); err != nil {
+			return ReifStorageResult{}, err
+		}
+	}
+	jAfter, _ := js.Len("m")
+	quadRows := jAfter - jBase
+
+	// Lookup latency under both schemes.
+	var ok bool
+	var err error
+	oracleLookup := Time(func() {
+		ok, err = st.IsReified("m", "http://s/0", "http://p", "http://o/0", nil)
+	})
+	if err != nil || !ok {
+		return ReifStorageResult{}, fmt.Errorf("bench: oracle IsReified = %v, %v", ok, err)
+	}
+	quadLookup := Time(func() { ok, err = q.IsReified(firstStmt) })
+	if err != nil || !ok {
+		return ReifStorageResult{}, fmt.Errorf("bench: quad IsReified = %v, %v", ok, err)
+	}
+	_ = seed
+	return ReifStorageResult{
+		Reifications: n,
+		OracleRows:   oracleRows,
+		QuadRows:     quadRows,
+		Ratio:        float64(oracleRows) / float64(quadRows),
+		OracleLookup: oracleLookup,
+		QuadLookup:   quadLookup,
+	}, nil
+}
+
+// IndexAblationResult holds the §7.2 indexing comparison: the subject
+// query with and without the function-based index.
+type IndexAblationResult struct {
+	Triples   int
+	Indexed   time.Duration
+	Unindexed time.Duration
+}
+
+// RunIndexAblation measures §7.2 on a prebuilt dataset.
+func RunIndexAblation(d *OracleDataset) (IndexAblationResult, error) {
+	var rows []core.Triple
+	var err error
+	indexed := Time(func() { rows, err = d.App.QueryBySubject(d.SubIdx, uniprot.ProbeSubject) })
+	if err != nil {
+		return IndexAblationResult{}, err
+	}
+	want := len(rows)
+	unindexed := Time(func() { rows, err = d.App.UnindexedQueryBySubject(uniprot.ProbeSubject) })
+	if err != nil {
+		return IndexAblationResult{}, err
+	}
+	if len(rows) != want {
+		return IndexAblationResult{}, fmt.Errorf("bench: unindexed returned %d rows, indexed %d", len(rows), want)
+	}
+	return IndexAblationResult{Triples: d.Triples, Indexed: indexed, Unindexed: unindexed}, nil
+}
+
+// --- table builders ---
+
+// TableExpI renders Experiment I results.
+func TableExpI(results []ExpIResult) *Table {
+	t := &Table{
+		Title:   "Experiment I: flat storage tables versus member functions (mean of 10 warm trials)",
+		Headers: []string{"Triples", "Member fns (sec)", "Flat tables (sec)", "Rows", "member µs", "flat µs"},
+	}
+	for _, r := range results {
+		t.Add(fmtTriples(r.Triples), Seconds(r.MemberFns), Seconds(r.FlatTables),
+			fmt.Sprintf("%d", r.RowsReturned), micros(r.MemberFns), micros(r.FlatTables))
+	}
+	return t
+}
+
+// TableExpII renders Table 1.
+func TableExpII(results []ExpIIResult) *Table {
+	t := &Table{
+		Title:   "Table 1. Query times on the UniProt datasets",
+		Headers: []string{"Triples", "Jena2 (sec)", "RDF objects (sec)", "Rows", "Jena2 µs", "RDF µs"},
+	}
+	for _, r := range results {
+		t.Add(fmtTriples(r.Triples), Seconds(r.Jena2), Seconds(r.RDFObjects),
+			fmt.Sprintf("%d", r.RowsReturned), micros(r.Jena2), micros(r.RDFObjects))
+	}
+	return t
+}
+
+// TableExpIII renders Table 2.
+func TableExpIII(results []ExpIIIResult) *Table {
+	t := &Table{
+		Title:   "Table 2. IS_REIFIED() query times on the UniProt datasets",
+		Headers: []string{"Triples/Stmts", "Jena2 (sec)", "RDF objects (sec)", "Res", "Jena2 µs", "RDF µs"},
+	}
+	for _, r := range results {
+		label := fmt.Sprintf("%s /%d", fmtTriples(r.Triples), r.Reified)
+		jt, jf, jtu, jfu := Seconds(r.Jena2True), Seconds(r.Jena2False), micros(r.Jena2True), micros(r.Jena2False)
+		if r.Jena2Skipped {
+			jt, jf, jtu, jfu = "-", "-", "-", "-"
+		}
+		t.Add(label, jt, Seconds(r.RDFTrue), "true", jtu, micros(r.RDFTrue))
+		t.Add(label, jf, Seconds(r.RDFFalse), "false", jfu, micros(r.RDFFalse))
+	}
+	return t
+}
+
+// TableReifStorage renders §7.3.
+func TableReifStorage(r ReifStorageResult) *Table {
+	t := &Table{
+		Title:   "§7.3 Reification storage: streamlined DBUri scheme versus naive quad",
+		Headers: []string{"Reifications", "Oracle rows", "Quad rows", "Ratio", "Oracle lookup", "Quad lookup"},
+	}
+	t.Add(fmt.Sprintf("%d", r.Reifications),
+		fmt.Sprintf("%d", r.OracleRows),
+		fmt.Sprintf("%d", r.QuadRows),
+		fmt.Sprintf("%.2f", r.Ratio),
+		r.OracleLookup.String(),
+		r.QuadLookup.String())
+	return t
+}
+
+// TableIndexAblation renders §7.2.
+func TableIndexAblation(results []IndexAblationResult) *Table {
+	t := &Table{
+		Title:   "§7.2 Function-based indexing: subject query with and without the index",
+		Headers: []string{"Triples", "Indexed", "Unindexed"},
+	}
+	for _, r := range results {
+		t.Add(fmtTriples(r.Triples), r.Indexed.String(), r.Unindexed.String())
+	}
+	return t
+}
+
+// micros renders a duration in whole microseconds for the supplementary
+// columns (the paper's 0.00 format hides sub-hundredth differences).
+func micros(d time.Duration) string {
+	return fmt.Sprintf("%d", d.Microseconds())
+}
+
+func fmtTriples(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%d M", n/1_000_000)
+	case n >= 1000 && n%1000 == 0:
+		return fmt.Sprintf("%d k", n/1000)
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,14 @@
+package bench
+
+// Load-path benchmark: the cost of bulk inserting into the central
+// schema with all indexes maintained (the §7.3 "set-up cost" analogue).
+
+import "testing"
+
+func BenchmarkLoadOracle20k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadOracle(20000, 500, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

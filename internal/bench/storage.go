@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/jena"
+	"repro/internal/ntriples"
+	"repro/internal/reldb"
+	"repro/internal/uniprot"
+)
+
+// Storage comparison (§3.1): Jena1's normalized design stores each text
+// value once but pays a three-way join per find; Jena2 denormalizes text
+// into the statement table ("Jena2 thereby consumes more storage space
+// than Jena1"); the paper's central schema interns values once globally
+// AND keeps single-table-probe reads. This experiment loads the same
+// corpus into all three designs and counts stored text bytes and rows.
+
+// StorageResult summarizes one design's footprint.
+type StorageResult struct {
+	Design    string
+	TextBytes int64 // bytes of value/statement text stored
+	Rows      int   // total rows across the design's tables
+}
+
+// RunStorageComparison loads `triples` synthetic triples into each design
+// and measures footprints.
+func RunStorageComparison(triples int, seed int64) ([]StorageResult, error) {
+	var stream []ntriples.Triple
+	if _, err := uniprot.Stream(uniprot.Config{Triples: triples, Seed: seed},
+		func(t ntriples.Triple, _ bool) error {
+			stream = append(stream, t)
+			return nil
+		}); err != nil {
+		return nil, err
+	}
+
+	// Oracle-style central schema.
+	st := core.New()
+	if _, err := st.CreateRDFModel("m", "", ""); err != nil {
+		return nil, err
+	}
+	for _, t := range stream {
+		if _, err := st.InsertTerms("m", t.Subject, t.Predicate, t.Object); err != nil {
+			return nil, err
+		}
+	}
+	oracleText := tableTextBytes(st.Database().MustTable(core.TableValue))
+	oracleRows := st.Database().MustTable(core.TableValue).Len() +
+		st.Database().MustTable(core.TableLink).Len() +
+		st.Database().MustTable(core.TableNode).Len()
+
+	// Jena1 normalized.
+	j1 := jena.NewJena1Store()
+	for _, t := range stream {
+		if err := j1.Add(jena.Statement{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object}); err != nil {
+			return nil, err
+		}
+	}
+	j1Text := j1.TextBytes()
+	res, lits := j1.ValueCounts()
+	j1Rows := j1.Len() + res + lits
+
+	// Jena2 denormalized.
+	j2 := jena.NewJena2Store()
+	if err := j2.CreateModel("m"); err != nil {
+		return nil, err
+	}
+	for _, t := range stream {
+		if err := j2.Add("m", jena.Statement{Subject: t.Subject, Predicate: t.Predicate, Object: t.Object}); err != nil {
+			return nil, err
+		}
+	}
+	j2Text, err := j2.TextBytes("m")
+	if err != nil {
+		return nil, err
+	}
+	j2Rows, err := j2.Len("m")
+	if err != nil {
+		return nil, err
+	}
+
+	return []StorageResult{
+		{Design: "RDF objects (central rdf_value$)", TextBytes: oracleText, Rows: oracleRows},
+		{Design: "Jena1 (normalized)", TextBytes: j1Text, Rows: j1Rows},
+		{Design: "Jena2 (denormalized)", TextBytes: j2Text, Rows: j2Rows},
+	}, nil
+}
+
+// tableTextBytes sums the lengths of all string cells of a table.
+func tableTextBytes(t *reldb.Table) int64 {
+	var total int64
+	t.Scan(func(_ reldb.RowID, r reldb.Row) bool {
+		for _, v := range r {
+			if v.Kind() == reldb.KindString {
+				total += int64(len(v.Str()))
+			}
+		}
+		return true
+	})
+	return total
+}
+
+// TableStorage renders the storage comparison.
+func TableStorage(results []StorageResult) *Table {
+	t := &Table{
+		Title:   "§3.1 Storage comparison: text bytes and rows per design (same corpus)",
+		Headers: []string{"Design", "Text bytes", "Rows"},
+	}
+	for _, r := range results {
+		t.Add(r.Design, fmtInt64(r.TextBytes), fmtInt64(int64(r.Rows)))
+	}
+	return t
+}
+
+func fmtInt64(n int64) string {
+	// Group digits for readability: 1234567 -> 1,234,567.
+	if n < 0 {
+		return "-" + fmtInt64(-n)
+	}
+	s := ""
+	for n >= 1000 {
+		s = "," + pad3(n%1000) + s
+		n /= 1000
+	}
+	return itoa(n) + s
+}
+
+func pad3(n int64) string {
+	d := itoa(n)
+	for len(d) < 3 {
+		d = "0" + d
+	}
+	return d
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,323 @@
+// Package btree implements a generic in-memory B-tree ordered by a
+// caller-supplied comparator. It is the index structure underlying every
+// secondary, unique, and function-based index in the reldb engine (the
+// reproduction's stand-in for Oracle's B-tree indexes).
+//
+// The tree maps keys to int64 payloads (row IDs). Duplicate keys are
+// supported by treating (key, payload) as the effective key, mirroring how
+// non-unique database indexes append the ROWID to the key.
+package btree
+
+import "sort"
+
+// Comparator reports the ordering of two keys: negative if a < b, zero if
+// equal, positive if a > b. It must define a total order.
+type Comparator[K any] func(a, b K) int
+
+const (
+	// degree is the minimum number of children of an internal node.
+	// Nodes hold between degree-1 and 2*degree-1 entries.
+	degree   = 32
+	maxItems = 2*degree - 1
+	minItems = degree - 1
+)
+
+// item is a single (key, rowID) entry.
+type item[K any] struct {
+	key K
+	id  int64
+}
+
+type node[K any] struct {
+	items    []item[K]
+	children []*node[K] // nil for leaves
+}
+
+func (n *node[K]) leaf() bool { return n.children == nil }
+
+// Tree is a B-tree of (key, id) entries ordered by the comparator and then
+// by id. The zero value is not usable; call New.
+type Tree[K any] struct {
+	cmp  Comparator[K]
+	root *node[K]
+	size int
+}
+
+// New returns an empty tree ordered by cmp.
+func New[K any](cmp Comparator[K]) *Tree[K] {
+	return &Tree[K]{cmp: cmp, root: &node[K]{}}
+}
+
+// Len returns the number of entries in the tree.
+func (t *Tree[K]) Len() int { return t.size }
+
+// compareItems orders by key first, then by id, giving a total order over
+// entries even with duplicate keys.
+func (t *Tree[K]) compareItems(a, b item[K]) int {
+	if c := t.cmp(a.key, b.key); c != 0 {
+		return c
+	}
+	switch {
+	case a.id < b.id:
+		return -1
+	case a.id > b.id:
+		return 1
+	}
+	return 0
+}
+
+// find returns the index of the first entry in n.items that is >= it, and
+// whether an exact match was found at that index.
+func (t *Tree[K]) find(n *node[K], it item[K]) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool {
+		return t.compareItems(n.items[i], it) >= 0
+	})
+	if i < len(n.items) && t.compareItems(n.items[i], it) == 0 {
+		return i, true
+	}
+	return i, false
+}
+
+// Insert adds (key, id). It returns false if the exact (key, id) pair is
+// already present, leaving the tree unchanged.
+func (t *Tree[K]) Insert(key K, id int64) bool {
+	it := item[K]{key: key, id: id}
+	if len(t.root.items) == maxItems {
+		old := t.root
+		t.root = &node[K]{children: []*node[K]{old}}
+		t.splitChild(t.root, 0)
+	}
+	if !t.insertNonFull(t.root, it) {
+		return false
+	}
+	t.size++
+	return true
+}
+
+func (t *Tree[K]) splitChild(parent *node[K], i int) {
+	child := parent.children[i]
+	mid := child.items[minItems]
+	right := &node[K]{items: append([]item[K](nil), child.items[minItems+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*node[K](nil), child.children[minItems+1:]...)
+		child.children = child.children[:minItems+1]
+	}
+	child.items = child.items[:minItems]
+
+	parent.items = append(parent.items, item[K]{})
+	copy(parent.items[i+1:], parent.items[i:])
+	parent.items[i] = mid
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+func (t *Tree[K]) insertNonFull(n *node[K], it item[K]) bool {
+	for {
+		i, found := t.find(n, it)
+		if found {
+			return false
+		}
+		if n.leaf() {
+			n.items = append(n.items, item[K]{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = it
+			return true
+		}
+		if len(n.children[i].items) == maxItems {
+			t.splitChild(n, i)
+			if c := t.compareItems(it, n.items[i]); c == 0 {
+				return false
+			} else if c > 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes (key, id). It returns false if the pair was not present.
+func (t *Tree[K]) Delete(key K, id int64) bool {
+	it := item[K]{key: key, id: id}
+	if !t.delete(t.root, it) {
+		return false
+	}
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree[K]) delete(n *node[K], it item[K]) bool {
+	i, found := t.find(n, it)
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if found {
+		// Replace with predecessor from the left subtree, then delete the
+		// predecessor from there.
+		child := n.children[i]
+		if len(child.items) > minItems {
+			pred := t.max(child)
+			n.items[i] = pred
+			return t.delete(child, pred)
+		}
+		right := n.children[i+1]
+		if len(right.items) > minItems {
+			succ := t.min(right)
+			n.items[i] = succ
+			return t.delete(right, succ)
+		}
+		// Merge child, separator, and right sibling, then recurse.
+		t.merge(n, i)
+		return t.delete(child, it)
+	}
+	child := n.children[i]
+	if len(child.items) == minItems {
+		t.rebalance(n, i)
+		// Rebalancing may have moved the target; restart from n.
+		return t.delete(n, it)
+	}
+	return t.delete(child, it)
+}
+
+// rebalance ensures n.children[i] has more than minItems entries by
+// borrowing from a sibling or merging.
+func (t *Tree[K]) rebalance(n *node[K], i int) {
+	child := n.children[i]
+	if i > 0 && len(n.children[i-1].items) > minItems {
+		// Rotate right: move separator down, left sibling's max up.
+		left := n.children[i-1]
+		child.items = append([]item[K]{n.items[i-1]}, child.items...)
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			child.children = append([]*node[K]{left.children[len(left.children)-1]}, child.children...)
+			left.children = left.children[:len(left.children)-1]
+		}
+		return
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) > minItems {
+		// Rotate left: move separator down, right sibling's min up.
+		right := n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = right.items[1:]
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = right.children[1:]
+		}
+		return
+	}
+	if i == len(n.children)-1 {
+		i--
+	}
+	t.merge(n, i)
+}
+
+// merge combines n.children[i], n.items[i], and n.children[i+1] into a
+// single node at position i.
+func (t *Tree[K]) merge(n *node[K], i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	child.items = append(child.items, right.items...)
+	if !child.leaf() {
+		child.children = append(child.children, right.children...)
+	}
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func (t *Tree[K]) min(n *node[K]) item[K] {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+func (t *Tree[K]) max(n *node[K]) item[K] {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// Get returns the row IDs stored under key, in ascending order.
+func (t *Tree[K]) Get(key K) []int64 {
+	var ids []int64
+	t.AscendRange(&key, &key, func(_ K, id int64) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids
+}
+
+// Contains reports whether at least one entry with the given key exists.
+func (t *Tree[K]) Contains(key K) bool {
+	found := false
+	t.AscendRange(&key, &key, func(K, int64) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Visitor is called with each (key, id) entry during iteration. Returning
+// false stops the iteration.
+type Visitor[K any] func(key K, id int64) bool
+
+// Ascend visits every entry in ascending order.
+func (t *Tree[K]) Ascend(fn Visitor[K]) {
+	t.ascend(t.root, nil, nil, fn)
+}
+
+// AscendRange visits entries with lo <= key <= hi in ascending order. A
+// nil bound pointer is unbounded on that side.
+func (t *Tree[K]) AscendRange(lo, hi *K, fn Visitor[K]) {
+	t.ascend(t.root, lo, hi, fn)
+}
+
+func (t *Tree[K]) ascend(n *node[K], lo, hi *K, fn Visitor[K]) bool {
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(n.items), func(i int) bool {
+			return t.cmp(n.items[i].key, *lo) >= 0
+		})
+	}
+	for i := start; i <= len(n.items); i++ {
+		if !n.leaf() {
+			if !t.ascend(n.children[i], lo, hi, fn) {
+				return false
+			}
+		}
+		if i == len(n.items) {
+			break
+		}
+		if hi != nil && t.cmp(n.items[i].key, *hi) > 0 {
+			return false
+		}
+		if !fn(n.items[i].key, n.items[i].id) {
+			return false
+		}
+		// Entries before start are < lo; once we are iterating we no longer
+		// need the lower bound for child descents to the right.
+		lo = nil
+	}
+	return true
+}
+
+// Height returns the height of the tree (a single leaf has height 1).
+// It exists for tests and diagnostics.
+func (t *Tree[K]) Height() int {
+	h, n := 1, t.root
+	for !n.leaf() {
+		h++
+		n = n.children[0]
+	}
+	return h
+}

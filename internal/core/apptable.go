@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rdfterm"
+	"repro/internal/reldb"
+)
+
+// ApplicationTable models the paper's user-defined tables with an
+// SDO_RDF_TRIPLE_S column (§4.3):
+//
+//	CREATE TABLE ciadata (id NUMBER, triple SDO_RDF_TRIPLE_S);
+//
+// The object column is stored as its five ID components; member functions
+// work on rows read back because the table re-binds them to the store.
+type ApplicationTable struct {
+	store *Store
+	table *reldb.Table
+	// userCols is the number of leading user columns before the five
+	// TripleS ID columns.
+	userCols int
+}
+
+// tripleSColumns returns the five storage columns of the object type.
+func tripleSColumns() []reldb.Column {
+	return []reldb.Column{
+		{Name: "RDF_T_ID", Kind: reldb.KindInt},
+		{Name: "RDF_M_ID", Kind: reldb.KindInt},
+		{Name: "RDF_S_ID", Kind: reldb.KindInt},
+		{Name: "RDF_P_ID", Kind: reldb.KindInt},
+		{Name: "RDF_O_ID", Kind: reldb.KindInt},
+	}
+}
+
+// CreateApplicationTable creates a table with the given user columns plus
+// one SDO_RDF_TRIPLE_S column, in the given database (the application's
+// schema, distinct from the store's central schema).
+func CreateApplicationTable(db *reldb.Database, store *Store, name string, userCols ...reldb.Column) (*ApplicationTable, error) {
+	cols := append(append([]reldb.Column{}, userCols...), tripleSColumns()...)
+	tb, err := db.CreateTable(reldb.NewSchema(name, cols...))
+	if err != nil {
+		return nil, err
+	}
+	return &ApplicationTable{store: store, table: tb, userCols: len(userCols)}, nil
+}
+
+// Table exposes the underlying reldb table (for scans and index creation).
+func (a *ApplicationTable) Table() *reldb.Table { return a.table }
+
+// Len returns the number of rows.
+func (a *ApplicationTable) Len() int { return a.table.Len() }
+
+// Insert appends a row of user values plus the triple object.
+func (a *ApplicationTable) Insert(userValues []reldb.Value, ts TripleS) (reldb.RowID, error) {
+	if len(userValues) != a.userCols {
+		return 0, fmt.Errorf("core: table %s expects %d user columns, got %d",
+			a.table.Name(), a.userCols, len(userValues))
+	}
+	if ts.IsZero() {
+		return 0, fmt.Errorf("core: inserting zero TripleS into %s", a.table.Name())
+	}
+	row := append(append(reldb.Row{}, userValues...),
+		reldb.Int(ts.TID), reldb.Int(ts.MID), reldb.Int(ts.SID), reldb.Int(ts.PID), reldb.Int(ts.OID))
+	return a.table.Insert(row)
+}
+
+// Get returns the user values and the re-bound TripleS of a row.
+func (a *ApplicationTable) Get(id reldb.RowID) ([]reldb.Value, TripleS, error) {
+	r, err := a.table.Get(id)
+	if err != nil {
+		return nil, TripleS{}, err
+	}
+	user, ts := a.split(r)
+	return user, ts, nil
+}
+
+func (a *ApplicationTable) split(r reldb.Row) ([]reldb.Value, TripleS) {
+	u := a.userCols
+	ts := a.store.ReconstructTripleS(
+		r[u].Int64(), r[u+1].Int64(), r[u+2].Int64(), r[u+3].Int64(), r[u+4].Int64())
+	return append([]reldb.Value{}, r[:u]...), ts
+}
+
+// Scan visits every row with its re-bound triple object.
+func (a *ApplicationTable) Scan(fn func(id reldb.RowID, user []reldb.Value, ts TripleS) bool) {
+	a.table.Scan(func(id reldb.RowID, r reldb.Row) bool {
+		user, ts := a.split(r)
+		return fn(id, user, ts)
+	})
+}
+
+// Function-based indexes (§7.2): CREATE INDEX … ON t (triple.GET_SUBJECT())
+// becomes an index whose key function calls the member function.
+
+// CreateSubjectIndex builds the §7.2 up5m_sub_fbidx equivalent.
+func (a *ApplicationTable) CreateSubjectIndex(name string) (*reldb.Index, error) {
+	return a.createMemberIndex(name, func(ts TripleS) (string, error) { return ts.GetSubject() })
+}
+
+// CreatePropertyIndex builds the §7.2 up5m_prop_fbidx equivalent.
+func (a *ApplicationTable) CreatePropertyIndex(name string) (*reldb.Index, error) {
+	return a.createMemberIndex(name, func(ts TripleS) (string, error) { return ts.GetProperty() })
+}
+
+// CreateObjectIndex builds the §7.2 up5m_obj_fbidx equivalent
+// (TO_CHAR(triple.GET_OBJECT())).
+func (a *ApplicationTable) CreateObjectIndex(name string) (*reldb.Index, error) {
+	return a.createMemberIndex(name, func(ts TripleS) (string, error) { return ts.GetObject() })
+}
+
+func (a *ApplicationTable) createMemberIndex(name string, get func(TripleS) (string, error)) (*reldb.Index, error) {
+	return a.table.CreateFunctionIndex(name, false, func(r reldb.Row) reldb.Key {
+		_, ts := a.split(r)
+		text, err := get(ts)
+		if err != nil {
+			// A dangling reference indexes as NULL rather than failing the
+			// whole index build.
+			return reldb.Key{reldb.Null()}
+		}
+		return reldb.Key{reldb.String_(text)}
+	})
+}
+
+// QueryBySubject is the Experiment II "RDF objects" query (Figure 10):
+//
+//	SELECT u.triple.GET_TRIPLE() FROM <table> u
+//	WHERE u.triple.GET_SUBJECT() = :subject
+//
+// using the function-based subject index.
+func (a *ApplicationTable) QueryBySubject(idx *reldb.Index, subject string) ([]Triple, error) {
+	var out []Triple
+	var firstErr error
+	for _, rid := range idx.Lookup(reldb.Key{reldb.String_(subject)}) {
+		r, err := a.table.Get(rid)
+		if err != nil {
+			continue
+		}
+		_, ts := a.split(r)
+		tr, err := ts.GetTriple()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out = append(out, tr)
+	}
+	return out, firstErr
+}
+
+// InsertTriple is the one-call convenience mirroring the paper's
+//
+//	INSERT INTO ciadata VALUES (1, SDO_RDF_TRIPLE_S('cia', s, p, o));
+//
+// it builds the storage object (inserting into the central schema) and
+// appends the application row.
+func (a *ApplicationTable) InsertTriple(userValues []reldb.Value, model, subject, property, object string, aliases *rdfterm.AliasSet) (TripleS, error) {
+	ts, err := a.store.NewTripleS(model, subject, property, object, aliases)
+	if err != nil {
+		return TripleS{}, err
+	}
+	if _, err := a.Insert(userValues, ts); err != nil {
+		return TripleS{}, err
+	}
+	return ts, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdfterm"
+)
+
+// RDF containers (§2): a container is a generated blank node typed
+// rdf:Bag / rdf:Seq / rdf:Alt, with each member attached via the
+// rdf:_n membership properties. Membership links get LINK_TYPE RDF_MEMBER
+// in rdf_link$ (§4).
+
+// ContainerKind selects the container type.
+type ContainerKind string
+
+// The three RDF container types.
+const (
+	BagContainer ContainerKind = rdfterm.RDFBag
+	SeqContainer ContainerKind = rdfterm.RDFSeq
+	AltContainer ContainerKind = rdfterm.RDFAlt
+)
+
+// CreateContainer builds a container of the given kind holding members
+// (object terms), returning the container's blank node. Members are
+// numbered rdf:_1, rdf:_2, … in order.
+func (s *Store) CreateContainer(model string, kind ContainerKind, members ...rdfterm.Term) (rdfterm.Term, error) {
+	switch kind {
+	case BagContainer, SeqContainer, AltContainer:
+	default:
+		return rdfterm.Term{}, fmt.Errorf("core: unknown container kind %q", kind)
+	}
+	node, err := s.NewBlankNode(model)
+	if err != nil {
+		return rdfterm.Term{}, err
+	}
+	if _, err := s.InsertTerms(model, node, rdfterm.NewURI(rdfterm.RDFType), rdfterm.NewURI(string(kind))); err != nil {
+		return rdfterm.Term{}, err
+	}
+	for i, m := range members {
+		prop := rdfterm.NewURI(rdfterm.MembershipProperty(i + 1))
+		if _, err := s.InsertTerms(model, node, prop, m); err != nil {
+			return rdfterm.Term{}, err
+		}
+	}
+	return node, nil
+}
+
+// AppendToContainer adds a member with the next free rdf:_n index.
+func (s *Store) AppendToContainer(model string, container rdfterm.Term, member rdfterm.Term) (int, error) {
+	existing, err := s.ContainerMembers(model, container)
+	if err != nil {
+		return 0, err
+	}
+	n := len(existing) + 1
+	prop := rdfterm.NewURI(rdfterm.MembershipProperty(n))
+	if _, err := s.InsertTerms(model, container, prop, member); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// ContainerMembers returns the members of a container in rdf:_n order.
+func (s *Store) ContainerMembers(model string, container rdfterm.Term) ([]rdfterm.Term, error) {
+	ts, err := s.Find(model, Pattern{Subject: &container})
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		term rdfterm.Term
+	}
+	var members []numbered
+	for _, t := range ts {
+		tr, err := t.GetTriple()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := rdfterm.IsMembershipProperty(tr.Property.Value); ok {
+			members = append(members, numbered{n: n, term: tr.Object})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].n < members[j].n })
+	out := make([]rdfterm.Term, len(members))
+	for i, m := range members {
+		out[i] = m.term
+	}
+	return out, nil
+}
+
+// ContainerKindOf returns the container type of a node, or "" when the
+// node is not typed as a container in the model.
+func (s *Store) ContainerKindOf(model string, node rdfterm.Term) (ContainerKind, error) {
+	typ := rdfterm.NewURI(rdfterm.RDFType)
+	ts, err := s.Find(model, Pattern{Subject: &node, Predicate: &typ})
+	if err != nil {
+		return "", err
+	}
+	for _, t := range ts {
+		obj, err := t.GetObject()
+		if err != nil {
+			return "", err
+		}
+		switch obj {
+		case rdfterm.RDFBag, rdfterm.RDFSeq, rdfterm.RDFAlt:
+			return ContainerKind(obj), nil
+		}
+	}
+	return "", nil
+}

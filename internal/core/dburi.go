@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DBUri machinery (§5). A reified triple is named by a DBUri resource that
+// points directly at its rdf_link$ row:
+//
+//	/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID=2051]
+//
+// Storing this one <dburi, rdf:type, rdf:Statement> triple replaces the
+// four-triple reification quad — the paper's streamlined reification.
+
+const (
+	dbURIPrefix = "/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID="
+	dbURISuffix = "]"
+)
+
+// DBUri returns the DBUri resource string for a triple ID.
+func DBUri(linkID int64) string {
+	return dbURIPrefix + strconv.FormatInt(linkID, 10) + dbURISuffix
+}
+
+// ParseDBUri extracts the LINK_ID from a DBUri resource string; ok is
+// false when s is not a DBUri.
+func ParseDBUri(s string) (int64, bool) {
+	rest, ok := strings.CutPrefix(s, dbURIPrefix)
+	if !ok {
+		return 0, false
+	}
+	num, ok := strings.CutSuffix(rest, dbURISuffix)
+	if !ok {
+		return 0, false
+	}
+	id, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || id < 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// ResolveDBUri dereferences a DBUri to the triple it points at — the
+// DBUriType "direct link to data in a table" (§5).
+func (s *Store) ResolveDBUri(uri string) (Triple, error) {
+	id, ok := ParseDBUri(uri)
+	if !ok {
+		return Triple{}, fmt.Errorf("core: %q is not a DBUri", uri)
+	}
+	return s.GetTripleByID(id)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/ndm"
+	"repro/internal/rdfterm"
+	"repro/internal/reldb"
+)
+
+// TestFlatQueryMatchesMemberFunctions asserts the Experiment I equivalence
+// at the correctness level: the three-way join over the storage tables
+// and the member-function path return identical rows.
+func TestFlatQueryMatchesMemberFunctions(t *testing.T) {
+	s := newStoreWithModel(t, "m")
+	a := govAliases()
+	at := newAppTable(t, s, "app")
+	rows := [][3]string{
+		{"gov:p1", "gov:seeAlso", "gov:x1"},
+		{"gov:p1", "gov:seeAlso", "gov:x2"},
+		{"gov:p1", "gov:mass", `"42"^^xsd:int`},
+		{"gov:p1", "gov:label", `"a protein"`},
+		{"gov:p2", "gov:seeAlso", "gov:x1"},
+	}
+	for i, r := range rows {
+		if _, err := at.InsertTriple([]reldb.Value{reldb.Int(int64(i))}, "m", r[0], r[1], r[2], a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx, err := at.CreateSubjectIndex("sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subject := "http://www.us.gov#p1"
+
+	member, err := at.QueryBySubject(idx, subject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := s.FlatQueryBySubject("m", subject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unindexed, err := at.UnindexedQueryBySubject(subject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySubText, err := s.FindBySubjectText("m", subject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := func(ts []Triple) []string {
+		out := make([]string, len(ts))
+		for i, tr := range ts {
+			out[i] = tr.String()
+		}
+		sort.Strings(out)
+		return out
+	}
+	want := canon(member)
+	if len(want) != 4 {
+		t.Fatalf("member rows = %d", len(want))
+	}
+	for name, got := range map[string][]Triple{
+		"flat": flat, "unindexed": unindexed, "findBySubjectText": bySubText,
+	} {
+		g := canon(got)
+		if len(g) != len(want) {
+			t.Fatalf("%s rows = %d, want %d", name, len(g), len(want))
+		}
+		for i := range want {
+			if g[i] != want[i] {
+				t.Fatalf("%s row %d = %s, want %s", name, i, g[i], want[i])
+			}
+		}
+	}
+	// Unknown subject: all paths return empty.
+	flat, _ = s.FlatQueryBySubject("m", "http://nope")
+	if len(flat) != 0 {
+		t.Fatalf("flat unknown subject rows = %d", len(flat))
+	}
+	if _, err := s.FlatQueryBySubject("ghost", subject); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+func TestInsertImpliedDirectly(t *testing.T) {
+	s := newStoreWithModel(t, "m")
+	ts, err := s.InsertImplied("m",
+		rdfterm.NewURI("http://s"), rdfterm.NewURI("http://p"), rdfterm.NewURI("http://o"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := s.LinkInfo(ts.TID)
+	if info.Context != ContextIndirect {
+		t.Fatalf("CONTEXT = %s", info.Context)
+	}
+	// Existing fact keeps its context.
+	fact, _ := s.InsertTerms("m", rdfterm.NewURI("http://s2"), rdfterm.NewURI("http://p"), rdfterm.NewURI("http://o"))
+	again, err := s.InsertImplied("m", rdfterm.NewURI("http://s2"), rdfterm.NewURI("http://p"), rdfterm.NewURI("http://o"))
+	if err != nil || again.TID != fact.TID {
+		t.Fatalf("implied reinsert = %v, %v", again, err)
+	}
+	info, _ = s.LinkInfo(fact.TID)
+	if info.Context != ContextDirect {
+		t.Fatalf("fact downgraded to %s", info.Context)
+	}
+}
+
+func TestNetworkNodesAndInLinks(t *testing.T) {
+	s := newStoreWithModel(t, "m")
+	a := govAliases()
+	s.NewTripleS("m", "gov:a", "gov:p", "gov:c", a)
+	s.NewTripleS("m", "gov:b", "gov:p", "gov:c", a)
+	net, err := s.Network("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	net.Nodes(func(int64) bool { count++; return true })
+	if count != 3 { // a, b, c
+		t.Fatalf("network nodes = %d", count)
+	}
+	// Early stop.
+	count = 0
+	net.Nodes(func(int64) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	cID, _ := net.NodeID(rdfterm.NewURI("http://www.us.gov#c"))
+	in, out := ndm.Degree(net, cID)
+	if in != 2 || out != 0 {
+		t.Fatalf("degree(c) = (%d,%d)", in, out)
+	}
+	var starts []string
+	net.InLinks(cID, func(_, start int64, cost float64) bool {
+		term, err := net.NodeTerm(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != 1 {
+			t.Fatalf("link cost = %g", cost)
+		}
+		starts = append(starts, term.Value)
+		return true
+	})
+	if len(starts) != 2 {
+		t.Fatalf("InLinks = %v", starts)
+	}
+	// InLinks early stop.
+	n := 0
+	net.InLinks(cID, func(_, _ int64, _ float64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("InLinks early stop visited %d", n)
+	}
+}
+
+func TestApplicationTableAccessor(t *testing.T) {
+	s := newStoreWithModel(t, "m")
+	at := newAppTable(t, s, "t")
+	if at.Table() == nil || at.Table().Name() != "t" {
+		t.Fatal("Table accessor wrong")
+	}
+	// InsertTriple propagates constructor errors.
+	if _, err := at.InsertTriple([]reldb.Value{reldb.Int(1)}, "ghost", "gov:a", "gov:p", "gov:b", govAliases()); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/rdfterm"
+	"repro/internal/reldb"
+)
+
+// Pattern is a triple pattern for Find: nil components are wildcards.
+// Object constraints match on canonical form (CANON_END_NODE_ID), so
+// "01"^^xsd:int finds triples stored as "1"^^xsd:int.
+type Pattern struct {
+	Subject   *rdfterm.Term
+	Predicate *rdfterm.Term
+	Object    *rdfterm.Term
+}
+
+// P returns a pointer to a term, for building patterns inline.
+func P(t rdfterm.Term) *rdfterm.Term { return &t }
+
+// Find returns every triple in the model matching the pattern, choosing
+// the best available index: (M,S[,P[,O]]) prefix on the unique MSPO index,
+// (M,P) on the predicate index, (M,O-canon) on the object index, falling
+// back to a partition-pruned scan for fully unbound patterns.
+func (s *Store) Find(model string, pat Pattern) ([]TripleS, error) {
+	mid, err := s.GetModelID(model)
+	if err != nil {
+		return nil, err
+	}
+	return s.findModel(mid, pat)
+}
+
+// FindModels runs Find over several models, concatenating results — the
+// multi-model scope of SDO_RDF_MATCH (§6.1).
+func (s *Store) FindModels(models []string, pat Pattern) ([]TripleS, error) {
+	var out []TripleS
+	for _, m := range models {
+		ts, err := s.Find(m, pat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+func (s *Store) findModel(mid int64, pat Pattern) ([]TripleS, error) {
+	// Resolve constrained term IDs; a constrained term that is not interned
+	// matches nothing.
+	var sid, pid, oid int64
+	if pat.Subject != nil {
+		var ok bool
+		if sid, ok = s.lookupResolvedID(mid, *pat.Subject); !ok {
+			return nil, nil
+		}
+	}
+	if pat.Predicate != nil {
+		var ok bool
+		if pid, ok = s.lookupValueID(*pat.Predicate); !ok {
+			return nil, nil
+		}
+	}
+	if pat.Object != nil {
+		var ok bool
+		if oid, ok = s.lookupCanonID(mid, *pat.Object); !ok {
+			return nil, nil
+		}
+	}
+
+	var out []TripleS
+	collectRow := func(r reldb.Row) bool {
+		if pat.Predicate != nil && r[lcPValueID].Int64() != pid {
+			return true
+		}
+		if pat.Object != nil && r[lcCanonEndNodeID].Int64() != oid {
+			return true
+		}
+		if pat.Subject != nil && r[lcStartNodeID].Int64() != sid {
+			return true
+		}
+		out = append(out, s.tripleSFromRow(r))
+		return true
+	}
+	collectIDs := func(ids []reldb.RowID) error {
+		for _, rid := range ids {
+			r, err := s.links.Get(rid)
+			if err != nil {
+				continue // row deleted since index snapshot
+			}
+			collectRow(r)
+		}
+		return nil
+	}
+
+	switch {
+	case pat.Subject != nil:
+		prefix := reldb.Key{reldb.Int(mid), reldb.Int(sid)}
+		if pat.Predicate != nil {
+			prefix = append(prefix, reldb.Int(pid))
+			if pat.Object != nil {
+				prefix = append(prefix, reldb.Int(oid))
+			}
+		}
+		var ids []reldb.RowID
+		s.linkMSPO.ScanPrefix(prefix, func(_ reldb.Key, rid reldb.RowID) bool {
+			ids = append(ids, rid)
+			return true
+		})
+		return out, collectIDs(ids)
+	case pat.Predicate != nil:
+		var ids []reldb.RowID
+		s.linkMP.ScanPrefix(reldb.Key{reldb.Int(mid), reldb.Int(pid)}, func(_ reldb.Key, rid reldb.RowID) bool {
+			ids = append(ids, rid)
+			return true
+		})
+		return out, collectIDs(ids)
+	case pat.Object != nil:
+		var ids []reldb.RowID
+		s.linkMO.ScanPrefix(reldb.Key{reldb.Int(mid), reldb.Int(oid)}, func(_ reldb.Key, rid reldb.RowID) bool {
+			ids = append(ids, rid)
+			return true
+		})
+		return out, collectIDs(ids)
+	default:
+		err := s.links.ScanPartition(mid, func(_ reldb.RowID, r reldb.Row) bool {
+			out = append(out, s.tripleSFromRow(r))
+			return true
+		})
+		return out, err
+	}
+}
+
+// FindBySubjectText is the paper's Experiment II query shape: all triples
+// of a model whose subject text equals subject. It exercises the member-
+// function access path (value lookup → link index prefix scan).
+func (s *Store) FindBySubjectText(model, subject string) ([]Triple, error) {
+	ts, err := s.Find(model, Pattern{Subject: P(rdfterm.NewURI(subject))})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Triple, 0, len(ts))
+	for _, t := range ts {
+		tr, err := t.GetTriple()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdfterm"
+	"repro/internal/reldb"
+)
+
+// NewTripleS is the paper's base constructor SDO_RDF_TRIPLE_S(model_name,
+// subject, property, object) (Figure 5, §4.3): it parses the triple into
+// the central schema (§4.1) and returns the ID object for storage in an
+// application table. Inserting an existing triple returns the previously
+// assigned IDs and increments the link's COST.
+//
+// The triple is inserted as a fact (CONTEXT = "D"); if it previously
+// existed only as the base of a reification (CONTEXT = "I"), the context
+// is upgraded to "D" (§5.2).
+func (s *Store) NewTripleS(model, subject, property, object string, aliases *rdfterm.AliasSet) (TripleS, error) {
+	sub, err := parseSubjectDB(subject, aliases)
+	if err != nil {
+		return TripleS{}, err
+	}
+	prop, err := rdfterm.ParsePredicate(property, aliases)
+	if err != nil {
+		return TripleS{}, err
+	}
+	obj, err := parseObjectDB(object, aliases)
+	if err != nil {
+		return TripleS{}, err
+	}
+	return s.InsertTerms(model, sub, prop, obj)
+}
+
+// parseSubjectDB parses a subject string, recognizing DBUri resources
+// (which have no URI scheme and would otherwise be rejected) as URIs.
+func parseSubjectDB(subject string, aliases *rdfterm.AliasSet) (rdfterm.Term, error) {
+	if trimmed := strings.TrimSpace(subject); isDBUri(trimmed) {
+		return rdfterm.NewURI(trimmed), nil
+	}
+	return rdfterm.ParseSubject(subject, aliases)
+}
+
+// parseObjectDB parses an object string, recognizing DBUri resources as
+// URIs rather than plain literals.
+func parseObjectDB(object string, aliases *rdfterm.AliasSet) (rdfterm.Term, error) {
+	if trimmed := strings.TrimSpace(object); isDBUri(trimmed) {
+		return rdfterm.NewURI(trimmed), nil
+	}
+	return rdfterm.ParseObject(object, aliases)
+}
+
+func isDBUri(s string) bool {
+	_, ok := ParseDBUri(s)
+	return ok
+}
+
+// InsertTerms inserts a triple given already-parsed terms, as a fact.
+func (s *Store) InsertTerms(model string, sub, prop, obj rdfterm.Term) (TripleS, error) {
+	return s.insertTermsCtx(model, sub, prop, obj, ContextDirect)
+}
+
+// InsertImplied inserts a triple as an indirect statement (CONTEXT = "I",
+// §5.2) — a statement that exists only as the base of a reification. If
+// the triple already exists its context is untouched.
+func (s *Store) InsertImplied(model string, sub, prop, obj rdfterm.Term) (TripleS, error) {
+	return s.insertTermsCtx(model, sub, prop, obj, ContextIndirect)
+}
+
+func (s *Store) insertTermsCtx(model string, sub, prop, obj rdfterm.Term, context string) (TripleS, error) {
+	mid, err := s.GetModelID(model)
+	if err != nil {
+		return TripleS{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, _, err := s.insertLocked(mid, sub, prop, obj, context)
+	return ts, err
+}
+
+// insertLocked implements the §4.1 parsing pipeline. Caller holds s.mu.
+// It returns the storage object and whether a new link row was created.
+func (s *Store) insertLocked(modelID int64, sub, prop, obj rdfterm.Term, context string) (TripleS, bool, error) {
+	if prop.Kind != rdfterm.URI {
+		return TripleS{}, false, fmt.Errorf("core: predicate must be a URI, got %s", prop)
+	}
+	var err error
+	if sub, err = s.resolveBlankLocked(modelID, sub); err != nil {
+		return TripleS{}, false, err
+	}
+	if obj, err = s.resolveBlankLocked(modelID, obj); err != nil {
+		return TripleS{}, false, err
+	}
+	// Intern the three text values (reusing existing VALUE_IDs, §4.1).
+	sid, err := s.internValueLocked(sub)
+	if err != nil {
+		return TripleS{}, false, err
+	}
+	pid, err := s.internValueLocked(prop)
+	if err != nil {
+		return TripleS{}, false, err
+	}
+	oid, err := s.internValueLocked(obj)
+	if err != nil {
+		return TripleS{}, false, err
+	}
+	// Canonical object ID (CANON_END_NODE_ID): typed literals match on
+	// their canonical form.
+	canonID := oid
+	if canon := rdfterm.Canonical(obj); !canon.Equal(obj) {
+		if canonID, err = s.internValueLocked(canon); err != nil {
+			return TripleS{}, false, err
+		}
+	}
+	// Does the triple already exist in this model?
+	mspoKey := reldb.Key{reldb.Int(modelID), reldb.Int(sid), reldb.Int(pid), reldb.Int(canonID)}
+	if rid, ok := s.linkMSPO.LookupOne(mspoKey); ok {
+		r, err := s.links.Get(rid)
+		if err != nil {
+			return TripleS{}, false, err
+		}
+		// Repeated insert: bump COST (§4: "the number of times the triple
+		// is stored in an application table").
+		if err := s.links.UpdateColumn(rid, "COST", reldb.Int(r[lcCost].Int64()+1)); err != nil {
+			return TripleS{}, false, err
+		}
+		// Context upgrade I → D when the triple is now asserted as fact.
+		if context == ContextDirect && r[lcContext].Str() == ContextIndirect {
+			if err := s.links.UpdateColumn(rid, "CONTEXT", reldb.String_(ContextDirect)); err != nil {
+				return TripleS{}, false, err
+			}
+		}
+		return s.tripleSFromRow(r), false, nil
+	}
+	// New triple: new LINK_ID; a link is always created per triple (§4).
+	linkID := s.linkSeq.Next()
+	row := reldb.Row{
+		reldb.Int(linkID),
+		reldb.Int(sid),
+		reldb.Int(pid),
+		reldb.Int(oid),
+		reldb.Int(canonID),
+		reldb.String_(rdfterm.LinkType(prop.Value)),
+		reldb.Int(1),
+		reldb.String_(context),
+		reldb.String_(reifFlag(sub, prop, obj)),
+		reldb.Int(modelID),
+	}
+	if _, err := s.links.Insert(row); err != nil {
+		return TripleS{}, false, err
+	}
+	// Subjects and objects are NDM nodes, stored once (§4).
+	if err := s.internNodeLocked(sid); err != nil {
+		return TripleS{}, false, err
+	}
+	if err := s.internNodeLocked(oid); err != nil {
+		return TripleS{}, false, err
+	}
+	return TripleS{store: s, TID: linkID, MID: modelID, SID: sid, PID: pid, OID: oid}, true, nil
+}
+
+// reifFlag returns "Y" when any component references a reified triple via
+// a DBUri (the REIF_LINK column, §4).
+func reifFlag(terms ...rdfterm.Term) string {
+	for _, t := range terms {
+		if t.Kind == rdfterm.URI {
+			if _, ok := ParseDBUri(t.Value); ok {
+				return "Y"
+			}
+		}
+	}
+	return "N"
+}
+
+// resolveBlankLocked maps a user-supplied blank node label to its
+// model-scoped internal label via rdf_blank_node$, allocating a fresh
+// internal label on first use. Blank labels are scoped to a model, so
+// _:b1 in two models denotes two different nodes. Caller holds s.mu.
+func (s *Store) resolveBlankLocked(modelID int64, t rdfterm.Term) (rdfterm.Term, error) {
+	if t.Kind != rdfterm.Blank {
+		return t, nil
+	}
+	key := reldb.Key{reldb.Int(modelID), reldb.String_(t.Value)}
+	if rid, ok := s.blankPK.LookupOne(key); ok {
+		r, err := s.blanks.Get(rid)
+		if err != nil {
+			return rdfterm.Term{}, err
+		}
+		internal, err := s.GetValue(r[2].Int64())
+		if err != nil {
+			return rdfterm.Term{}, err
+		}
+		return internal, nil
+	}
+	internal := rdfterm.NewBlank("m" + strconv.FormatInt(modelID, 10) + "b" + strconv.FormatInt(s.blankSeq.Next(), 10))
+	vid, err := s.internValueLocked(internal)
+	if err != nil {
+		return rdfterm.Term{}, err
+	}
+	if _, err := s.blanks.Insert(reldb.Row{reldb.Int(modelID), reldb.String_(t.Value), reldb.Int(vid)}); err != nil {
+		return rdfterm.Term{}, err
+	}
+	return internal, nil
+}
+
+// NewBlankNode allocates a fresh blank node in a model without inserting
+// any triple — used for containers, which hang members off a generated
+// blank node (§2).
+func (s *Store) NewBlankNode(model string) (rdfterm.Term, error) {
+	mid, err := s.GetModelID(model)
+	if err != nil {
+		return rdfterm.Term{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	label := "m" + strconv.FormatInt(mid, 10) + "b" + strconv.FormatInt(s.blankSeq.Next(), 10)
+	return s.resolveBlankLocked(mid, rdfterm.NewBlank(label))
+}
+
+// DeleteTriple removes one application-table reference to a triple: the
+// link's COST is decremented, and when it reaches zero the link row is
+// removed. Nodes are removed only when no other link references them (§4).
+func (s *Store) DeleteTriple(model, subject, property, object string, aliases *rdfterm.AliasSet) error {
+	ts, ok, err := s.IsTriple(model, subject, property, object, aliases)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s %s %s in model %s", ErrNoSuchTriple, subject, property, object, model)
+	}
+	return s.deleteByLinkID(ts.TID)
+}
+
+func (s *Store) deleteByLinkID(linkID int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rid, ok := s.linkPK.LookupOne(reldb.Key{reldb.Int(linkID)})
+	if !ok {
+		return fmt.Errorf("%w: LINK_ID %d", ErrNoSuchTriple, linkID)
+	}
+	r, err := s.links.Get(rid)
+	if err != nil {
+		return err
+	}
+	if cost := r[lcCost].Int64(); cost > 1 {
+		return s.links.UpdateColumn(rid, "COST", reldb.Int(cost-1))
+	}
+	if err := s.links.Delete(rid); err != nil {
+		return err
+	}
+	s.removeNodeIfOrphanLocked(r[lcStartNodeID].Int64())
+	s.removeNodeIfOrphanLocked(r[lcEndNodeID].Int64())
+	return nil
+}
+
+// IsTriple reports whether the triple exists in the model, returning its
+// storage object — the paper's SDO_RDF.IS_TRIPLE().
+func (s *Store) IsTriple(model, subject, property, object string, aliases *rdfterm.AliasSet) (TripleS, bool, error) {
+	sub, err := parseSubjectDB(subject, aliases)
+	if err != nil {
+		return TripleS{}, false, err
+	}
+	prop, err := rdfterm.ParsePredicate(property, aliases)
+	if err != nil {
+		return TripleS{}, false, err
+	}
+	obj, err := parseObjectDB(object, aliases)
+	if err != nil {
+		return TripleS{}, false, err
+	}
+	return s.IsTripleTerms(model, sub, prop, obj)
+}
+
+// IsTripleTerms is IsTriple over parsed terms.
+func (s *Store) IsTripleTerms(model string, sub, prop, obj rdfterm.Term) (TripleS, bool, error) {
+	mid, err := s.GetModelID(model)
+	if err != nil {
+		return TripleS{}, false, err
+	}
+	sid, ok := s.lookupResolvedID(mid, sub)
+	if !ok {
+		return TripleS{}, false, nil
+	}
+	pid, ok := s.lookupValueID(prop)
+	if !ok {
+		return TripleS{}, false, nil
+	}
+	canonID, ok := s.lookupCanonID(mid, obj)
+	if !ok {
+		return TripleS{}, false, nil
+	}
+	rid, ok := s.linkMSPO.LookupOne(reldb.Key{reldb.Int(mid), reldb.Int(sid), reldb.Int(pid), reldb.Int(canonID)})
+	if !ok {
+		return TripleS{}, false, nil
+	}
+	r, err := s.links.Get(rid)
+	if err != nil {
+		return TripleS{}, false, err
+	}
+	return s.tripleSFromRow(r), true, nil
+}
+
+// lookupResolvedID maps a term (resolving model-scoped blank labels,
+// without allocating) to its VALUE_ID. Blank labels are first resolved
+// through rdf_blank_node$ (user labels); labels that are already internal
+// (e.g. a blank node read back from query results and used as a
+// constraint) fall back to direct value lookup.
+func (s *Store) lookupResolvedID(modelID int64, t rdfterm.Term) (int64, bool) {
+	if t.Kind == rdfterm.Blank {
+		if rid, ok := s.blankPK.LookupOne(reldb.Key{reldb.Int(modelID), reldb.String_(t.Value)}); ok {
+			r, err := s.blanks.Get(rid)
+			if err != nil {
+				return 0, false
+			}
+			return r[2].Int64(), true
+		}
+		return s.lookupValueID(t)
+	}
+	return s.lookupValueID(t)
+}
+
+// lookupCanonID returns the VALUE_ID of the canonical form of an object
+// term (what CANON_END_NODE_ID stores).
+func (s *Store) lookupCanonID(modelID int64, obj rdfterm.Term) (int64, bool) {
+	if obj.Kind == rdfterm.Blank {
+		return s.lookupResolvedID(modelID, obj)
+	}
+	return s.lookupValueID(rdfterm.Canonical(obj))
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rdfterm"
+	"repro/internal/reldb"
+)
+
+// CheckInvariants validates the cross-table invariants of the central
+// schema and returns every violation found. It exists for tests (notably
+// the property tests that hammer the store with random operation
+// sequences) and for diagnostics; a healthy store returns an empty slice.
+//
+// Invariants checked:
+//
+//  1. every link's START/P/END/CANON value IDs resolve in rdf_value$;
+//  2. rdf_node$ holds exactly the set of VALUE_IDs used as a subject or
+//     object by at least one live link ("nodes are stored only once" and
+//     removed when orphaned, §4);
+//  3. every link's COST >= 1;
+//  4. (MODEL_ID, START, P, CANON) is unique across live links;
+//  5. every link's MODEL_ID exists in rdf_model$;
+//  6. CONTEXT is D or I; REIF_LINK is Y or N; LINK_TYPE matches the
+//     predicate's vocabulary classification;
+//  7. every rdf_blank_node$ mapping points at a BN-typed value.
+func (s *Store) CheckInvariants() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var errs []error
+	addf := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	// Collect live link facts.
+	usedNodes := map[int64]bool{}
+	seenMSPO := map[string]int64{}
+	s.links.Scan(func(_ reldb.RowID, r reldb.Row) bool {
+		linkID := r[lcLinkID].Int64()
+		modelID := r[lcModelID].Int64()
+		sid, pid, oid, cid := r[lcStartNodeID].Int64(), r[lcPValueID].Int64(), r[lcEndNodeID].Int64(), r[lcCanonEndNodeID].Int64()
+
+		for _, pair := range [][2]int64{{sid, 1}, {pid, 2}, {oid, 3}, {cid, 4}} {
+			if !s.valuePK.Contains(reldb.Key{reldb.Int(pair[0])}) {
+				addf("link %d: dangling VALUE_ID %d (pos %d)", linkID, pair[0], pair[1])
+			}
+		}
+		usedNodes[sid] = true
+		usedNodes[oid] = true
+
+		if cost := r[lcCost].Int64(); cost < 1 {
+			addf("link %d: COST = %d < 1", linkID, cost)
+		}
+		key := fmt.Sprintf("%d|%d|%d|%d", modelID, sid, pid, cid)
+		if other, dup := seenMSPO[key]; dup {
+			addf("links %d and %d: duplicate (MODEL,S,P,CANON)", other, linkID)
+		}
+		seenMSPO[key] = linkID
+
+		if !s.modelPK.Contains(reldb.Key{reldb.Int(modelID)}) {
+			addf("link %d: MODEL_ID %d not in rdf_model$", linkID, modelID)
+		}
+		if ctx := r[lcContext].Str(); ctx != ContextDirect && ctx != ContextIndirect {
+			addf("link %d: CONTEXT %q", linkID, ctx)
+		}
+		if rf := r[lcReifLink].Str(); rf != "Y" && rf != "N" {
+			addf("link %d: REIF_LINK %q", linkID, rf)
+		}
+		if prop, err := s.GetValue(pid); err == nil {
+			if want := rdfterm.LinkType(prop.Value); r[lcLinkType].Str() != want {
+				addf("link %d: LINK_TYPE %q, predicate implies %q", linkID, r[lcLinkType].Str(), want)
+			}
+		}
+		return true
+	})
+
+	// rdf_node$ must equal the used-node set.
+	nodeSet := map[int64]bool{}
+	s.nodes.Scan(func(_ reldb.RowID, r reldb.Row) bool {
+		nodeSet[r[0].Int64()] = true
+		return true
+	})
+	for n := range usedNodes {
+		if !nodeSet[n] {
+			addf("node %d used by links but missing from rdf_node$", n)
+		}
+	}
+	for n := range nodeSet {
+		if !usedNodes[n] {
+			addf("node %d in rdf_node$ but unused by any link", n)
+		}
+	}
+
+	// Blank mappings point at BN values.
+	s.blanks.Scan(func(_ reldb.RowID, r reldb.Row) bool {
+		vid := r[2].Int64()
+		term, err := s.GetValue(vid)
+		if err != nil {
+			addf("blank mapping (%d,%q): dangling VALUE_ID %d", r[0].Int64(), r[1].Str(), vid)
+			return true
+		}
+		if term.Kind != rdfterm.Blank {
+			addf("blank mapping (%d,%q): VALUE_ID %d is %s, not BN", r[0].Int64(), r[1].Str(), vid, term.Kind)
+		}
+		return true
+	})
+	return errs
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdfterm"
+)
+
+func assertInvariants(t *testing.T, s *Store) {
+	t.Helper()
+	for _, err := range s.CheckInvariants() {
+		t.Error(err)
+	}
+}
+
+func TestInvariantsOnHealthyStore(t *testing.T) {
+	s := newStoreWithModel(t, "m1", "m2")
+	a := govAliases()
+	base, _ := s.NewTripleS("m1", "gov:a", "gov:p", "gov:b", a)
+	s.NewTripleS("m2", "gov:a", "gov:p", "gov:b", a)
+	s.NewTripleS("m1", "_:x", "rdf:type", "gov:Thing", a)
+	s.Reify("m1", base.TID)
+	s.AssertImplied("m1", "gov:N", "gov:said", "gov:q", "gov:r", "gov:s2", a)
+	s.CreateContainer("m1", BagContainer, rdfterm.NewURI("http://m/1"), rdfterm.NewLiteral("two"))
+	assertInvariants(t, s)
+}
+
+// TestQuickStoreInvariants hammers the store with random operation
+// sequences (insert, duplicate insert, delete, reify, assert-implied,
+// drop-model) and verifies the cross-table invariants after each run.
+func TestQuickStoreInvariants(t *testing.T) {
+	f := func(seed int64, nops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		a := rdfterm.Default().With(rdfterm.Alias{Prefix: "x", Namespace: "http://x#"})
+		models := []string{"m0", "m1", "m2"}
+		for _, m := range models {
+			if _, err := s.CreateRDFModel(m, "", ""); err != nil {
+				return false
+			}
+		}
+		term := func() string { return fmt.Sprintf("x:t%d", rng.Intn(12)) }
+		var inserted []TripleS
+		for i := 0; i < int(nops)+20; i++ {
+			m := models[rng.Intn(len(models))]
+			switch rng.Intn(6) {
+			case 0, 1: // insert (possibly duplicate)
+				ts, err := s.NewTripleS(m, term(), term(), term(), a)
+				if err != nil {
+					return false
+				}
+				inserted = append(inserted, ts)
+			case 2: // delete a random known triple (may be already gone)
+				if len(inserted) == 0 {
+					continue
+				}
+				ts := inserted[rng.Intn(len(inserted))]
+				tr, err := ts.GetTriple()
+				if err != nil {
+					continue // already fully deleted
+				}
+				name := models[0]
+				for _, mm := range models {
+					if id, err := s.GetModelID(mm); err == nil && id == ts.MID {
+						name = mm
+					}
+				}
+				_ = s.DeleteTriple(name, tr.Subject.Value, tr.Property.Value, tr.Object.Value, a)
+			case 3: // reify a random known triple
+				if len(inserted) == 0 {
+					continue
+				}
+				ts := inserted[rng.Intn(len(inserted))]
+				name := models[0]
+				for _, mm := range models {
+					if id, err := s.GetModelID(mm); err == nil && id == ts.MID {
+						name = mm
+					}
+				}
+				_, _ = s.Reify(name, ts.TID) // may fail if deleted; fine
+			case 4: // implied assertion
+				if _, err := s.AssertImplied(m, term(), term(), term(), term(), term(), a); err != nil {
+					return false
+				}
+			case 5: // blank nodes
+				if _, err := s.NewTripleS(m, "_:b"+fmt.Sprint(rng.Intn(4)), term(), term(), a); err != nil {
+					return false
+				}
+			}
+		}
+		return len(s.CheckInvariants()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInsertsAcrossModels runs parallel writers on different
+// models with concurrent readers, then validates invariants (run under
+// -race in CI).
+func TestConcurrentInsertsAcrossModels(t *testing.T) {
+	s := New()
+	a := rdfterm.Default().With(rdfterm.Alias{Prefix: "x", Namespace: "http://x#"})
+	const writers = 4
+	const perWriter = 200
+	for w := 0; w < writers; w++ {
+		if _, err := s.CreateRDFModel(fmt.Sprintf("m%d", w), "", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers*2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			model := fmt.Sprintf("m%d", w)
+			for i := 0; i < perWriter; i++ {
+				// Shared terms across writers exercise value interning races.
+				_, err := s.NewTripleS(model,
+					fmt.Sprintf("x:s%d", i%20),
+					"x:p",
+					fmt.Sprintf("x:o%d", i),
+					a)
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, _, err := s.IsTriple("m0", "x:s1", "x:p", "x:o1", a); err != nil {
+					errCh <- err
+					return
+				}
+				s.NumValues()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		n, err := s.NumTriples(fmt.Sprintf("m%d", w))
+		if err != nil || n != perWriter {
+			t.Fatalf("model m%d has %d triples (err %v)", w, n, err)
+		}
+	}
+	assertInvariants(t, s)
+	// Interned subjects are shared: only 20 distinct x:s values exist.
+	subjects := 0
+	for i := 0; i < 20; i++ {
+		if _, ok := s.lookupValueID(rdfterm.NewURI(fmt.Sprintf("http://x#s%d", i))); ok {
+			subjects++
+		}
+	}
+	if subjects != 20 {
+		t.Fatalf("interned subjects = %d", subjects)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/ndm"
+	"repro/internal/rdfterm"
+	"repro/internal/reldb"
+)
+
+// RDFNetwork exposes the store's rdf_link$/rdf_node$ tables as an NDM
+// directed logical network (§1, §4): nodes are VALUE_IDs of subjects and
+// objects, links are triples, and link cost is the COST column. With a
+// model filter the network is restricted to selected models; with none it
+// spans the whole store — "analysis … across all applications in the
+// database or on selected applications" (§1).
+type RDFNetwork struct {
+	store  *Store
+	models map[int64]bool // nil = all models
+}
+
+// Network returns the NDM view of the given models (all models when none
+// are named).
+func (s *Store) Network(models ...string) (*RDFNetwork, error) {
+	n := &RDFNetwork{store: s}
+	if len(models) > 0 {
+		n.models = make(map[int64]bool, len(models))
+		for _, m := range models {
+			id, err := s.GetModelID(m)
+			if err != nil {
+				return nil, err
+			}
+			n.models[id] = true
+		}
+	}
+	return n, nil
+}
+
+// inScope reports whether a link row belongs to the selected models.
+func (n *RDFNetwork) inScope(r reldb.Row) bool {
+	return n.models == nil || n.models[r[lcModelID].Int64()]
+}
+
+// HasNode implements ndm.Graph over rdf_node$.
+func (n *RDFNetwork) HasNode(node int64) bool {
+	return n.store.nodePK.Contains(reldb.Key{reldb.Int(node)})
+}
+
+// Nodes implements ndm.Graph.
+func (n *RDFNetwork) Nodes(fn func(node int64) bool) {
+	n.store.nodes.Scan(func(_ reldb.RowID, r reldb.Row) bool {
+		return fn(r[0].Int64())
+	})
+}
+
+// OutLinks implements ndm.Graph: links whose START_NODE_ID is node.
+func (n *RDFNetwork) OutLinks(node int64, fn func(linkID, end int64, cost float64) bool) {
+	n.visit(n.store.linkStart, node, lcEndNodeID, fn)
+}
+
+// InLinks implements ndm.Graph: links whose END_NODE_ID is node.
+func (n *RDFNetwork) InLinks(node int64, fn func(linkID, start int64, cost float64) bool) {
+	n.visit(n.store.linkEnd, node, lcStartNodeID, fn)
+}
+
+func (n *RDFNetwork) visit(ix *reldb.Index, node int64, otherCol int, fn func(linkID, other int64, cost float64) bool) {
+	var ids []reldb.RowID
+	ix.ScanPrefix(reldb.Key{reldb.Int(node)}, func(_ reldb.Key, rid reldb.RowID) bool {
+		ids = append(ids, rid)
+		return true
+	})
+	for _, rid := range ids {
+		r, err := n.store.links.Get(rid)
+		if err != nil || !n.inScope(r) {
+			continue
+		}
+		if !fn(r[lcLinkID].Int64(), r[otherCol].Int64(), float64(r[lcCost].Int64())) {
+			return
+		}
+	}
+}
+
+// NodeID resolves a term to its network node (VALUE_ID).
+func (n *RDFNetwork) NodeID(t rdfterm.Term) (int64, bool) {
+	return n.store.lookupValueID(t)
+}
+
+// NodeTerm resolves a network node back to its term.
+func (n *RDFNetwork) NodeTerm(node int64) (rdfterm.Term, error) {
+	return n.store.GetValue(node)
+}
+
+var _ ndm.Graph = (*RDFNetwork)(nil)

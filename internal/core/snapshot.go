@@ -1,0 +1,211 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/reldb"
+)
+
+// Snapshot persistence: Save serializes the central schema's logical
+// content (catalog, values, links, blank-node mappings, sequence
+// positions) with encoding/gob; Load rebuilds a store — including all
+// indexes and the rdf_node$ table, which are derived state — from a
+// snapshot. This gives the otherwise memory-resident engine a
+// stop/restart story for the CLI tools. It is not a WAL: a snapshot is a
+// point-in-time image taken under the store lock.
+
+// snapshotVersion guards format evolution.
+const snapshotVersion = 1
+
+type snapshot struct {
+	Version int
+	Models  []snapModel
+	Values  []snapValue
+	Links   []snapLink
+	Blanks  []snapBlank
+	// Next sequence values.
+	ValueSeq, LinkSeq, ModelSeq, BlankSeq int64
+}
+
+type snapModel struct {
+	ID                int64
+	Name              string
+	TableName, Column string
+}
+
+type snapValue struct {
+	ID          int64
+	Name        string
+	Type        string
+	LiteralType string
+	Language    string
+	LongValue   string
+	HasLong     bool
+}
+
+type snapLink struct {
+	ID, Start, P, End, Canon int64
+	LinkType                 string
+	Cost                     int64
+	Context                  string
+	Reif                     bool
+	Model                    int64
+}
+
+type snapBlank struct {
+	Model    int64
+	OrigName string
+	ValueID  int64
+}
+
+// Save writes a snapshot of the whole store.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := snapshot{
+		Version:  snapshotVersion,
+		ValueSeq: s.valueSeq.Current(),
+		LinkSeq:  s.linkSeq.Current(),
+		ModelSeq: s.modelSeq.Current(),
+		BlankSeq: s.blankSeq.Current(),
+	}
+	s.models.Scan(func(_ reldb.RowID, r reldb.Row) bool {
+		m := snapModel{ID: r[mcModelID].Int64(), Name: r[mcModelName].Str()}
+		if !r[mcTableName].IsNull() {
+			m.TableName = r[mcTableName].Str()
+		}
+		if !r[mcColumnName].IsNull() {
+			m.Column = r[mcColumnName].Str()
+		}
+		snap.Models = append(snap.Models, m)
+		return true
+	})
+	s.values.Scan(func(_ reldb.RowID, r reldb.Row) bool {
+		v := snapValue{
+			ID:   r[vcValueID].Int64(),
+			Name: r[vcValueName].Str(),
+			Type: r[vcValueType].Str(),
+		}
+		if !r[vcLiteralType].IsNull() {
+			v.LiteralType = r[vcLiteralType].Str()
+		}
+		if !r[vcLanguageType].IsNull() {
+			v.Language = r[vcLanguageType].Str()
+		}
+		if !r[vcLongValue].IsNull() {
+			v.LongValue = r[vcLongValue].Str()
+			v.HasLong = true
+		}
+		snap.Values = append(snap.Values, v)
+		return true
+	})
+	s.links.Scan(func(_ reldb.RowID, r reldb.Row) bool {
+		snap.Links = append(snap.Links, snapLink{
+			ID:       r[lcLinkID].Int64(),
+			Start:    r[lcStartNodeID].Int64(),
+			P:        r[lcPValueID].Int64(),
+			End:      r[lcEndNodeID].Int64(),
+			Canon:    r[lcCanonEndNodeID].Int64(),
+			LinkType: r[lcLinkType].Str(),
+			Cost:     r[lcCost].Int64(),
+			Context:  r[lcContext].Str(),
+			Reif:     r[lcReifLink].Str() == "Y",
+			Model:    r[lcModelID].Int64(),
+		})
+		return true
+	})
+	s.blanks.Scan(func(_ reldb.RowID, r reldb.Row) bool {
+		snap.Blanks = append(snap.Blanks, snapBlank{
+			Model:    r[0].Int64(),
+			OrigName: r[1].Str(),
+			ValueID:  r[2].Int64(),
+		})
+		return true
+	})
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reads a snapshot into a fresh store. Model views and all indexes
+// are rebuilt; rdf_node$ is re-derived from the live links.
+func Load(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	s := New()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	for _, m := range snap.Models {
+		tn, cn := reldb.Null(), reldb.Null()
+		if m.TableName != "" {
+			tn = reldb.String_(m.TableName)
+		}
+		if m.Column != "" {
+			cn = reldb.String_(m.Column)
+		}
+		if _, err := s.models.Insert(reldb.Row{reldb.Int(m.ID), reldb.String_(m.Name), tn, cn}); err != nil {
+			return nil, err
+		}
+		mid := m.ID
+		if _, err := s.db.CreateView("rdfm_"+strings.ToLower(m.Name), s.links, func(row reldb.Row) bool {
+			return row[lcModelID].Int64() == mid
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range snap.Values {
+		lit, lang, long := reldb.Null(), reldb.Null(), reldb.Null()
+		if v.LiteralType != "" {
+			lit = reldb.String_(v.LiteralType)
+		}
+		if v.Language != "" {
+			lang = reldb.String_(v.Language)
+		}
+		if v.HasLong {
+			long = reldb.String_(v.LongValue)
+		}
+		row := reldb.Row{reldb.Int(v.ID), reldb.String_(v.Name), reldb.String_(v.Type), lit, lang, long}
+		if _, err := s.values.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range snap.Links {
+		reif := "N"
+		if l.Reif {
+			reif = "Y"
+		}
+		row := reldb.Row{
+			reldb.Int(l.ID), reldb.Int(l.Start), reldb.Int(l.P), reldb.Int(l.End),
+			reldb.Int(l.Canon), reldb.String_(l.LinkType), reldb.Int(l.Cost),
+			reldb.String_(l.Context), reldb.String_(reif), reldb.Int(l.Model),
+		}
+		if _, err := s.links.Insert(row); err != nil {
+			return nil, err
+		}
+		if err := s.internNodeLocked(l.Start); err != nil {
+			return nil, err
+		}
+		if err := s.internNodeLocked(l.End); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range snap.Blanks {
+		if _, err := s.blanks.Insert(reldb.Row{reldb.Int(b.Model), reldb.String_(b.OrigName), reldb.Int(b.ValueID)}); err != nil {
+			return nil, err
+		}
+	}
+	// Restore sequence positions (New() starts them at the paper's bases;
+	// advance to the snapshot's positions).
+	s.valueSeq.AdvanceTo(snap.ValueSeq)
+	s.linkSeq.AdvanceTo(snap.LinkSeq)
+	s.modelSeq.AdvanceTo(snap.ModelSeq)
+	s.blankSeq.AdvanceTo(snap.BlankSeq)
+	return s, nil
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/rdfterm"
+	"repro/internal/reldb"
+)
+
+// Sentinel errors.
+var (
+	// ErrNoSuchModel reports an operation on a model name or ID that has
+	// not been created.
+	ErrNoSuchModel = errors.New("core: no such RDF model")
+	// ErrDuplicateModel reports CreateRDFModel with a name already in use.
+	ErrDuplicateModel = errors.New("core: model already exists")
+	// ErrNoSuchTriple reports a lookup of a triple that is not stored.
+	ErrNoSuchTriple = errors.New("core: no such triple")
+	// ErrNoSuchValue reports a dangling VALUE_ID reference.
+	ErrNoSuchValue = errors.New("core: no such value")
+)
+
+// Store is the central RDF schema: "there is one universe for all RDF data
+// in the database" (§1). All models share the global rdf_value$ and
+// rdf_link$ tables; application tables hold only SDO_RDF_TRIPLE_S ID
+// objects pointing into the store.
+type Store struct {
+	db *reldb.Database
+
+	models *reldb.Table
+	values *reldb.Table
+	nodes  *reldb.Table
+	links  *reldb.Table
+	blanks *reldb.Table
+
+	modelPK   *reldb.Index
+	modelName *reldb.Index
+	valuePK   *reldb.Index
+	valueText *reldb.Index
+	nodePK    *reldb.Index
+	linkPK    *reldb.Index
+	linkMSPO  *reldb.Index
+	linkMP    *reldb.Index
+	linkMO    *reldb.Index
+	linkStart *reldb.Index
+	linkEnd   *reldb.Index
+	blankPK   *reldb.Index
+
+	valueSeq *reldb.Sequence
+	linkSeq  *reldb.Sequence
+	modelSeq *reldb.Sequence
+	blankSeq *reldb.Sequence
+
+	// mu serializes multi-table mutations (value interning + link insert),
+	// keeping cross-table invariants atomic.
+	mu sync.Mutex
+}
+
+// New creates a fresh central schema (the MDSYS schema of the paper) and
+// returns the store. Sequence bases echo the paper's examples: value IDs
+// from 1068, link IDs from 2051, model IDs from 7 (Figure 6).
+func New() *Store {
+	db := reldb.NewDatabase("MDSYS")
+	s := &Store{db: db}
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("core: building central schema: %v", err))
+		}
+	}
+	var err error
+	s.models, err = db.CreateTable(modelSchema())
+	must(err)
+	s.values, err = db.CreateTable(valueSchema())
+	must(err)
+	s.nodes, err = db.CreateTable(nodeSchema())
+	must(err)
+	s.links, err = db.CreatePartitionedTable(linkSchema(), "MODEL_ID")
+	must(err)
+	s.blanks, err = db.CreateTable(blankNodeSchema())
+	must(err)
+
+	s.modelPK, err = s.models.CreateIndex(idxModelPK, true, "MODEL_ID")
+	must(err)
+	s.modelName, err = s.models.CreateIndex(idxModelName, true, "MODEL_NAME")
+	must(err)
+	s.valuePK, err = s.values.CreateIndex(idxValuePK, true, "VALUE_ID")
+	must(err)
+	// Uniqueness of text entries must consider the full text (long values
+	// live in LONG_VALUE) plus the type columns, so it is a function-based
+	// index over the reassembled key.
+	s.valueText, err = s.values.CreateFunctionIndex(idxValueText, true, valueTextKey)
+	must(err)
+	s.nodePK, err = s.nodes.CreateIndex(idxNodePK, true, "NODE_ID")
+	must(err)
+	s.linkPK, err = s.links.CreateIndex(idxLinkPK, true, "LINK_ID")
+	must(err)
+	s.linkMSPO, err = s.links.CreateIndex(idxLinkMSPO, true,
+		"MODEL_ID", "START_NODE_ID", "P_VALUE_ID", "CANON_END_NODE_ID")
+	must(err)
+	s.linkMP, err = s.links.CreateIndex(idxLinkMP, false, "MODEL_ID", "P_VALUE_ID")
+	must(err)
+	s.linkMO, err = s.links.CreateIndex(idxLinkMO, false, "MODEL_ID", "CANON_END_NODE_ID")
+	must(err)
+	s.linkStart, err = s.links.CreateIndex(idxLinkStart, false, "START_NODE_ID")
+	must(err)
+	s.linkEnd, err = s.links.CreateIndex(idxLinkEnd, false, "END_NODE_ID")
+	must(err)
+	s.blankPK, err = s.blanks.CreateIndex(idxBlankPK, true, "MODEL_ID", "ORIG_NAME")
+	must(err)
+
+	s.valueSeq, err = db.CreateSequence("rdf_value_seq", 1068)
+	must(err)
+	s.linkSeq, err = db.CreateSequence("rdf_link_seq", 2051)
+	must(err)
+	s.modelSeq, err = db.CreateSequence("rdf_model_seq", 7)
+	must(err)
+	s.blankSeq, err = db.CreateSequence("rdf_blank_seq", 1)
+	must(err)
+	return s
+}
+
+// valueTextKey builds the uniqueness key for a rdf_value$ row: value type,
+// full text (LONG_VALUE when present, else VALUE_NAME), literal type, and
+// language tag.
+func valueTextKey(r reldb.Row) reldb.Key {
+	text := r[vcValueName]
+	if !r[vcLongValue].IsNull() {
+		text = r[vcLongValue]
+	}
+	lit, lang := r[vcLiteralType], r[vcLanguageType]
+	if lit.IsNull() {
+		lit = reldb.String_("")
+	}
+	if lang.IsNull() {
+		lang = reldb.String_("")
+	}
+	return reldb.Key{r[vcValueType], text, lit, lang}
+}
+
+// termKey builds the same key shape as valueTextKey directly from a term,
+// for lookups without materializing a row.
+func termKey(t rdfterm.Term) reldb.Key {
+	return reldb.Key{
+		reldb.String_(t.ValueType()),
+		reldb.String_(t.Lexical()),
+		reldb.String_(t.Datatype),
+		reldb.String_(t.Language),
+	}
+}
+
+// Database exposes the underlying schema for the flat-table experiments
+// (Experiment I queries rdf_value$ and rdf_link$ directly).
+func (s *Store) Database() *reldb.Database { return s.db }
+
+// --- model management (§4.3) ---
+
+// CreateRDFModel registers a new RDF graph, recording the owning
+// application table/column names (informational, as in the paper's
+// SDO_RDF.CREATE_RDF_MODEL), and creates the rdfm_<model> view over
+// rdf_link$ restricted to the model's partition.
+func (s *Store) CreateRDFModel(name, tableName, columnName string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		return 0, fmt.Errorf("core: empty model name")
+	}
+	if s.modelName.Contains(reldb.Key{reldb.String_(name)}) {
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateModel, name)
+	}
+	id := s.modelSeq.Next()
+	tn, cn := reldb.Null(), reldb.Null()
+	if tableName != "" {
+		tn = reldb.String_(tableName)
+	}
+	if columnName != "" {
+		cn = reldb.String_(columnName)
+	}
+	if _, err := s.models.Insert(reldb.Row{reldb.Int(id), reldb.String_(name), tn, cn}); err != nil {
+		return 0, err
+	}
+	// Model view: a live window onto this model's rdf_link$ partition
+	// (§4.3 — "a view of the rdf_link$ table that contains only data for
+	// the model").
+	mid := id
+	if _, err := s.db.CreateView("rdfm_"+strings.ToLower(name), s.links, func(r reldb.Row) bool {
+		return r[lcModelID].Int64() == mid
+	}); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// GetModelID resolves a model name (the paper's SDO_RDF.GET_MODEL_ID).
+func (s *Store) GetModelID(name string) (int64, error) {
+	rid, ok := s.modelName.LookupOne(reldb.Key{reldb.String_(name)})
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchModel, name)
+	}
+	r, err := s.models.Get(rid)
+	if err != nil {
+		return 0, err
+	}
+	return r[mcModelID].Int64(), nil
+}
+
+// ModelNames returns the names of all models, sorted by model ID.
+func (s *Store) ModelNames() []string {
+	var names []string
+	s.modelPK.Scan(nil, nil, func(_ reldb.Key, rid reldb.RowID) bool {
+		if r, err := s.models.Get(rid); err == nil {
+			names = append(names, r[mcModelName].Str())
+		}
+		return true
+	})
+	return names
+}
+
+// ModelView returns the rdfm_<model> view.
+func (s *Store) ModelView(name string) (*reldb.View, error) {
+	return s.db.View("rdfm_" + strings.ToLower(name))
+}
+
+// DropRDFModel removes a model: its links, its blank-node mappings, its
+// catalog row, and its view. Shared rdf_value$ entries are retained (they
+// may be referenced by other models); orphaned rdf_node$ entries are
+// cleaned up.
+func (s *Store) DropRDFModel(name string) error {
+	id, err := s.GetModelID(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Collect node IDs referenced by this model's links before deleting.
+	touched := map[int64]bool{}
+	s.links.ScanPartition(id, func(_ reldb.RowID, r reldb.Row) bool {
+		touched[r[lcStartNodeID].Int64()] = true
+		touched[r[lcEndNodeID].Int64()] = true
+		return true
+	})
+	if _, err := s.links.TruncatePartition(id); err != nil && !errors.Is(err, reldb.ErrNoSuchPartition) {
+		return err
+	}
+	for nodeID := range touched {
+		s.removeNodeIfOrphanLocked(nodeID)
+	}
+	// Blank-node mappings for this model.
+	var blankRows []reldb.RowID
+	s.blankPK.ScanPrefix(reldb.Key{reldb.Int(id)}, func(_ reldb.Key, rid reldb.RowID) bool {
+		blankRows = append(blankRows, rid)
+		return true
+	})
+	for _, rid := range blankRows {
+		if err := s.blanks.Delete(rid); err != nil {
+			return err
+		}
+	}
+	if rid, ok := s.modelPK.LookupOne(reldb.Key{reldb.Int(id)}); ok {
+		if err := s.models.Delete(rid); err != nil {
+			return err
+		}
+	}
+	return s.db.DropView("rdfm_" + strings.ToLower(name))
+}
+
+// NumTriples returns the number of stored triples (links) in one model.
+func (s *Store) NumTriples(model string) (int, error) {
+	id, err := s.GetModelID(model)
+	if err != nil {
+		return 0, err
+	}
+	return s.links.PartitionLen(id), nil
+}
+
+// TotalTriples returns the number of links across all models.
+func (s *Store) TotalTriples() int { return s.links.Len() }
+
+// NumValues returns the number of distinct text values stored.
+func (s *Store) NumValues() int { return s.values.Len() }
+
+// NumNodes returns the number of distinct graph nodes (subjects/objects).
+func (s *Store) NumNodes() int { return s.nodes.Len() }

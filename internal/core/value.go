@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rdfterm"
+	"repro/internal/reldb"
+)
+
+// maxValueNameLen caps the VALUE_NAME column; longer literal text spills
+// into LONG_VALUE (§4: "long-literals are text values that exceed 4000
+// characters").
+const maxValueNameLen = rdfterm.LongLiteralThreshold
+
+// lookupValueID returns the VALUE_ID for a term, or (0,false) when the
+// text value is not interned yet.
+func (s *Store) lookupValueID(t rdfterm.Term) (int64, bool) {
+	rid, ok := s.valueText.LookupOne(termKey(t))
+	if !ok {
+		return 0, false
+	}
+	r, err := s.values.Get(rid)
+	if err != nil {
+		return 0, false
+	}
+	return r[vcValueID].Int64(), true
+}
+
+// internValueLocked returns the VALUE_ID for a term, inserting a new
+// rdf_value$ row when the text value is first seen. Caller holds s.mu.
+func (s *Store) internValueLocked(t rdfterm.Term) (int64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if id, ok := s.lookupValueID(t); ok {
+		return id, nil
+	}
+	id := s.valueSeq.Next()
+	name := t.Lexical()
+	long := reldb.Null()
+	if t.IsLong() {
+		long = reldb.String_(name)
+		name = name[:maxValueNameLen]
+	}
+	lit, lang := reldb.Null(), reldb.Null()
+	if t.Datatype != "" {
+		lit = reldb.String_(t.Datatype)
+	}
+	if t.Language != "" {
+		lang = reldb.String_(t.Language)
+	}
+	row := reldb.Row{
+		reldb.Int(id),
+		reldb.String_(name),
+		reldb.String_(t.ValueType()),
+		lit,
+		lang,
+		long,
+	}
+	if _, err := s.values.Insert(row); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// GetValue reconstructs the term stored under a VALUE_ID.
+func (s *Store) GetValue(valueID int64) (rdfterm.Term, error) {
+	rid, ok := s.valuePK.LookupOne(reldb.Key{reldb.Int(valueID)})
+	if !ok {
+		return rdfterm.Term{}, fmt.Errorf("%w: VALUE_ID %d", ErrNoSuchValue, valueID)
+	}
+	r, err := s.values.Get(rid)
+	if err != nil {
+		return rdfterm.Term{}, err
+	}
+	return rowToTerm(r), nil
+}
+
+// rowToTerm rebuilds a term from an rdf_value$ row.
+func rowToTerm(r reldb.Row) rdfterm.Term {
+	text := r[vcValueName].Str()
+	if !r[vcLongValue].IsNull() {
+		text = r[vcLongValue].Str()
+	}
+	switch r[vcValueType].Str() {
+	case rdfterm.VTUri:
+		return rdfterm.NewURI(text)
+	case rdfterm.VTBlank:
+		return rdfterm.NewBlank(text)
+	default:
+		t := rdfterm.Term{Kind: rdfterm.Literal, Value: text}
+		if !r[vcLiteralType].IsNull() {
+			t.Datatype = r[vcLiteralType].Str()
+		}
+		if !r[vcLanguageType].IsNull() {
+			t.Language = r[vcLanguageType].Str()
+		}
+		return t
+	}
+}
+
+// internNodeLocked records a value ID in rdf_node$ if not present — graph
+// nodes (subjects/objects) are "stored only once, regardless of the number
+// of times they participate in triples" (§4). Caller holds s.mu.
+func (s *Store) internNodeLocked(valueID int64) error {
+	if s.nodePK.Contains(reldb.Key{reldb.Int(valueID)}) {
+		return nil
+	}
+	_, err := s.nodes.Insert(reldb.Row{reldb.Int(valueID), reldb.Bool(true)})
+	return err
+}
+
+// removeNodeIfOrphanLocked removes the rdf_node$ entry when no link in any
+// model still references the node as subject or object (§4: "the nodes
+// attached to this link are not removed if there are other links connected
+// to them"). Caller holds s.mu.
+func (s *Store) removeNodeIfOrphanLocked(valueID int64) {
+	k := reldb.Key{reldb.Int(valueID)}
+	if s.linkStart.Contains(k) || s.linkEnd.Contains(k) {
+		return
+	}
+	if rid, ok := s.nodePK.LookupOne(k); ok {
+		// Delete errors cannot occur here (row just located); ignore to
+		// keep deletion best-effort like Oracle's deferred cleanup.
+		_ = s.nodes.Delete(rid)
+	}
+}

@@ -1,0 +1,53 @@
+package inference
+
+import "repro/internal/rdfterm"
+
+// rdfsRules builds the Oracle-supplied RDFS rulebase (§6.1), implementing
+// the RDFS entailment rules of the W3C RDF Semantics recommendation [25].
+// Rule names follow the recommendation's numbering. Axiomatic triples and
+// the literal-generalization rules (lg/gl) are omitted: they add
+// unbounded bookkeeping without affecting any query the paper (or a
+// typical application) issues; every rule that derives new relationships
+// between user terms is present.
+func rdfsRules() []Rule {
+	r := func(name, ante, cons string) Rule {
+		return Rule{Name: name, Antecedent: ante, Consequent: cons}
+	}
+	return []Rule{
+		// rdf1: any predicate is an rdf:Property.
+		r("rdf1", "(?x ?p ?y)", "(?p rdf:type rdf:Property)"),
+		// rdfs2: domain typing.
+		r("rdfs2", "(?p rdfs:domain ?c) (?x ?p ?y)", "(?x rdf:type ?c)"),
+		// rdfs3: range typing.
+		r("rdfs3", "(?p rdfs:range ?c) (?x ?p ?y)", "(?y rdf:type ?c)"),
+		// rdfs5: subPropertyOf transitivity.
+		r("rdfs5", "(?p rdfs:subPropertyOf ?q) (?q rdfs:subPropertyOf ?r)", "(?p rdfs:subPropertyOf ?r)"),
+		// rdfs6: every property is a subproperty of itself.
+		r("rdfs6", "(?p rdf:type rdf:Property)", "(?p rdfs:subPropertyOf ?p)"),
+		// rdfs7: subproperty propagation.
+		r("rdfs7", "(?p rdfs:subPropertyOf ?q) (?x ?p ?y)", "(?x ?q ?y)"),
+		// rdfs8: classes are subclasses of rdfs:Resource.
+		r("rdfs8", "(?c rdf:type rdfs:Class)", "(?c rdfs:subClassOf rdfs:Resource)"),
+		// rdfs9: subclass instance propagation.
+		r("rdfs9", "(?c rdfs:subClassOf ?d) (?x rdf:type ?c)", "(?x rdf:type ?d)"),
+		// rdfs10: every class is a subclass of itself.
+		r("rdfs10", "(?c rdf:type rdfs:Class)", "(?c rdfs:subClassOf ?c)"),
+		// rdfs11: subClassOf transitivity.
+		r("rdfs11", "(?c rdfs:subClassOf ?d) (?d rdfs:subClassOf ?e)", "(?c rdfs:subClassOf ?e)"),
+		// rdfs12: container membership properties are subproperties of
+		// rdfs:member.
+		r("rdfs12", "(?p rdf:type rdfs:ContainerMembershipProperty)", "(?p rdfs:subPropertyOf rdfs:member)"),
+		// rdfs13: datatypes are subclasses of rdfs:Literal.
+		r("rdfs13", "(?d rdf:type rdfs:Datatype)", "(?d rdfs:subClassOf rdfs:Literal)"),
+	}
+}
+
+// RDFS vocabulary re-exported for callers building typed data.
+var (
+	// TypeURI is rdf:type.
+	TypeURI = rdfterm.RDFType
+	// SubClassOfURI is rdfs:subClassOf.
+	SubClassOfURI = rdfterm.RDFSSubClassOf
+	// SubPropertyOfURI is rdfs:subPropertyOf.
+	SubPropertyOfURI = rdfterm.RDFSSubPropertyOf
+)

@@ -1,0 +1,352 @@
+package match
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdfterm"
+)
+
+// The filter argument of SDO_RDF_MATCH is a boolean expression over the
+// query's variables, evaluated on each candidate row — the engine's
+// version of the paper's SQL WHERE fragment. Grammar:
+//
+//	expr   := orExpr
+//	orExpr := andExpr { OR andExpr }
+//	andExpr:= unary { AND unary }
+//	unary  := NOT unary | '(' expr ')' | cmp
+//	cmp    := operand op operand | LIKE '(' operand ',' string ')'
+//	op     := = | != | <> | < | <= | > | >=
+//	operand:= ?var | "string" | number
+//
+// Comparisons are numeric when both sides parse as numbers, else string
+// comparisons over the terms' lexical forms. LIKE supports a trailing '%'
+// wildcard (prefix match) and a leading '%' (suffix match).
+
+// FilterExpr is a compiled filter.
+type FilterExpr struct {
+	root filterNode
+}
+
+// ParseFilter compiles a filter expression; an empty string yields a
+// filter that accepts everything.
+func ParseFilter(expr string) (*FilterExpr, error) {
+	if strings.TrimSpace(expr) == "" {
+		return &FilterExpr{}, nil
+	}
+	p := &filterParser{toks: tokenizeFilter(expr)}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("match: filter: trailing tokens at %q", p.peek())
+	}
+	return &FilterExpr{root: n}, nil
+}
+
+// Eval evaluates the filter against variable bindings. Unbound variables
+// referenced by the filter make the row fail (three-valued logic collapsed
+// to false, as SQL WHERE does with NULL).
+func (f *FilterExpr) Eval(binding map[string]rdfterm.Term) bool {
+	if f == nil || f.root == nil {
+		return true
+	}
+	v, ok := f.root.eval(binding)
+	return ok && v
+}
+
+type filterNode interface {
+	eval(b map[string]rdfterm.Term) (val, ok bool)
+}
+
+type boolNode struct {
+	op   string // AND, OR, NOT
+	l, r filterNode
+}
+
+func (n *boolNode) eval(b map[string]rdfterm.Term) (bool, bool) {
+	switch n.op {
+	case "NOT":
+		v, ok := n.l.eval(b)
+		return !v, ok
+	case "AND":
+		lv, lok := n.l.eval(b)
+		if lok && !lv {
+			return false, true // short-circuit false
+		}
+		rv, rok := n.r.eval(b)
+		if rok && !rv {
+			return false, true
+		}
+		return lv && rv, lok && rok
+	case "OR":
+		lv, lok := n.l.eval(b)
+		if lok && lv {
+			return true, true
+		}
+		rv, rok := n.r.eval(b)
+		if rok && rv {
+			return true, true
+		}
+		return lv || rv, lok && rok
+	}
+	return false, false
+}
+
+type operand struct {
+	varName string // ?var
+	lit     string // literal text (string or number)
+	isNum   bool
+	num     float64
+}
+
+func (o operand) value(b map[string]rdfterm.Term) (string, bool) {
+	if o.varName != "" {
+		t, ok := b[o.varName]
+		if !ok {
+			return "", false
+		}
+		return t.Lexical(), true
+	}
+	return o.lit, true
+}
+
+type cmpNode struct {
+	op   string
+	l, r operand
+}
+
+func (n *cmpNode) eval(b map[string]rdfterm.Term) (bool, bool) {
+	ls, lok := n.l.value(b)
+	rs, rok := n.r.value(b)
+	if !lok || !rok {
+		return false, false
+	}
+	if n.op == "LIKE" {
+		return likeMatch(ls, rs), true
+	}
+	// Numeric comparison when both sides are numbers.
+	lf, lerr := strconv.ParseFloat(ls, 64)
+	rf, rerr := strconv.ParseFloat(rs, 64)
+	var c int
+	if lerr == nil && rerr == nil {
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+	} else {
+		c = strings.Compare(ls, rs)
+	}
+	switch n.op {
+	case "=":
+		return c == 0, true
+	case "!=", "<>":
+		return c != 0, true
+	case "<":
+		return c < 0, true
+	case "<=":
+		return c <= 0, true
+	case ">":
+		return c > 0, true
+	case ">=":
+		return c >= 0, true
+	}
+	return false, false
+}
+
+func likeMatch(s, pattern string) bool {
+	switch {
+	case strings.HasPrefix(pattern, "%") && strings.HasSuffix(pattern, "%") && len(pattern) >= 2:
+		return strings.Contains(s, pattern[1:len(pattern)-1])
+	case strings.HasSuffix(pattern, "%"):
+		return strings.HasPrefix(s, pattern[:len(pattern)-1])
+	case strings.HasPrefix(pattern, "%"):
+		return strings.HasSuffix(s, pattern[1:])
+	default:
+		return s == pattern
+	}
+}
+
+// --- tokenizer / parser ---
+
+type filterParser struct {
+	toks []string
+	i    int
+}
+
+func (p *filterParser) eof() bool { return p.i >= len(p.toks) }
+
+func (p *filterParser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.i]
+}
+
+func (p *filterParser) next() string {
+	t := p.peek()
+	p.i++
+	return t
+}
+
+func tokenizeFilter(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == ',':
+			toks = append(toks, string(c))
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			if j < len(s) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		case strings.ContainsRune("=<>!", rune(c)):
+			j := i + 1
+			for j < len(s) && strings.ContainsRune("=<>!", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n(),=<>!", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func (p *filterParser) parseOr() (filterNode, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "OR") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &boolNode{op: "OR", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *filterParser) parseAnd() (filterNode, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "AND") {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &boolNode{op: "AND", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *filterParser) parseUnary() (filterNode, error) {
+	switch {
+	case strings.EqualFold(p.peek(), "NOT"):
+		p.next()
+		n, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &boolNode{op: "NOT", l: n}, nil
+	case p.peek() == "(":
+		p.next()
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("match: filter: expected ')'")
+		}
+		return n, nil
+	case strings.EqualFold(p.peek(), "LIKE"):
+		p.next()
+		if p.next() != "(" {
+			return nil, fmt.Errorf("match: filter: LIKE expects '('")
+		}
+		l, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != "," {
+			return nil, fmt.Errorf("match: filter: LIKE expects ','")
+		}
+		r, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("match: filter: LIKE expects ')'")
+		}
+		return &cmpNode{op: "LIKE", l: l, r: r}, nil
+	default:
+		return p.parseCmp()
+	}
+}
+
+func (p *filterParser) parseCmp() (filterNode, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	op := p.next()
+	switch op {
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("match: filter: unknown operator %q", op)
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &cmpNode{op: op, l: l, r: r}, nil
+}
+
+func (p *filterParser) parseOperand() (operand, error) {
+	t := p.next()
+	switch {
+	case t == "":
+		return operand{}, fmt.Errorf("match: filter: missing operand")
+	case strings.HasPrefix(t, "?"):
+		if len(t) == 1 {
+			return operand{}, fmt.Errorf("match: filter: empty variable")
+		}
+		return operand{varName: t[1:]}, nil
+	case strings.HasPrefix(t, `"`):
+		if !strings.HasSuffix(t, `"`) || len(t) < 2 {
+			return operand{}, fmt.Errorf("match: filter: unterminated string %q", t)
+		}
+		return operand{lit: t[1 : len(t)-1]}, nil
+	default:
+		f, err := strconv.ParseFloat(t, 64)
+		if err != nil {
+			return operand{}, fmt.Errorf("match: filter: bad operand %q", t)
+		}
+		return operand{lit: t, isNum: true, num: f}, nil
+	}
+}

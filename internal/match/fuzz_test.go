@@ -1,0 +1,64 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/rdfterm"
+)
+
+// FuzzParseQuery checks the pattern parser never panics and that accepted
+// queries render back to reparseable text.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`(?s ?p ?o)`,
+		`(?x gov:terrorAction "bombing") (gov:files gov:terrorSuspect ?x)`,
+		`(<http://a> <http://p> "lit with spaces")`,
+		`(_:b1 rdf:type rdf:Statement)`,
+		`(?s gov:p "25"^^xsd:int)`,
+		`(?s gov:p "hi"@en)`,
+		`()`, `(`, `)`, `(?s`, `(? ? ?)`, "(?a rdf:type ?b)(?b rdf:type ?c)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	aliases := rdfterm.Default().With(rdfterm.Alias{Prefix: "gov", Namespace: "http://gov#"})
+	f.Fuzz(func(t *testing.T, input string) {
+		pats, err := ParseQuery(input, aliases)
+		if err != nil {
+			return
+		}
+		for _, p := range pats {
+			// Rendered patterns must reparse to the same structure.
+			again, err := ParseQuery(p.String(), aliases)
+			if err != nil {
+				t.Fatalf("rendered pattern %q failed to reparse: %v", p.String(), err)
+			}
+			if len(again) != 1 || again[0].String() != p.String() {
+				t.Fatalf("round trip changed pattern: %q -> %q", p.String(), again[0].String())
+			}
+		}
+	})
+}
+
+// FuzzParseFilter checks the filter compiler never panics and accepted
+// filters evaluate without panicking on empty and populated bindings.
+func FuzzParseFilter(f *testing.F) {
+	seeds := []string{
+		`?x = "a"`, `?x != ?y`, `?x < 5 AND ?y > 3`, `NOT (?x = "a" OR ?y = "b")`,
+		`LIKE(?x, "pre%")`, ``, `garbage`, `?x =`, `5 < 6`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		fe, err := ParseFilter(input)
+		if err != nil {
+			return
+		}
+		fe.Eval(nil)
+		fe.Eval(map[string]rdfterm.Term{
+			"x": rdfterm.NewLiteral("a"),
+			"y": rdfterm.NewLiteral("5"),
+		})
+	})
+}

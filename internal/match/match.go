@@ -1,0 +1,306 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rdfterm"
+)
+
+// RulebaseResolver resolves (models, rulebases) to the name of the hidden
+// model holding the precomputed inferred triples — the rules index of
+// §6.1 ("a rules index pre-computes triples that can be inferred from
+// applying the rulebases"). internal/inference.Catalog implements it.
+type RulebaseResolver interface {
+	ResolveIndex(models, rulebases []string) (string, error)
+}
+
+// Options configure a Match call, mirroring the SDO_RDF_MATCH arguments
+// (§6.1): models, rulebases, aliases, filter.
+type Options struct {
+	// Models to query (at least one).
+	Models []string
+	// Rulebases to apply; requires Resolver and a previously created rules
+	// index covering exactly these models and rulebases.
+	Rulebases []string
+	// Resolver locates the rules index (nil when Rulebases is empty).
+	Resolver RulebaseResolver
+	// Aliases expand prefixed names in the query (rdf:, rdfs:, xsd:, owl:
+	// are always available on top of these).
+	Aliases *rdfterm.AliasSet
+	// Filter is an optional boolean expression over the query variables.
+	Filter string
+	// Distinct drops duplicate result rows (the per-model union otherwise
+	// repeats a binding found in several models, like the SQL table
+	// function does).
+	Distinct bool
+	// OrderBy sorts results by the named variables (lexical order of the
+	// bound terms), applied after Filter and Distinct.
+	OrderBy []string
+}
+
+// ResultSet holds match results: Vars in first-occurrence order, one term
+// per variable per row.
+type ResultSet struct {
+	Vars []string
+	Rows [][]rdfterm.Term
+}
+
+// Col returns the column index of a variable, or -1.
+func (r *ResultSet) Col(v string) int {
+	for i, name := range r.Vars {
+		if name == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the binding of variable v in row i.
+func (r *ResultSet) Get(i int, v string) (rdfterm.Term, bool) {
+	c := r.Col(v)
+	if c < 0 || i < 0 || i >= len(r.Rows) {
+		return rdfterm.Term{}, false
+	}
+	return r.Rows[i][c], true
+}
+
+// Strings returns row i as lexical strings.
+func (r *ResultSet) Strings(i int) []string {
+	out := make([]string, len(r.Vars))
+	for c, t := range r.Rows[i] {
+		out[c] = t.Lexical()
+	}
+	return out
+}
+
+// Len returns the number of rows.
+func (r *ResultSet) Len() int { return len(r.Rows) }
+
+// Match is SDO_RDF_MATCH (§6.1): it evaluates the conjunctive triple
+// patterns of query over the given models (plus the rules index's inferred
+// triples when rulebases are requested), applies the filter, and returns
+// the variable bindings.
+func Match(store *core.Store, query string, opts Options) (*ResultSet, error) {
+	if len(opts.Models) == 0 {
+		return nil, fmt.Errorf("match: at least one model is required")
+	}
+	aliases := rdfterm.Default()
+	if opts.Aliases != nil {
+		aliases = rdfterm.Default().With()
+		for _, p := range opts.Aliases.Prefixes() {
+			ns, _ := opts.Aliases.Lookup(p)
+			aliases = aliases.With(rdfterm.Alias{Prefix: p, Namespace: ns})
+		}
+	}
+	pats, err := ParseQuery(query, aliases)
+	if err != nil {
+		return nil, err
+	}
+	filter, err := ParseFilter(opts.Filter)
+	if err != nil {
+		return nil, err
+	}
+	scope := append([]string{}, opts.Models...)
+	if len(opts.Rulebases) > 0 {
+		if opts.Resolver == nil {
+			return nil, fmt.Errorf("match: rulebases given without a resolver (create a rules index first)")
+		}
+		idxModel, err := opts.Resolver.ResolveIndex(opts.Models, opts.Rulebases)
+		if err != nil {
+			return nil, err
+		}
+		scope = append(scope, idxModel)
+	}
+	// Verify models exist up front for a clean error.
+	for _, m := range scope {
+		if _, err := store.GetModelID(m); err != nil {
+			return nil, err
+		}
+	}
+
+	// Left-deep join over patterns, most-selective-first: patterns with
+	// more concrete terms run earlier (cheap heuristic planner).
+	order := planOrder(pats)
+	bindings := []map[string]rdfterm.Term{{}}
+	for _, pi := range order {
+		pat := pats[pi]
+		var next []map[string]rdfterm.Term
+		for _, b := range bindings {
+			matches, err := findPattern(store, scope, pat, b)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, matches...)
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			break
+		}
+	}
+
+	// Project variables in first-occurrence (textual) order.
+	var vars []string
+	seen := map[string]bool{}
+	for _, pat := range pats {
+		for _, v := range pat.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	rs := &ResultSet{Vars: vars}
+	emitted := map[string]bool{}
+	for _, b := range bindings {
+		if !filter.Eval(b) {
+			continue
+		}
+		row := make([]rdfterm.Term, len(vars))
+		for i, v := range vars {
+			row[i] = b[v]
+		}
+		if opts.Distinct {
+			key := rowKey(row)
+			if emitted[key] {
+				continue
+			}
+			emitted[key] = true
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	if len(opts.OrderBy) > 0 {
+		if err := rs.sortBy(opts.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// rowKey encodes a result row collision-free for DISTINCT.
+func rowKey(row []rdfterm.Term) string {
+	var b strings.Builder
+	for _, t := range row {
+		b.WriteString(t.String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// sortBy orders rows by the named variables.
+func (r *ResultSet) sortBy(vars []string) error {
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		c := r.Col(v)
+		if c < 0 {
+			return fmt.Errorf("match: ORDER BY unknown variable ?%s", v)
+		}
+		cols[i] = c
+	}
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		for _, c := range cols {
+			if cmp := r.Rows[a][c].Compare(r.Rows[b][c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// planOrder returns pattern indexes sorted by decreasing boundness
+// (number of concrete terms), stable for equal counts. Variables bound by
+// earlier patterns make later ones selective at execution time, so this
+// is a reasonable static order without statistics.
+func planOrder(pats []TriplePattern) []int {
+	order := make([]int, len(pats))
+	for i := range order {
+		order[i] = i
+	}
+	bound := func(p TriplePattern) int {
+		n := 0
+		for _, pt := range []PatternTerm{p.S, p.P, p.O} {
+			if !pt.IsVar() {
+				n++
+			}
+		}
+		return n
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return bound(pats[order[a]]) > bound(pats[order[b]])
+	})
+	return order
+}
+
+// findPattern evaluates one pattern under a partial binding, returning the
+// extended bindings.
+func findPattern(store *core.Store, models []string, pat TriplePattern, b map[string]rdfterm.Term) ([]map[string]rdfterm.Term, error) {
+	resolve := func(pt PatternTerm) *rdfterm.Term {
+		if !pt.IsVar() {
+			t := pt.Term
+			return &t
+		}
+		if t, ok := b[pt.Var]; ok {
+			t := t
+			return &t
+		}
+		return nil
+	}
+	cp := core.Pattern{
+		Subject:   resolve(pat.S),
+		Predicate: resolve(pat.P),
+		Object:    resolve(pat.O),
+	}
+	// Literal subjects can never match (RDF subjects are URIs/blanks).
+	if cp.Subject != nil && cp.Subject.Kind == rdfterm.Literal {
+		return nil, nil
+	}
+	if cp.Predicate != nil && cp.Predicate.Kind != rdfterm.URI {
+		return nil, nil
+	}
+	var out []map[string]rdfterm.Term
+	for _, model := range models {
+		found, err := store.Find(model, cp)
+		if err != nil {
+			return nil, err
+		}
+		for _, ts := range found {
+			tr, err := ts.GetTriple()
+			if err != nil {
+				return nil, err
+			}
+			nb := unify(pat, tr, b)
+			if nb != nil {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out, nil
+}
+
+// unify extends binding b with the pattern's variables bound to the
+// triple's terms, returning nil on conflict (same variable, different
+// term — e.g. (?x p ?x) against <a p b>).
+func unify(pat TriplePattern, tr core.Triple, b map[string]rdfterm.Term) map[string]rdfterm.Term {
+	nb := make(map[string]rdfterm.Term, len(b)+3)
+	for k, v := range b {
+		nb[k] = v
+	}
+	bind := func(pt PatternTerm, t rdfterm.Term) bool {
+		if !pt.IsVar() {
+			return true // concrete terms were matched by Find
+		}
+		if old, ok := nb[pt.Var]; ok {
+			// Compare canonically so 01^^int unifies with 1^^int.
+			return rdfterm.Canonical(old).Equal(rdfterm.Canonical(t))
+		}
+		nb[pt.Var] = t
+		return true
+	}
+	if !bind(pat.S, tr.Subject) || !bind(pat.P, tr.Property) || !bind(pat.O, tr.Object) {
+		return nil
+	}
+	return nb
+}

@@ -1,0 +1,257 @@
+// Package match implements the paper's SDO_RDF_MATCH table function (§6.1
+// and [23]): an SQL-accessible, SPARQL-like query scheme over one or more
+// RDF models, with namespace aliases, an optional filter expression, and
+// optional rulebase inference (resolved through a precomputed rules
+// index — see internal/inference).
+package match
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdfterm"
+)
+
+// PatternTerm is one position of a triple pattern: either a variable
+// (?name) or a concrete term.
+type PatternTerm struct {
+	Var  string // non-empty for variables, without the '?'
+	Term rdfterm.Term
+}
+
+// IsVar reports whether the position is a variable.
+func (p PatternTerm) IsVar() bool { return p.Var != "" }
+
+// String renders the pattern term in reparseable query syntax.
+func (p PatternTerm) String() string {
+	if p.IsVar() {
+		return "?" + p.Var
+	}
+	t := p.Term
+	switch t.Kind {
+	case rdfterm.Literal:
+		s := `"` + rdfterm.EscapeLiteral(t.Value) + `"`
+		if t.Language != "" {
+			s += "@" + t.Language
+		}
+		if t.Datatype != "" {
+			s += "^^<" + t.Datatype + ">"
+		}
+		return s
+	case rdfterm.Blank:
+		return "_:" + t.Value
+	default:
+		return "<" + t.Value + ">"
+	}
+}
+
+// TriplePattern is one parenthesized (s p o) group of a query.
+type TriplePattern struct {
+	S, P, O PatternTerm
+}
+
+// String renders the pattern.
+func (t TriplePattern) String() string {
+	return "(" + t.S.String() + " " + t.P.String() + " " + t.O.String() + ")"
+}
+
+// Vars returns the distinct variable names of the pattern, in position
+// order.
+func (t TriplePattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, pt := range []PatternTerm{t.S, t.P, t.O} {
+		if pt.IsVar() && !seen[pt.Var] {
+			seen[pt.Var] = true
+			out = append(out, pt.Var)
+		}
+	}
+	return out
+}
+
+// ParseQuery parses a query string of one or more parenthesized triple
+// patterns, e.g.
+//
+//	(?x gov:terrorAction "bombing") (gov:files gov:terrorSuspect ?x)
+//
+// Prefixed names are expanded through aliases.
+func ParseQuery(query string, aliases *rdfterm.AliasSet) ([]TriplePattern, error) {
+	p := &patParser{s: query, aliases: aliases}
+	var pats []TriplePattern
+	for {
+		p.skipWS()
+		if p.eof() {
+			break
+		}
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, pat)
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("match: empty query")
+	}
+	return pats, nil
+}
+
+type patParser struct {
+	s       string
+	pos     int
+	aliases *rdfterm.AliasSet
+}
+
+func (p *patParser) eof() bool { return p.pos >= len(p.s) }
+
+func (p *patParser) skipWS() {
+	for !p.eof() && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t' || p.s[p.pos] == '\n' || p.s[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *patParser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("match: col %d: %s", p.pos+1, fmt.Sprintf(format, args...))
+}
+
+func (p *patParser) pattern() (TriplePattern, error) {
+	if p.eof() || p.s[p.pos] != '(' {
+		return TriplePattern{}, p.errorf("expected '('")
+	}
+	p.pos++
+	s, err := p.term(subjectPos)
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	pr, err := p.term(predicatePos)
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	o, err := p.term(objectPos)
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	p.skipWS()
+	if p.eof() || p.s[p.pos] != ')' {
+		return TriplePattern{}, p.errorf("expected ')'")
+	}
+	p.pos++
+	return TriplePattern{S: s, P: pr, O: o}, nil
+}
+
+type termPos int
+
+const (
+	subjectPos termPos = iota
+	predicatePos
+	objectPos
+)
+
+func (p *patParser) term(pos termPos) (PatternTerm, error) {
+	p.skipWS()
+	if p.eof() {
+		return PatternTerm{}, p.errorf("unexpected end of query")
+	}
+	switch c := p.s[p.pos]; {
+	case c == '?':
+		return p.variable()
+	case c == '"':
+		if pos != objectPos {
+			return PatternTerm{}, p.errorf("literal only allowed in object position")
+		}
+		return p.quoted()
+	case c == '<':
+		end := strings.IndexByte(p.s[p.pos:], '>')
+		if end < 0 {
+			return PatternTerm{}, p.errorf("unterminated URI")
+		}
+		raw := p.s[p.pos : p.pos+end+1]
+		p.pos += end + 1
+		t, err := rdfterm.ParseObject(raw, p.aliases)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: t}, nil
+	default:
+		return p.word(pos)
+	}
+}
+
+func (p *patParser) variable() (PatternTerm, error) {
+	start := p.pos + 1
+	i := start
+	for i < len(p.s) && isVarChar(p.s[i]) {
+		i++
+	}
+	if i == start {
+		return PatternTerm{}, p.errorf("empty variable name")
+	}
+	p.pos = i
+	return PatternTerm{Var: p.s[start:i]}, nil
+}
+
+func isVarChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// quoted parses "lex" with optional @lang / ^^type suffix, delegating to
+// rdfterm's literal parsing.
+func (p *patParser) quoted() (PatternTerm, error) {
+	// Find the end of the literal token: closing quote plus suffix up to
+	// whitespace or ')'.
+	i := p.pos + 1
+	for i < len(p.s) {
+		if p.s[i] == '\\' {
+			i += 2
+			continue
+		}
+		if p.s[i] == '"' {
+			break
+		}
+		i++
+	}
+	if i >= len(p.s) {
+		return PatternTerm{}, p.errorf("unterminated literal")
+	}
+	i++ // past the quote
+	for i < len(p.s) && p.s[i] != ' ' && p.s[i] != '\t' && p.s[i] != ')' {
+		i++
+	}
+	raw := p.s[p.pos:i]
+	p.pos = i
+	t, err := rdfterm.ParseObject(raw, p.aliases)
+	if err != nil {
+		return PatternTerm{}, err
+	}
+	return PatternTerm{Term: t}, nil
+}
+
+// word parses an unquoted token: variable-free URI (prefixed or absolute),
+// blank node, or bare literal word (object position only).
+func (p *patParser) word(pos termPos) (PatternTerm, error) {
+	start := p.pos
+	i := start
+	for i < len(p.s) && p.s[i] != ' ' && p.s[i] != '\t' && p.s[i] != ')' && p.s[i] != '(' {
+		i++
+	}
+	raw := p.s[start:i]
+	p.pos = i
+	if raw == "" {
+		return PatternTerm{}, p.errorf("empty term")
+	}
+	var (
+		t   rdfterm.Term
+		err error
+	)
+	switch pos {
+	case subjectPos:
+		t, err = rdfterm.ParseSubject(raw, p.aliases)
+	case predicatePos:
+		t, err = rdfterm.ParsePredicate(raw, p.aliases)
+	default:
+		t, err = rdfterm.ParseObject(raw, p.aliases)
+	}
+	if err != nil {
+		return PatternTerm{}, err
+	}
+	return PatternTerm{Term: t}, nil
+}

@@ -1,0 +1,118 @@
+package ndm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DAG-oriented analysis: cycle detection and topological ordering. In the
+// RDF setting these answer questions like "is the rdfs:subClassOf
+// hierarchy well-formed?" over the store's network view.
+
+// ErrCycle is returned by TopologicalOrder when the graph has a directed
+// cycle.
+var ErrCycle = fmt.Errorf("ndm: graph contains a directed cycle")
+
+// HasCycle reports whether the directed graph contains a cycle, and if so
+// returns one node on it.
+func HasCycle(g Graph) (bool, int64) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int64]int{}
+	var cycleNode int64
+	found := false
+
+	// Iterative DFS with an explicit stack of (node, phase).
+	var visit func(start int64)
+	visit = func(start int64) {
+		type frame struct {
+			node  int64
+			succs []int64
+			i     int
+		}
+		succs := func(n int64) []int64 {
+			var out []int64
+			g.OutLinks(n, func(_, end int64, _ float64) bool {
+				out = append(out, end)
+				return true
+			})
+			return out
+		}
+		stack := []frame{{node: start, succs: succs(start)}}
+		color[start] = gray
+		for len(stack) > 0 && !found {
+			f := &stack[len(stack)-1]
+			if f.i < len(f.succs) {
+				next := f.succs[f.i]
+				f.i++
+				switch color[next] {
+				case gray:
+					found = true
+					cycleNode = next
+				case white:
+					color[next] = gray
+					stack = append(stack, frame{node: next, succs: succs(next)})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	g.Nodes(func(n int64) bool {
+		if color[n] == white && !found {
+			visit(n)
+		}
+		return !found
+	})
+	return found, cycleNode
+}
+
+// TopologicalOrder returns the nodes in a topological order of the
+// directed graph (dependencies before dependents), or ErrCycle. Ties are
+// broken by ascending node ID for determinism.
+func TopologicalOrder(g Graph) ([]int64, error) {
+	indeg := map[int64]int{}
+	var nodes []int64
+	g.Nodes(func(n int64) bool {
+		nodes = append(nodes, n)
+		if _, ok := indeg[n]; !ok {
+			indeg[n] = 0
+		}
+		g.OutLinks(n, func(_, end int64, _ float64) bool {
+			indeg[end]++
+			return true
+		})
+		return true
+	})
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	// Kahn's algorithm with a sorted frontier.
+	var frontier []int64
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			frontier = append(frontier, n)
+		}
+	}
+	var order []int64
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		n := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, n)
+		g.OutLinks(n, func(_, end int64, _ float64) bool {
+			indeg[end]--
+			if indeg[end] == 0 {
+				frontier = append(frontier, end)
+			}
+			return true
+		})
+	}
+	if len(order) != len(nodes) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}

@@ -1,0 +1,93 @@
+package ndm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestHasCycleOnDAG(t *testing.T) {
+	// Diamond: 1→2, 1→3, 2→4, 3→4 — no cycle.
+	net := buildNet(t, 4, [][3]int64{{1, 2, 1}, {1, 3, 1}, {2, 4, 1}, {3, 4, 1}})
+	if got, _ := HasCycle(net); got {
+		t.Fatal("DAG reported cyclic")
+	}
+	order, err := TopologicalOrder(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[int64]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range [][2]int64{{1, 2}, {1, 3}, {2, 4}, {3, 4}} {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("order %v violates edge %v", order, e)
+		}
+	}
+}
+
+func TestHasCycleDetectsLoop(t *testing.T) {
+	net := buildNet(t, 3, [][3]int64{{1, 2, 1}, {2, 3, 1}, {3, 1, 1}})
+	got, node := HasCycle(net)
+	if !got {
+		t.Fatal("cycle not detected")
+	}
+	if node < 1 || node > 3 {
+		t.Fatalf("cycle node = %d", node)
+	}
+	if _, err := TopologicalOrder(net); !errors.Is(err, ErrCycle) {
+		t.Fatalf("TopologicalOrder = %v", err)
+	}
+}
+
+func TestHasCycleSelfLoop(t *testing.T) {
+	net := buildNet(t, 1, [][3]int64{{1, 1, 1}})
+	if got, _ := HasCycle(net); !got {
+		t.Fatal("self-loop not detected")
+	}
+}
+
+func TestTopologicalOrderEmptyAndDisconnected(t *testing.T) {
+	net := buildNet(t, 3, nil)
+	order, err := TopologicalOrder(net)
+	if err != nil || len(order) != 3 {
+		t.Fatalf("order = %v, %v", order, err)
+	}
+	// Deterministic: ascending IDs for independent nodes.
+	if order[0] != 1 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// Property-style: random DAGs (edges only from lower to higher IDs) are
+// never reported cyclic and always topologically sortable; adding a back
+// edge makes them cyclic.
+func TestRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.Intn(15)
+		var links [][3]int64
+		for i := 0; i < n*2; i++ {
+			a := rng.Intn(n-1) + 1
+			b := a + 1 + rng.Intn(n-a)
+			links = append(links, [3]int64{int64(a), int64(b), 1})
+		}
+		net := buildNet(t, n, links)
+		if got, _ := HasCycle(net); got {
+			t.Fatal("acyclic graph reported cyclic")
+		}
+		order, err := TopologicalOrder(net)
+		if err != nil || len(order) != n {
+			t.Fatalf("order = %v, %v", order, err)
+		}
+		// Close a cycle using some existing edge's endpoints reversed.
+		e := links[rng.Intn(len(links))]
+		if _, err := net.AddLink("", e[1], e[0], 1); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := HasCycle(net); !got {
+			t.Fatal("cycle not detected after adding back edge")
+		}
+	}
+}

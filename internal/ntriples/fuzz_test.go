@@ -1,0 +1,43 @@
+package ntriples
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that every successfully
+// parsed triple survives a serialize→parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<http://a> <http://p> <http://b> .`,
+		`<http://a> <http://p> "lit" .`,
+		`<http://a> <http://p> "l"@en .`,
+		`<http://a> <http://p> "1"^^<http://www.w3.org/2001/XMLSchema#int> .`,
+		`_:b1 <http://p> _:b2 .`,
+		`# comment`,
+		`<http://a> <http://p> "esc\t\n\"\\" .`,
+		`<http://a> <http://p> "A\U0001F600" .`,
+		`<http://a <http://p> "x" .`,
+		`<> <> <> .`,
+		"<http://a>\t<http://p>\t\"x\"\t.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		triples, err := NewReader(strings.NewReader(input)).ReadAll()
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for _, tr := range triples {
+			// Round trip must preserve the triple exactly.
+			again, err := NewReader(strings.NewReader(tr.String() + "\n")).ReadAll()
+			if err != nil {
+				t.Fatalf("reserialized triple failed to parse: %v (%q)", err, tr.String())
+			}
+			if len(again) != 1 || again[0] != tr {
+				t.Fatalf("round trip changed triple: %v -> %v", tr, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,402 @@
+// Package ntriples implements a streaming reader and writer for the
+// N-Triples serialization of RDF. It is the input format of the bulk
+// loader (cmd/rdfload) and the UniProt-like dataset generator — the
+// reproduction's stand-in for the RDF files the paper loads (§7.1.1).
+package ntriples
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+
+	"repro/internal/rdfterm"
+)
+
+// Triple is one parsed statement.
+type Triple struct {
+	Subject   rdfterm.Term
+	Predicate rdfterm.Term
+	Object    rdfterm.Term
+}
+
+// String renders the triple in N-Triples syntax (without the trailing
+// newline).
+func (t Triple) String() string {
+	return FormatTerm(t.Subject) + " " + FormatTerm(t.Predicate) + " " + FormatTerm(t.Object) + " ."
+}
+
+// ParseError describes a syntax error with its position.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Reader parses N-Triples from an io.Reader, one triple per Next call.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r. Lines up to 16 MiB are supported (long literals).
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next triple, or io.EOF when the input is exhausted.
+func (r *Reader) Next() (Triple, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := r.parseLine(line)
+		if err != nil {
+			return Triple{}, err
+		}
+		return t, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll drains the reader.
+func (r *Reader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+type lineParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func (r *Reader) parseLine(line string) (Triple, error) {
+	p := &lineParser{s: line, line: r.line}
+	if !utf8.ValidString(line) {
+		return Triple{}, p.errorf("invalid UTF-8")
+	}
+	subj, err := p.term(true)
+	if err != nil {
+		return Triple{}, err
+	}
+	if subj.Kind == rdfterm.Literal {
+		return Triple{}, p.errorf("subject cannot be a literal")
+	}
+	pred, err := p.term(false)
+	if err != nil {
+		return Triple{}, err
+	}
+	if pred.Kind != rdfterm.URI {
+		return Triple{}, p.errorf("predicate must be a URI")
+	}
+	obj, err := p.term(true)
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipWS()
+	if p.pos >= len(p.s) || p.s[p.pos] != '.' {
+		return Triple{}, p.errorf("expected '.' terminator")
+	}
+	p.pos++
+	p.skipWS()
+	if p.pos != len(p.s) {
+		return Triple{}, p.errorf("trailing content after '.'")
+	}
+	return Triple{Subject: subj, Predicate: pred, Object: obj}, nil
+}
+
+func (p *lineParser) errorf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.line, Col: p.pos + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *lineParser) skipWS() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// term parses one term. allowLiteral permits literals (objects only).
+func (p *lineParser) term(allowLiteral bool) (rdfterm.Term, error) {
+	p.skipWS()
+	if p.pos >= len(p.s) {
+		return rdfterm.Term{}, p.errorf("unexpected end of line")
+	}
+	switch p.s[p.pos] {
+	case '<':
+		return p.uri()
+	case '_':
+		return p.blank()
+	case '"':
+		if !allowLiteral {
+			return rdfterm.Term{}, p.errorf("literal not allowed here")
+		}
+		return p.literal()
+	}
+	return rdfterm.Term{}, p.errorf("unexpected character %q", p.s[p.pos])
+}
+
+func (p *lineParser) uri() (rdfterm.Term, error) {
+	end := strings.IndexByte(p.s[p.pos:], '>')
+	if end < 0 {
+		return rdfterm.Term{}, p.errorf("unterminated URI")
+	}
+	raw := p.s[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	if raw == "" {
+		return rdfterm.Term{}, p.errorf("empty URI")
+	}
+	val, err := unescape(raw, false)
+	if err != nil {
+		return rdfterm.Term{}, p.errorf("%v", err)
+	}
+	return rdfterm.NewURI(val), nil
+}
+
+func (p *lineParser) blank() (rdfterm.Term, error) {
+	if p.pos+1 >= len(p.s) || p.s[p.pos+1] != ':' {
+		return rdfterm.Term{}, p.errorf("malformed blank node")
+	}
+	start := p.pos + 2
+	i := start
+	for i < len(p.s) && isLabelChar(p.s[i]) {
+		i++
+	}
+	if i == start {
+		return rdfterm.Term{}, p.errorf("empty blank node label")
+	}
+	label := p.s[start:i]
+	p.pos = i
+	return rdfterm.NewBlank(label), nil
+}
+
+func isLabelChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.'
+}
+
+func (p *lineParser) literal() (rdfterm.Term, error) {
+	// Scan to the closing quote, honoring escapes.
+	i := p.pos + 1
+	for i < len(p.s) {
+		if p.s[i] == '\\' {
+			i += 2
+			continue
+		}
+		if p.s[i] == '"' {
+			break
+		}
+		i++
+	}
+	if i >= len(p.s) {
+		return rdfterm.Term{}, p.errorf("unterminated literal")
+	}
+	lex, err := unescape(p.s[p.pos+1:i], true)
+	if err != nil {
+		return rdfterm.Term{}, p.errorf("%v", err)
+	}
+	p.pos = i + 1
+	// Optional @lang or ^^<datatype>.
+	if p.pos < len(p.s) && p.s[p.pos] == '@' {
+		start := p.pos + 1
+		j := start
+		for j < len(p.s) && (isAlphaNum(p.s[j]) || p.s[j] == '-') {
+			j++
+		}
+		if j == start {
+			return rdfterm.Term{}, p.errorf("empty language tag")
+		}
+		p.pos = j
+		return rdfterm.NewLangLiteral(lex, p.s[start:j]), nil
+	}
+	if strings.HasPrefix(p.s[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos >= len(p.s) || p.s[p.pos] != '<' {
+			return rdfterm.Term{}, p.errorf("datatype must be a URI")
+		}
+		dt, err := p.uri()
+		if err != nil {
+			return rdfterm.Term{}, err
+		}
+		return rdfterm.NewTypedLiteral(lex, dt.Value), nil
+	}
+	return rdfterm.NewLiteral(lex), nil
+}
+
+func isAlphaNum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// unescape handles N-Triples escapes. inLiteral additionally allows the
+// control escapes \n \r \t \" \\; both forms allow \uXXXX and \UXXXXXXXX.
+func unescape(s string, inLiteral bool) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling backslash")
+		}
+		switch s[i] {
+		case 'u', 'U':
+			n := 4
+			if s[i] == 'U' {
+				n = 8
+			}
+			if i+n >= len(s) {
+				return "", fmt.Errorf("truncated \\%c escape", s[i])
+			}
+			var r rune
+			for k := 1; k <= n; k++ {
+				d := hexVal(s[i+k])
+				if d < 0 {
+					return "", fmt.Errorf("bad hex digit in \\%c escape", s[i])
+				}
+				r = r<<4 | rune(d)
+			}
+			if !utf8.ValidRune(r) {
+				return "", fmt.Errorf("invalid code point in escape")
+			}
+			b.WriteRune(r)
+			i += n
+		case 'n':
+			if !inLiteral {
+				return "", fmt.Errorf(`\n escape outside literal`)
+			}
+			b.WriteByte('\n')
+		case 'r':
+			if !inLiteral {
+				return "", fmt.Errorf(`\r escape outside literal`)
+			}
+			b.WriteByte('\r')
+		case 't':
+			if !inLiteral {
+				return "", fmt.Errorf(`\t escape outside literal`)
+			}
+			b.WriteByte('\t')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// --- writing ---
+
+// FormatTerm renders a term in N-Triples syntax.
+func FormatTerm(t rdfterm.Term) string {
+	switch t.Kind {
+	case rdfterm.URI:
+		return "<" + escapeURI(t.Value) + ">"
+	case rdfterm.Blank:
+		return "_:" + t.Value
+	case rdfterm.Literal:
+		s := `"` + escapeLiteral(t.Value) + `"`
+		if t.Language != "" {
+			s += "@" + t.Language
+		}
+		if t.Datatype != "" {
+			s += "^^<" + escapeURI(t.Datatype) + ">"
+		}
+		return s
+	}
+	return ""
+}
+
+func escapeLiteral(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeURI(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '>':
+			b.WriteString(`\u003E`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Writer serializes triples.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write emits one triple.
+func (w *Writer) Write(t Triple) error {
+	if _, err := w.w.WriteString(t.String()); err != nil {
+		return err
+	}
+	return w.w.WriteByte('\n')
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }

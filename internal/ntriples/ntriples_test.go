@@ -1,0 +1,198 @@
+package ntriples
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdfterm"
+)
+
+func parseAll(t *testing.T, src string) []Triple {
+	t.Helper()
+	ts, err := NewReader(strings.NewReader(src)).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll(%q): %v", src, err)
+	}
+	return ts
+}
+
+func TestParseBasicTriples(t *testing.T) {
+	src := `
+# comment line
+<http://a> <http://p> <http://b> .
+<http://a> <http://p> "plain" .
+<http://a> <http://p> "hello"@en-US .
+<http://a> <http://p> "25"^^<http://www.w3.org/2001/XMLSchema#int> .
+_:b1 <http://p> _:b2 .
+`
+	ts := parseAll(t, src)
+	if len(ts) != 5 {
+		t.Fatalf("parsed %d triples, want 5", len(ts))
+	}
+	if ts[0].Object != rdfterm.NewURI("http://b") {
+		t.Errorf("triple 0 object = %v", ts[0].Object)
+	}
+	if ts[1].Object != rdfterm.NewLiteral("plain") {
+		t.Errorf("triple 1 object = %v", ts[1].Object)
+	}
+	if ts[2].Object != rdfterm.NewLangLiteral("hello", "en-US") {
+		t.Errorf("triple 2 object = %v", ts[2].Object)
+	}
+	if ts[3].Object != rdfterm.NewTypedLiteral("25", rdfterm.XSDInt) {
+		t.Errorf("triple 3 object = %v", ts[3].Object)
+	}
+	if ts[4].Subject != rdfterm.NewBlank("b1") || ts[4].Object != rdfterm.NewBlank("b2") {
+		t.Errorf("triple 4 = %v", ts[4])
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	src := `<http://a> <http://p> "tab\there\nquote\"back\\slash" .` + "\n" +
+		`<http://a> <http://p> "unicode é and \U0001F600" .` + "\n"
+	ts := parseAll(t, src)
+	if got := ts[0].Object.Value; got != "tab\there\nquote\"back\\slash" {
+		t.Errorf("escapes = %q", got)
+	}
+	if got := ts[1].Object.Value; got != "unicode é and 😀" {
+		t.Errorf("unicode escapes = %q", got)
+	}
+}
+
+func TestParseWhitespaceTolerance(t *testing.T) {
+	src := "   <http://a>\t\t<http://p>   \"x\"   .   \n"
+	if got := len(parseAll(t, src)); got != 1 {
+		t.Fatalf("parsed %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://a> <http://p> <http://b>`,           // missing dot
+		`<http://a> <http://p> .`,                    // missing object
+		`<http://a> "lit" <http://b> .`,              // literal predicate
+		`"lit" <http://p> <http://b> .`,              // literal subject
+		`<http://a> _:b <http://b> .`,                // blank predicate
+		`<http://a <http://p> <http://b> .`,          // unterminated URI
+		`<http://a> <http://p> "unterminated .`,      // unterminated literal
+		`<http://a> <http://p> "x"^^int .`,           // non-URI datatype
+		`<http://a> <http://p> "x"@ .`,               // empty lang
+		`<http://a> <http://p> "x" . trailing`,       // trailing garbage
+		`<> <http://p> <http://b> .`,                 // empty URI
+		`<http://a> <http://p> "bad\qescape" .`,      // unknown escape
+		`<http://a> <http://p> "trunc\u12" .`,        // truncated \u
+		`_: <http://p> <http://b> .`,                 // empty blank label
+		`<http://a> <http://p> <http://b> . extra .`, // two statements per line
+	}
+	for _, src := range bad {
+		_, err := NewReader(strings.NewReader(src)).ReadAll()
+		var pe *ParseError
+		if err == nil || !errors.As(err, &pe) {
+			t.Errorf("input %q: err = %v, want ParseError", src, err)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	src := "<http://a> <http://p> <http://b> .\n<http://a> <http://p> .\n"
+	_, err := NewReader(strings.NewReader(src)).ReadAll()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+}
+
+func TestNextEOF(t *testing.T) {
+	r := NewReader(strings.NewReader("# only comments\n\n"))
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next = %v, want EOF", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	terms := []rdfterm.Term{
+		rdfterm.NewURI("http://example.org/x"),
+		rdfterm.NewBlank("gen-1"),
+		rdfterm.NewLiteral("with \"quotes\" and\nnewlines\tand\\backslashes"),
+		rdfterm.NewLangLiteral("bonjour", "fr"),
+		rdfterm.NewTypedLiteral("2000-06-20", rdfterm.XSDDate),
+		rdfterm.NewLiteral(strings.Repeat("long", 2000)),
+	}
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	var want []Triple
+	for _, obj := range terms {
+		tr := Triple{
+			Subject:   rdfterm.NewURI("http://s"),
+			Predicate: rdfterm.NewURI("http://p"),
+			Object:    obj,
+		}
+		want = append(want, tr)
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := parseAll(t, sb.String())
+	if len(got) != len(want) {
+		t.Fatalf("round trip count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("triple %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: any triple built from generated strings survives a
+// serialize→parse round trip.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(lex, lang8 string, pick uint8) bool {
+		var obj rdfterm.Term
+		switch pick % 4 {
+		case 0:
+			obj = rdfterm.NewLiteral(lex)
+		case 1:
+			// Language tags are constrained; use a fixed valid tag.
+			obj = rdfterm.NewLangLiteral(lex, "en")
+		case 2:
+			obj = rdfterm.NewTypedLiteral(lex, rdfterm.XSDString)
+		case 3:
+			obj = rdfterm.NewURI("http://example.org/ok")
+		}
+		_ = lang8
+		in := Triple{
+			Subject:   rdfterm.NewURI("http://s"),
+			Predicate: rdfterm.NewURI("http://p"),
+			Object:    obj,
+		}
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		if w.Write(in) != nil || w.Flush() != nil {
+			return false
+		}
+		out, err := NewReader(strings.NewReader(sb.String())).ReadAll()
+		return err == nil && len(out) == 1 && out[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := Triple{
+		Subject:   rdfterm.NewURI("http://s"),
+		Predicate: rdfterm.NewURI("http://p"),
+		Object:    rdfterm.NewLiteral("o"),
+	}
+	if got := tr.String(); got != `<http://s> <http://p> "o" .` {
+		t.Errorf("String = %q", got)
+	}
+}

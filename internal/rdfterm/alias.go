@@ -1,0 +1,125 @@
+package rdfterm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Alias is a namespace alias — the engine's SDO_RDF_ALIAS(prefix, ns)
+// (Figure 8): occurrences of "prefix:rest" expand to ns+rest.
+type Alias struct {
+	Prefix    string
+	Namespace string
+}
+
+// AliasSet resolves prefixed names. The zero value has no aliases; Default
+// returns a set preloaded with rdf:, rdfs:, xsd:, and owl:.
+type AliasSet struct {
+	byPrefix map[string]string
+}
+
+// NewAliasSet builds a set from the given aliases, later entries
+// overriding earlier ones with the same prefix.
+func NewAliasSet(aliases ...Alias) *AliasSet {
+	s := &AliasSet{byPrefix: make(map[string]string, len(aliases))}
+	for _, a := range aliases {
+		s.byPrefix[a.Prefix] = a.Namespace
+	}
+	return s
+}
+
+// Default returns an alias set with the W3C standard prefixes registered.
+func Default() *AliasSet {
+	return NewAliasSet(
+		Alias{Prefix: "rdf", Namespace: RDFNS},
+		Alias{Prefix: "rdfs", Namespace: RDFSNS},
+		Alias{Prefix: "xsd", Namespace: XSDNS},
+		Alias{Prefix: "owl", Namespace: OWLNS},
+	)
+}
+
+// With returns a new set containing the receiver's aliases plus the given
+// ones (which take precedence). The receiver is not modified; a nil
+// receiver is treated as empty.
+func (s *AliasSet) With(aliases ...Alias) *AliasSet {
+	out := &AliasSet{byPrefix: make(map[string]string)}
+	if s != nil {
+		for p, ns := range s.byPrefix {
+			out.byPrefix[p] = ns
+		}
+	}
+	for _, a := range aliases {
+		out.byPrefix[a.Prefix] = a.Namespace
+	}
+	return out
+}
+
+// Lookup returns the namespace registered for prefix.
+func (s *AliasSet) Lookup(prefix string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	ns, ok := s.byPrefix[prefix]
+	return ns, ok
+}
+
+// Expand rewrites "prefix:rest" to namespace+rest when the prefix is
+// registered; other strings pass through unchanged.
+func (s *AliasSet) Expand(name string) string {
+	if s == nil {
+		return name
+	}
+	i := strings.IndexByte(name, ':')
+	if i <= 0 {
+		return name
+	}
+	if ns, ok := s.byPrefix[name[:i]]; ok {
+		return ns + name[i+1:]
+	}
+	return name
+}
+
+// Compact rewrites a full URI to its shortest registered prefixed form,
+// for display; unmatched URIs pass through.
+func (s *AliasSet) Compact(uri string) string {
+	if s == nil {
+		return uri
+	}
+	best := ""
+	bestPrefix := ""
+	for p, ns := range s.byPrefix {
+		if strings.HasPrefix(uri, ns) && len(ns) > len(best) {
+			best, bestPrefix = ns, p
+		}
+	}
+	if best == "" {
+		return uri
+	}
+	return bestPrefix + ":" + uri[len(best):]
+}
+
+// Prefixes returns the registered prefixes, sorted.
+func (s *AliasSet) Prefixes() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.byPrefix))
+	for p := range s.byPrefix {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate rejects aliases with empty prefixes or namespaces and prefixes
+// containing ':'.
+func (a Alias) Validate() error {
+	if a.Prefix == "" || a.Namespace == "" {
+		return fmt.Errorf("rdfterm: alias needs prefix and namespace, got (%q,%q)", a.Prefix, a.Namespace)
+	}
+	if strings.ContainsRune(a.Prefix, ':') {
+		return fmt.Errorf("rdfterm: alias prefix %q must not contain ':'", a.Prefix)
+	}
+	return nil
+}

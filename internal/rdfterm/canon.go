@@ -1,0 +1,121 @@
+package rdfterm
+
+import (
+	"math"
+	"math/big"
+	"strconv"
+	"strings"
+)
+
+// Canonical returns the canonical form of a term. For typed literals with
+// a supported XSD datatype the lexical form is normalized (e.g.
+// "+01"^^xsd:int → "1"^^xsd:int); everything else canonicalizes to itself.
+//
+// The canonical term is what the store records as CANON_END_NODE_ID (§4):
+// object matching in queries is done on canonical IDs, so "01"^^xsd:int
+// and "1"^^xsd:int match without lexical string equality.
+func Canonical(t Term) Term {
+	if t.Kind != Literal || t.Datatype == "" {
+		// Language tags are case-insensitive per BCP 47; canonicalize to
+		// lowercase so "EN" and "en" literals unify.
+		if t.Kind == Literal && t.Language != "" {
+			t.Language = strings.ToLower(t.Language)
+		}
+		return t
+	}
+	lex, ok := canonicalLexical(t.Value, t.Datatype)
+	if !ok {
+		return t // unsupported datatype or invalid lexical form: keep as-is
+	}
+	t.Value = lex
+	return t
+}
+
+// canonicalLexical normalizes the lexical form for supported datatypes.
+func canonicalLexical(lex, datatype string) (string, bool) {
+	s := strings.TrimSpace(lex)
+	switch datatype {
+	case XSDInteger, XSDInt, XSDLong, XSDShort, XSDByte:
+		return canonInteger(s)
+	case XSDDecimal:
+		return canonDecimal(s)
+	case XSDFloat, XSDDouble:
+		return canonFloat(s)
+	case XSDBoolean:
+		return canonBoolean(s)
+	case XSDString:
+		return lex, true // xsd:string is already canonical; no trimming
+	case XSDDate, XSDTime, XSDDateTime:
+		// Uppercase the date/time designators; full timezone arithmetic is
+		// out of scope for the experiments.
+		return strings.ToUpper(s), true
+	}
+	return "", false
+}
+
+func canonInteger(s string) (string, bool) {
+	n, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		return "", false
+	}
+	return n.String(), true
+}
+
+func canonDecimal(s string) (string, bool) {
+	r, ok := new(big.Rat).SetString(s)
+	if !ok || strings.ContainsAny(s, "eE/") {
+		return "", false // xsd:decimal has no exponent form
+	}
+	if r.IsInt() {
+		return r.Num().String() + ".0", true
+	}
+	// FloatString with enough digits, then trim trailing zeros.
+	out := r.FloatString(32)
+	out = strings.TrimRight(out, "0")
+	if strings.HasSuffix(out, ".") {
+		out += "0"
+	}
+	return out, true
+}
+
+func canonFloat(s string) (string, bool) {
+	switch s {
+	case "NaN":
+		return "NaN", true
+	case "INF", "+INF":
+		return "INF", true
+	case "-INF":
+		return "-INF", true
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return "", false
+	}
+	if math.IsInf(f, 1) {
+		return "INF", true
+	}
+	if math.IsInf(f, -1) {
+		return "-INF", true
+	}
+	// XSD canonical form uses mantissa E exponent, e.g. 1.0E2, 1.5E-1, 0.0E0.
+	mant := strconv.FormatFloat(f, 'E', -1, 64) // e.g. "1E+02", "1.5E-01"
+	mantissa, exp, _ := strings.Cut(mant, "E")
+	if !strings.Contains(mantissa, ".") {
+		mantissa += ".0"
+	}
+	e, err := strconv.Atoi(exp)
+	if err != nil {
+		return "", false
+	}
+	return mantissa + "E" + strconv.Itoa(e), true
+}
+
+func canonBoolean(s string) (string, bool) {
+	switch s {
+	case "true", "1":
+		return "true", true
+	case "false", "0":
+		return "false", true
+	}
+	return "", false
+}

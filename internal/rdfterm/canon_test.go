@@ -1,0 +1,159 @@
+package rdfterm
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalIntegers(t *testing.T) {
+	cases := map[string]string{
+		"25":                             "25",
+		"+25":                            "25",
+		"025":                            "25",
+		"-007":                           "-7",
+		"0":                              "0",
+		"-0":                             "0",
+		" 12 ":                           "12",
+		"123456789012345678901234567890": "123456789012345678901234567890",
+	}
+	for in, want := range cases {
+		got := Canonical(NewTypedLiteral(in, XSDInt))
+		if got.Value != want {
+			t.Errorf("Canonical(%q^^xsd:int) = %q, want %q", in, got.Value, want)
+		}
+	}
+}
+
+func TestCanonicalDecimal(t *testing.T) {
+	cases := map[string]string{
+		"2.50":  "2.5",
+		"2":     "2.0",
+		"+2.0":  "2.0",
+		"-0.50": "-0.5",
+		".5":    "0.5",
+	}
+	for in, want := range cases {
+		got := Canonical(NewTypedLiteral(in, XSDDecimal))
+		if got.Value != want {
+			t.Errorf("Canonical(%q^^xsd:decimal) = %q, want %q", in, got.Value, want)
+		}
+	}
+	// Exponent form is not valid xsd:decimal; term passes through.
+	if got := Canonical(NewTypedLiteral("1e2", XSDDecimal)); got.Value != "1e2" {
+		t.Errorf("invalid decimal changed: %q", got.Value)
+	}
+}
+
+func TestCanonicalFloat(t *testing.T) {
+	cases := map[string]string{
+		"100":  "1.0E2",
+		"1.5":  "1.5E0",
+		"0.15": "1.5E-1",
+		"0":    "0.0E0", // ParseFloat(0) → 0E+00
+		"-2e3": "-2.0E3",
+		"NaN":  "NaN",
+		"INF":  "INF",
+		"+INF": "INF",
+		"-INF": "-INF",
+	}
+	for in, want := range cases {
+		got := Canonical(NewTypedLiteral(in, XSDDouble))
+		if got.Value != want {
+			t.Errorf("Canonical(%q^^xsd:double) = %q, want %q", in, got.Value, want)
+		}
+	}
+}
+
+func TestCanonicalBoolean(t *testing.T) {
+	cases := map[string]string{"true": "true", "false": "false", "1": "true", "0": "false"}
+	for in, want := range cases {
+		got := Canonical(NewTypedLiteral(in, XSDBoolean))
+		if got.Value != want {
+			t.Errorf("Canonical(%q^^xsd:boolean) = %q, want %q", in, got.Value, want)
+		}
+	}
+	if got := Canonical(NewTypedLiteral("yes", XSDBoolean)); got.Value != "yes" {
+		t.Error("invalid boolean should pass through unchanged")
+	}
+}
+
+func TestCanonicalLanguageTagLowercased(t *testing.T) {
+	got := Canonical(NewLangLiteral("Hello", "EN"))
+	if got.Language != "en" || got.Value != "Hello" {
+		t.Errorf("Canonical lang literal = %v", got)
+	}
+}
+
+func TestCanonicalPassThrough(t *testing.T) {
+	// URIs, blanks, plain literals, unsupported datatypes: unchanged.
+	for _, term := range []Term{
+		NewURI("http://a"),
+		NewBlank("b"),
+		NewLiteral("  keep spaces  "),
+		NewTypedLiteral("raw", "http://example.org/customType"),
+		NewTypedLiteral("<x/>", RDFXMLLit),
+	} {
+		if got := Canonical(term); got != term {
+			t.Errorf("Canonical(%v) = %v, want unchanged", term, got)
+		}
+	}
+}
+
+func TestCanonicalDateTimeUppercased(t *testing.T) {
+	got := Canonical(NewTypedLiteral("2000-06-20t10:00:00z", XSDDateTime))
+	if got.Value != "2000-06-20T10:00:00Z" {
+		t.Errorf("dateTime canonical = %q", got.Value)
+	}
+}
+
+// Property: canonicalization is idempotent.
+func TestQuickCanonicalIdempotent(t *testing.T) {
+	f := func(n int64, dtPick uint8) bool {
+		dts := []string{XSDInt, XSDInteger, XSDDecimal, XSDDouble, XSDBoolean, XSDString}
+		dt := dts[int(dtPick)%len(dts)]
+		term := NewTypedLiteral(strconv.FormatInt(n, 10), dt)
+		once := Canonical(term)
+		twice := Canonical(once)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canonical integer parsing agrees with strconv for int64 range.
+func TestQuickCanonicalIntMatchesStrconv(t *testing.T) {
+	f := func(n int64) bool {
+		got := Canonical(NewTypedLiteral(strconv.FormatInt(n, 10), XSDInteger))
+		return got.Value == strconv.FormatInt(n, 10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two lexically different forms of the same integer canonicalize
+// to the same term (the CANON_END_NODE_ID unification the store needs).
+func TestQuickCanonicalUnifiesInts(t *testing.T) {
+	f := func(n int32) bool {
+		a := Canonical(NewTypedLiteral(strconv.FormatInt(int64(n), 10), XSDInt))
+		pad := "+0"
+		if n < 0 {
+			pad = "-0"
+		}
+		abs := int64(n)
+		if abs < 0 {
+			abs = -abs
+		}
+		b := Canonical(NewTypedLiteral(pad+strconv.FormatInt(abs, 10), XSDInt))
+		if n == 0 {
+			// "-00" canonicalizes to "0" too.
+			return a == b
+		}
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

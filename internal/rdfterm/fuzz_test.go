@@ -1,0 +1,46 @@
+package rdfterm
+
+import "testing"
+
+// FuzzParseObject checks the convenience object parser never panics, and
+// that accepted terms validate.
+func FuzzParseObject(f *testing.F) {
+	seeds := []string{
+		"gov:files", `"lit"`, `"l"@en`, `"1"^^xsd:int`, "_:b1",
+		"<http://a>", "bombing", `"unterminated`, `"x"^^`, "",
+		"June-20-2000", "a:b:c:d", `"es\tc"`, "  spaced  ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	aliases := Default().With(Alias{Prefix: "gov", Namespace: "http://gov#"})
+	f.Fuzz(func(t *testing.T, input string) {
+		term, err := ParseObject(input, aliases)
+		if err != nil {
+			return
+		}
+		if verr := term.Validate(); verr != nil {
+			t.Fatalf("ParseObject(%q) produced invalid term %#v: %v", input, term, verr)
+		}
+	})
+}
+
+// FuzzCanonical checks canonicalization never panics and is idempotent
+// for arbitrary lexical forms and datatypes.
+func FuzzCanonical(f *testing.F) {
+	f.Add("25", XSDInt)
+	f.Add("+025", XSDInteger)
+	f.Add("2.50", XSDDecimal)
+	f.Add("1e9", XSDDouble)
+	f.Add("true", XSDBoolean)
+	f.Add("NaN", XSDFloat)
+	f.Add("not-a-number", XSDInt)
+	f.Add("", XSDDecimal)
+	f.Fuzz(func(t *testing.T, lex, datatype string) {
+		once := Canonical(NewTypedLiteral(lex, datatype))
+		twice := Canonical(once)
+		if once != twice {
+			t.Fatalf("Canonical not idempotent: %#v -> %#v", once, twice)
+		}
+	})
+}

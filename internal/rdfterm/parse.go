@@ -1,0 +1,242 @@
+package rdfterm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The functions in this file parse the convenience syntax the paper uses
+// in SDO_RDF_TRIPLE_S constructor calls: subjects and predicates like
+// 'gov:files' or full URIs, objects that may be URIs, blank nodes,
+// unquoted plain literals ('bombing' in Figure 2), or quoted literals
+// with language tags or datatypes ('"25"^^xsd:int').
+
+// ParseSubject parses a subject: a URI (full, <wrapped>, or prefixed) or a
+// blank node "_:label". Aliases may be nil.
+func ParseSubject(s string, aliases *AliasSet) (Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Term{}, fmt.Errorf("rdfterm: empty subject")
+	}
+	if strings.HasPrefix(s, "_:") {
+		b := NewBlank(s)
+		if err := b.Validate(); err != nil {
+			return Term{}, err
+		}
+		return b, nil
+	}
+	if strings.HasPrefix(s, `"`) {
+		return Term{}, fmt.Errorf("rdfterm: subject cannot be a literal: %s", s)
+	}
+	return parseURIish(s, aliases)
+}
+
+// ParsePredicate parses a predicate, which must be a URI.
+func ParsePredicate(s string, aliases *AliasSet) (Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Term{}, fmt.Errorf("rdfterm: empty predicate")
+	}
+	if strings.HasPrefix(s, "_:") || strings.HasPrefix(s, `"`) {
+		return Term{}, fmt.Errorf("rdfterm: predicate must be a URI: %s", s)
+	}
+	return parseURIish(s, aliases)
+}
+
+// ParseObject parses an object: URI, blank node, or literal. A quoted
+// string may carry @lang or ^^datatype; an unquoted string that does not
+// look like a URI is a plain literal (as in the paper's 'bombing').
+func ParseObject(s string, aliases *AliasSet) (Term, error) {
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" {
+		return Term{}, fmt.Errorf("rdfterm: empty object")
+	}
+	if strings.HasPrefix(trimmed, "_:") {
+		b := NewBlank(trimmed)
+		if err := b.Validate(); err != nil {
+			return Term{}, err
+		}
+		return b, nil
+	}
+	if strings.HasPrefix(trimmed, `"`) {
+		return parseQuotedLiteral(trimmed, aliases)
+	}
+	if strings.HasPrefix(trimmed, "<") {
+		return parseURIish(trimmed, aliases)
+	}
+	if looksLikeURI(trimmed, aliases) {
+		return parseURIish(trimmed, aliases)
+	}
+	// Unquoted, not URI-shaped: a plain literal. Use the original string
+	// so literal whitespace is preserved.
+	return NewLiteral(s), nil
+}
+
+// parseURIish handles <wrapped>, prefixed, and bare URIs.
+func parseURIish(s string, aliases *AliasSet) (Term, error) {
+	if strings.HasPrefix(s, "<") {
+		if !strings.HasSuffix(s, ">") || len(s) < 3 {
+			return Term{}, fmt.Errorf("rdfterm: malformed URI %q", s)
+		}
+		uri := s[1 : len(s)-1]
+		if err := checkURIChars(uri); err != nil {
+			return Term{}, err
+		}
+		return NewURI(uri), nil
+	}
+	if !looksLikeURI(s, aliases) {
+		return Term{}, fmt.Errorf("rdfterm: %q is not a URI (no scheme or registered prefix)", s)
+	}
+	uri := aliases.Expand(s)
+	if err := checkURIChars(uri); err != nil {
+		return Term{}, err
+	}
+	return NewURI(uri), nil
+}
+
+// checkURIChars rejects characters RFC 3986 forbids raw in URIs and that
+// would break re-serialization (angle brackets, quotes, whitespace,
+// control characters).
+func checkURIChars(uri string) error {
+	if i := strings.IndexAny(uri, "<>\" \t\n\r"); i >= 0 {
+		return fmt.Errorf("rdfterm: URI %q contains forbidden character %q", uri, uri[i])
+	}
+	for i := 0; i < len(uri); i++ {
+		if uri[i] < 0x20 {
+			return fmt.Errorf("rdfterm: URI %q contains control character 0x%02x", uri, uri[i])
+		}
+	}
+	return nil
+}
+
+// looksLikeURI reports whether s has a scheme-like "name:" head or a
+// registered alias prefix.
+func looksLikeURI(s string, aliases *AliasSet) bool {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return false
+	}
+	head := s[:i]
+	if _, ok := aliases.Lookup(head); ok {
+		return true
+	}
+	// RFC 3986 scheme: ALPHA *(ALPHA / DIGIT / "+" / "-" / ".")
+	if !isAlpha(head[0]) {
+		return false
+	}
+	for j := 1; j < len(head); j++ {
+		c := head[j]
+		if !isAlpha(c) && !isDigit(c) && c != '+' && c != '-' && c != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// parseQuotedLiteral parses "lex", "lex"@lang, "lex"^^<dt>, "lex"^^pfx:dt.
+func parseQuotedLiteral(s string, aliases *AliasSet) (Term, error) {
+	// Find the closing quote, honoring backslash escapes.
+	end := -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return Term{}, fmt.Errorf("rdfterm: unterminated literal %q", s)
+	}
+	lex, err := unescapeLiteral(s[1:end])
+	if err != nil {
+		return Term{}, err
+	}
+	rest := s[end+1:]
+	switch {
+	case rest == "":
+		return NewLiteral(lex), nil
+	case strings.HasPrefix(rest, "@"):
+		lang := rest[1:]
+		if lang == "" {
+			return Term{}, fmt.Errorf("rdfterm: empty language tag in %q", s)
+		}
+		return NewLangLiteral(lex, lang), nil
+	case strings.HasPrefix(rest, "^^"):
+		dt := rest[2:]
+		if strings.HasPrefix(dt, "<") && strings.HasSuffix(dt, ">") {
+			dt = dt[1 : len(dt)-1]
+		} else {
+			dt = aliases.Expand(dt)
+		}
+		if dt == "" {
+			return Term{}, fmt.Errorf("rdfterm: empty datatype in %q", s)
+		}
+		return NewTypedLiteral(lex, dt), nil
+	}
+	return Term{}, fmt.Errorf("rdfterm: trailing garbage %q after literal", rest)
+}
+
+// EscapeLiteral escapes a literal's lexical form for embedding in quotes:
+// the inverse of unescapeLiteral (\" \\ \n \r \t).
+func EscapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// unescapeLiteral processes the N-Triples-style escapes \" \\ \n \r \t.
+func unescapeLiteral(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("rdfterm: dangling backslash in literal")
+		}
+		switch s[i] {
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		default:
+			return "", fmt.Errorf("rdfterm: unknown escape \\%c in literal", s[i])
+		}
+	}
+	return b.String(), nil
+}

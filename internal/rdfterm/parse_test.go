@@ -1,0 +1,92 @@
+package rdfterm
+
+import "testing"
+
+func govAliases() *AliasSet {
+	return Default().With(
+		Alias{Prefix: "gov", Namespace: "http://www.us.gov#"},
+		Alias{Prefix: "id", Namespace: "http://www.us.id#"},
+	)
+}
+
+func TestParseSubject(t *testing.T) {
+	a := govAliases()
+	cases := map[string]Term{
+		"gov:files":                           NewURI("http://www.us.gov#files"),
+		"<http://x/a>":                        NewURI("http://x/a"),
+		"http://x/a":                          NewURI("http://x/a"),
+		"_:b1":                                NewBlank("b1"),
+		"urn:lsid:uniprot.org:uniprot:P93259": NewURI("urn:lsid:uniprot.org:uniprot:P93259"),
+	}
+	for in, want := range cases {
+		got, err := ParseSubject(in, a)
+		if err != nil || got != want {
+			t.Errorf("ParseSubject(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", `"lit"`, "nocolonhere", "1:23"} {
+		if _, err := ParseSubject(bad, a); err == nil {
+			t.Errorf("ParseSubject(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePredicate(t *testing.T) {
+	a := govAliases()
+	got, err := ParsePredicate("gov:terrorSuspect", a)
+	if err != nil || got.Value != "http://www.us.gov#terrorSuspect" {
+		t.Fatalf("ParsePredicate = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "_:b", `"lit"`, "plainword"} {
+		if _, err := ParsePredicate(bad, a); err == nil {
+			t.Errorf("ParsePredicate(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseObject(t *testing.T) {
+	a := govAliases()
+	cases := map[string]Term{
+		"id:JohnDoe":             NewURI("http://www.us.id#JohnDoe"),
+		"bombing":                NewLiteral("bombing"), // Figure 2's unquoted literal
+		"June-20-2000":           NewLiteral("June-20-2000"),
+		`"bombing"`:              NewLiteral("bombing"),
+		`"hello"@en`:             NewLangLiteral("hello", "en"),
+		`"25"^^xsd:int`:          NewTypedLiteral("25", XSDInt),
+		`"25"^^<` + XSDInt + `>`: NewTypedLiteral("25", XSDInt),
+		"_:node1":                NewBlank("node1"),
+		`"a\"b\\c\n"`:            NewLiteral("a\"b\\c\n"),
+		"<http://plain/u>":       NewURI("http://plain/u"),
+	}
+	for in, want := range cases {
+		got, err := ParseObject(in, a)
+		if err != nil || got != want {
+			t.Errorf("ParseObject(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", `"unterminated`, `"x"@`, `"x"^^`, `"x"garbage`, `"a\qb"`} {
+		if _, err := ParseObject(bad, a); err == nil {
+			t.Errorf("ParseObject(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseObjectPreservesUnquotedWhitespace(t *testing.T) {
+	got, err := ParseObject("Brooklyn, NY", nil)
+	if err != nil || got != NewLiteral("Brooklyn, NY") {
+		t.Fatalf("ParseObject = %v, %v", got, err)
+	}
+}
+
+func TestParseObjectUnknownPrefixIsLiteral(t *testing.T) {
+	// "xyz:abc" with no alias but scheme-shaped head parses as URI; a head
+	// with illegal scheme chars falls back to literal.
+	got, err := ParseObject("not a uri: really", nil)
+	if err != nil || got.Kind != Literal {
+		t.Fatalf("ParseObject = %v, %v", got, err)
+	}
+	got, err = ParseObject("mailto:someone@example.org", nil)
+	if err != nil || got.Kind != URI {
+		t.Fatalf("ParseObject(mailto) = %v, %v", got, err)
+	}
+}

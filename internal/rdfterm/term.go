@@ -1,0 +1,207 @@
+// Package rdfterm models RDF terms — URIs, blank nodes, and plain, typed,
+// language-tagged, and long literals — along with the value-type codes,
+// canonicalization, and namespace-alias machinery the paper's rdf_value$
+// table relies on (§2, §4, Figure 4).
+package rdfterm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LongLiteralThreshold is the lexical length above which a literal is a
+// "long literal" stored in the LONG_VALUE column (paper §4: "long-literals
+// are text values that exceed 4000 characters").
+const LongLiteralThreshold = 4000
+
+// Kind discriminates the three RDF term categories.
+type Kind uint8
+
+// Term kinds.
+const (
+	URI Kind = iota + 1
+	Blank
+	Literal
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case URI:
+		return "URI"
+	case Blank:
+		return "BlankNode"
+	case Literal:
+		return "Literal"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Term is one RDF term. The zero Term is invalid; use the constructors.
+//
+// For URI terms, Value is the URI text. For blank nodes, Value is the label
+// without the "_:" prefix. For literals, Value is the lexical form,
+// Language is the optional language tag, and Datatype is the optional
+// datatype URI (Language and Datatype are mutually exclusive, as in RDF).
+type Term struct {
+	Kind     Kind
+	Value    string
+	Language string
+	Datatype string
+}
+
+// NewURI returns a URI term.
+func NewURI(uri string) Term { return Term{Kind: URI, Value: uri} }
+
+// NewBlank returns a blank-node term. The label may be given with or
+// without the "_:" prefix.
+func NewBlank(label string) Term {
+	return Term{Kind: Blank, Value: strings.TrimPrefix(label, "_:")}
+}
+
+// NewLiteral returns a plain literal.
+func NewLiteral(lexical string) Term { return Term{Kind: Literal, Value: lexical} }
+
+// NewLangLiteral returns a plain literal with a language tag.
+func NewLangLiteral(lexical, lang string) Term {
+	return Term{Kind: Literal, Value: lexical, Language: lang}
+}
+
+// NewTypedLiteral returns a typed literal with the given datatype URI.
+func NewTypedLiteral(lexical, datatype string) Term {
+	return Term{Kind: Literal, Value: lexical, Datatype: datatype}
+}
+
+// IsZero reports whether the term is the invalid zero value.
+func (t Term) IsZero() bool { return t.Kind == 0 }
+
+// IsLong reports whether the term is a long literal (lexical form longer
+// than LongLiteralThreshold).
+func (t Term) IsLong() bool {
+	return t.Kind == Literal && len(t.Value) > LongLiteralThreshold
+}
+
+// ValueType codes stored in rdf_value$.VALUE_TYPE (paper §4).
+const (
+	VTUri              = "UR"  // URI
+	VTBlank            = "BN"  // blank node
+	VTPlain            = "PL"  // plain literal
+	VTPlainLang        = "PL@" // plain literal with language tag
+	VTTyped            = "TL"  // typed literal
+	VTPlainLong        = "PLL" // plain long-literal (with or without language)
+	VTTypedLong        = "TLL" // typed long-literal
+	ValueTypeURI       = VTUri
+	ValueTypeBlankNode = VTBlank
+)
+
+// ValueType returns the rdf_value$ VALUE_TYPE code for the term.
+func (t Term) ValueType() string {
+	switch t.Kind {
+	case URI:
+		return VTUri
+	case Blank:
+		return VTBlank
+	case Literal:
+		long := t.IsLong()
+		switch {
+		case t.Datatype != "" && long:
+			return VTTypedLong
+		case t.Datatype != "":
+			return VTTyped
+		case long:
+			return VTPlainLong
+		case t.Language != "":
+			return VTPlainLang
+		default:
+			return VTPlain
+		}
+	}
+	return "??"
+}
+
+// Validate checks structural invariants: non-empty URI/blank values, no
+// simultaneous language tag and datatype, and kind-appropriate fields.
+func (t Term) Validate() error {
+	switch t.Kind {
+	case URI:
+		if t.Value == "" {
+			return fmt.Errorf("rdfterm: empty URI")
+		}
+		if t.Language != "" || t.Datatype != "" {
+			return fmt.Errorf("rdfterm: URI %q with literal attributes", t.Value)
+		}
+	case Blank:
+		if t.Value == "" {
+			return fmt.Errorf("rdfterm: empty blank node label")
+		}
+		if t.Language != "" || t.Datatype != "" {
+			return fmt.Errorf("rdfterm: blank node %q with literal attributes", t.Value)
+		}
+	case Literal:
+		if t.Language != "" && t.Datatype != "" {
+			return fmt.Errorf("rdfterm: literal %q has both language and datatype", abbrev(t.Value))
+		}
+	default:
+		return fmt.Errorf("rdfterm: invalid kind %d", t.Kind)
+	}
+	return nil
+}
+
+// String renders the term in N-Triples-like form for diagnostics:
+// <uri>, _:label, "literal"@lang, "literal"^^<datatype>.
+func (t Term) String() string {
+	switch t.Kind {
+	case URI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	case Literal:
+		s := `"` + abbrev(t.Value) + `"`
+		if t.Language != "" {
+			s += "@" + t.Language
+		}
+		if t.Datatype != "" {
+			s += "^^<" + t.Datatype + ">"
+		}
+		return s
+	}
+	return "<invalid>"
+}
+
+// Lexical returns the user-facing text of the term: the URI, "_:"+label,
+// or the literal's lexical form. This is what GET_SUBJECT / GET_PROPERTY /
+// GET_OBJECT return.
+func (t Term) Lexical() string {
+	if t.Kind == Blank {
+		return "_:" + t.Value
+	}
+	return t.Value
+}
+
+// Equal reports full term equality (kind, value, language, datatype).
+func (t Term) Equal(o Term) bool { return t == o }
+
+// Compare gives a total order over terms: by kind, then value, language,
+// datatype. It exists so terms can key deterministic data structures.
+func (t Term) Compare(o Term) int {
+	if t.Kind != o.Kind {
+		if t.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(t.Value, o.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.Language, o.Language); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Datatype, o.Datatype)
+}
+
+func abbrev(s string) string {
+	if len(s) > 64 {
+		return s[:61] + "..."
+	}
+	return s
+}

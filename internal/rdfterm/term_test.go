@@ -1,0 +1,189 @@
+package rdfterm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstructorsAndValueTypes(t *testing.T) {
+	long := strings.Repeat("x", LongLiteralThreshold+1)
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewURI("http://example.org/a"), VTUri},
+		{NewBlank("b1"), VTBlank},
+		{NewBlank("_:b1"), VTBlank}, // prefix stripped
+		{NewLiteral("hello"), VTPlain},
+		{NewLangLiteral("hello", "en"), VTPlainLang},
+		{NewTypedLiteral("25", XSDInt), VTTyped},
+		{NewLiteral(long), VTPlainLong},
+		{NewLangLiteral(long, "en"), VTPlainLong},
+		{NewTypedLiteral(long, XSDString), VTTypedLong},
+	}
+	for _, c := range cases {
+		if got := c.term.ValueType(); got != c.want {
+			t.Errorf("ValueType(%s) = %s, want %s", c.term, got, c.want)
+		}
+		if err := c.term.Validate(); err != nil {
+			t.Errorf("Validate(%s): %v", c.term, err)
+		}
+	}
+	if NewBlank("_:b1").Value != "b1" {
+		t.Error("NewBlank did not strip prefix")
+	}
+}
+
+func TestLongLiteralBoundary(t *testing.T) {
+	exact := strings.Repeat("x", LongLiteralThreshold)
+	if NewLiteral(exact).IsLong() {
+		t.Error("literal of exactly 4000 chars should not be long")
+	}
+	if !NewLiteral(exact + "x").IsLong() {
+		t.Error("literal of 4001 chars should be long")
+	}
+	if NewURI(exact + "xxxx").IsLong() {
+		t.Error("URIs are never long literals")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := []Term{
+		{},           // zero
+		NewURI(""),   // empty URI
+		NewBlank(""), // empty label
+		{Kind: Literal, Value: "x", Language: "en", Datatype: XSDString}, // both
+		{Kind: URI, Value: "u", Language: "en"},                          // URI with lang
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%#v) accepted malformed term", b)
+		}
+	}
+}
+
+func TestLexicalAndString(t *testing.T) {
+	if got := NewBlank("b1").Lexical(); got != "_:b1" {
+		t.Errorf("blank Lexical = %q", got)
+	}
+	if got := NewURI("u:a").Lexical(); got != "u:a" {
+		t.Errorf("URI Lexical = %q", got)
+	}
+	if got := NewLangLiteral("hi", "en").String(); got != `"hi"@en` {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewTypedLiteral("1", XSDInt).String(); got != `"1"^^<`+XSDInt+`>` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	terms := []Term{
+		NewURI("a"), NewURI("b"), NewBlank("a"),
+		NewLiteral("a"), NewLangLiteral("a", "en"), NewTypedLiteral("a", XSDInt),
+	}
+	for i, a := range terms {
+		for j, b := range terms {
+			c1, c2 := a.Compare(b), b.Compare(a)
+			if (i == j) != (c1 == 0) {
+				t.Errorf("Compare(%s,%s) = %d", a, b, c1)
+			}
+			if c1 != -c2 && !(c1 == 0 && c2 == 0) {
+				t.Errorf("Compare not antisymmetric for %s,%s", a, b)
+			}
+		}
+	}
+}
+
+func TestVocabLinkType(t *testing.T) {
+	cases := map[string]string{
+		RDFType:                    "RDF_TYPE",
+		MembershipProperty(1):      "RDF_MEMBER",
+		MembershipProperty(42):     "RDF_MEMBER",
+		RDFSubject:                 "RDF_*",
+		RDFPredicate:               "RDF_*",
+		"http://example.org/p":     "STANDARD",
+		RDFSSeeAlso:                "STANDARD", // rdfs:, not rdf:
+		RDFNS + "_0":               "RDF_*",    // not a valid member index
+		RDFNS + "_abc":             "RDF_*",
+		"http://www.us.gov#source": "STANDARD",
+	}
+	for uri, want := range cases {
+		if got := LinkType(uri); got != want {
+			t.Errorf("LinkType(%s) = %s, want %s", uri, got, want)
+		}
+	}
+}
+
+func TestIsMembershipProperty(t *testing.T) {
+	if n, ok := IsMembershipProperty(MembershipProperty(7)); !ok || n != 7 {
+		t.Errorf("round trip = (%d,%v)", n, ok)
+	}
+	for _, bad := range []string{RDFNS + "_", RDFNS + "_0", RDFNS + "_-1", RDFNS + "_x", RDFType} {
+		if _, ok := IsMembershipProperty(bad); ok {
+			t.Errorf("IsMembershipProperty(%q) = true", bad)
+		}
+	}
+}
+
+func TestAliasExpandCompact(t *testing.T) {
+	s := Default().With(Alias{Prefix: "gov", Namespace: "http://www.us.gov#"})
+	if got := s.Expand("gov:files"); got != "http://www.us.gov#files" {
+		t.Errorf("Expand = %q", got)
+	}
+	if got := s.Expand("rdf:type"); got != RDFType {
+		t.Errorf("Expand(rdf:type) = %q", got)
+	}
+	if got := s.Expand("unknown:x"); got != "unknown:x" {
+		t.Errorf("Expand(unknown) = %q", got)
+	}
+	if got := s.Expand("noColon"); got != "noColon" {
+		t.Errorf("Expand(noColon) = %q", got)
+	}
+	if got := s.Compact("http://www.us.gov#files"); got != "gov:files" {
+		t.Errorf("Compact = %q", got)
+	}
+	if got := s.Compact("http://other/x"); got != "http://other/x" {
+		t.Errorf("Compact(unmatched) = %q", got)
+	}
+}
+
+func TestAliasWithDoesNotMutate(t *testing.T) {
+	base := Default()
+	base.With(Alias{Prefix: "g", Namespace: "http://g#"})
+	if _, ok := base.Lookup("g"); ok {
+		t.Error("With mutated the receiver")
+	}
+	var nilSet *AliasSet
+	if got := nilSet.Expand("rdf:type"); got != "rdf:type" {
+		t.Errorf("nil set Expand = %q", got)
+	}
+	derived := nilSet.With(Alias{Prefix: "g", Namespace: "http://g#"})
+	if got := derived.Expand("g:x"); got != "http://g#x" {
+		t.Errorf("With on nil set = %q", got)
+	}
+}
+
+func TestAliasValidate(t *testing.T) {
+	if err := (Alias{Prefix: "a", Namespace: "http://a#"}).Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []Alias{{}, {Prefix: "a"}, {Namespace: "n"}, {Prefix: "a:b", Namespace: "n"}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted bad alias", bad)
+		}
+	}
+}
+
+func TestAliasPrefixes(t *testing.T) {
+	got := Default().Prefixes()
+	want := []string{"owl", "rdf", "rdfs", "xsd"}
+	if len(got) != len(want) {
+		t.Fatalf("Prefixes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Prefixes = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package rdfterm
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Well-known namespaces.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+)
+
+// RDF built-in vocabulary used by reification (§2, §5) and containers.
+const (
+	RDFType      = RDFNS + "type"
+	RDFStatement = RDFNS + "Statement"
+	RDFSubject   = RDFNS + "subject"
+	RDFPredicate = RDFNS + "predicate"
+	RDFObject    = RDFNS + "object"
+	RDFBag       = RDFNS + "Bag"
+	RDFSeq       = RDFNS + "Seq"
+	RDFAlt       = RDFNS + "Alt"
+	RDFList      = RDFNS + "List"
+	RDFFirst     = RDFNS + "first"
+	RDFRest      = RDFNS + "rest"
+	RDFNil       = RDFNS + "nil"
+	RDFValue     = RDFNS + "value"
+	RDFProperty  = RDFNS + "Property"
+	RDFXMLLit    = RDFNS + "XMLLiteral"
+)
+
+// RDFS vocabulary used by the built-in RDFS rulebase (§6.1).
+const (
+	RDFSSubClassOf    = RDFSNS + "subClassOf"
+	RDFSSubPropertyOf = RDFSNS + "subPropertyOf"
+	RDFSDomain        = RDFSNS + "domain"
+	RDFSRange         = RDFSNS + "range"
+	RDFSResource      = RDFSNS + "Resource"
+	RDFSClass         = RDFSNS + "Class"
+	RDFSLiteral       = RDFSNS + "Literal"
+	RDFSDatatype      = RDFSNS + "Datatype"
+	RDFSMember        = RDFSNS + "member"
+	RDFSContainerMP   = RDFSNS + "ContainerMembershipProperty"
+	RDFSSeeAlso       = RDFSNS + "seeAlso"
+	RDFSLabel         = RDFSNS + "label"
+	RDFSComment       = RDFSNS + "comment"
+	RDFSIsDefinedBy   = RDFSNS + "isDefinedBy"
+)
+
+// XSD datatypes with canonicalization support.
+const (
+	XSDString   = XSDNS + "string"
+	XSDBoolean  = XSDNS + "boolean"
+	XSDInteger  = XSDNS + "integer"
+	XSDInt      = XSDNS + "int"
+	XSDLong     = XSDNS + "long"
+	XSDShort    = XSDNS + "short"
+	XSDByte     = XSDNS + "byte"
+	XSDDecimal  = XSDNS + "decimal"
+	XSDFloat    = XSDNS + "float"
+	XSDDouble   = XSDNS + "double"
+	XSDDate     = XSDNS + "date"
+	XSDTime     = XSDNS + "time"
+	XSDDateTime = XSDNS + "dateTime"
+)
+
+// IsMembershipProperty reports whether the URI is an rdf:_n container
+// membership property, returning n when it is. These map to LINK_TYPE
+// RDF_MEMBER in rdf_link$ (§4).
+func IsMembershipProperty(uri string) (int, bool) {
+	rest, ok := strings.CutPrefix(uri, RDFNS+"_")
+	if !ok || rest == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// MembershipProperty returns the rdf:_n membership property URI.
+func MembershipProperty(n int) string {
+	return RDFNS + "_" + strconv.Itoa(n)
+}
+
+// LinkType classifies a predicate URI into the rdf_link$ LINK_TYPE codes
+// (§4): RDF_TYPE for rdf:type, RDF_MEMBER for rdf:_n, RDF_* for any other
+// term of the RDF built-in vocabulary, STANDARD otherwise.
+func LinkType(predicate string) string {
+	if predicate == RDFType {
+		return "RDF_TYPE"
+	}
+	if _, ok := IsMembershipProperty(predicate); ok {
+		return "RDF_MEMBER"
+	}
+	if strings.HasPrefix(predicate, RDFNS) {
+		return "RDF_*"
+	}
+	return "STANDARD"
+}

@@ -1,0 +1,52 @@
+package rdfxml
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdfterm"
+)
+
+// FuzzParse checks the RDF/XML parser never panics and that every
+// accepted document yields structurally valid terms.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"/>`,
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:ex="http://ex#">
+		   <rdf:Description rdf:about="http://a"><ex:p>text</ex:p></rdf:Description>
+		 </rdf:RDF>`,
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:ex="http://ex#">
+		   <rdf:Description rdf:about="http://a"><ex:p rdf:ID="r" rdf:resource="http://b"/></rdf:Description>
+		 </rdf:RDF>`,
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+		   <rdf:Bag><rdf:li rdf:resource="http://x"/></rdf:Bag>
+		 </rdf:RDF>`,
+		`<a><b></b></a>`,
+		`not xml at all`,
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:ex="http://ex#">
+		   <rdf:Description><ex:p rdf:parseType="Resource"><ex:q>1</ex:q></ex:p></rdf:Description>
+		 </rdf:RDF>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		ts, err := Parse(strings.NewReader(doc), Options{Base: "http://base"})
+		if err != nil {
+			return
+		}
+		for _, tr := range ts {
+			if tr.Subject.Kind == rdfterm.Literal {
+				t.Fatalf("literal subject produced: %v", tr)
+			}
+			if tr.Predicate.Kind != rdfterm.URI {
+				t.Fatalf("non-URI predicate produced: %v", tr)
+			}
+			for _, term := range []rdfterm.Term{tr.Subject, tr.Predicate, tr.Object} {
+				if term.IsZero() {
+					t.Fatalf("zero term produced: %v", tr)
+				}
+			}
+		}
+	})
+}

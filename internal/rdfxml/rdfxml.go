@@ -1,0 +1,397 @@
+// Package rdfxml parses the RDF/XML syntax — the format the UniProt dump
+// of §7.1.1 was distributed in, and the input the paper's Java bulk-load
+// API read. It implements the commonly used subset of the W3C RDF/XML
+// recommendation:
+//
+//   - rdf:RDF roots, rdf:Description nodes, typed node elements;
+//   - rdf:about / rdf:ID / rdf:nodeID subjects and anonymous blanks;
+//   - property elements with rdf:resource, rdf:nodeID, nested node
+//     elements, rdf:parseType="Resource", plain/typed/lang literals;
+//   - property attributes on node elements;
+//   - rdf:li container membership (expanded to rdf:_n);
+//   - rdf:ID on property elements — statement reification, emitted as the
+//     four-triple quad so reify.Loader can fold it into the streamlined
+//     DBUri representation.
+//
+// Out of scope (rejected or ignored with an error where ambiguity would
+// corrupt data): rdf:parseType="Collection", rdf:aboutEach, xml:base
+// processing beyond the Base option, and XMLLiteral canonicalization.
+package rdfxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdfterm"
+)
+
+// Options configure parsing.
+type Options struct {
+	// Base resolves rdf:ID values ("#name" fragments) and relative URIs.
+	Base string
+}
+
+// Parse reads an RDF/XML document and returns its triples. Reified
+// statements (rdf:ID on property elements) are returned as explicit
+// reification quads.
+func Parse(r io.Reader, opts Options) ([]ntriples.Triple, error) {
+	p := &parser{
+		dec:  xml.NewDecoder(r),
+		base: opts.Base,
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.out, nil
+}
+
+const rdfNS = rdfterm.RDFNS
+
+type parser struct {
+	dec      *xml.Decoder
+	base     string
+	out      []ntriples.Triple
+	blankSeq int
+	idsSeen  map[string]bool
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("rdfxml: %s", fmt.Sprintf(format, args...))
+}
+
+func (p *parser) emit(s, pred, o rdfterm.Term) {
+	p.out = append(p.out, ntriples.Triple{Subject: s, Predicate: pred, Object: o})
+}
+
+func (p *parser) freshBlank() rdfterm.Term {
+	p.blankSeq++
+	return rdfterm.NewBlank(fmt.Sprintf("genid%d", p.blankSeq))
+}
+
+// run consumes the document: find the root, then parse node elements. A
+// root named rdf:RDF holds node elements; any other root is itself a node
+// element.
+func (p *parser) run() error {
+	for {
+		tok, err := p.dec.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		if start.Name.Space == rdfNS && start.Name.Local == "RDF" {
+			if err := p.nodeElements(start.End()); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := p.nodeElement(start); err != nil {
+			return err
+		}
+	}
+}
+
+// nodeElements parses children of rdf:RDF until its end tag.
+func (p *parser) nodeElements(end xml.EndElement) error {
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if _, err := p.nodeElement(t); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			if t.Name == end.Name {
+				return nil
+			}
+		}
+	}
+}
+
+// attr fetches an rdf: attribute from a start element.
+func rdfAttr(start xml.StartElement, local string) (string, bool) {
+	for _, a := range start.Attr {
+		if a.Name.Space == rdfNS && a.Name.Local == local {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+func xmlLang(start xml.StartElement) string {
+	for _, a := range start.Attr {
+		if a.Name.Local == "lang" && (a.Name.Space == "xml" || a.Name.Space == "http://www.w3.org/XML/1998/namespace") {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// resolve applies the base to fragment/relative references.
+func (p *parser) resolve(ref string) string {
+	if ref == "" {
+		return p.base
+	}
+	if strings.Contains(ref, ":") || p.base == "" {
+		return ref // absolute (scheme present) or no base to resolve against
+	}
+	if strings.HasPrefix(ref, "#") {
+		return p.base + ref
+	}
+	return p.base + "/" + ref
+}
+
+// nodeElement parses one node element and returns its subject term.
+func (p *parser) nodeElement(start xml.StartElement) (rdfterm.Term, error) {
+	subj, err := p.subjectOf(start)
+	if err != nil {
+		return rdfterm.Term{}, err
+	}
+	// Typed node element: the element name is the type.
+	if !(start.Name.Space == rdfNS && start.Name.Local == "Description") {
+		p.emit(subj, rdfterm.NewURI(rdfterm.RDFType), rdfterm.NewURI(start.Name.Space+start.Name.Local))
+	}
+	// Property attributes (non-rdf, non-xml attributes are literal
+	// statements).
+	lang := xmlLang(start)
+	for _, a := range start.Attr {
+		if a.Name.Space == rdfNS || a.Name.Space == "xmlns" || a.Name.Local == "xmlns" ||
+			a.Name.Space == "xml" || a.Name.Space == "http://www.w3.org/XML/1998/namespace" {
+			continue
+		}
+		if a.Name.Space == "" {
+			// Unqualified non-xmlns attribute: not a property.
+			continue
+		}
+		obj := rdfterm.NewLiteral(a.Value)
+		if lang != "" {
+			obj = rdfterm.NewLangLiteral(a.Value, lang)
+		}
+		p.emit(subj, rdfterm.NewURI(a.Name.Space+a.Name.Local), obj)
+	}
+	// Property elements.
+	liCounter := 0
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return rdfterm.Term{}, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if err := p.propertyElement(subj, t, lang, &liCounter); err != nil {
+				return rdfterm.Term{}, err
+			}
+		case xml.EndElement:
+			return subj, nil
+		}
+	}
+}
+
+// subjectOf derives the subject term from rdf:about / rdf:ID / rdf:nodeID.
+func (p *parser) subjectOf(start xml.StartElement) (rdfterm.Term, error) {
+	about, hasAbout := rdfAttr(start, "about")
+	id, hasID := rdfAttr(start, "ID")
+	nodeID, hasNode := rdfAttr(start, "nodeID")
+	n := 0
+	for _, b := range []bool{hasAbout, hasID, hasNode} {
+		if b {
+			n++
+		}
+	}
+	if n > 1 {
+		return rdfterm.Term{}, p.errorf("element %s has multiple subject attributes", start.Name.Local)
+	}
+	switch {
+	case hasAbout:
+		return rdfterm.NewURI(p.resolve(about)), nil
+	case hasID:
+		if err := p.checkID(id); err != nil {
+			return rdfterm.Term{}, err
+		}
+		return rdfterm.NewURI(p.resolve("#" + id)), nil
+	case hasNode:
+		return rdfterm.NewBlank(nodeID), nil
+	default:
+		return p.freshBlank(), nil
+	}
+}
+
+// checkID enforces rdf:ID uniqueness per document.
+func (p *parser) checkID(id string) error {
+	if p.idsSeen == nil {
+		p.idsSeen = map[string]bool{}
+	}
+	if p.idsSeen[id] {
+		return p.errorf("duplicate rdf:ID %q", id)
+	}
+	p.idsSeen[id] = true
+	return nil
+}
+
+// propertyElement parses one property element of subj.
+func (p *parser) propertyElement(subj rdfterm.Term, start xml.StartElement, inheritedLang string, liCounter *int) error {
+	prop := start.Name.Space + start.Name.Local
+	if start.Name.Space == rdfNS && start.Name.Local == "li" {
+		*liCounter++
+		prop = rdfterm.MembershipProperty(*liCounter)
+	}
+	lang := xmlLang(start)
+	if lang == "" {
+		lang = inheritedLang
+	}
+	reifyID, hasReify := rdfAttr(start, "ID")
+	if hasReify {
+		if err := p.checkID(reifyID); err != nil {
+			return err
+		}
+	}
+	datatype, hasDatatype := rdfAttr(start, "datatype")
+	resource, hasResource := rdfAttr(start, "resource")
+	nodeID, hasNodeID := rdfAttr(start, "nodeID")
+	parseType, hasParseType := rdfAttr(start, "parseType")
+
+	record := func(obj rdfterm.Term) {
+		p.emit(subj, rdfterm.NewURI(prop), obj)
+		if hasReify {
+			r := rdfterm.NewURI(p.resolve("#" + reifyID))
+			p.emit(r, rdfterm.NewURI(rdfterm.RDFType), rdfterm.NewURI(rdfterm.RDFStatement))
+			p.emit(r, rdfterm.NewURI(rdfterm.RDFSubject), subj)
+			p.emit(r, rdfterm.NewURI(rdfterm.RDFPredicate), rdfterm.NewURI(prop))
+			p.emit(r, rdfterm.NewURI(rdfterm.RDFObject), obj)
+		}
+	}
+
+	switch {
+	case hasResource:
+		record(rdfterm.NewURI(p.resolve(resource)))
+		return p.skipToEnd(start)
+	case hasNodeID:
+		record(rdfterm.NewBlank(nodeID))
+		return p.skipToEnd(start)
+	case hasParseType && parseType == "Resource":
+		// Anonymous node whose property elements follow inline.
+		blank := p.freshBlank()
+		record(blank)
+		inner := 0
+		for {
+			tok, err := p.dec.Token()
+			if err != nil {
+				return err
+			}
+			switch t := tok.(type) {
+			case xml.StartElement:
+				if err := p.propertyElement(blank, t, lang, &inner); err != nil {
+					return err
+				}
+			case xml.EndElement:
+				return nil
+			}
+		}
+	case hasParseType && parseType == "Literal":
+		raw, err := p.rawInner(start)
+		if err != nil {
+			return err
+		}
+		record(rdfterm.NewTypedLiteral(raw, rdfterm.RDFXMLLit))
+		return nil
+	case hasParseType:
+		return p.errorf("unsupported rdf:parseType %q", parseType)
+	}
+
+	// Otherwise: text literal or one nested node element.
+	var text strings.Builder
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			text.Write(t)
+		case xml.StartElement:
+			// Nested node element is the object; trailing text ignored.
+			obj, err := p.nodeElement(t)
+			if err != nil {
+				return err
+			}
+			record(obj)
+			return p.skipToEnd(start)
+		case xml.EndElement:
+			lex := text.String()
+			switch {
+			case hasDatatype:
+				record(rdfterm.NewTypedLiteral(lex, datatype))
+			case lang != "":
+				record(rdfterm.NewLangLiteral(lex, lang))
+			default:
+				record(rdfterm.NewLiteral(lex))
+			}
+			return nil
+		}
+	}
+}
+
+// skipToEnd discards tokens until the matching end element (the element's
+// content after an object has been determined).
+func (p *parser) skipToEnd(start xml.StartElement) error {
+	depth := 0
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return err
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			if depth == 0 {
+				return nil
+			}
+			depth--
+		}
+	}
+}
+
+// rawInner re-serializes the inner XML of a parseType="Literal" property.
+func (p *parser) rawInner(start xml.StartElement) (string, error) {
+	var b strings.Builder
+	depth := 0
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return "", err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			b.WriteByte('<')
+			b.WriteString(t.Name.Local)
+			for _, a := range t.Attr {
+				fmt.Fprintf(&b, " %s=%s", a.Name.Local, strconv.Quote(a.Value))
+			}
+			b.WriteByte('>')
+		case xml.EndElement:
+			if depth == 0 {
+				return b.String(), nil
+			}
+			depth--
+			b.WriteString("</")
+			b.WriteString(t.Name.Local)
+			b.WriteByte('>')
+		case xml.CharData:
+			b.Write(t)
+		}
+	}
+}

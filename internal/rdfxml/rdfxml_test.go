@@ -1,0 +1,269 @@
+package rdfxml
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdfterm"
+)
+
+func parse(t *testing.T, doc string, opts Options) []ntriples.Triple {
+	t.Helper()
+	ts, err := Parse(strings.NewReader(doc), opts)
+	if err != nil {
+		t.Fatalf("Parse: %v\ndoc:\n%s", err, doc)
+	}
+	return ts
+}
+
+// has reports whether a triple (by lexical match) is present.
+func has(ts []ntriples.Triple, s, p, o string) bool {
+	for _, t := range ts {
+		if t.Subject.Lexical() == s && t.Predicate.Value == p && t.Object.Lexical() == o {
+			return true
+		}
+	}
+	return false
+}
+
+const up = "http://purl.uniprot.org/core/"
+
+func TestParseTypedNodeWithProperties(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:up="http://purl.uniprot.org/core/"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#">
+  <up:Protein rdf:about="urn:lsid:uniprot.org:uniprot:P93259">
+    <up:mnemonic>CALM_PROBE</up:mnemonic>
+    <rdfs:seeAlso rdf:resource="urn:lsid:uniprot.org:smart:SM00101"/>
+    <up:mass rdf:datatype="http://www.w3.org/2001/XMLSchema#int">16838</up:mass>
+    <rdfs:label xml:lang="en">calmodulin</rdfs:label>
+  </up:Protein>
+</rdf:RDF>`
+	ts := parse(t, doc, Options{})
+	if len(ts) != 5 {
+		t.Fatalf("parsed %d triples, want 5:\n%v", len(ts), ts)
+	}
+	sub := "urn:lsid:uniprot.org:uniprot:P93259"
+	if !has(ts, sub, rdfterm.RDFType, up+"Protein") {
+		t.Error("typed node rdf:type missing")
+	}
+	if !has(ts, sub, up+"mnemonic", "CALM_PROBE") {
+		t.Error("text literal missing")
+	}
+	if !has(ts, sub, rdfterm.RDFSSeeAlso, "urn:lsid:uniprot.org:smart:SM00101") {
+		t.Error("rdf:resource missing")
+	}
+	for _, tr := range ts {
+		if tr.Predicate.Value == up+"mass" {
+			if tr.Object.Datatype != rdfterm.XSDInt || tr.Object.Value != "16838" {
+				t.Errorf("typed literal = %v", tr.Object)
+			}
+		}
+		if tr.Predicate.Value == rdfterm.RDFSNS+"label" {
+			if tr.Object.Language != "en" {
+				t.Errorf("lang literal = %v", tr.Object)
+			}
+		}
+	}
+}
+
+func TestParseDescriptionAndNesting(t *testing.T) {
+	doc := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                  xmlns:ex="http://ex#">
+  <rdf:Description rdf:about="http://a">
+    <ex:knows>
+      <rdf:Description rdf:about="http://b">
+        <ex:name>Bee</ex:name>
+      </rdf:Description>
+    </ex:knows>
+  </rdf:Description>
+</rdf:RDF>`
+	ts := parse(t, doc, Options{})
+	if !has(ts, "http://a", "http://ex#knows", "http://b") {
+		t.Errorf("nested node triple missing: %v", ts)
+	}
+	if !has(ts, "http://b", "http://ex#name", "Bee") {
+		t.Errorf("inner literal missing: %v", ts)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("parsed %d, want 2", len(ts))
+	}
+}
+
+func TestParseBlankNodes(t *testing.T) {
+	doc := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                  xmlns:ex="http://ex#">
+  <rdf:Description rdf:nodeID="b1">
+    <ex:p rdf:nodeID="b2"/>
+  </rdf:Description>
+  <rdf:Description>
+    <ex:q>anon subject</ex:q>
+  </rdf:Description>
+</rdf:RDF>`
+	ts := parse(t, doc, Options{})
+	if len(ts) != 2 {
+		t.Fatalf("parsed %d, want 2: %v", len(ts), ts)
+	}
+	if ts[0].Subject != rdfterm.NewBlank("b1") || ts[0].Object != rdfterm.NewBlank("b2") {
+		t.Errorf("nodeID triple = %v", ts[0])
+	}
+	if ts[1].Subject.Kind != rdfterm.Blank {
+		t.Errorf("anonymous description subject = %v", ts[1].Subject)
+	}
+}
+
+func TestParseRdfIDSubjectAndBase(t *testing.T) {
+	doc := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                  xmlns:ex="http://ex#">
+  <rdf:Description rdf:ID="thing">
+    <ex:p rdf:resource="other"/>
+  </rdf:Description>
+</rdf:RDF>`
+	ts := parse(t, doc, Options{Base: "http://base"})
+	if !has(ts, "http://base#thing", "http://ex#p", "http://base/other") {
+		t.Errorf("resolved triple missing: %v", ts)
+	}
+}
+
+// TestParseStatementReification: rdf:ID on a property element emits the
+// reification quad (§2's vocabulary) — which reify.Loader then folds.
+func TestParseStatementReification(t *testing.T) {
+	doc := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                  xmlns:gov="http://gov#">
+  <rdf:Description rdf:about="http://gov/files">
+    <gov:terrorSuspect rdf:ID="claim1" rdf:resource="http://id/JohnDoe"/>
+  </rdf:Description>
+</rdf:RDF>`
+	ts := parse(t, doc, Options{Base: "http://base"})
+	if len(ts) != 5 { // base + 4 quad rows
+		t.Fatalf("parsed %d, want 5: %v", len(ts), ts)
+	}
+	r := "http://base#claim1"
+	if !has(ts, "http://gov/files", "http://gov#terrorSuspect", "http://id/JohnDoe") {
+		t.Error("base triple missing")
+	}
+	if !has(ts, r, rdfterm.RDFType, rdfterm.RDFStatement) ||
+		!has(ts, r, rdfterm.RDFSubject, "http://gov/files") ||
+		!has(ts, r, rdfterm.RDFPredicate, "http://gov#terrorSuspect") ||
+		!has(ts, r, rdfterm.RDFObject, "http://id/JohnDoe") {
+		t.Errorf("reification quad incomplete: %v", ts)
+	}
+}
+
+func TestParseContainers(t *testing.T) {
+	doc := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+  <rdf:Bag rdf:about="http://class/students">
+    <rdf:li rdf:resource="http://s/1"/>
+    <rdf:li rdf:resource="http://s/2"/>
+    <rdf:li rdf:resource="http://s/3"/>
+  </rdf:Bag>
+</rdf:RDF>`
+	ts := parse(t, doc, Options{})
+	if !has(ts, "http://class/students", rdfterm.RDFType, rdfterm.RDFBag) {
+		t.Error("bag type missing")
+	}
+	for i := 1; i <= 3; i++ {
+		if !has(ts, "http://class/students", rdfterm.MembershipProperty(i), "http://s/"+string(rune('0'+i))) {
+			t.Errorf("member %d missing: %v", i, ts)
+		}
+	}
+}
+
+func TestParsePropertyAttributes(t *testing.T) {
+	doc := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                  xmlns:ex="http://ex#">
+  <rdf:Description rdf:about="http://a" ex:name="Ann" ex:city="Boston"/>
+</rdf:RDF>`
+	ts := parse(t, doc, Options{})
+	if !has(ts, "http://a", "http://ex#name", "Ann") || !has(ts, "http://a", "http://ex#city", "Boston") {
+		t.Errorf("property attributes missing: %v", ts)
+	}
+}
+
+func TestParseParseTypeResource(t *testing.T) {
+	doc := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                  xmlns:ex="http://ex#">
+  <rdf:Description rdf:about="http://a">
+    <ex:address rdf:parseType="Resource">
+      <ex:street>Main St</ex:street>
+      <ex:zip>02134</ex:zip>
+    </ex:address>
+  </rdf:Description>
+</rdf:RDF>`
+	ts := parse(t, doc, Options{})
+	if len(ts) != 3 {
+		t.Fatalf("parsed %d, want 3: %v", len(ts), ts)
+	}
+	var inner rdfterm.Term
+	for _, tr := range ts {
+		if tr.Predicate.Value == "http://ex#address" {
+			inner = tr.Object
+		}
+	}
+	if inner.Kind != rdfterm.Blank {
+		t.Fatalf("parseType=Resource object = %v", inner)
+	}
+	if !has(ts, inner.Lexical(), "http://ex#street", "Main St") {
+		t.Errorf("inner property missing: %v", ts)
+	}
+}
+
+func TestParseParseTypeLiteral(t *testing.T) {
+	doc := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                  xmlns:ex="http://ex#">
+  <rdf:Description rdf:about="http://a">
+    <ex:markup rdf:parseType="Literal">text with <b>bold</b> inside</ex:markup>
+  </rdf:Description>
+</rdf:RDF>`
+	ts := parse(t, doc, Options{})
+	if len(ts) != 1 {
+		t.Fatalf("parsed %d: %v", len(ts), ts)
+	}
+	obj := ts[0].Object
+	if obj.Datatype != rdfterm.RDFXMLLit {
+		t.Fatalf("datatype = %q", obj.Datatype)
+	}
+	if !strings.Contains(obj.Value, "<b>bold</b>") {
+		t.Fatalf("XMLLiteral = %q", obj.Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		// duplicate rdf:ID
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+		   <rdf:Description rdf:ID="x"/><rdf:Description rdf:ID="x"/>
+		 </rdf:RDF>`,
+		// multiple subject attributes
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+		   <rdf:Description rdf:about="http://a" rdf:nodeID="b"/>
+		 </rdf:RDF>`,
+		// unsupported parseType
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#" xmlns:ex="http://ex#">
+		   <rdf:Description rdf:about="http://a"><ex:p rdf:parseType="Collection"/></rdf:Description>
+		 </rdf:RDF>`,
+		// malformed XML
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"><unclosed>`,
+	}
+	for i, doc := range bad {
+		if _, err := Parse(strings.NewReader(doc), Options{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseRootlessNodeElement(t *testing.T) {
+	// A document whose root is itself a typed node element.
+	doc := `<up:Protein xmlns:up="http://purl.uniprot.org/core/"
+            xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+            rdf:about="urn:p1"><up:mnemonic>M</up:mnemonic></up:Protein>`
+	ts := parse(t, doc, Options{})
+	if len(ts) != 2 {
+		t.Fatalf("parsed %d: %v", len(ts), ts)
+	}
+	if !has(ts, "urn:p1", rdfterm.RDFType, up+"Protein") {
+		t.Error("type triple missing")
+	}
+}

@@ -1,0 +1,145 @@
+package rdfxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdfterm"
+)
+
+// Write serializes triples as RDF/XML: one rdf:Description per subject
+// (in first-appearance order), property elements per triple. Predicates
+// are split into namespace + local name; predicates whose URI cannot be
+// split (no '#' or '/' before a NCName tail) are rejected.
+//
+// The writer emits the subset the parser accepts, so Parse(Write(x))
+// round-trips any triple set whose blank labels are valid NCNames.
+func Write(w io.Writer, triples []ntriples.Triple) error {
+	type prop struct {
+		pred string
+		obj  rdfterm.Term
+	}
+	order := []string{}
+	bySubject := map[string][]prop{}
+	subjTerm := map[string]rdfterm.Term{}
+	for _, t := range triples {
+		if t.Predicate.Kind != rdfterm.URI {
+			return fmt.Errorf("rdfxml: non-URI predicate %v", t.Predicate)
+		}
+		key := t.Subject.String()
+		if _, seen := bySubject[key]; !seen {
+			order = append(order, key)
+			subjTerm[key] = t.Subject
+		}
+		bySubject[key] = append(bySubject[key], prop{pred: t.Predicate.Value, obj: t.Object})
+	}
+
+	// Collect namespaces for the used predicates.
+	nsPrefix := map[string]string{rdfNS: "rdf"}
+	var nsOrder []string
+	addNS := func(uri string) (string, string, error) {
+		ns, local, err := splitPredicate(uri)
+		if err != nil {
+			return "", "", err
+		}
+		if _, ok := nsPrefix[ns]; !ok {
+			nsPrefix[ns] = fmt.Sprintf("ns%d", len(nsPrefix))
+			nsOrder = append(nsOrder, ns)
+		}
+		return nsPrefix[ns], local, nil
+	}
+	type line struct {
+		prefix, local string
+		obj           rdfterm.Term
+	}
+	outBySubject := map[string][]line{}
+	for key, props := range bySubject {
+		for _, p := range props {
+			prefix, local, err := addNS(p.pred)
+			if err != nil {
+				return err
+			}
+			outBySubject[key] = append(outBySubject[key], line{prefix: prefix, local: local, obj: p.obj})
+		}
+	}
+	sort.Strings(nsOrder)
+
+	var b strings.Builder
+	b.WriteString(`<rdf:RDF xmlns:rdf="` + rdfNS + `"`)
+	for _, ns := range nsOrder {
+		fmt.Fprintf(&b, "\n         xmlns:%s=%q", nsPrefix[ns], ns)
+	}
+	b.WriteString(">\n")
+	for _, key := range order {
+		subj := subjTerm[key]
+		switch subj.Kind {
+		case rdfterm.URI:
+			fmt.Fprintf(&b, "  <rdf:Description rdf:about=%q>\n", subj.Value)
+		case rdfterm.Blank:
+			fmt.Fprintf(&b, "  <rdf:Description rdf:nodeID=%q>\n", subj.Value)
+		default:
+			return fmt.Errorf("rdfxml: literal subject %v", subj)
+		}
+		for _, l := range outBySubject[key] {
+			tag := l.prefix + ":" + l.local
+			switch {
+			case l.obj.Kind == rdfterm.URI:
+				fmt.Fprintf(&b, "    <%s rdf:resource=%q/>\n", tag, l.obj.Value)
+			case l.obj.Kind == rdfterm.Blank:
+				fmt.Fprintf(&b, "    <%s rdf:nodeID=%q/>\n", tag, l.obj.Value)
+			case l.obj.Datatype != "":
+				fmt.Fprintf(&b, "    <%s rdf:datatype=%q>%s</%s>\n", tag, l.obj.Datatype, xmlEscape(l.obj.Value), tag)
+			case l.obj.Language != "":
+				fmt.Fprintf(&b, "    <%s xml:lang=%q>%s</%s>\n", tag, l.obj.Language, xmlEscape(l.obj.Value), tag)
+			default:
+				fmt.Fprintf(&b, "    <%s>%s</%s>\n", tag, xmlEscape(l.obj.Value), tag)
+			}
+		}
+		b.WriteString("  </rdf:Description>\n")
+	}
+	b.WriteString("</rdf:RDF>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// splitPredicate separates a predicate URI into namespace and local name:
+// the local part is the longest NCName-ish tail after the last '#' or '/'.
+func splitPredicate(uri string) (string, string, error) {
+	cut := strings.LastIndexAny(uri, "#/")
+	if cut < 0 || cut == len(uri)-1 {
+		return "", "", fmt.Errorf("rdfxml: cannot derive a QName for predicate %q", uri)
+	}
+	local := uri[cut+1:]
+	if !isNCName(local) {
+		return "", "", fmt.Errorf("rdfxml: predicate local name %q is not an XML name", local)
+	}
+	return uri[:cut+1], local, nil
+}
+
+func isNCName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+		digit := c >= '0' && c <= '9'
+		if i == 0 && !alpha {
+			return false
+		}
+		if !alpha && !digit && c != '-' && c != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	xml.EscapeText(&b, []byte(s))
+	return b.String()
+}

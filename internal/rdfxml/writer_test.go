@@ -1,0 +1,121 @@
+package rdfxml
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdfterm"
+	"repro/internal/uniprot"
+)
+
+func canonTriples(ts []ntriples.Triple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertRoundTrip(t *testing.T, in []ntriples.Triple) {
+	t.Helper()
+	var buf strings.Builder
+	if err := Write(&buf, in); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Parse(strings.NewReader(buf.String()), Options{})
+	if err != nil {
+		t.Fatalf("Parse(Write): %v\ndoc:\n%s", err, buf.String())
+	}
+	a, b := canonTriples(in), canonTriples(back)
+	if len(a) != len(b) {
+		t.Fatalf("round trip %d -> %d triples\ndoc:\n%s", len(a), len(b), buf.String())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round trip changed triple:\n  in:  %s\n  out: %s", a[i], b[i])
+		}
+	}
+}
+
+func TestWriteRoundTripBasic(t *testing.T) {
+	uri := rdfterm.NewURI
+	in := []ntriples.Triple{
+		{Subject: uri("http://a"), Predicate: uri("http://ex#p"), Object: uri("http://b")},
+		{Subject: uri("http://a"), Predicate: uri("http://ex#name"), Object: rdfterm.NewLiteral("Ann & <Bob>")},
+		{Subject: uri("http://a"), Predicate: uri("http://ex#age"), Object: rdfterm.NewTypedLiteral("30", rdfterm.XSDInt)},
+		{Subject: uri("http://a"), Predicate: uri("http://ex#greeting"), Object: rdfterm.NewLangLiteral("hi", "en")},
+		{Subject: rdfterm.NewBlank("b1"), Predicate: uri("http://other/ns/q"), Object: rdfterm.NewBlank("b2")},
+	}
+	assertRoundTrip(t, in)
+}
+
+func TestWriteRoundTripGeneratedCorpus(t *testing.T) {
+	gen, _, err := uniprot.Generate(uniprot.Config{Triples: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]ntriples.Triple, len(gen))
+	for i, g := range gen {
+		in[i] = g.T
+	}
+	assertRoundTrip(t, in)
+}
+
+func TestWriteRejectsUnsplittablePredicate(t *testing.T) {
+	in := []ntriples.Triple{{
+		Subject:   rdfterm.NewURI("http://a"),
+		Predicate: rdfterm.NewURI("urn:justonetoken"),
+		Object:    rdfterm.NewURI("http://b"),
+	}}
+	if err := Write(&strings.Builder{}, in); err == nil {
+		t.Fatal("unsplittable predicate accepted")
+	}
+	in[0].Predicate = rdfterm.NewLiteral("p")
+	if err := Write(&strings.Builder{}, in); err == nil {
+		t.Fatal("literal predicate accepted")
+	}
+	in[0].Predicate = rdfterm.NewURI("http://ex#ok")
+	in[0].Subject = rdfterm.NewLiteral("s")
+	if err := Write(&strings.Builder{}, in); err == nil {
+		t.Fatal("literal subject accepted")
+	}
+}
+
+func TestSplitPredicate(t *testing.T) {
+	good := map[string][2]string{
+		"http://ex#name":          {"http://ex#", "name"},
+		"http://ex/path/to/local": {"http://ex/path/to/", "local"},
+		rdfterm.RDFType:           {rdfterm.RDFNS, "type"},
+	}
+	for in, want := range good {
+		ns, local, err := splitPredicate(in)
+		if err != nil || ns != want[0] || local != want[1] {
+			t.Errorf("splitPredicate(%q) = (%q,%q,%v)", in, ns, local, err)
+		}
+	}
+	for _, bad := range []string{"", "nolocal", "http://ex#", "http://ex#9starts-with-digit"} {
+		if _, _, err := splitPredicate(bad); err == nil {
+			t.Errorf("splitPredicate(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWriteGroupsBySubject(t *testing.T) {
+	uri := rdfterm.NewURI
+	in := []ntriples.Triple{
+		{Subject: uri("http://a"), Predicate: uri("http://ex#p"), Object: uri("http://x")},
+		{Subject: uri("http://b"), Predicate: uri("http://ex#p"), Object: uri("http://y")},
+		{Subject: uri("http://a"), Predicate: uri("http://ex#q"), Object: uri("http://z")},
+	}
+	var buf strings.Builder
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// One Description per subject.
+	if got := strings.Count(buf.String(), "<rdf:Description"); got != 2 {
+		t.Fatalf("descriptions = %d\n%s", got, buf.String())
+	}
+}

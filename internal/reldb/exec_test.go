@@ -1,0 +1,183 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildOrders creates two joined tables: customers(ID, NAME) and
+// orders(ID, CUST_ID, AMOUNT).
+func buildOrders(t *testing.T) (*Table, *Table) {
+	t.Helper()
+	cust := NewTable(NewSchema("customers",
+		Column{Name: "ID", Kind: KindInt},
+		Column{Name: "NAME", Kind: KindString},
+	))
+	if _, err := cust.CreateIndex("cust_pk", true, "ID"); err != nil {
+		t.Fatal(err)
+	}
+	orders := NewTable(NewSchema("orders",
+		Column{Name: "ID", Kind: KindInt},
+		Column{Name: "CUST_ID", Kind: KindInt},
+		Column{Name: "AMOUNT", Kind: KindInt},
+	))
+	if _, err := orders.CreateIndex("ord_cust", false, "CUST_ID"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		cust.Insert(Row{Int(i), String_(fmt.Sprintf("cust%d", i))})
+	}
+	for i := int64(0); i < 20; i++ {
+		orders.Insert(Row{Int(i), Int(i % 5), Int(i * 10)})
+	}
+	return cust, orders
+}
+
+func TestTableScanAndCollect(t *testing.T) {
+	cust, _ := buildOrders(t)
+	rows := Collect(NewTableScan(cust))
+	if len(rows) != 5 {
+		t.Fatalf("scan returned %d rows", len(rows))
+	}
+}
+
+func TestIndexEqScan(t *testing.T) {
+	_, orders := buildOrders(t)
+	it := NewIndexEq(orders, orders.MustIndex("ord_cust"), Key{Int(2)})
+	rows := Collect(it)
+	if len(rows) != 4 {
+		t.Fatalf("index eq returned %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].Int64() != 2 {
+			t.Fatalf("wrong row %v", r)
+		}
+	}
+}
+
+func TestIndexRangeScanIter(t *testing.T) {
+	_, orders := buildOrders(t)
+	it := NewIndexRange(orders, orders.MustIndex("ord_cust"), Key{Int(1)}, Key{Int(2)})
+	if got := Count(it); got != 8 {
+		t.Fatalf("range scan = %d rows, want 8", got)
+	}
+}
+
+func TestFilterProjectLimit(t *testing.T) {
+	_, orders := buildOrders(t)
+	it := NewLimit(
+		NewProject(
+			NewFilter(NewTableScan(orders), func(r Row) bool { return r[2].Int64() >= 100 }),
+			2, 1),
+		3)
+	rows := Collect(it)
+	if len(rows) != 3 {
+		t.Fatalf("limit returned %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != 2 || r[0].Int64() < 100 {
+			t.Fatalf("bad projected row %v", r)
+		}
+	}
+}
+
+func TestIndexJoin(t *testing.T) {
+	cust, orders := buildOrders(t)
+	// orders ⋈ customers on CUST_ID = ID via the customer PK index.
+	it := NewIndexJoin(NewTableScan(orders), cust, cust.MustIndex("cust_pk"), ColKey(1))
+	rows := Collect(it)
+	if len(rows) != 20 {
+		t.Fatalf("join returned %d rows, want 20", len(rows))
+	}
+	for _, r := range rows {
+		// row = orders(3 cols) ++ customers(2 cols)
+		if len(r) != 5 {
+			t.Fatalf("join row arity = %d", len(r))
+		}
+		if r[1].Int64() != r[3].Int64() {
+			t.Fatalf("join key mismatch in %v", r)
+		}
+		if want := fmt.Sprintf("cust%d", r[1].Int64()); r[4].Str() != want {
+			t.Fatalf("joined name %q, want %q", r[4].Str(), want)
+		}
+	}
+}
+
+func TestHashJoinMatchesIndexJoin(t *testing.T) {
+	cust, orders := buildOrders(t)
+	hj := Collect(NewHashJoin(NewTableScan(orders), ColKey(1), NewTableScan(cust), ColKey(0)))
+	ij := Collect(NewIndexJoin(NewTableScan(orders), cust, cust.MustIndex("cust_pk"), ColKey(1)))
+	if len(hj) != len(ij) {
+		t.Fatalf("hash join %d rows, index join %d rows", len(hj), len(ij))
+	}
+	canon := func(rows []Row) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			parts := make([]string, len(r))
+			for j, v := range r {
+				parts[j] = v.String()
+			}
+			out[i] = strings.Join(parts, "|")
+		}
+		sort.Strings(out)
+		return out
+	}
+	h, ix := canon(hj), canon(ij)
+	for i := range h {
+		if h[i] != ix[i] {
+			t.Fatalf("row %d differs: hash=%q index=%q", i, h[i], ix[i])
+		}
+	}
+}
+
+func TestHashJoinNoMatches(t *testing.T) {
+	cust, orders := buildOrders(t)
+	it := NewHashJoin(NewTableScan(orders),
+		func(Row) Key { return Key{Int(999)} },
+		NewTableScan(cust), ColKey(0))
+	if got := Count(it); got != 0 {
+		t.Fatalf("join with impossible key returned %d rows", got)
+	}
+}
+
+func TestPartitionScanIter(t *testing.T) {
+	s := NewSchema("pl",
+		Column{Name: "P", Kind: KindInt},
+		Column{Name: "V", Kind: KindInt},
+	)
+	tb := NewPartitionedTable(s, "P")
+	for i := int64(0); i < 12; i++ {
+		tb.Insert(Row{Int(i % 4), Int(i)})
+	}
+	it, err := NewPartitionScan(tb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Collect(it)
+	if len(rows) != 3 {
+		t.Fatalf("partition scan = %d rows", len(rows))
+	}
+}
+
+func TestSliceIterAndFormatRows(t *testing.T) {
+	rows := []Row{{String_("id:JohnDoe"), String_("Brooklyn, NY")}}
+	got := FormatRows([]string{"TERROR_WATCH_LIST", "LOCATION"}, rows)
+	if !strings.Contains(got, "TERROR_WATCH_LIST") || !strings.Contains(got, "id:JohnDoe") {
+		t.Fatalf("FormatRows output:\n%s", got)
+	}
+	if Count(NewSliceIter(rows)) != 1 {
+		t.Fatal("slice iter count wrong")
+	}
+}
+
+func TestRowFetchSkipsDeleted(t *testing.T) {
+	cust, _ := buildOrders(t)
+	it := NewTableScan(cust) // snapshots IDs
+	cust.Delete(0)
+	rows := Collect(it)
+	if len(rows) != 4 {
+		t.Fatalf("scan after delete returned %d rows, want 4", len(rows))
+	}
+}

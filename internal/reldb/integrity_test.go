@@ -1,0 +1,79 @@
+package reldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckIntegrityHealthy(t *testing.T) {
+	tb := NewTable(personSchema())
+	tb.CreateIndex("pk", true, "ID")
+	tb.CreateIndex("byname", false, "NAME")
+	tb.CreateFunctionIndex("byinitial", false, func(r Row) Key {
+		return Key{String_(r[1].Str()[:1])}
+	})
+	for i := int64(0); i < 200; i++ {
+		if _, err := tb.Insert(Row{Int(i), String_(fmt.Sprintf("p%d", i%17)), Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 200; i += 3 {
+		ids := tb.MustIndex("pk").Lookup(Key{Int(i)})
+		if err := tb.Delete(ids[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(1); i < 200; i += 3 {
+		ids := tb.MustIndex("pk").Lookup(Key{Int(i)})
+		if err := tb.Update(ids[0], Row{Int(i), String_("renamed"), Int(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, err := range tb.CheckIntegrity() {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntegrityUnderRandomOps is the engine-level mirror of
+// core.CheckInvariants' property test.
+func TestQuickIntegrityUnderRandomOps(t *testing.T) {
+	f := func(seed int64, nops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewPartitionedTable(NewSchema("pt",
+			Column{Name: "P", Kind: KindInt},
+			Column{Name: "K", Kind: KindInt},
+			Column{Name: "V", Kind: KindString, Nullable: true},
+		), "P")
+		tb.CreateIndex("byk", false, "K")
+		var ids []RowID
+		for i := 0; i < int(nops)+30; i++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				id, err := tb.Insert(Row{
+					Int(int64(rng.Intn(4))), Int(int64(rng.Intn(10))), String_("v")})
+				if err != nil {
+					return false
+				}
+				ids = append(ids, id)
+			case 2:
+				if len(ids) == 0 {
+					continue
+				}
+				_ = tb.Delete(ids[rng.Intn(len(ids))]) // may be already gone
+			case 3:
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				_ = tb.Update(id, Row{
+					Int(int64(rng.Intn(4))), Int(int64(rng.Intn(10))), Null()})
+			}
+		}
+		return len(tb.CheckIntegrity()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name     string
+	Kind     Kind
+	Nullable bool
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	cols    []Column
+	byName  map[string]int
+	tabName string
+}
+
+// NewSchema builds a schema. Column names are case-insensitive and must be
+// unique; NewSchema panics on duplicates because schemas are always
+// programmer-defined constants in this engine.
+func NewSchema(table string, cols ...Column) *Schema {
+	s := &Schema{cols: cols, byName: make(map[string]int, len(cols)), tabName: table}
+	for i, c := range cols {
+		key := strings.ToUpper(c.Name)
+		if _, dup := s.byName[key]; dup {
+			panic(fmt.Sprintf("reldb: duplicate column %q in table %q", c.Name, table))
+		}
+		s.byName[key] = i
+	}
+	return s
+}
+
+// Table returns the table name the schema was declared for.
+func (s *Schema) Table() string { return s.tabName }
+
+// NumColumns returns the number of columns.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[strings.ToUpper(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustColumnIndex is ColumnIndex but panics on unknown names; schema
+// references in this codebase are compile-time constants, so a miss is a
+// programming error.
+func (s *Schema) MustColumnIndex(name string) int {
+	i := s.ColumnIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("reldb: no column %q in table %q", name, s.tabName))
+	}
+	return i
+}
+
+// Validate checks that a row matches the schema: correct arity, and each
+// cell either NULL (if the column is nullable) or of the column's kind.
+func (s *Schema) Validate(r Row) error {
+	if len(r) != len(s.cols) {
+		return fmt.Errorf("%w: table %s expects %d columns, row has %d",
+			ErrSchemaMismatch, s.tabName, len(s.cols), len(r))
+	}
+	for i, v := range r {
+		c := s.cols[i]
+		if v.IsNull() {
+			if !c.Nullable {
+				return fmt.Errorf("%w: column %s.%s is NOT NULL",
+					ErrSchemaMismatch, s.tabName, c.Name)
+			}
+			continue
+		}
+		if v.Kind() != c.Kind {
+			return fmt.Errorf("%w: column %s.%s expects %s, got %s",
+				ErrSchemaMismatch, s.tabName, c.Name, c.Kind, v.Kind())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package reldb
+
+import "sort"
+
+// Sorting, deduplication, and aggregation operators. These are blocking
+// operators: they drain their input when first pulled.
+
+type sortIter struct {
+	rows   []Row
+	i      int
+	primed bool
+	in     Iterator
+	less   func(a, b Row) bool
+}
+
+func (s *sortIter) Next() (Row, bool) {
+	if !s.primed {
+		s.rows = Collect(s.in)
+		sort.SliceStable(s.rows, func(i, j int) bool { return s.less(s.rows[i], s.rows[j]) })
+		s.primed = true
+	}
+	if s.i >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, true
+}
+
+// NewSort orders rows by the given column positions, ascending, NULLS
+// first (the engine's value order).
+func NewSort(in Iterator, cols ...int) Iterator {
+	return NewSortFunc(in, func(a, b Row) bool {
+		for _, c := range cols {
+			if cmp := a[c].Compare(b[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+// NewSortFunc orders rows by an arbitrary comparison.
+func NewSortFunc(in Iterator, less func(a, b Row) bool) Iterator {
+	return &sortIter{in: in, less: less}
+}
+
+type distinctIter struct {
+	in   Iterator
+	key  func(Row) Key
+	seen map[string]bool
+}
+
+func (d *distinctIter) Next() (Row, bool) {
+	for {
+		r, ok := d.in.Next()
+		if !ok {
+			return nil, false
+		}
+		k := encodeKey(d.key(r))
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return r, true
+	}
+}
+
+// NewDistinct drops rows whose key (default: the whole row) was already
+// seen. Pass column positions to deduplicate on a projection.
+func NewDistinct(in Iterator, cols ...int) Iterator {
+	key := func(r Row) Key { return Key(r) }
+	if len(cols) > 0 {
+		key = ColKey(cols...)
+	}
+	return &distinctIter{in: in, key: key, seen: map[string]bool{}}
+}
+
+// Aggregate computes COUNT/MIN/MAX/SUM over one column of a drained
+// iterator. NULLs are ignored (SQL semantics); Count counts all rows.
+type Aggregate struct {
+	Count int
+	Min   Value
+	Max   Value
+	// Sum is set for NUMBER and FLOAT columns.
+	Sum float64
+	// NonNull is the number of non-NULL values seen.
+	NonNull int
+}
+
+// Aggregate drains in and summarizes column col.
+func AggregateColumn(in Iterator, col int) Aggregate {
+	var agg Aggregate
+	for {
+		r, ok := in.Next()
+		if !ok {
+			return agg
+		}
+		agg.Count++
+		v := r[col]
+		if v.IsNull() {
+			continue
+		}
+		if agg.NonNull == 0 {
+			agg.Min, agg.Max = v, v
+		} else {
+			if v.Compare(agg.Min) < 0 {
+				agg.Min = v
+			}
+			if v.Compare(agg.Max) > 0 {
+				agg.Max = v
+			}
+		}
+		agg.NonNull++
+		switch v.Kind() {
+		case KindInt:
+			agg.Sum += float64(v.Int64())
+		case KindFloat:
+			agg.Sum += v.Float64()
+		}
+	}
+}
+
+// KeyCount is one group of a GroupCount.
+type KeyCount struct {
+	Key   Key
+	Count int
+}
+
+// GroupCount drains in and counts rows per key of the given columns,
+// returning (key, count) pairs sorted by key.
+func GroupCount(in Iterator, cols ...int) []KeyCount {
+	keyFn := ColKey(cols...)
+	counts := map[string]int{}
+	keys := map[string]Key{}
+	for {
+		r, ok := in.Next()
+		if !ok {
+			break
+		}
+		k := keyFn(r)
+		enc := encodeKey(k)
+		if _, seen := counts[enc]; !seen {
+			keys[enc] = append(Key{}, k...)
+		}
+		counts[enc]++
+	}
+	out := make([]KeyCount, 0, len(counts))
+	var order []Key
+	for enc := range counts {
+		order = append(order, keys[enc])
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Compare(order[j]) < 0 })
+	for _, k := range order {
+		out = append(out, KeyCount{Key: k, Count: counts[encodeKey(k)]})
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package reldb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func rowsOf(vals ...int64) []Row {
+	out := make([]Row, len(vals))
+	for i, v := range vals {
+		out[i] = Row{Int(v), String_("x")}
+	}
+	return out
+}
+
+func TestSortAscending(t *testing.T) {
+	in := NewSliceIter(rowsOf(5, 1, 4, 1, 3))
+	got := Collect(NewSort(in, 0))
+	want := []int64{1, 1, 3, 4, 5}
+	for i, w := range want {
+		if got[i][0].Int64() != w {
+			t.Fatalf("sorted[%d] = %v, want %d", i, got[i][0], w)
+		}
+	}
+}
+
+func TestSortMultiColumnAndStability(t *testing.T) {
+	rows := []Row{
+		{Int(1), String_("b"), Int(100)},
+		{Int(1), String_("a"), Int(200)},
+		{Int(0), String_("z"), Int(300)},
+		{Int(1), String_("a"), Int(400)},
+	}
+	got := Collect(NewSort(NewSliceIter(rows), 0, 1))
+	if got[0][2].Int64() != 300 {
+		t.Fatal("first row wrong")
+	}
+	// Stable: the two (1,"a") rows keep input order.
+	if got[1][2].Int64() != 200 || got[2][2].Int64() != 400 {
+		t.Fatalf("stability broken: %v", got)
+	}
+}
+
+func TestSortNullsFirst(t *testing.T) {
+	rows := []Row{{Int(2)}, {Null()}, {Int(1)}}
+	got := Collect(NewSort(NewSliceIter(rows), 0))
+	if !got[0][0].IsNull() {
+		t.Fatal("NULL did not sort first")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	in := NewSliceIter(rowsOf(1, 2, 1, 3, 2, 1))
+	got := Collect(NewDistinct(in))
+	if len(got) != 3 {
+		t.Fatalf("distinct = %d rows", len(got))
+	}
+	// Distinct on a projection.
+	rows := []Row{
+		{Int(1), String_("a")},
+		{Int(1), String_("b")},
+		{Int(2), String_("a")},
+	}
+	got = Collect(NewDistinct(NewSliceIter(rows), 0))
+	if len(got) != 2 {
+		t.Fatalf("distinct on col 0 = %d rows", len(got))
+	}
+	// First occurrence wins.
+	if got[0][1].Str() != "a" {
+		t.Fatalf("distinct kept %v", got[0])
+	}
+}
+
+func TestAggregateColumn(t *testing.T) {
+	rows := []Row{{Int(5)}, {Int(1)}, {Null()}, {Int(3)}}
+	agg := AggregateColumn(NewSliceIter(rows), 0)
+	if agg.Count != 4 || agg.NonNull != 3 {
+		t.Fatalf("counts = %d/%d", agg.Count, agg.NonNull)
+	}
+	if agg.Min.Int64() != 1 || agg.Max.Int64() != 5 {
+		t.Fatalf("min/max = %v/%v", agg.Min, agg.Max)
+	}
+	if agg.Sum != 9 {
+		t.Fatalf("sum = %v", agg.Sum)
+	}
+	empty := AggregateColumn(NewSliceIter(nil), 0)
+	if empty.Count != 0 || empty.NonNull != 0 {
+		t.Fatalf("empty agg = %+v", empty)
+	}
+	floats := []Row{{Float(1.5)}, {Float(2.5)}}
+	agg = AggregateColumn(NewSliceIter(floats), 0)
+	if agg.Sum != 4 {
+		t.Fatalf("float sum = %v", agg.Sum)
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	rows := []Row{
+		{String_("a"), Int(1)},
+		{String_("b"), Int(2)},
+		{String_("a"), Int(3)},
+		{String_("a"), Int(4)},
+	}
+	groups := GroupCount(NewSliceIter(rows), 0)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].Key[0].Str() != "a" || groups[0].Count != 3 {
+		t.Fatalf("group a = %+v", groups[0])
+	}
+	if groups[1].Key[0].Str() != "b" || groups[1].Count != 1 {
+		t.Fatalf("group b = %+v", groups[1])
+	}
+}
+
+// Property: NewSort agrees with sort.Slice on random int rows.
+func TestQuickSortMatchesStdlib(t *testing.T) {
+	f := func(vals []int16) bool {
+		rows := make([]Row, len(vals))
+		want := make([]int64, len(vals))
+		for i, v := range vals {
+			rows[i] = Row{Int(int64(v))}
+			want[i] = int64(v)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := Collect(NewSort(NewSliceIter(rows), 0))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i][0].Int64() != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Distinct preserves the set of keys and drops only duplicates.
+func TestQuickDistinctIsSet(t *testing.T) {
+	f := func(vals []uint8) bool {
+		rows := make([]Row, len(vals))
+		want := map[int64]bool{}
+		for i, v := range vals {
+			rows[i] = Row{Int(int64(v))}
+			want[int64(v)] = true
+		}
+		got := Collect(NewDistinct(NewSliceIter(rows)))
+		if len(got) != len(want) {
+			return false
+		}
+		for _, r := range got {
+			if !want[r[0].Int64()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var rows []Row
+	for i := 0; i < 10000; i++ {
+		rows = append(rows, Row{Int(int64(rng.Intn(1000)))})
+	}
+	got := Collect(NewSort(NewSliceIter(rows), 0))
+	for i := 1; i < len(got); i++ {
+		if got[i][0].Int64() < got[i-1][0].Int64() {
+			t.Fatal("not sorted")
+		}
+	}
+}

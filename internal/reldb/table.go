@@ -1,0 +1,459 @@
+package reldb
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/btree"
+)
+
+// RowID identifies a row within one table. Row IDs are stable for the life
+// of the row and never reused (deleted slots are tombstoned), which lets
+// other tables reference rows by ID — the way the RDF application tables
+// reference rdf_link$ rows.
+type RowID = int64
+
+// Table is a heap table with optional secondary indexes and optional list
+// partitioning on one integer column. All methods are safe for concurrent
+// use.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  *Schema
+	rows    []Row // index = RowID; nil = tombstone
+	live    int
+	indexes map[string]*Index
+	ordered []*Index // maintenance order, deterministic
+	partCol int      // -1 when unpartitioned
+	partIdx *Index   // hidden partition index when partCol >= 0
+}
+
+// NewTable creates an unpartitioned table.
+func NewTable(schema *Schema) *Table {
+	return &Table{
+		name:    schema.Table(),
+		schema:  schema,
+		indexes: make(map[string]*Index),
+		partCol: -1,
+	}
+}
+
+// NewPartitionedTable creates a table list-partitioned on the named integer
+// column. Partition pruning is available through ScanPartition, and
+// partition-local access paths are composite indexes prefixed with the
+// partition column. This mirrors how the paper's rdf_link$ table is
+// partitioned by MODEL_ID (§4).
+func NewPartitionedTable(schema *Schema, partColumn string) *Table {
+	t := NewTable(schema)
+	t.partCol = schema.MustColumnIndex(partColumn)
+	if schema.Column(t.partCol).Kind != KindInt {
+		panic(fmt.Sprintf("reldb: partition column %s.%s must be NUMBER", schema.Table(), partColumn))
+	}
+	t.partIdx = t.mustCreateIndexLocked("__part$"+partColumn, false, columnKeyFunc(schema, []string{partColumn}))
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// columnKeyFunc builds a KeyFunc extracting the named columns in order.
+func columnKeyFunc(s *Schema, cols []string) KeyFunc {
+	pos := make([]int, len(cols))
+	for i, c := range cols {
+		pos[i] = s.MustColumnIndex(c)
+	}
+	return func(r Row) Key {
+		k := make(Key, len(pos))
+		for i, p := range pos {
+			k[i] = r[p]
+		}
+		return k
+	}
+}
+
+// Insert validates and appends a row, maintaining all indexes. It returns
+// the new row's ID. On a unique-index conflict nothing is modified and the
+// row ID of an arbitrary conflicting row is reported in the error via
+// UniqueViolation.
+func (t *Table) Insert(r Row) (RowID, error) {
+	if err := t.schema.Validate(r); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r = r.Clone()
+	for _, idx := range t.ordered {
+		if !idx.unique {
+			continue
+		}
+		k := idx.keyOf(r)
+		if keyHasNull(k) {
+			continue
+		}
+		if idx.tree.Contains(k) {
+			return 0, fmt.Errorf("%w: index %s key %s", ErrUniqueViolation, idx.name, k)
+		}
+	}
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, r)
+	t.live++
+	for _, idx := range t.ordered {
+		idx.tree.Insert(idx.keyOf(r), id)
+	}
+	return id, nil
+}
+
+// Get returns a copy of the row with the given ID.
+func (t *Table) Get(id RowID) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, err := t.getLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.Clone(), nil
+}
+
+func (t *Table) getLocked(id RowID) (Row, error) {
+	if id < 0 || id >= int64(len(t.rows)) || t.rows[id] == nil {
+		return nil, fmt.Errorf("%w: %s row %d", ErrNoSuchRow, t.name, id)
+	}
+	return t.rows[id], nil
+}
+
+// Update replaces the row with the given ID, maintaining indexes. Unique
+// checks exclude the row being updated.
+func (t *Table) Update(id RowID, r Row) error {
+	if err := t.schema.Validate(r); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, err := t.getLocked(id)
+	if err != nil {
+		return err
+	}
+	r = r.Clone()
+	for _, idx := range t.ordered {
+		if !idx.unique {
+			continue
+		}
+		k := idx.keyOf(r)
+		if keyHasNull(k) {
+			continue
+		}
+		conflict := false
+		idx.tree.AscendRange(&k, &k, func(_ Key, other int64) bool {
+			if other != id {
+				conflict = true
+			}
+			return !conflict
+		})
+		if conflict {
+			return fmt.Errorf("%w: index %s key %s", ErrUniqueViolation, idx.name, k)
+		}
+	}
+	for _, idx := range t.ordered {
+		idx.tree.Delete(idx.keyOf(old), id)
+		idx.tree.Insert(idx.keyOf(r), id)
+	}
+	t.rows[id] = r
+	return nil
+}
+
+// UpdateColumn replaces one column of one row.
+func (t *Table) UpdateColumn(id RowID, column string, v Value) error {
+	pos := t.schema.MustColumnIndex(column)
+	t.mu.RLock()
+	old, err := t.getLocked(id)
+	if err != nil {
+		t.mu.RUnlock()
+		return err
+	}
+	r := old.Clone()
+	t.mu.RUnlock()
+	r[pos] = v
+	return t.Update(id, r)
+}
+
+// Delete tombstones the row and removes its index entries.
+func (t *Table) Delete(id RowID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, err := t.getLocked(id)
+	if err != nil {
+		return err
+	}
+	for _, idx := range t.ordered {
+		idx.tree.Delete(idx.keyOf(r), id)
+	}
+	t.rows[id] = nil
+	t.live--
+	return nil
+}
+
+// Scan visits every live row in row-ID order until fn returns false. The
+// row passed to fn must not be retained or mutated; Clone it to keep it.
+func (t *Table) Scan(fn func(id RowID, r Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for id, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(RowID(id), r) {
+			return
+		}
+	}
+}
+
+// ScanPartition visits live rows of one partition (partition-pruned scan).
+// It requires a partitioned table.
+func (t *Table) ScanPartition(part int64, fn func(id RowID, r Row) bool) error {
+	if t.partCol < 0 {
+		return fmt.Errorf("%w: table %s is not partitioned", ErrNoSuchPartition, t.name)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	k := Key{Int(part)}
+	t.partIdx.tree.AscendRange(&k, &k, func(_ Key, id int64) bool {
+		return fn(id, t.rows[id])
+	})
+	return nil
+}
+
+// PartitionLen returns the number of live rows in one partition.
+func (t *Table) PartitionLen(part int64) int {
+	n := 0
+	if err := t.ScanPartition(part, func(RowID, Row) bool { n++; return true }); err != nil {
+		return 0
+	}
+	return n
+}
+
+// Partitions returns the distinct partition key values that currently hold
+// rows, in ascending order.
+func (t *Table) Partitions() []int64 {
+	if t.partCol < 0 {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var parts []int64
+	var last *int64
+	t.partIdx.tree.Ascend(func(key Key, _ int64) bool {
+		v := key[0].Int64()
+		if last == nil || *last != v {
+			parts = append(parts, v)
+			v2 := v
+			last = &v2
+		}
+		return true
+	})
+	return parts
+}
+
+func keyHasNull(k Key) bool {
+	for _, v := range k {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// TruncatePartition deletes every row in one partition, returning the
+// number of rows removed. Used when an RDF model is dropped.
+func (t *Table) TruncatePartition(part int64) (int, error) {
+	if t.partCol < 0 {
+		return 0, fmt.Errorf("%w: table %s is not partitioned", ErrNoSuchPartition, t.name)
+	}
+	var ids []RowID
+	if err := t.ScanPartition(part, func(id RowID, _ Row) bool {
+		ids = append(ids, id)
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	for _, id := range ids {
+		if err := t.Delete(id); err != nil {
+			return 0, err
+		}
+	}
+	return len(ids), nil
+}
+
+// --- indexes ---
+
+// KeyFunc derives an index key from a row. Function-based indexes (paper
+// §7.2) pass arbitrary functions; column indexes use column extraction.
+type KeyFunc func(Row) Key
+
+// Index is a B-tree index over a table. Read methods take the owning
+// table's lock, so an Index handle is safe for concurrent use.
+type Index struct {
+	name   string
+	unique bool
+	keyOf  KeyFunc
+	tree   *btree.Tree[Key]
+	owner  *Table
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Unique reports whether this is a unique index.
+func (ix *Index) Unique() bool { return ix.unique }
+
+func (t *Table) mustCreateIndexLocked(name string, unique bool, keyOf KeyFunc) *Index {
+	if _, dup := t.indexes[name]; dup {
+		panic(fmt.Sprintf("reldb: index %q already exists on %s", name, t.name))
+	}
+	ix := &Index{name: name, unique: unique, keyOf: keyOf, tree: btree.New[Key](KeyCompare), owner: t}
+	t.indexes[name] = ix
+	t.ordered = append(t.ordered, ix)
+	return ix
+}
+
+// CreateIndex builds a (optionally unique) index on the named columns,
+// indexing existing rows. Creating a unique index over data that violates
+// uniqueness fails and leaves the table without the index.
+func (t *Table) CreateIndex(name string, unique bool, columns ...string) (*Index, error) {
+	return t.CreateFunctionIndex(name, unique, columnKeyFunc(t.schema, columns))
+}
+
+// CreateFunctionIndex builds an index whose keys are computed by fn — the
+// engine's version of Oracle function-based indexes, used in §7.2 to index
+// application tables on triple.GET_SUBJECT() etc.
+func (t *Table) CreateFunctionIndex(name string, unique bool, fn KeyFunc) (*Index, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.indexes[name]; dup {
+		return nil, fmt.Errorf("%w: index %s on %s", ErrDuplicateObject, name, t.name)
+	}
+	ix := &Index{name: name, unique: unique, keyOf: fn, tree: btree.New[Key](KeyCompare), owner: t}
+	for id, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		k := fn(r)
+		if unique && !keyHasNull(k) && ix.tree.Contains(k) {
+			return nil, fmt.Errorf("%w: building index %s, key %s", ErrUniqueViolation, name, k)
+		}
+		ix.tree.Insert(k, RowID(id))
+	}
+	t.indexes[name] = ix
+	t.ordered = append(t.ordered, ix)
+	return ix, nil
+}
+
+// DropIndex removes an index.
+func (t *Table) DropIndex(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[name]; !ok {
+		return fmt.Errorf("%w: %s on %s", ErrNoSuchIndex, name, t.name)
+	}
+	delete(t.indexes, name)
+	for i, ix := range t.ordered {
+		if ix.name == name {
+			t.ordered = append(t.ordered[:i], t.ordered[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Index returns a previously created index by name.
+func (t *Table) Index(name string) (*Index, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNoSuchIndex, name, t.name)
+	}
+	return ix, nil
+}
+
+// MustIndex is Index but panics on unknown names (index names in this
+// codebase are constants).
+func (t *Table) MustIndex(name string) *Index {
+	ix, err := t.Index(name)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Lookup returns the IDs of rows whose index key equals key.
+func (ix *Index) Lookup(key Key) []RowID {
+	ix.owner.mu.RLock()
+	defer ix.owner.mu.RUnlock()
+	return ix.tree.Get(key)
+}
+
+// LookupOne returns the single row ID for key in a unique index, or
+// (0, false) when absent.
+func (ix *Index) LookupOne(key Key) (RowID, bool) {
+	ids := ix.Lookup(key)
+	if len(ids) == 0 {
+		return 0, false
+	}
+	return ids[0], true
+}
+
+// Contains reports whether any row has the given key.
+func (ix *Index) Contains(key Key) bool {
+	ix.owner.mu.RLock()
+	defer ix.owner.mu.RUnlock()
+	return ix.tree.Contains(key)
+}
+
+// Scan visits (key, rowID) pairs with lo <= key <= hi in key order. Nil
+// bounds are unbounded. fn returning false stops the scan.
+func (ix *Index) Scan(lo, hi Key, fn func(key Key, id RowID) bool) {
+	ix.owner.mu.RLock()
+	defer ix.owner.mu.RUnlock()
+	var lb, hb *Key
+	if lo != nil {
+		lb = &lo
+	}
+	if hi != nil {
+		hb = &hi
+	}
+	ix.tree.AscendRange(lb, hb, func(k Key, id int64) bool {
+		return fn(k, id)
+	})
+}
+
+// ScanPrefix visits every entry whose key begins with prefix, in key order.
+func (ix *Index) ScanPrefix(prefix Key, fn func(key Key, id RowID) bool) {
+	ix.owner.mu.RLock()
+	defer ix.owner.mu.RUnlock()
+	ix.tree.AscendRange(&prefix, nil, func(key Key, id int64) bool {
+		if len(key) < len(prefix) {
+			return false
+		}
+		if key[:len(prefix)].Compare(prefix) != 0 {
+			return false
+		}
+		return fn(key, id)
+	})
+}
+
+// Len returns the number of entries in the index.
+func (ix *Index) Len() int {
+	ix.owner.mu.RLock()
+	defer ix.owner.mu.RUnlock()
+	return ix.tree.Len()
+}

@@ -1,0 +1,451 @@
+package reldb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func personSchema() *Schema {
+	return NewSchema("people",
+		Column{Name: "ID", Kind: KindInt},
+		Column{Name: "NAME", Kind: KindString},
+		Column{Name: "AGE", Kind: KindInt, Nullable: true},
+	)
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := personSchema()
+	if err := s.Validate(Row{Int(1), String_("a"), Int(30)}); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+	if err := s.Validate(Row{Int(1), String_("a"), Null()}); err != nil {
+		t.Fatalf("nullable NULL rejected: %v", err)
+	}
+	if err := s.Validate(Row{Int(1), String_("a")}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("wrong arity accepted: %v", err)
+	}
+	if err := s.Validate(Row{Null(), String_("a"), Null()}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("NULL in NOT NULL column accepted: %v", err)
+	}
+	if err := s.Validate(Row{String_("1"), String_("a"), Null()}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("wrong kind accepted: %v", err)
+	}
+}
+
+func TestSchemaColumnLookup(t *testing.T) {
+	s := personSchema()
+	if s.ColumnIndex("name") != 1 || s.ColumnIndex("NAME") != 1 {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if s.ColumnIndex("missing") != -1 {
+		t.Fatal("missing column found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustColumnIndex on missing column did not panic")
+		}
+	}()
+	s.MustColumnIndex("missing")
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	tb := NewTable(personSchema())
+	id, err := tb.Insert(Row{Int(1), String_("ann"), Int(33)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := tb.Get(id)
+	if err != nil || r[1].Str() != "ann" {
+		t.Fatalf("Get = %v, %v", r, err)
+	}
+	if err := tb.UpdateColumn(id, "AGE", Int(34)); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = tb.Get(id)
+	if r[2].Int64() != 34 {
+		t.Fatalf("AGE = %v after update", r[2])
+	}
+	if err := tb.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Get(id); !errors.Is(err, ErrNoSuchRow) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	// Row IDs are not reused.
+	id2, _ := tb.Insert(Row{Int(2), String_("bob"), Null()})
+	if id2 == id {
+		t.Fatal("row ID reused after delete")
+	}
+}
+
+func TestInsertRejectsBadRows(t *testing.T) {
+	tb := NewTable(personSchema())
+	if _, err := tb.Insert(Row{Int(1)}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("bad arity: %v", err)
+	}
+}
+
+func TestInsertCopiesRow(t *testing.T) {
+	tb := NewTable(personSchema())
+	r := Row{Int(1), String_("ann"), Int(33)}
+	id, _ := tb.Insert(r)
+	r[1] = String_("mutated")
+	got, _ := tb.Get(id)
+	if got[1].Str() != "ann" {
+		t.Fatal("Insert did not copy the row")
+	}
+}
+
+func TestUniqueIndex(t *testing.T) {
+	tb := NewTable(personSchema())
+	if _, err := tb.CreateIndex("pk", true, "ID"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(Row{Int(1), String_("ann"), Null()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(Row{Int(1), String_("bob"), Null()}); !errors.Is(err, ErrUniqueViolation) {
+		t.Fatalf("duplicate key accepted: %v", err)
+	}
+	// NULL keys do not participate in uniqueness.
+	tb2 := NewTable(personSchema())
+	if _, err := tb2.CreateIndex("uage", true, "AGE"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb2.Insert(Row{Int(1), String_("a"), Null()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb2.Insert(Row{Int(2), String_("b"), Null()}); err != nil {
+		t.Fatalf("second NULL key rejected: %v", err)
+	}
+}
+
+func TestUniqueIndexUpdateSelf(t *testing.T) {
+	tb := NewTable(personSchema())
+	tb.CreateIndex("pk", true, "ID")
+	id, _ := tb.Insert(Row{Int(1), String_("ann"), Null()})
+	// Updating a row to its own key must not trip the unique check.
+	if err := tb.Update(id, Row{Int(1), String_("anne"), Null()}); err != nil {
+		t.Fatalf("self-key update rejected: %v", err)
+	}
+	id2, _ := tb.Insert(Row{Int(2), String_("bob"), Null()})
+	if err := tb.Update(id2, Row{Int(1), String_("bob"), Null()}); !errors.Is(err, ErrUniqueViolation) {
+		t.Fatalf("conflicting update accepted: %v", err)
+	}
+}
+
+func TestCreateIndexOverExistingData(t *testing.T) {
+	tb := NewTable(personSchema())
+	for i := int64(0); i < 100; i++ {
+		tb.Insert(Row{Int(i), String_(fmt.Sprintf("p%d", i%10)), Int(i % 5)})
+	}
+	ix, err := tb.CreateIndex("byname", false, "NAME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ix.Lookup(Key{String_("p3")})); got != 10 {
+		t.Fatalf("Lookup(p3) = %d rows, want 10", got)
+	}
+	// Unique build over duplicate data must fail.
+	if _, err := tb.CreateIndex("uname", true, "NAME"); !errors.Is(err, ErrUniqueViolation) {
+		t.Fatalf("unique build over dups: %v", err)
+	}
+}
+
+func TestIndexMaintainedOnUpdateDelete(t *testing.T) {
+	tb := NewTable(personSchema())
+	ix, _ := tb.CreateIndex("byname", false, "NAME")
+	id, _ := tb.Insert(Row{Int(1), String_("ann"), Null()})
+	tb.Update(id, Row{Int(1), String_("anne"), Null()})
+	if len(ix.Lookup(Key{String_("ann")})) != 0 {
+		t.Fatal("stale index entry after update")
+	}
+	if len(ix.Lookup(Key{String_("anne")})) != 1 {
+		t.Fatal("missing index entry after update")
+	}
+	tb.Delete(id)
+	if len(ix.Lookup(Key{String_("anne")})) != 0 {
+		t.Fatal("stale index entry after delete")
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("index Len = %d after delete", ix.Len())
+	}
+}
+
+func TestFunctionIndex(t *testing.T) {
+	tb := NewTable(personSchema())
+	// Index on "first letter of name" — the shape of §7.2's
+	// function-based indexes on GET_SUBJECT().
+	ix, err := tb.CreateFunctionIndex("byinitial", false, func(r Row) Key {
+		return Key{String_(r[1].Str()[:1])}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Insert(Row{Int(1), String_("ann"), Null()})
+	tb.Insert(Row{Int(2), String_("amy"), Null()})
+	tb.Insert(Row{Int(3), String_("bob"), Null()})
+	if got := len(ix.Lookup(Key{String_("a")})); got != 2 {
+		t.Fatalf("Lookup(a) = %d, want 2", got)
+	}
+}
+
+func TestIndexScanPrefix(t *testing.T) {
+	tb := NewTable(personSchema())
+	ix, _ := tb.CreateIndex("byid_name", false, "ID", "NAME")
+	for i := int64(0); i < 10; i++ {
+		tb.Insert(Row{Int(i % 3), String_(fmt.Sprintf("n%d", i)), Null()})
+	}
+	n := 0
+	ix.ScanPrefix(Key{Int(1)}, func(k Key, _ RowID) bool {
+		if k[0].Int64() != 1 {
+			t.Fatalf("prefix scan leaked key %v", k)
+		}
+		n++
+		return true
+	})
+	if n != 3 { // ids 1,4,7
+		t.Fatalf("prefix scan count = %d, want 3", n)
+	}
+}
+
+func TestIndexScanRangeAndEarlyStop(t *testing.T) {
+	tb := NewTable(personSchema())
+	ix, _ := tb.CreateIndex("byid", false, "ID")
+	for i := int64(0); i < 100; i++ {
+		tb.Insert(Row{Int(i), String_("x"), Null()})
+	}
+	var keys []int64
+	ix.Scan(Key{Int(10)}, Key{Int(15)}, func(k Key, _ RowID) bool {
+		keys = append(keys, k[0].Int64())
+		return true
+	})
+	if len(keys) != 6 || keys[0] != 10 || keys[5] != 15 {
+		t.Fatalf("range scan = %v", keys)
+	}
+	n := 0
+	ix.Scan(nil, nil, func(Key, RowID) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDropIndex(t *testing.T) {
+	tb := NewTable(personSchema())
+	tb.CreateIndex("byname", false, "NAME")
+	if err := tb.DropIndex("byname"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.DropIndex("byname"); !errors.Is(err, ErrNoSuchIndex) {
+		t.Fatalf("double drop: %v", err)
+	}
+	if _, err := tb.Index("byname"); !errors.Is(err, ErrNoSuchIndex) {
+		t.Fatalf("Index after drop: %v", err)
+	}
+	// Mutations after drop must not touch the dropped index.
+	if _, err := tb.Insert(Row{Int(1), String_("a"), Null()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedTable(t *testing.T) {
+	s := NewSchema("links",
+		Column{Name: "MODEL_ID", Kind: KindInt},
+		Column{Name: "VAL", Kind: KindString},
+	)
+	tb := NewPartitionedTable(s, "MODEL_ID")
+	for i := int64(0); i < 30; i++ {
+		tb.Insert(Row{Int(i % 3), String_(fmt.Sprintf("v%d", i))})
+	}
+	if got := tb.PartitionLen(1); got != 10 {
+		t.Fatalf("PartitionLen(1) = %d, want 10", got)
+	}
+	parts := tb.Partitions()
+	if len(parts) != 3 || parts[0] != 0 || parts[2] != 2 {
+		t.Fatalf("Partitions = %v", parts)
+	}
+	n := 0
+	tb.ScanPartition(2, func(_ RowID, r Row) bool {
+		if r[0].Int64() != 2 {
+			t.Fatalf("partition scan leaked row %v", r)
+		}
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("partition scan count = %d", n)
+	}
+	removed, err := tb.TruncatePartition(0)
+	if err != nil || removed != 10 {
+		t.Fatalf("TruncatePartition = %d, %v", removed, err)
+	}
+	if tb.Len() != 20 {
+		t.Fatalf("Len after truncate = %d", tb.Len())
+	}
+	if got := len(tb.Partitions()); got != 2 {
+		t.Fatalf("Partitions after truncate = %d", got)
+	}
+}
+
+func TestPartitionOpsOnUnpartitioned(t *testing.T) {
+	tb := NewTable(personSchema())
+	if err := tb.ScanPartition(1, func(RowID, Row) bool { return true }); !errors.Is(err, ErrNoSuchPartition) {
+		t.Fatalf("ScanPartition on plain table: %v", err)
+	}
+	if _, err := tb.TruncatePartition(1); !errors.Is(err, ErrNoSuchPartition) {
+		t.Fatalf("TruncatePartition on plain table: %v", err)
+	}
+	if tb.Partitions() != nil {
+		t.Fatal("Partitions on plain table not nil")
+	}
+}
+
+func TestDatabaseObjects(t *testing.T) {
+	db := NewDatabase("MDSYS")
+	tb, err := db.CreateTable(personSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(personSchema()); !errors.Is(err, ErrDuplicateObject) {
+		t.Fatalf("duplicate table: %v", err)
+	}
+	if got := db.MustTable("people"); got != tb {
+		t.Fatal("MustTable returned wrong table")
+	}
+	if _, err := db.Table("nope"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("missing table: %v", err)
+	}
+	seq, err := db.CreateSequence("s1", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Next() != 100 || seq.Next() != 101 || seq.Current() != 102 {
+		t.Fatal("sequence values wrong")
+	}
+	if names := db.TableNames(); len(names) != 1 || names[0] != "people" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if err := db.DropTable("people"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("people"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("double drop: %v", err)
+	}
+}
+
+func TestView(t *testing.T) {
+	db := NewDatabase("test")
+	tb, _ := db.CreateTable(personSchema())
+	for i := int64(0); i < 10; i++ {
+		tb.Insert(Row{Int(i), String_(fmt.Sprintf("p%d", i)), Int(20 + i)})
+	}
+	v, err := db.CreateView("adults", tb, func(r Row) bool { return r[2].Int64() >= 25 }, "NAME", "AGE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 5 {
+		t.Fatalf("view Len = %d, want 5", v.Len())
+	}
+	v.Scan(func(_ RowID, r Row) bool {
+		if len(r) != 2 {
+			t.Fatalf("projection arity = %d", len(r))
+		}
+		if r[1].Int64() < 25 {
+			t.Fatalf("predicate leaked row %v", r)
+		}
+		return true
+	})
+	// Views are live: new rows show up.
+	tb.Insert(Row{Int(100), String_("new"), Int(99)})
+	if v.Len() != 6 {
+		t.Fatalf("view not live: Len = %d", v.Len())
+	}
+	// Dropping the base table drops dependent views.
+	db.DropTable("people")
+	if _, err := db.View("adults"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("view survived base drop: %v", err)
+	}
+}
+
+// Property test: a table with a non-unique index stays consistent with a
+// map-based model under random insert/update/delete sequences.
+func TestQuickTableIndexConsistency(t *testing.T) {
+	type op struct {
+		kind int
+		id   int64
+		name string
+	}
+	f := func(seed int64, nops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable(personSchema())
+		ix, _ := tb.CreateIndex("byname", false, "NAME")
+		model := map[RowID]string{} // rowid -> name
+		var ids []RowID
+		for i := 0; i < int(nops)+20; i++ {
+			switch rng.Intn(3) {
+			case 0: // insert
+				name := fmt.Sprintf("n%d", rng.Intn(8))
+				id, err := tb.Insert(Row{Int(int64(i)), String_(name), Null()})
+				if err != nil {
+					return false
+				}
+				model[id] = name
+				ids = append(ids, id)
+			case 1: // update random live row
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				if _, live := model[id]; !live {
+					continue
+				}
+				name := fmt.Sprintf("n%d", rng.Intn(8))
+				if err := tb.Update(id, Row{Int(id), String_(name), Null()}); err != nil {
+					return false
+				}
+				model[id] = name
+			case 2: // delete random live row
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				if _, live := model[id]; !live {
+					continue
+				}
+				if err := tb.Delete(id); err != nil {
+					return false
+				}
+				delete(model, id)
+			}
+		}
+		if tb.Len() != len(model) {
+			return false
+		}
+		// Every model entry must be findable via the index, and index
+		// cardinality must match.
+		if ix.Len() != len(model) {
+			return false
+		}
+		for id, name := range model {
+			found := false
+			for _, got := range ix.Lookup(Key{String_(name)}) {
+				if got == id {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

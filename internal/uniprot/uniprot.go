@@ -1,0 +1,332 @@
+// Package uniprot generates a deterministic synthetic protein-catalogue
+// dataset shaped like the UniProt RDF dump used in the paper's
+// experiments (§7.1.1) — the substitution for the real 5M-triple corpus,
+// which is not redistributable here.
+//
+// Why the substitution preserves the experiments: the paper's queries
+// exercise (a) subject-lookup access paths returning a fixed 24-row result
+// for protein P93259 (Table 1) and (b) IS_REIFIED lookups over a corpus
+// with a known number of reified statements (Table 2). The generator
+// plants exactly those probe entities and cardinalities:
+//
+//   - subject urn:lsid:uniprot.org:uniprot:P93259 with exactly 24 triples,
+//   - the reified statement (P93259, rdfs:seeAlso,
+//     urn:lsid:uniprot.org:smart:SM00101),
+//   - a configurable count of additional reified rdfs:seeAlso statements
+//     (659 at 10 k, 247 002 at 5 M — the paper's Table 2 counts).
+//
+// Everything else (organisms, citations, sequences, long literals, typed
+// literals) exists to give the value tables realistic variety.
+package uniprot
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdfterm"
+)
+
+// Probe entities from the paper's experiments (Figures 10, 11).
+const (
+	ProbeSubject = "urn:lsid:uniprot.org:uniprot:P93259"
+	ProbeSeeAlso = "urn:lsid:uniprot.org:smart:SM00101"
+	// ProbeRows is the number of triples stored for ProbeSubject (the
+	// paper's queries return 24 rows, Table 1).
+	ProbeRows = 24
+	// NonReifiedProbeObject is a seeAlso object of the probe subject whose
+	// statement is guaranteed NOT reified — the "false" row of Table 2.
+	NonReifiedProbeObject = "urn:lsid:uniprot.org:pfam:PF09103"
+)
+
+// Vocabulary of the generated data.
+const (
+	CoreNS      = "http://purl.uniprot.org/core/"
+	ProteinType = CoreNS + "Protein"
+	Mnemonic    = CoreNS + "mnemonic"
+	Organism    = CoreNS + "organism"
+	Citation    = CoreNS + "citation"
+	Sequence    = CoreNS + "sequence"
+	Created     = CoreNS + "created"
+	Mass        = CoreNS + "mass"
+	SeeAlso     = rdfterm.RDFSNS + "seeAlso"
+)
+
+// Config controls generation.
+type Config struct {
+	// Triples is the exact number of base triples to emit.
+	Triples int
+	// Reified is the number of rdfs:seeAlso statements to flag for
+	// reification (the probe statement counts toward it). Clamped to the
+	// number of seeAlso statements actually generated.
+	Reified int
+	// Seed makes the dataset reproducible.
+	Seed int64
+	// LongLiteralEvery inserts an over-4000-char sequence literal for every
+	// n-th protein (0 disables; default 500).
+	LongLiteralEvery int
+}
+
+// PaperReifiedCount returns the Table 2 reified-statement count for a
+// dataset size, interpolating the paper's published endpoints (659 @ 10 k,
+// 247 002 @ 5 M) linearly in the triple count for in-between sizes.
+func PaperReifiedCount(triples int) int {
+	switch triples {
+	case 10_000:
+		return 659
+	case 5_000_000:
+		return 247_002
+	}
+	// Linear interpolation between the published endpoints.
+	const (
+		x0, y0 = 10_000.0, 659.0
+		x1, y1 = 5_000_000.0, 247_002.0
+	)
+	x := float64(triples)
+	y := y0 + (x-x0)*(y1-y0)/(x1-x0)
+	if y < 0 {
+		y = 0
+	}
+	return int(y)
+}
+
+// Triple pairs a statement with whether the harness should reify it.
+type Triple struct {
+	T     ntriples.Triple
+	Reify bool
+}
+
+// Stream generates the dataset, invoking fn for every triple in a
+// deterministic order. It returns the number of triples flagged for
+// reification.
+func Stream(cfg Config, fn func(t ntriples.Triple, reify bool) error) (int, error) {
+	if cfg.Triples < ProbeRows {
+		return 0, fmt.Errorf("uniprot: need at least %d triples for the probe subject", ProbeRows)
+	}
+	if cfg.LongLiteralEvery == 0 {
+		cfg.LongLiteralEvery = 500
+	}
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), fn: fn}
+	if err := g.run(); err != nil {
+		return 0, err
+	}
+	return g.reified, nil
+}
+
+// Generate materializes the dataset in memory (small/medium sizes).
+func Generate(cfg Config) ([]Triple, int, error) {
+	var out []Triple
+	n, err := Stream(cfg, func(t ntriples.Triple, reify bool) error {
+		out = append(out, Triple{T: t, Reify: reify})
+		return nil
+	})
+	return out, n, err
+}
+
+type generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	fn      func(t ntriples.Triple, reify bool) error
+	emitted int
+	reified int
+	seeAlso int // seeAlso statements seen so far (for reify spacing)
+	protein int
+}
+
+func (g *generator) run() error {
+	// First the probe protein, with its exact 24 rows.
+	if err := g.emitProbe(); err != nil {
+		return err
+	}
+	for g.emitted < g.cfg.Triples {
+		if err := g.emitProtein(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit sends one triple unless the budget is exhausted.
+func (g *generator) emit(sub, pred string, obj rdfterm.Term, reifiable bool) error {
+	if g.emitted >= g.cfg.Triples {
+		return nil
+	}
+	reify := false
+	if reifiable {
+		g.seeAlso++
+		if g.reified < g.cfg.Reified {
+			// Spread reifications across the corpus: flag in proportion.
+			reify = true
+			g.reified++
+		}
+	}
+	g.emitted++
+	return g.fn(ntriples.Triple{
+		Subject:   rdfterm.NewURI(sub),
+		Predicate: rdfterm.NewURI(pred),
+		Object:    obj,
+	}, reify)
+}
+
+func (g *generator) emitProbe() error {
+	s := ProbeSubject
+	lit := rdfterm.NewLiteral
+	typed := rdfterm.NewTypedLiteral
+	uri := rdfterm.NewURI
+	rows := []struct {
+		pred  string
+		obj   rdfterm.Term
+		reify bool
+	}{
+		{rdfterm.RDFType, uri(ProteinType), false},
+		{Mnemonic, lit("CALM_PROBE"), false},
+		{Organism, uri("urn:lsid:uniprot.org:taxonomy:3702"), false},
+		{Created, typed("2000-06-20", rdfterm.XSDDate), false},
+		{Mass, typed("16838", rdfterm.XSDInt), false},
+		{Sequence, lit(randomSequence(g.rng, 180)), false},
+		{Citation, uri("urn:lsid:uniprot.org:citations:8662204"), false},
+		{Citation, uri("urn:lsid:uniprot.org:citations:15060020"), false},
+		// The reified probe statement of Table 2.
+		{SeeAlso, uri(ProbeSeeAlso), true},
+		// The guaranteed-unreified statement (the Table 2 "false" probe).
+		{SeeAlso, uri(NonReifiedProbeObject), false},
+	}
+	for _, r := range rows {
+		if r.reify {
+			// Force the probe's reification regardless of spacing.
+			g.seeAlso++
+			g.emitted++
+			g.reified++
+			if err := g.fn(ntriples.Triple{
+				Subject:   rdfterm.NewURI(s),
+				Predicate: rdfterm.NewURI(r.pred),
+				Object:    r.obj,
+			}, true); err != nil {
+				return err
+			}
+			continue
+		}
+		if r.pred == SeeAlso {
+			// The non-reified probe must not be flagged: bypass spacing.
+			g.seeAlso++
+			g.emitted++
+			if err := g.fn(ntriples.Triple{
+				Subject:   rdfterm.NewURI(s),
+				Predicate: rdfterm.NewURI(r.pred),
+				Object:    r.obj,
+			}, false); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := g.emit(s, r.pred, r.obj, false); err != nil {
+			return err
+		}
+	}
+	// Fill to exactly ProbeRows with distinct seeAlso targets.
+	i := 0
+	for g.emitted < ProbeRows {
+		i++
+		if err := g.emit(s, SeeAlso, rdfterm.NewURI(fmt.Sprintf("urn:lsid:uniprot.org:interpro:IPR%06d", i)), true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitProtein generates one synthetic protein record.
+func (g *generator) emitProtein() error {
+	g.protein++
+	s := fmt.Sprintf("urn:lsid:uniprot.org:uniprot:Q%05d", g.protein)
+	uri := rdfterm.NewURI
+	lit := rdfterm.NewLiteral
+	typed := rdfterm.NewTypedLiteral
+
+	if err := g.emit(s, rdfterm.RDFType, uri(ProteinType), false); err != nil {
+		return err
+	}
+	if err := g.emit(s, Mnemonic, lit(fmt.Sprintf("MN%05d_%s", g.protein, speciesCode(g.rng))), false); err != nil {
+		return err
+	}
+	if err := g.emit(s, Organism, uri(fmt.Sprintf("urn:lsid:uniprot.org:taxonomy:%d", 1000+g.rng.Intn(40000))), false); err != nil {
+		return err
+	}
+	if err := g.emit(s, Created, typed(randomDate(g.rng), rdfterm.XSDDate), false); err != nil {
+		return err
+	}
+	if err := g.emit(s, Mass, typed(fmt.Sprintf("%d", 5000+g.rng.Intn(200000)), rdfterm.XSDInt), false); err != nil {
+		return err
+	}
+	// Sequence: occasionally a long literal (> 4000 chars) to exercise the
+	// PLL/LONG_VALUE path.
+	seqLen := 120 + g.rng.Intn(300)
+	if g.cfg.LongLiteralEvery > 0 && g.protein%g.cfg.LongLiteralEvery == 0 {
+		seqLen = rdfterm.LongLiteralThreshold + 200
+	}
+	if err := g.emit(s, Sequence, lit(randomSequence(g.rng, seqLen)), false); err != nil {
+		return err
+	}
+	// Citations.
+	for i, n := 0, g.rng.Intn(3); i < n; i++ {
+		if err := g.emit(s, Citation, uri(fmt.Sprintf("urn:lsid:uniprot.org:citations:%d", 1000000+g.rng.Intn(9000000))), false); err != nil {
+			return err
+		}
+	}
+	// Cross-references (the reifiable statements).
+	dbs := []string{"smart:SM", "pfam:PF", "prosite:PS", "interpro:IPR", "embl-cds:AA"}
+	for i, n := 0, 2+g.rng.Intn(6); i < n; i++ {
+		db := dbs[g.rng.Intn(len(dbs))]
+		obj := fmt.Sprintf("urn:lsid:uniprot.org:%s%05d", db, g.rng.Intn(90000))
+		if err := g.emit(s, SeeAlso, uri(obj), g.shouldReify()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shouldReify spaces reifications evenly over the corpus: flag a seeAlso
+// statement when doing so keeps the reified fraction on target.
+func (g *generator) shouldReify() bool {
+	if g.reified >= g.cfg.Reified {
+		return false
+	}
+	// Remaining budget vs. remaining expected seeAlso statements: always
+	// true once we must catch up; evenly spread otherwise.
+	remainingTriples := g.cfg.Triples - g.emitted
+	if remainingTriples <= 0 {
+		return true
+	}
+	// ~30% of generated triples are seeAlso; estimate remaining seeAlso.
+	estRemaining := float64(remainingTriples) * 0.3
+	need := float64(g.cfg.Reified - g.reified)
+	return g.rng.Float64() < need/maxf(need, estRemaining)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+const aminoAcids = "ACDEFGHIKLMNPQRSTVWY"
+
+func randomSequence(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	b.Grow(n)
+	for i := 0; i < n; i++ {
+		b.WriteByte(aminoAcids[rng.Intn(len(aminoAcids))])
+	}
+	return b.String()
+}
+
+func randomDate(rng *rand.Rand) string {
+	return fmt.Sprintf("%04d-%02d-%02d", 1990+rng.Intn(16), 1+rng.Intn(12), 1+rng.Intn(28))
+}
+
+var species = []string{"HUMAN", "MOUSE", "YEAST", "ARATH", "ECOLI", "DROME", "RAT", "BOVIN"}
+
+func speciesCode(rng *rand.Rand) string {
+	return species[rng.Intn(len(species))]
+}

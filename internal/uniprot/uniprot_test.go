@@ -1,0 +1,198 @@
+package uniprot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdfterm"
+)
+
+func TestGenerateExactCount(t *testing.T) {
+	for _, n := range []int{24, 100, 1000, 10000} {
+		ts, _, err := Generate(Config{Triples: n, Reified: n / 20, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts) != n {
+			t.Fatalf("Generate(%d) emitted %d triples", n, len(ts))
+		}
+	}
+	if _, _, err := Generate(Config{Triples: 5}); err == nil {
+		t.Fatal("tiny dataset accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _, err := Generate(Config{Triples: 2000, Reified: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _ := Generate(Config{Triples: 2000, Reified: 100, Seed: 42})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].T != b[i].T || a[i].Reify != b[i].Reify {
+			t.Fatalf("triple %d differs between runs", i)
+		}
+	}
+	c, _, _ := Generate(Config{Triples: 2000, Reified: 100, Seed: 43})
+	same := true
+	for i := range a {
+		if a[i].T != c[i].T {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestProbeSubjectRows(t *testing.T) {
+	ts, _, err := Generate(Config{Triples: 10000, Reified: 659, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := 0
+	var hasReifiedProbe, hasUnreifiedProbe bool
+	for _, tr := range ts {
+		if tr.T.Subject.Value != ProbeSubject {
+			continue
+		}
+		probe++
+		if tr.T.Object.Value == ProbeSeeAlso {
+			if !tr.Reify {
+				t.Error("probe seeAlso statement not flagged for reification")
+			}
+			hasReifiedProbe = true
+		}
+		if tr.T.Object.Value == NonReifiedProbeObject {
+			if tr.Reify {
+				t.Error("non-reified probe statement flagged")
+			}
+			hasUnreifiedProbe = true
+		}
+	}
+	if probe != ProbeRows {
+		t.Fatalf("probe subject has %d rows, want %d", probe, ProbeRows)
+	}
+	if !hasReifiedProbe || !hasUnreifiedProbe {
+		t.Fatal("probe statements missing")
+	}
+}
+
+func TestReifiedCountReached(t *testing.T) {
+	_, reified, err := Generate(Config{Triples: 10000, Reified: 659, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reified != 659 {
+		t.Fatalf("reified = %d, want 659", reified)
+	}
+	// Only seeAlso statements are flagged.
+	ts, _, _ := Generate(Config{Triples: 5000, Reified: 200, Seed: 9})
+	for _, tr := range ts {
+		if tr.Reify && tr.T.Predicate.Value != SeeAlso {
+			t.Fatalf("non-seeAlso statement flagged: %v", tr.T)
+		}
+	}
+}
+
+func TestPaperReifiedCount(t *testing.T) {
+	if got := PaperReifiedCount(10_000); got != 659 {
+		t.Errorf("10k = %d", got)
+	}
+	if got := PaperReifiedCount(5_000_000); got != 247_002 {
+		t.Errorf("5M = %d", got)
+	}
+	mid := PaperReifiedCount(1_000_000)
+	if mid <= 659 || mid >= 247_002 {
+		t.Errorf("1M = %d not between endpoints", mid)
+	}
+	if small := PaperReifiedCount(1000); small < 0 {
+		t.Errorf("1k = %d", small)
+	}
+}
+
+func TestDataVariety(t *testing.T) {
+	ts, _, err := Generate(Config{Triples: 20000, Reified: 500, Seed: 3, LongLiteralEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var typed, plain, long, uris int
+	preds := map[string]bool{}
+	for _, tr := range ts {
+		preds[tr.T.Predicate.Value] = true
+		switch {
+		case tr.T.Object.IsLong():
+			long++
+		case tr.T.Object.Datatype != "":
+			typed++
+		case tr.T.Object.Kind == rdfterm.Literal:
+			plain++
+		case tr.T.Object.Kind == rdfterm.URI:
+			uris++
+		}
+	}
+	if typed == 0 || plain == 0 || long == 0 || uris == 0 {
+		t.Fatalf("variety missing: typed=%d plain=%d long=%d uris=%d", typed, plain, long, uris)
+	}
+	for _, want := range []string{rdfterm.RDFType, Mnemonic, Organism, Created, Sequence, SeeAlso, Mass} {
+		if !preds[want] {
+			t.Errorf("predicate %s never generated", want)
+		}
+	}
+}
+
+// The generated triples must serialize to valid N-Triples and parse back.
+func TestGeneratedNTriplesRoundTrip(t *testing.T) {
+	ts, _, err := Generate(Config{Triples: 500, Reified: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w := ntriples.NewWriter(&sb)
+	for _, tr := range ts {
+		if err := w.Write(tr.T); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	back, err := ntriples.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ts) {
+		t.Fatalf("round trip %d != %d", len(back), len(ts))
+	}
+	for i := range back {
+		if back[i] != ts[i].T {
+			t.Fatalf("triple %d differs after round trip", i)
+		}
+	}
+}
+
+func TestStreamEarlyError(t *testing.T) {
+	calls := 0
+	_, err := Stream(Config{Triples: 100, Seed: 1}, func(ntriples.Triple, bool) error {
+		calls++
+		if calls == 10 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 10 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }
