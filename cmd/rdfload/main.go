@@ -10,9 +10,19 @@
 //
 //	rdfload -model name [-policy drop|insert|report] [-keep-orig] file.nt
 //	cat file.nt | rdfload -model name
+//	rdfload -model name -wal store.wal file.nt        # durable load
+//
+// With -wal, every mutation is appended to a write-ahead log before the
+// command exits, and an existing log at that path is replayed first — so
+// an interrupted load resumes from its last durable record instead of
+// starting over. Pair with -save to checkpoint: the snapshot is written
+// and the log truncated, keeping recovery (snapshot + log) small. To
+// keep loading into a checkpointed store, pass the snapshot back with
+// -snapshot alongside -wal.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +32,7 @@ import (
 	"repro/internal/ntriples"
 	"repro/internal/rdfxml"
 	"repro/internal/reify"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -37,6 +48,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	policy := fs.String("policy", "drop", "incomplete-quad policy: drop, insert, or report")
 	keepOrig := fs.Bool("keep-orig", false, "store original quad-resource URIs alongside DBUris")
 	save := fs.String("save", "", "write a store snapshot to this file after loading (readable by rdfquery -snapshot)")
+	walPath := fs.String("wal", "", "write-ahead log file: mutations are logged durably, and an existing log is replayed before loading")
+	snapPath := fs.String("snapshot", "", "checkpoint snapshot to load before replaying the WAL (continue a store checkpointed with -save -wal)")
 	format := fs.String("format", "nt", "input format: nt (N-Triples) or xml (RDF/XML)")
 	base := fs.String("base", "", "base URI for resolving rdf:ID in RDF/XML input")
 	if err := fs.Parse(args); err != nil {
@@ -54,8 +67,52 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	store := core.New()
-	if _, err := store.CreateRDFModel(*model, "", ""); err != nil {
-		return err
+	if *snapPath != "" {
+		f, err := os.Open(*snapPath)
+		if err != nil {
+			return err
+		}
+		store, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			switch {
+			case errors.Is(err, core.ErrSnapshotVersion):
+				return fmt.Errorf("snapshot %s was written by an incompatible format version — regenerate it with this build's -save (%v)", *snapPath, err)
+			case errors.Is(err, core.ErrSnapshotCorrupt):
+				return fmt.Errorf("snapshot %s is damaged and cannot be loaded (%v)", *snapPath, err)
+			}
+			return err
+		}
+		fmt.Fprintf(stdout, "loaded checkpoint snapshot %s\n", *snapPath)
+	}
+	var log *wal.Log
+	if *walPath != "" {
+		var res wal.ScanResult
+		var err error
+		log, res, err = wal.OpenFile(*walPath)
+		if err != nil {
+			if errors.Is(err, wal.ErrNotWAL) {
+				return fmt.Errorf("%s is not a WAL file (wrong path?): %v", *walPath, err)
+			}
+			return err
+		}
+		defer log.Close()
+		if len(res.Records) > 0 {
+			if err := store.Replay(res.Records); err != nil {
+				return fmt.Errorf("replaying %s: %w", *walPath, err)
+			}
+			fmt.Fprintf(stdout, "replayed %d WAL records from %s\n", len(res.Records), *walPath)
+		}
+		if res.Truncated {
+			fmt.Fprintf(stdout, "WAL had a torn tail (%v); truncated to last valid record\n", res.TailErr)
+		}
+		// Log mutations from here on; replayed records are already durable.
+		store.SetDurability(log)
+	}
+	if _, err := store.GetModelID(*model); err != nil {
+		if _, err := store.CreateRDFModel(*model, "", ""); err != nil {
+			return err
+		}
 	}
 	loader := &reify.Loader{
 		Store:            store,
@@ -126,6 +183,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "snapshot written to %s\n", *save)
+		if log != nil {
+			// Checkpoint: the snapshot now holds everything the log did,
+			// so the log restarts empty.
+			if err := log.Reset(); err != nil {
+				return fmt.Errorf("truncating WAL after checkpoint: %w", err)
+			}
+			fmt.Fprintf(stdout, "WAL %s checkpointed (truncated)\n", *walPath)
+		}
 	}
 	return nil
 }

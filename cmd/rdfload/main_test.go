@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 const sample = `
@@ -130,5 +131,145 @@ func TestRunXMLBadFormatAndParse(t *testing.T) {
 	}
 	if err := run([]string{"-format", "xml"}, strings.NewReader("<unclosed>"), &strings.Builder{}); err == nil {
 		t.Fatal("bad XML accepted")
+	}
+}
+
+func TestRunWALDurableLoad(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+
+	// First load writes through the WAL.
+	var out strings.Builder
+	err := run([]string{"-model", "m", "-wal", walPath},
+		strings.NewReader("<http://a> <http://p> <http://b> .\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second invocation replays the log and keeps loading into the same
+	// model — the resumed-load path.
+	out.Reset()
+	err = run([]string{"-model", "m", "-wal", walPath},
+		strings.NewReader("<http://c> <http://p> <http://d> .\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replayed") {
+		t.Errorf("second run did not report WAL replay:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "stored rows:          2") {
+		t.Errorf("second run should see both triples:\n%s", out.String())
+	}
+
+	// Recover directly from the log and check both loads survived.
+	res, err := wal.ScanFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.New()
+	if err := st.Replay(res.Records); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.NumTriples("m"); n != 2 {
+		t.Fatalf("recovered store has %d triples, want 2", n)
+	}
+}
+
+func TestRunWALCheckpointOnSave(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+	snap := filepath.Join(dir, "store.snap")
+
+	var out strings.Builder
+	err := run([]string{"-model", "m", "-wal", walPath, "-save", snap},
+		strings.NewReader("<http://a> <http://p> <http://b> .\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkpointed") {
+		t.Errorf("no checkpoint message:\n%s", out.String())
+	}
+	// After the checkpoint the log is empty; the snapshot holds the data.
+	res, err := wal.ScanFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Fatalf("WAL still has %d records after checkpoint", len(res.Records))
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := core.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.NumTriples("m"); n != 1 {
+		t.Fatalf("snapshot has %d triples, want 1", n)
+	}
+}
+
+func TestRunWALRejectsNonWAL(t *testing.T) {
+	dir := t.TempDir()
+	notWAL := filepath.Join(dir, "bogus.wal")
+	if err := os.WriteFile(notWAL, []byte("this is not a log at all"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-model", "m", "-wal", notWAL},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "not a WAL") {
+		t.Fatalf("err = %v, want not-a-WAL error", err)
+	}
+}
+
+func TestRunWALContinueAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+	snap := filepath.Join(dir, "store.snap")
+
+	// Load + checkpoint, then keep loading with the snapshot passed back
+	// in: the post-checkpoint log must apply cleanly on top of it.
+	var out strings.Builder
+	err := run([]string{"-model", "m", "-wal", walPath, "-save", snap},
+		strings.NewReader("<http://a> <http://p> <http://b> .\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"-model", "m", "-snapshot", snap, "-wal", walPath},
+		strings.NewReader("<http://c> <http://p> <http://d> .\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "loaded checkpoint snapshot") {
+		t.Errorf("no checkpoint message:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "stored rows:          2") {
+		t.Errorf("second load should see both triples:\n%s", out.String())
+	}
+
+	// Recovery = snapshot + post-checkpoint records.
+	sf, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	lf, err := os.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	st, info, err := core.Recover(sf, lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Truncated {
+		t.Fatalf("unexpected torn tail: %v", info.TailErr)
+	}
+	if n, _ := st.NumTriples("m"); n != 2 {
+		t.Fatalf("recovered store has %d triples, want 2", n)
 	}
 }

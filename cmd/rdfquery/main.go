@@ -6,15 +6,20 @@
 //	rdfquery -data file.nt -query '(?s ?p ?o)' [-filter '?s != "x"'] \
 //	         [-alias gov=http://www.us.gov#] [-rule 'ante=>cons' ...] [-rdfs]
 //	rdfquery -snapshot store.snap -model data -query '(?s ?p ?o)'
+//	rdfquery -snapshot store.snap -wal store.wal -model data -query '(?s ?p ?o)'
 //	rdfquery -data file.nt -stats
 //
 // Rules passed with -rule are collected into an ad-hoc rulebase, a rules
 // index is built, and the query runs with inference enabled. -snapshot
-// reopens a store written by rdfload -save; -stats prints the model's
-// storage statistics (rows, contexts, link types) instead of querying.
+// reopens a store written by rdfload -save; adding -wal replays the
+// write-ahead log on top of it (crash recovery: the snapshot is the
+// checkpoint, the log holds everything since; -wal alone recovers from
+// the log only). -stats prints the model's storage statistics (rows,
+// contexts, link types) instead of querying.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +31,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/rdfterm"
 	"repro/internal/reify"
+	"repro/internal/wal"
 )
 
 type multiFlag []string
@@ -44,6 +50,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rdfquery", flag.ContinueOnError)
 	data := fs.String("data", "", "N-Triples file to load (default: stdin)")
 	snapshot := fs.String("snapshot", "", "store snapshot to open instead of loading N-Triples (see rdfload -save)")
+	walPath := fs.String("wal", "", "write-ahead log to replay (on top of -snapshot when both are given; see rdfload -wal)")
 	query := fs.String("query", "", "match query, e.g. '(?s ?p ?o)'")
 	queryModel := fs.String("model", "data", "model to query when opening a snapshot")
 	stats := fs.Bool("stats", false, "print model storage statistics instead of running a query")
@@ -74,13 +81,9 @@ func run(args []string, stdout io.Writer) error {
 
 	var store *core.Store
 	model := *queryModel
-	if *snapshot != "" {
-		f, err := os.Open(*snapshot)
-		if err != nil {
-			return err
-		}
-		store, err = core.Load(f)
-		f.Close()
+	if *snapshot != "" || *walPath != "" {
+		var err error
+		store, err = openDurable(*snapshot, *walPath, stdout)
 		if err != nil {
 			return err
 		}
@@ -88,7 +91,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "opened snapshot %s: %d triples in model %q\n\n", *snapshot, n, model)
+		fmt.Fprintf(stdout, "%d triples in model %q\n\n", n, model)
 	} else {
 		var in io.Reader = os.Stdin
 		if *data != "" {
@@ -188,4 +191,52 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "\n%d rows\n", rs.Len())
 	return nil
+}
+
+// openDurable rebuilds a store from a snapshot (checkpoint) and/or a
+// write-ahead log, translating the typed failure modes into actionable
+// messages.
+func openDurable(snapPath, walPath string, stdout io.Writer) (*core.Store, error) {
+	var snapR io.Reader
+	if snapPath != "" {
+		f, err := os.Open(snapPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		snapR = f
+	}
+	var logR io.Reader = strings.NewReader(wal.Magic) // no log: just the header
+	if walPath != "" {
+		f, err := os.Open(walPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		logR = f
+	}
+	store, info, err := core.Recover(snapR, logR)
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrSnapshotVersion):
+			return nil, fmt.Errorf("snapshot %s was written by an incompatible format version — regenerate it with this build's rdfload -save (%v)", snapPath, err)
+		case errors.Is(err, core.ErrSnapshotCorrupt):
+			return nil, fmt.Errorf("snapshot %s is damaged and cannot be loaded — regenerate it with rdfload -save (%v)", snapPath, err)
+		case errors.Is(err, wal.ErrNotWAL):
+			return nil, fmt.Errorf("%s is not a WAL file — pass the log written by rdfload -wal (%v)", walPath, err)
+		}
+		return nil, err
+	}
+	switch {
+	case snapPath != "" && walPath != "":
+		fmt.Fprintf(stdout, "recovered from snapshot %s + WAL %s (%d records replayed)\n", snapPath, walPath, info.Applied)
+	case walPath != "":
+		fmt.Fprintf(stdout, "recovered from WAL %s (%d records replayed)\n", walPath, info.Applied)
+	default:
+		fmt.Fprintf(stdout, "opened snapshot %s\n", snapPath)
+	}
+	if info.Truncated {
+		fmt.Fprintf(stdout, "WAL had a torn tail (%v); recovered to the last valid record\n", info.TailErr)
+	}
+	return store, nil
 }

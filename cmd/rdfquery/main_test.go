@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/reify"
+	"repro/internal/wal"
 )
 
 func writeData(t *testing.T, content string) string {
@@ -178,5 +179,152 @@ func TestStatsFlag(t *testing.T) {
 	}
 	if !strings.Contains(got, "CONTEXT=D (direct):       2") {
 		t.Errorf("output:\n%s", got)
+	}
+}
+
+// loadWithWAL runs rdfload's pipeline by hand: a store writing through a
+// WAL at path, loaded with the given N-Triples, optionally snapshotted.
+func loadWithWAL(t *testing.T, walPath, snapPath, nt string) {
+	t.Helper()
+	log, _, err := wal.OpenFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	st := core.New()
+	st.SetDurability(log)
+	if _, err := st.CreateRDFModel("data", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	loader := &reify.Loader{Store: st, Model: "data"}
+	if _, err := loader.Load(strings.NewReader(nt)); err != nil {
+		t.Fatal(err)
+	}
+	if snapPath != "" {
+		f, err := os.Create(snapPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := st.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQueryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+	loadWithWAL(t, walPath, "", icData)
+
+	var out strings.Builder
+	err := run([]string{
+		"-wal", walPath,
+		"-query", "(?s ?p ?o)",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "recovered from WAL") || !strings.Contains(got, "2 rows") {
+		t.Errorf("output:\n%s", got)
+	}
+}
+
+func TestQueryFromSnapshotPlusWAL(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+	snapPath := filepath.Join(dir, "store.snap")
+	// Checkpoint the first triple into the snapshot, leave the second in
+	// the log only.
+	loadWithWAL(t, walPath, snapPath,
+		"<http://www.us.gov#files> <http://www.us.gov#terrorSuspect> <http://www.us.id#JohnDoe> .\n")
+	log, _, err := wal.OpenFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.Load(sf)
+	sf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetDurability(log)
+	loader := &reify.Loader{Store: st, Model: "data"}
+	if _, err := loader.Load(strings.NewReader(
+		`<http://www.us.id#JimDoe> <http://www.us.gov#terrorAction> "bombing" .` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err = run([]string{
+		"-snapshot", snapPath,
+		"-wal", walPath,
+		"-query", "(?s ?p ?o)",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "recovered from snapshot") || !strings.Contains(got, "2 rows") {
+		t.Errorf("output:\n%s", got)
+	}
+}
+
+func TestQueryTornWALRecovers(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+	loadWithWAL(t, walPath, "", icData)
+	// Tear the tail: chop bytes off the last record.
+	img, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, img[:len(img)-3], 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err = run([]string{
+		"-wal", walPath,
+		"-query", "(?s ?p ?o)",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "torn tail") {
+		t.Errorf("torn tail not reported:\n%s", out.String())
+	}
+}
+
+func TestQuerySnapshotErrorMessages(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, []byte("junk that is not a snapshot"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-snapshot", bad, "-query", "(?s ?p ?o)"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "damaged") {
+		t.Fatalf("corrupt snapshot error = %v, want 'damaged' message", err)
+	}
+
+	notWAL := filepath.Join(dir, "bogus.wal")
+	if err := os.WriteFile(notWAL, []byte("junk that is not a log 12345"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"-wal", notWAL, "-query", "(?s ?p ?o)"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "not a WAL") {
+		t.Fatalf("non-WAL error = %v, want 'not a WAL' message", err)
 	}
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rdfterm"
+	"repro/internal/reldb"
+)
+
+// hasNode reports whether a URI term's VALUE_ID is present in rdf_node$.
+func hasNode(s *Store, term string) bool {
+	t, err := rdfterm.ParseObject(term, govAliases())
+	if err != nil {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vid, ok := s.lookupValueID(t)
+	if !ok {
+		return false
+	}
+	return s.nodePK.Contains(reldb.Key{reldb.Int(vid)})
+}
+
+// TestDropModelKeepsSharedNodes drops a model and checks rdf_node$
+// cleanup honors cross-model sharing: a node still used as subject or
+// object by another model's links survives; a node used only by the
+// dropped model is removed (§4: nodes are stored once and dropped when
+// orphaned).
+func TestDropModelKeepsSharedNodes(t *testing.T) {
+	s := newStoreWithModel(t, "keep", "doomed")
+	a := govAliases()
+	mustInsert := func(model, sub, prop, obj string) {
+		t.Helper()
+		if _, err := s.NewTripleS(model, sub, prop, obj, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustInsert("keep", "gov:shared", "gov:p", "gov:keepOnly")
+	mustInsert("doomed", "gov:shared", "gov:p", "gov:doomedOnly")
+	mustInsert("doomed", "gov:alsoDoomed", "gov:p", "gov:shared")
+
+	for _, n := range []string{"gov:shared", "gov:keepOnly", "gov:doomedOnly", "gov:alsoDoomed"} {
+		if !hasNode(s, n) {
+			t.Fatalf("node %s missing before drop", n)
+		}
+	}
+	before := s.NumNodes()
+
+	if err := s.DropRDFModel("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, s)
+
+	if !hasNode(s, "gov:shared") {
+		t.Error("gov:shared is still used by model keep but was removed from rdf_node$")
+	}
+	if !hasNode(s, "gov:keepOnly") {
+		t.Error("gov:keepOnly belongs to the surviving model but was removed")
+	}
+	for _, n := range []string{"gov:doomedOnly", "gov:alsoDoomed"} {
+		if hasNode(s, n) {
+			t.Errorf("node %s was only used by the dropped model but survived", n)
+		}
+	}
+	if got, want := s.NumNodes(), before-2; got != want {
+		t.Errorf("NumNodes after drop = %d, want %d", got, want)
+	}
+	// The values themselves remain interned (rdf_value$ is append-only
+	// apart from drops of exclusive blank mappings); only the node set
+	// shrinks. The surviving model's triples are untouched.
+	if n, err := s.NumTriples("keep"); err != nil || n != 1 {
+		t.Fatalf("NumTriples(keep) = %d, %v; want 1", n, err)
+	}
+}
+
+// TestDropModelRemovesBlankMappings checks a dropped model's blank-node
+// mappings go with it while another model's mappings stay usable.
+func TestDropModelRemovesBlankMappings(t *testing.T) {
+	s := newStoreWithModel(t, "keep", "doomed")
+	a := govAliases()
+	if _, err := s.NewTripleS("keep", "_:x", "gov:p", "gov:a", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewTripleS("doomed", "_:x", "gov:p", "gov:b", a); err != nil {
+		t.Fatal(err)
+	}
+	keepBlank, _, err := s.IsTriple("keep", "_:x", "gov:p", "gov:a", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropRDFModel("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, s)
+	// The same label still resolves to the same blank node in "keep":
+	// inserting through _:x again bumps the existing link's cost rather
+	// than allocating a new blank.
+	again, _, err := s.IsTriple("keep", "_:x", "gov:p", "gov:a", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SID != keepBlank.SID {
+		t.Fatalf("blank _:x in keep resolved to VALUE_ID %d after drop, was %d", again.SID, keepBlank.SID)
+	}
+}

@@ -21,7 +21,9 @@ import (
 // (MODEL_ID, START_NODE_ID), and two index-nested-loop joins back to
 // rdf_value$ — the three-way join the member functions hide.
 func (s *Store) FlatQueryBySubject(model, subject string) ([]Triple, error) {
-	mid, err := s.GetModelID(model)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return nil, err
 	}

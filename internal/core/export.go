@@ -22,11 +22,17 @@ type ExportOptions struct {
 
 // ExportModel writes the model to w.
 func (s *Store) ExportModel(model string, w io.Writer, opts ExportOptions) error {
-	mid, err := s.GetModelID(model)
+	// Snapshot the link set under the read lock, then release it: the
+	// per-triple value lookups below take their own read locks, and
+	// RWMutex read locks must not nest.
+	s.mu.RLock()
+	mid, err := s.getModelIDLocked(model)
 	if err != nil {
+		s.mu.RUnlock()
 		return err
 	}
 	all, err := s.findModel(mid, Pattern{})
+	s.mu.RUnlock()
 	if err != nil {
 		return err
 	}
@@ -143,7 +149,9 @@ type Statistics struct {
 
 // ModelStatistics computes storage statistics for one model.
 func (s *Store) ModelStatistics(model string) (Statistics, error) {
-	mid, err := s.GetModelID(model)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return Statistics{}, err
 	}
@@ -160,10 +168,10 @@ func (s *Store) ModelStatistics(model string) (Statistics, error) {
 		if r[lcReifLink].Str() == "Y" {
 			// Reification rows specifically: predicate rdf:type, object
 			// rdf:Statement, subject a DBUri.
-			if sub, err := s.GetValue(r[lcStartNodeID].Int64()); err == nil {
+			if sub, err := s.getValueLocked(r[lcStartNodeID].Int64()); err == nil {
 				if _, isDBUri := ParseDBUri(sub.Value); isDBUri {
-					if prop, err := s.GetValue(r[lcPValueID].Int64()); err == nil && prop.Value == rdfterm.RDFType {
-						if obj, err := s.GetValue(r[lcEndNodeID].Int64()); err == nil && obj.Value == rdfterm.RDFStatement {
+					if prop, err := s.getValueLocked(r[lcPValueID].Int64()); err == nil && prop.Value == rdfterm.RDFType {
+						if obj, err := s.getValueLocked(r[lcEndNodeID].Int64()); err == nil && obj.Value == rdfterm.RDFStatement {
 							stats.Reified++
 						}
 					}

@@ -22,7 +22,9 @@ func P(t rdfterm.Term) *rdfterm.Term { return &t }
 // (M,P) on the predicate index, (M,O-canon) on the object index, falling
 // back to a partition-pruned scan for fully unbound patterns.
 func (s *Store) Find(model string, pat Pattern) ([]TripleS, error) {
-	mid, err := s.GetModelID(model)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return nil, err
 	}
@@ -43,6 +45,7 @@ func (s *Store) FindModels(models []string, pat Pattern) ([]TripleS, error) {
 	return out, nil
 }
 
+// findModel executes the pattern match. Caller holds s.mu (either mode).
 func (s *Store) findModel(mid int64, pat Pattern) ([]TripleS, error) {
 	// Resolve constrained term IDs; a constrained term that is not interned
 	// matches nothing.

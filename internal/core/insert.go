@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/rdfterm"
 	"repro/internal/reldb"
+	"repro/internal/wal"
 )
 
 // NewTripleS is the paper's base constructor SDO_RDF_TRIPLE_S(model_name,
@@ -70,14 +71,17 @@ func (s *Store) InsertImplied(model string, sub, prop, obj rdfterm.Term) (Triple
 }
 
 func (s *Store) insertTermsCtx(model string, sub, prop, obj rdfterm.Term, context string) (TripleS, error) {
-	mid, err := s.GetModelID(model)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return TripleS{}, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ts, _, err := s.insertLocked(mid, sub, prop, obj, context)
-	return ts, err
+	if err != nil {
+		return TripleS{}, err
+	}
+	return ts, s.logCommit()
 }
 
 // insertLocked implements the §4.1 parsing pipeline. Caller holds s.mu.
@@ -123,29 +127,40 @@ func (s *Store) insertLocked(modelID int64, sub, prop, obj rdfterm.Term, context
 		}
 		// Repeated insert: bump COST (§4: "the number of times the triple
 		// is stored in an application table").
-		if err := s.links.UpdateColumn(rid, "COST", reldb.Int(r[lcCost].Int64()+1)); err != nil {
+		newCost := r[lcCost].Int64() + 1
+		if err := s.links.UpdateColumn(rid, "COST", reldb.Int(newCost)); err != nil {
 			return TripleS{}, false, err
 		}
 		// Context upgrade I → D when the triple is now asserted as fact.
-		if context == ContextDirect && r[lcContext].Str() == ContextIndirect {
-			if err := s.links.UpdateColumn(rid, "CONTEXT", reldb.String_(ContextDirect)); err != nil {
+		newCtx := r[lcContext].Str()
+		if context == ContextDirect && newCtx == ContextIndirect {
+			newCtx = ContextDirect
+			if err := s.links.UpdateColumn(rid, "CONTEXT", reldb.String_(newCtx)); err != nil {
 				return TripleS{}, false, err
 			}
+		}
+		if err := s.logRecord(wal.Record{
+			Type: wal.TypeUpdateLink, LinkID: r[lcLinkID].Int64(),
+			Cost: newCost, Context: newCtx,
+		}); err != nil {
+			return TripleS{}, false, err
 		}
 		return s.tripleSFromRow(r), false, nil
 	}
 	// New triple: new LINK_ID; a link is always created per triple (§4).
 	linkID := s.linkSeq.Next()
+	linkType := rdfterm.LinkType(prop.Value)
+	reif := reifFlag(sub, prop, obj)
 	row := reldb.Row{
 		reldb.Int(linkID),
 		reldb.Int(sid),
 		reldb.Int(pid),
 		reldb.Int(oid),
 		reldb.Int(canonID),
-		reldb.String_(rdfterm.LinkType(prop.Value)),
+		reldb.String_(linkType),
 		reldb.Int(1),
 		reldb.String_(context),
-		reldb.String_(reifFlag(sub, prop, obj)),
+		reldb.String_(reif),
 		reldb.Int(modelID),
 	}
 	if _, err := s.links.Insert(row); err != nil {
@@ -156,6 +171,13 @@ func (s *Store) insertLocked(modelID int64, sub, prop, obj rdfterm.Term, context
 		return TripleS{}, false, err
 	}
 	if err := s.internNodeLocked(oid); err != nil {
+		return TripleS{}, false, err
+	}
+	if err := s.logRecord(wal.Record{
+		Type: wal.TypeInsertLink, LinkID: linkID, ModelID: modelID,
+		StartID: sid, PropID: pid, EndID: oid, CanonID: canonID,
+		LinkType: linkType, Cost: 1, Context: context, Reif: reif == "Y",
+	}); err != nil {
 		return TripleS{}, false, err
 	}
 	return TripleS{store: s, TID: linkID, MID: modelID, SID: sid, PID: pid, OID: oid}, true, nil
@@ -188,7 +210,7 @@ func (s *Store) resolveBlankLocked(modelID int64, t rdfterm.Term) (rdfterm.Term,
 		if err != nil {
 			return rdfterm.Term{}, err
 		}
-		internal, err := s.GetValue(r[2].Int64())
+		internal, err := s.getValueLocked(r[2].Int64())
 		if err != nil {
 			return rdfterm.Term{}, err
 		}
@@ -202,6 +224,18 @@ func (s *Store) resolveBlankLocked(modelID int64, t rdfterm.Term) (rdfterm.Term,
 	if _, err := s.blanks.Insert(reldb.Row{reldb.Int(modelID), reldb.String_(t.Value), reldb.Int(vid)}); err != nil {
 		return rdfterm.Term{}, err
 	}
+	// The internal label consumed a blank-sequence slot; persist the
+	// position so a replayed store never re-issues it.
+	if err := s.logRecord(wal.Record{
+		Type: wal.TypeSeqAdvance, Seq: wal.SeqBlank, SeqValue: s.blankSeq.Current(),
+	}); err != nil {
+		return rdfterm.Term{}, err
+	}
+	if err := s.logRecord(wal.Record{
+		Type: wal.TypeBlankNode, ModelID: modelID, Name: t.Value, ValueID: vid,
+	}); err != nil {
+		return rdfterm.Term{}, err
+	}
 	return internal, nil
 }
 
@@ -209,33 +243,61 @@ func (s *Store) resolveBlankLocked(modelID int64, t rdfterm.Term) (rdfterm.Term,
 // any triple — used for containers, which hang members off a generated
 // blank node (§2).
 func (s *Store) NewBlankNode(model string) (rdfterm.Term, error) {
-	mid, err := s.GetModelID(model)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return rdfterm.Term{}, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// The label slot consumed here is covered by the SeqAdvance record
+	// resolveBlankLocked emits after its own (later) allocation.
 	label := "m" + strconv.FormatInt(mid, 10) + "b" + strconv.FormatInt(s.blankSeq.Next(), 10)
-	return s.resolveBlankLocked(mid, rdfterm.NewBlank(label))
+	t, err := s.resolveBlankLocked(mid, rdfterm.NewBlank(label))
+	if err != nil {
+		return rdfterm.Term{}, err
+	}
+	return t, s.logCommit()
 }
 
 // DeleteTriple removes one application-table reference to a triple: the
 // link's COST is decremented, and when it reaches zero the link row is
 // removed. Nodes are removed only when no other link references them (§4).
 func (s *Store) DeleteTriple(model, subject, property, object string, aliases *rdfterm.AliasSet) error {
-	ts, ok, err := s.IsTriple(model, subject, property, object, aliases)
+	sub, err := parseSubjectDB(subject, aliases)
+	if err != nil {
+		return err
+	}
+	prop, err := rdfterm.ParsePredicate(property, aliases)
+	if err != nil {
+		return err
+	}
+	obj, err := parseObjectDB(object, aliases)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mid, err := s.getModelIDLocked(model)
+	if err != nil {
+		return err
+	}
+	ts, ok, err := s.isTripleTermsLocked(mid, sub, prop, obj)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return fmt.Errorf("%w: %s %s %s in model %s", ErrNoSuchTriple, subject, property, object, model)
 	}
-	return s.deleteByLinkID(ts.TID)
+	return s.deleteByLinkIDLocked(ts.TID)
 }
 
 func (s *Store) deleteByLinkID(linkID int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.deleteByLinkIDLocked(linkID)
+}
+
+func (s *Store) deleteByLinkIDLocked(linkID int64) error {
 	rid, ok := s.linkPK.LookupOne(reldb.Key{reldb.Int(linkID)})
 	if !ok {
 		return fmt.Errorf("%w: LINK_ID %d", ErrNoSuchTriple, linkID)
@@ -245,14 +307,26 @@ func (s *Store) deleteByLinkID(linkID int64) error {
 		return err
 	}
 	if cost := r[lcCost].Int64(); cost > 1 {
-		return s.links.UpdateColumn(rid, "COST", reldb.Int(cost-1))
+		if err := s.links.UpdateColumn(rid, "COST", reldb.Int(cost-1)); err != nil {
+			return err
+		}
+		if err := s.logRecord(wal.Record{
+			Type: wal.TypeUpdateLink, LinkID: linkID,
+			Cost: cost - 1, Context: r[lcContext].Str(),
+		}); err != nil {
+			return err
+		}
+		return s.logCommit()
 	}
 	if err := s.links.Delete(rid); err != nil {
 		return err
 	}
 	s.removeNodeIfOrphanLocked(r[lcStartNodeID].Int64())
 	s.removeNodeIfOrphanLocked(r[lcEndNodeID].Int64())
-	return nil
+	if err := s.logRecord(wal.Record{Type: wal.TypeDeleteLink, LinkID: linkID}); err != nil {
+		return err
+	}
+	return s.logCommit()
 }
 
 // IsTriple reports whether the triple exists in the model, returning its
@@ -275,10 +349,18 @@ func (s *Store) IsTriple(model, subject, property, object string, aliases *rdfte
 
 // IsTripleTerms is IsTriple over parsed terms.
 func (s *Store) IsTripleTerms(model string, sub, prop, obj rdfterm.Term) (TripleS, bool, error) {
-	mid, err := s.GetModelID(model)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return TripleS{}, false, err
 	}
+	return s.isTripleTermsLocked(mid, sub, prop, obj)
+}
+
+// isTripleTermsLocked is IsTripleTerms with the model resolved and s.mu
+// held (either mode).
+func (s *Store) isTripleTermsLocked(mid int64, sub, prop, obj rdfterm.Term) (TripleS, bool, error) {
 	sid, ok := s.lookupResolvedID(mid, sub)
 	if !ok {
 		return TripleS{}, false, nil

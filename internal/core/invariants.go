@@ -25,8 +25,8 @@ import (
 //     predicate's vocabulary classification;
 //  7. every rdf_blank_node$ mapping points at a BN-typed value.
 func (s *Store) CheckInvariants() []error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var errs []error
 	addf := func(format string, args ...interface{}) {
 		errs = append(errs, fmt.Errorf(format, args...))
@@ -66,7 +66,7 @@ func (s *Store) CheckInvariants() []error {
 		if rf := r[lcReifLink].Str(); rf != "Y" && rf != "N" {
 			addf("link %d: REIF_LINK %q", linkID, rf)
 		}
-		if prop, err := s.GetValue(pid); err == nil {
+		if prop, err := s.getValueLocked(pid); err == nil {
 			if want := rdfterm.LinkType(prop.Value); r[lcLinkType].Str() != want {
 				addf("link %d: LINK_TYPE %q, predicate implies %q", linkID, r[lcLinkType].Str(), want)
 			}
@@ -94,7 +94,7 @@ func (s *Store) CheckInvariants() []error {
 	// Blank mappings point at BN values.
 	s.blanks.Scan(func(_ reldb.RowID, r reldb.Row) bool {
 		vid := r[2].Int64()
-		term, err := s.GetValue(vid)
+		term, err := s.getValueLocked(vid)
 		if err != nil {
 			addf("blank mapping (%d,%q): dangling VALUE_ID %d", r[0].Int64(), r[1].Str(), vid)
 			return true

@@ -41,14 +41,27 @@ func (n *RDFNetwork) inScope(r reldb.Row) bool {
 
 // HasNode implements ndm.Graph over rdf_node$.
 func (n *RDFNetwork) HasNode(node int64) bool {
+	n.store.mu.RLock()
+	defer n.store.mu.RUnlock()
 	return n.store.nodePK.Contains(reldb.Key{reldb.Int(node)})
 }
 
-// Nodes implements ndm.Graph.
+// Nodes implements ndm.Graph. The node set is snapshotted under the
+// store's read lock and fn is invoked outside it, so analysis callbacks
+// may freely call back into the store (read locks must not nest).
 func (n *RDFNetwork) Nodes(fn func(node int64) bool) {
+	n.store.mu.RLock()
+	var nodes []int64
 	n.store.nodes.Scan(func(_ reldb.RowID, r reldb.Row) bool {
-		return fn(r[0].Int64())
+		nodes = append(nodes, r[0].Int64())
+		return true
 	})
+	n.store.mu.RUnlock()
+	for _, node := range nodes {
+		if !fn(node) {
+			return
+		}
+	}
 }
 
 // OutLinks implements ndm.Graph: links whose START_NODE_ID is node.
@@ -62,17 +75,29 @@ func (n *RDFNetwork) InLinks(node int64, fn func(linkID, start int64, cost float
 }
 
 func (n *RDFNetwork) visit(ix *reldb.Index, node int64, otherCol int, fn func(linkID, other int64, cost float64) bool) {
+	// Collect matching links under the read lock, call fn outside it
+	// (see Nodes).
+	type hop struct {
+		linkID, other int64
+		cost          float64
+	}
+	n.store.mu.RLock()
 	var ids []reldb.RowID
 	ix.ScanPrefix(reldb.Key{reldb.Int(node)}, func(_ reldb.Key, rid reldb.RowID) bool {
 		ids = append(ids, rid)
 		return true
 	})
+	var hops []hop
 	for _, rid := range ids {
 		r, err := n.store.links.Get(rid)
 		if err != nil || !n.inScope(r) {
 			continue
 		}
-		if !fn(r[lcLinkID].Int64(), r[otherCol].Int64(), float64(r[lcCost].Int64())) {
+		hops = append(hops, hop{r[lcLinkID].Int64(), r[otherCol].Int64(), float64(r[lcCost].Int64())})
+	}
+	n.store.mu.RUnlock()
+	for _, h := range hops {
+		if !fn(h.linkID, h.other, h.cost) {
 			return
 		}
 	}
@@ -80,6 +105,8 @@ func (n *RDFNetwork) visit(ix *reldb.Index, node int64, otherCol int, fn func(li
 
 // NodeID resolves a term to its network node (VALUE_ID).
 func (n *RDFNetwork) NodeID(t rdfterm.Term) (int64, bool) {
+	n.store.mu.RLock()
+	defer n.store.mu.RUnlock()
 	return n.store.lookupValueID(t)
 }
 

@@ -16,18 +16,22 @@ import (
 // is idempotent (the existing reification triple's COST is bumped, like
 // any repeated insert).
 func (s *Store) Reify(model string, linkID int64) (TripleS, error) {
-	mid, err := s.GetModelID(model)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return TripleS{}, err
 	}
 	// The reified triple must exist somewhere in the store; its DBUri is a
 	// direct row pointer.
-	if _, err := s.GetTripleS(linkID); err != nil {
+	if _, err := s.getTripleSLocked(linkID); err != nil {
 		return TripleS{}, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reifyLocked(mid, linkID)
+	ts, err := s.reifyLocked(mid, linkID)
+	if err != nil {
+		return TripleS{}, err
+	}
+	return ts, s.logCommit()
 }
 
 func (s *Store) reifyLocked(modelID, linkID int64) (TripleS, error) {
@@ -45,13 +49,6 @@ func (s *Store) reifyLocked(modelID, linkID int64) (TripleS, error) {
 // <subject, property, DBUri(rdf_t_id)> — e.g. Figure 7's
 // <gov:MI5, gov:source, R>.
 func (s *Store) AssertAboutTriple(model, subject, property string, linkID int64, aliases *rdfterm.AliasSet) (TripleS, error) {
-	mid, err := s.GetModelID(model)
-	if err != nil {
-		return TripleS{}, err
-	}
-	if _, err := s.GetTripleS(linkID); err != nil {
-		return TripleS{}, err
-	}
 	sub, err := parseSubjectDB(subject, aliases)
 	if err != nil {
 		return TripleS{}, err
@@ -62,13 +59,23 @@ func (s *Store) AssertAboutTriple(model, subject, property string, linkID int64,
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	mid, err := s.getModelIDLocked(model)
+	if err != nil {
+		return TripleS{}, err
+	}
+	if _, err := s.getTripleSLocked(linkID); err != nil {
+		return TripleS{}, err
+	}
 	if !s.isReifiedLocked(mid, linkID) {
 		if _, err := s.reifyLocked(mid, linkID); err != nil {
 			return TripleS{}, err
 		}
 	}
 	ts, _, err := s.insertLocked(mid, sub, prop, rdfterm.NewURI(DBUri(linkID)), ContextDirect)
-	return ts, err
+	if err != nil {
+		return TripleS{}, err
+	}
+	return ts, s.logCommit()
 }
 
 // AssertImplied is the assertion constructor SDO_RDF_TRIPLE_S(model_name,
@@ -78,10 +85,6 @@ func (s *Store) AssertAboutTriple(model, subject, property string, linkID int64,
 // it already exists as a fact its context is untouched, and if it is later
 // asserted directly its context upgrades to "D".
 func (s *Store) AssertImplied(model, reifSub, reifProp, subject, property, object string, aliases *rdfterm.AliasSet) (TripleS, error) {
-	mid, err := s.GetModelID(model)
-	if err != nil {
-		return TripleS{}, err
-	}
 	rs, err := parseSubjectDB(reifSub, aliases)
 	if err != nil {
 		return TripleS{}, err
@@ -104,6 +107,10 @@ func (s *Store) AssertImplied(model, reifSub, reifProp, subject, property, objec
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	mid, err := s.getModelIDLocked(model)
+	if err != nil {
+		return TripleS{}, err
+	}
 	// Insert (or find) the base triple as an indirect statement.
 	base, _, err := s.insertLocked(mid, sub, prop, obj, ContextIndirect)
 	if err != nil {
@@ -115,7 +122,10 @@ func (s *Store) AssertImplied(model, reifSub, reifProp, subject, property, objec
 		}
 	}
 	ts, _, err := s.insertLocked(mid, rs, rp, rdfterm.NewURI(DBUri(base.TID)), ContextDirect)
-	return ts, err
+	if err != nil {
+		return TripleS{}, err
+	}
+	return ts, s.logCommit()
 }
 
 // IsReified reports whether the given triple is reified in the model —
@@ -123,15 +133,26 @@ func (s *Store) AssertImplied(model, reifSub, reifProp, subject, property, objec
 // index lookups: resolve the triple to its LINK_ID, then look for the
 // single <DBUri, rdf:type, rdf:Statement> row.
 func (s *Store) IsReified(model, subject, property, object string, aliases *rdfterm.AliasSet) (bool, error) {
-	ts, ok, err := s.IsTriple(model, subject, property, object, aliases)
+	sub, err := parseSubjectDB(subject, aliases)
 	if err != nil {
 		return false, err
 	}
-	if !ok {
-		return false, nil
-	}
-	mid, err := s.GetModelID(model)
+	prop, err := rdfterm.ParsePredicate(property, aliases)
 	if err != nil {
+		return false, err
+	}
+	obj, err := parseObjectDB(object, aliases)
+	if err != nil {
+		return false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mid, err := s.getModelIDLocked(model)
+	if err != nil {
+		return false, err
+	}
+	ts, ok, err := s.isTripleTermsLocked(mid, sub, prop, obj)
+	if err != nil || !ok {
 		return false, err
 	}
 	return s.isReifiedLocked(mid, ts.TID), nil
@@ -139,7 +160,9 @@ func (s *Store) IsReified(model, subject, property, object string, aliases *rdft
 
 // IsReifiedByID reports whether LINK_ID is reified in the model.
 func (s *Store) IsReifiedByID(model string, linkID int64) (bool, error) {
-	mid, err := s.GetModelID(model)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return false, err
 	}

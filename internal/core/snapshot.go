@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -9,13 +10,27 @@ import (
 	"repro/internal/reldb"
 )
 
+// Typed snapshot errors, so tools can distinguish "wrong format version"
+// from "damaged file" and print actionable messages.
+var (
+	// ErrSnapshotVersion reports a snapshot written by an incompatible
+	// format version.
+	ErrSnapshotVersion = errors.New("core: unsupported snapshot version")
+	// ErrSnapshotCorrupt reports a snapshot that fails to decode or whose
+	// decoded content cannot be rebuilt into a consistent store.
+	ErrSnapshotCorrupt = errors.New("core: snapshot corrupt")
+)
+
 // Snapshot persistence: Save serializes the central schema's logical
 // content (catalog, values, links, blank-node mappings, sequence
 // positions) with encoding/gob; Load rebuilds a store — including all
 // indexes and the rdf_node$ table, which are derived state — from a
 // snapshot. This gives the otherwise memory-resident engine a
-// stop/restart story for the CLI tools. It is not a WAL: a snapshot is a
-// point-in-time image taken under the store lock.
+// stop/restart story for the CLI tools. It is not a WAL — a snapshot is
+// a point-in-time image taken under the store lock — but it is the WAL's
+// checkpoint format: durable state = snapshot + the internal/wal records
+// appended since the snapshot was taken (see recover.go), and taking a
+// snapshot lets the log be truncated.
 
 // snapshotVersion guards format evolution.
 const snapshotVersion = 1
@@ -61,10 +76,11 @@ type snapBlank struct {
 	ValueID  int64
 }
 
-// Save writes a snapshot of the whole store.
+// Save writes a snapshot of the whole store. It takes the read lock, so
+// concurrent readers proceed while the checkpoint image is taken.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	snap := snapshot{
 		Version:  snapshotVersion,
 		ValueSeq: s.valueSeq.Current(),
@@ -133,15 +149,21 @@ func (s *Store) Save(w io.Writer) error {
 func Load(r io.Reader) (*Store, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot: %w", err)
+		return nil, fmt.Errorf("%w: reading stream: %v", ErrSnapshotCorrupt, err)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d, want %d", snap.Version, snapshotVersion)
+		return nil, fmt.Errorf("%w: got version %d, want %d", ErrSnapshotVersion, snap.Version, snapshotVersion)
 	}
 	s := New()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	// Rebuild errors below mean the decoded content violates the schema
+	// (duplicate IDs, bad rows): the stream decoded but is not a valid
+	// snapshot, so classify as corruption.
+	corrupt := func(section string, err error) error {
+		return fmt.Errorf("%w: rebuilding %s: %v", ErrSnapshotCorrupt, section, err)
+	}
 	for _, m := range snap.Models {
 		tn, cn := reldb.Null(), reldb.Null()
 		if m.TableName != "" {
@@ -151,13 +173,13 @@ func Load(r io.Reader) (*Store, error) {
 			cn = reldb.String_(m.Column)
 		}
 		if _, err := s.models.Insert(reldb.Row{reldb.Int(m.ID), reldb.String_(m.Name), tn, cn}); err != nil {
-			return nil, err
+			return nil, corrupt("rdf_model$", err)
 		}
 		mid := m.ID
 		if _, err := s.db.CreateView("rdfm_"+strings.ToLower(m.Name), s.links, func(row reldb.Row) bool {
 			return row[lcModelID].Int64() == mid
 		}); err != nil {
-			return nil, err
+			return nil, corrupt("model views", err)
 		}
 	}
 	for _, v := range snap.Values {
@@ -173,7 +195,7 @@ func Load(r io.Reader) (*Store, error) {
 		}
 		row := reldb.Row{reldb.Int(v.ID), reldb.String_(v.Name), reldb.String_(v.Type), lit, lang, long}
 		if _, err := s.values.Insert(row); err != nil {
-			return nil, err
+			return nil, corrupt("rdf_value$", err)
 		}
 	}
 	for _, l := range snap.Links {
@@ -187,18 +209,18 @@ func Load(r io.Reader) (*Store, error) {
 			reldb.String_(l.Context), reldb.String_(reif), reldb.Int(l.Model),
 		}
 		if _, err := s.links.Insert(row); err != nil {
-			return nil, err
+			return nil, corrupt("rdf_link$", err)
 		}
 		if err := s.internNodeLocked(l.Start); err != nil {
-			return nil, err
+			return nil, corrupt("rdf_node$", err)
 		}
 		if err := s.internNodeLocked(l.End); err != nil {
-			return nil, err
+			return nil, corrupt("rdf_node$", err)
 		}
 	}
 	for _, b := range snap.Blanks {
 		if _, err := s.blanks.Insert(reldb.Row{reldb.Int(b.Model), reldb.String_(b.OrigName), reldb.Int(b.ValueID)}); err != nil {
-			return nil, err
+			return nil, corrupt("rdf_blank_node$", err)
 		}
 	}
 	// Restore sequence positions (New() starts them at the paper's bases;

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -121,9 +123,63 @@ func TestSnapshotEmptyStore(t *testing.T) {
 }
 
 func TestLoadGarbage(t *testing.T) {
-	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+	_, err := Load(strings.NewReader("not a gob stream"))
+	if err == nil {
 		t.Fatal("garbage snapshot accepted")
 	}
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("garbage error %v is not ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestLoadTypedErrors pins the sentinel classification: callers (the CLI
+// tools in particular) branch on errors.Is to print actionable messages.
+func TestLoadTypedErrors(t *testing.T) {
+	t.Run("version mismatch", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snapshot{Version: snapshotVersion + 1}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&buf)
+		if !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("future-version error %v is not ErrSnapshotVersion", err)
+		}
+		if errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("version mismatch misclassified as corruption: %v", err)
+		}
+	})
+	t.Run("truncated stream", func(t *testing.T) {
+		s := newStoreWithModel(t, "m")
+		if _, err := s.NewTripleS("m", "gov:a", "gov:p", "gov:b", govAliases()); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2]))
+		if !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("truncated-stream error %v is not ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("inconsistent content", func(t *testing.T) {
+		// Decodes fine but cannot be rebuilt: duplicate model IDs.
+		snap := snapshot{
+			Version: snapshotVersion,
+			Models: []snapModel{
+				{ID: 7, Name: "a"},
+				{ID: 7, Name: "b"},
+			},
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&buf)
+		if !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("duplicate-ID error %v is not ErrSnapshotCorrupt", err)
+		}
+	})
 }
 
 // Property: snapshot round-trips preserve counts and invariants for random

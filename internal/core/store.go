@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/rdfterm"
 	"repro/internal/reldb"
+	"repro/internal/wal"
 )
 
 // Sentinel errors.
@@ -55,8 +56,16 @@ type Store struct {
 	blankSeq *reldb.Sequence
 
 	// mu serializes multi-table mutations (value interning + link insert),
-	// keeping cross-table invariants atomic.
-	mu sync.Mutex
+	// keeping cross-table invariants atomic. Readers hold the read lock:
+	// the underlying tables and indexes are not safe for concurrent
+	// access, so every public read path takes RLock and every mutation
+	// takes Lock. Internal *Locked helpers assume the caller holds one of
+	// the two and must not re-lock (RWMutex is not reentrant).
+	mu sync.RWMutex
+
+	// dur, when non-nil, receives every logical mutation as a WAL record
+	// (see durability.go). nil — the default — costs nothing.
+	dur Durability
 }
 
 // New creates a fresh central schema (the MDSYS schema of the paper) and
@@ -171,6 +180,21 @@ func (s *Store) CreateRDFModel(name, tableName, columnName string) (int64, error
 		return 0, fmt.Errorf("%w: %q", ErrDuplicateModel, name)
 	}
 	id := s.modelSeq.Next()
+	if err := s.addModelLocked(id, name, tableName, columnName); err != nil {
+		return 0, err
+	}
+	if err := s.logRecord(wal.Record{
+		Type: wal.TypeCreateModel, ModelID: id, Name: name,
+		TableName: tableName, ColumnName: columnName,
+	}); err != nil {
+		return 0, err
+	}
+	return id, s.logCommit()
+}
+
+// addModelLocked inserts the rdf_model$ row and creates the model view —
+// shared by CreateRDFModel and WAL replay. Caller holds s.mu.
+func (s *Store) addModelLocked(id int64, name, tableName, columnName string) error {
 	tn, cn := reldb.Null(), reldb.Null()
 	if tableName != "" {
 		tn = reldb.String_(tableName)
@@ -179,22 +203,27 @@ func (s *Store) CreateRDFModel(name, tableName, columnName string) (int64, error
 		cn = reldb.String_(columnName)
 	}
 	if _, err := s.models.Insert(reldb.Row{reldb.Int(id), reldb.String_(name), tn, cn}); err != nil {
-		return 0, err
+		return err
 	}
 	// Model view: a live window onto this model's rdf_link$ partition
 	// (§4.3 — "a view of the rdf_link$ table that contains only data for
 	// the model").
 	mid := id
-	if _, err := s.db.CreateView("rdfm_"+strings.ToLower(name), s.links, func(r reldb.Row) bool {
+	_, err := s.db.CreateView("rdfm_"+strings.ToLower(name), s.links, func(r reldb.Row) bool {
 		return r[lcModelID].Int64() == mid
-	}); err != nil {
-		return 0, err
-	}
-	return id, nil
+	})
+	return err
 }
 
 // GetModelID resolves a model name (the paper's SDO_RDF.GET_MODEL_ID).
 func (s *Store) GetModelID(name string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.getModelIDLocked(name)
+}
+
+// getModelIDLocked resolves a model name. Caller holds s.mu (either mode).
+func (s *Store) getModelIDLocked(name string) (int64, error) {
 	rid, ok := s.modelName.LookupOne(reldb.Key{reldb.String_(name)})
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoSuchModel, name)
@@ -208,6 +237,8 @@ func (s *Store) GetModelID(name string) (int64, error) {
 
 // ModelNames returns the names of all models, sorted by model ID.
 func (s *Store) ModelNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var names []string
 	s.modelPK.Scan(nil, nil, func(_ reldb.Key, rid reldb.RowID) bool {
 		if r, err := s.models.Get(rid); err == nil {
@@ -220,6 +251,8 @@ func (s *Store) ModelNames() []string {
 
 // ModelView returns the rdfm_<model> view.
 func (s *Store) ModelView(name string) (*reldb.View, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.db.View("rdfm_" + strings.ToLower(name))
 }
 
@@ -228,12 +261,25 @@ func (s *Store) ModelView(name string) (*reldb.View, error) {
 // may be referenced by other models); orphaned rdf_node$ entries are
 // cleaned up.
 func (s *Store) DropRDFModel(name string) error {
-	id, err := s.GetModelID(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := s.getModelIDLocked(name)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if err := s.dropModelLocked(id, name); err != nil {
+		return err
+	}
+	if err := s.logRecord(wal.Record{Type: wal.TypeDropModel, ModelID: id, Name: name}); err != nil {
+		return err
+	}
+	return s.logCommit()
+}
+
+// dropModelLocked removes the model's links, blank mappings, catalog row,
+// view, and newly orphaned nodes — shared by DropRDFModel and WAL replay.
+// Caller holds s.mu.
+func (s *Store) dropModelLocked(id int64, name string) error {
 	// Collect node IDs referenced by this model's links before deleting.
 	touched := map[int64]bool{}
 	s.links.ScanPartition(id, func(_ reldb.RowID, r reldb.Row) bool {
@@ -268,7 +314,9 @@ func (s *Store) DropRDFModel(name string) error {
 
 // NumTriples returns the number of stored triples (links) in one model.
 func (s *Store) NumTriples(model string) (int, error) {
-	id, err := s.GetModelID(model)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, err := s.getModelIDLocked(model)
 	if err != nil {
 		return 0, err
 	}
@@ -276,10 +324,22 @@ func (s *Store) NumTriples(model string) (int, error) {
 }
 
 // TotalTriples returns the number of links across all models.
-func (s *Store) TotalTriples() int { return s.links.Len() }
+func (s *Store) TotalTriples() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.links.Len()
+}
 
 // NumValues returns the number of distinct text values stored.
-func (s *Store) NumValues() int { return s.values.Len() }
+func (s *Store) NumValues() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.values.Len()
+}
 
 // NumNodes returns the number of distinct graph nodes (subjects/objects).
-func (s *Store) NumNodes() int { return s.nodes.Len() }
+func (s *Store) NumNodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nodes.Len()
+}

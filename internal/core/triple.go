@@ -112,6 +112,13 @@ func (s *Store) GetTripleByID(linkID int64) (Triple, error) {
 
 // GetTripleS returns the storage object for a LINK_ID.
 func (s *Store) GetTripleS(linkID int64) (TripleS, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.getTripleSLocked(linkID)
+}
+
+// getTripleSLocked is GetTripleS for callers already holding s.mu.
+func (s *Store) getTripleSLocked(linkID int64) (TripleS, error) {
 	rid, ok := s.linkPK.LookupOne(reldb.Key{reldb.Int(linkID)})
 	if !ok {
 		return TripleS{}, fmt.Errorf("%w: LINK_ID %d", ErrNoSuchTriple, linkID)
@@ -152,6 +159,8 @@ type LinkInfo struct {
 
 // LinkInfo returns the bookkeeping columns for a LINK_ID.
 func (s *Store) LinkInfo(linkID int64) (LinkInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	rid, ok := s.linkPK.LookupOne(reldb.Key{reldb.Int(linkID)})
 	if !ok {
 		return LinkInfo{}, fmt.Errorf("%w: LINK_ID %d", ErrNoSuchTriple, linkID)

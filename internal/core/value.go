@@ -27,7 +27,8 @@ func (s *Store) lookupValueID(t rdfterm.Term) (int64, bool) {
 }
 
 // internValueLocked returns the VALUE_ID for a term, inserting a new
-// rdf_value$ row when the text value is first seen. Caller holds s.mu.
+// rdf_value$ row when the text value is first seen. Caller holds s.mu
+// for writing.
 func (s *Store) internValueLocked(t rdfterm.Term) (int64, error) {
 	if err := t.Validate(); err != nil {
 		return 0, err
@@ -36,6 +37,19 @@ func (s *Store) internValueLocked(t rdfterm.Term) (int64, error) {
 		return id, nil
 	}
 	id := s.valueSeq.Next()
+	if err := s.insertValueRowLocked(id, t); err != nil {
+		return 0, err
+	}
+	if err := s.logRecord(valueRecord(id, t.Lexical(), t.ValueType(), t.Datatype, t.Language)); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// insertValueRowLocked inserts the rdf_value$ row for a term under an
+// already-assigned VALUE_ID (splitting long literals into LONG_VALUE) —
+// shared by internValueLocked and WAL replay. Caller holds s.mu.
+func (s *Store) insertValueRowLocked(id int64, t rdfterm.Term) error {
 	name := t.Lexical()
 	long := reldb.Null()
 	if t.IsLong() {
@@ -57,14 +71,19 @@ func (s *Store) internValueLocked(t rdfterm.Term) (int64, error) {
 		lang,
 		long,
 	}
-	if _, err := s.values.Insert(row); err != nil {
-		return 0, err
-	}
-	return id, nil
+	_, err := s.values.Insert(row)
+	return err
 }
 
 // GetValue reconstructs the term stored under a VALUE_ID.
 func (s *Store) GetValue(valueID int64) (rdfterm.Term, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.getValueLocked(valueID)
+}
+
+// getValueLocked is GetValue for callers already holding s.mu.
+func (s *Store) getValueLocked(valueID int64) (rdfterm.Term, error) {
 	rid, ok := s.valuePK.LookupOne(reldb.Key{reldb.Int(valueID)})
 	if !ok {
 		return rdfterm.Term{}, fmt.Errorf("%w: VALUE_ID %d", ErrNoSuchValue, valueID)

@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ErrNotWAL reports a file whose header is not the WAL magic — a wrong
+// file passed to recovery, as opposed to a damaged log.
+var ErrNotWAL = errors.New("wal: not a WAL file (bad magic)")
+
+// ScanResult is the outcome of reading a log.
+type ScanResult struct {
+	// Records holds every verified record, in append order.
+	Records []Record
+	// ValidBytes is the length of the verified prefix (header included);
+	// a recovering writer truncates the file to this length.
+	ValidBytes int64
+	// Truncated reports that bytes after the verified prefix were
+	// discarded (torn write or corruption at the tail).
+	Truncated bool
+	// TailErr describes why scanning stopped when Truncated is set.
+	TailErr error
+}
+
+// Scan reads records from r until EOF or the first damaged frame. A
+// short, torn, or checksum-failing tail is not an error: scanning stops,
+// the damage is reported via Truncated/TailErr, and everything before it
+// is returned. Only a bad magic header or a read failure of the medium
+// itself is a hard error.
+func Scan(r io.Reader) (ScanResult, error) {
+	br := &prefixReader{r: r}
+	var res ScanResult
+
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// Shorter than a header: an empty or torn-at-birth log.
+			res.Truncated = br.n > 0
+			if res.Truncated {
+				res.TailErr = fmt.Errorf("wal: truncated header (%d bytes)", br.n)
+			}
+			return res, nil
+		}
+		return res, err
+	}
+	if string(magic) != Magic {
+		return res, fmt.Errorf("%w: %q", ErrNotWAL, magic)
+	}
+	res.ValidBytes = int64(len(Magic))
+
+	hdr := make([]byte, frameHeaderLen)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return res, nil // clean end on a frame boundary
+			}
+			if err == io.ErrUnexpectedEOF {
+				res.Truncated = true
+				res.TailErr = fmt.Errorf("wal: torn frame header at offset %d", res.ValidBytes)
+				return res, nil
+			}
+			return res, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > MaxRecordLen {
+			res.Truncated = true
+			res.TailErr = fmt.Errorf("wal: implausible record length %d at offset %d", length, res.ValidBytes)
+			return res, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				res.Truncated = true
+				res.TailErr = fmt.Errorf("wal: torn record payload at offset %d", res.ValidBytes)
+				return res, nil
+			}
+			return res, err
+		}
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			res.Truncated = true
+			res.TailErr = fmt.Errorf("wal: checksum mismatch at offset %d (record %d): got %08x, want %08x",
+				res.ValidBytes, len(res.Records), got, sum)
+			return res, nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			// Checksum passed but the payload is not decodable: a format
+			// mismatch, not a torn write. Stop here too, but surface it.
+			res.Truncated = true
+			res.TailErr = fmt.Errorf("wal: record %d at offset %d: %w", len(res.Records), res.ValidBytes, err)
+			return res, nil
+		}
+		res.Records = append(res.Records, rec)
+		res.ValidBytes += int64(frameHeaderLen) + int64(length)
+	}
+}
+
+// ScanFile scans a WAL file on disk (read-only).
+func ScanFile(path string) (ScanResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	defer f.Close()
+	return Scan(f)
+}
+
+// ScanBytes scans an in-memory log image.
+func ScanBytes(b []byte) (ScanResult, error) {
+	return Scan(bytes.NewReader(b))
+}
+
+// prefixReader counts bytes consumed, for header diagnostics.
+type prefixReader struct {
+	r io.Reader
+	n int64
+}
+
+func (p *prefixReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	p.n += int64(n)
+	return n, err
+}
