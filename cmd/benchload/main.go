@@ -1,0 +1,116 @@
+// Command benchload measures bulk-load throughput across the four
+// load-path configurations — per-triple vs the batched fast path, with
+// and without write-ahead logging — and writes the results as JSON
+// (Experiment I's load-throughput companion table).
+//
+// Usage:
+//
+//	benchload [-triples 20000] [-trials 3] [-out BENCH_2.json]
+//
+// Each configuration loads the same deterministic UniProt-like corpus
+// (§7.1) into a fresh store; the WAL configurations count the time to
+// make every record durable (group-commit buffers are flushed inside
+// the clock).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/bench"
+)
+
+type result struct {
+	Name          string  `json:"name"`
+	WAL           bool    `json:"wal"`
+	Batch         int     `json:"batch"`
+	Workers       int     `json:"workers"`
+	SyncEvery     int     `json:"sync_every"`
+	Seconds       float64 `json:"seconds"`
+	TriplesPerSec float64 `json:"triples_per_sec"`
+}
+
+type report struct {
+	Experiment   string   `json:"experiment"`
+	Triples      int      `json:"triples"`
+	Trials       int      `json:"trials"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	Results      []result `json:"results"`
+	SpeedupNoWAL float64  `json:"speedup_no_wal"`
+	SpeedupWAL   float64  `json:"speedup_wal"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	triples := flag.Int("triples", 20000, "corpus size in triples")
+	trials := flag.Int("trials", 3, "timed trials per configuration (mean reported)")
+	out := flag.String("out", "BENCH_2.json", "output JSON file")
+	flag.Parse()
+
+	doc, err := bench.GenerateNT(*triples, 1)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "benchload")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	configs := []struct {
+		name string
+		cfg  bench.LoadConfig
+	}{
+		{"per-triple", bench.LoadConfig{Batch: 1, Workers: 1}},
+		{"batched+parallel", bench.LoadConfig{Batch: 1024, Workers: -1}},
+		{"per-triple+wal", bench.LoadConfig{WAL: true, Batch: 1, Workers: 1, SyncEvery: 1}},
+		{"batched+parallel+wal+group-commit", bench.LoadConfig{WAL: true, Batch: 1024, Workers: -1, SyncEvery: 8}},
+	}
+
+	rep := report{
+		Experiment: "bulk-load throughput: per-triple vs batched fast path",
+		Triples:    *triples,
+		Trials:     *trials,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	byName := map[string]result{}
+	for _, c := range configs {
+		cfg := c.cfg
+		cfg.Triples = *triples
+		cfg.Trials = *trials
+		res, err := bench.MeasureLoad(cfg, doc, dir)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		r := result{
+			Name:          c.name,
+			WAL:           cfg.WAL,
+			Batch:         cfg.Batch,
+			Workers:       cfg.Workers,
+			SyncEvery:     cfg.SyncEvery,
+			Seconds:       res.Seconds,
+			TriplesPerSec: res.TriplesPerSec,
+		}
+		rep.Results = append(rep.Results, r)
+		byName[c.name] = r
+		fmt.Fprintf(os.Stderr, "%-36s %8.3fs  %10.0f triples/s\n", c.name, r.Seconds, r.TriplesPerSec)
+	}
+	rep.SpeedupNoWAL = byName["batched+parallel"].TriplesPerSec / byName["per-triple"].TriplesPerSec
+	rep.SpeedupWAL = byName["batched+parallel+wal+group-commit"].TriplesPerSec / byName["per-triple+wal"].TriplesPerSec
+	fmt.Fprintf(os.Stderr, "speedup: %.1fx (no WAL), %.1fx (WAL)\n", rep.SpeedupNoWAL, rep.SpeedupWAL)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, append(data, '\n'), 0o644)
+}

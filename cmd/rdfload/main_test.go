@@ -273,3 +273,88 @@ func TestRunWALContinueAfterCheckpoint(t *testing.T) {
 		t.Fatalf("recovered store has %d triples, want 2", n)
 	}
 }
+
+func TestRunFastPathFlagsMatchSerial(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.nt")
+	if err := os.WriteFile(path, []byte(sample), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var serial, fast strings.Builder
+	if err := run([]string{"-model", "test", "-batch", "1", "-workers", "1", path},
+		strings.NewReader(""), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "test", "-batch", "2", "-workers", "4", path},
+		strings.NewReader(""), &fast); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != fast.String() {
+		t.Fatalf("fast-path output differs from serial:\n--- serial ---\n%s--- fast ---\n%s",
+			serial.String(), fast.String())
+	}
+}
+
+func TestRunWALGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+
+	// Group commit (-sync-every 8) buffers commits, but the final Flush
+	// before exit makes the whole load durable.
+	var out strings.Builder
+	doc := "<http://a> <http://p> <http://b> .\n<http://c> <http://p> <http://d> .\n<http://e> <http://p> <http://f> .\n"
+	err := run([]string{"-model", "m", "-wal", walPath, "-sync-every", "8", "-batch", "2"},
+		strings.NewReader(doc), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wal.ScanFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.New()
+	if err := st.Replay(res.Records); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.NumTriples("m"); n != 3 {
+		t.Fatalf("recovered store has %d triples, want 3", n)
+	}
+
+	// Checkpoint under group commit: the buffered tail must be flushed
+	// before the snapshot is written and the log truncated.
+	snap := filepath.Join(dir, "store.snap")
+	out.Reset()
+	err = run([]string{"-model", "m", "-wal", walPath, "-sync-every", "4", "-save", snap},
+		strings.NewReader("<http://g> <http://p> <http://h> .\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = wal.ScanFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Fatalf("WAL still has %d records after checkpoint", len(res.Records))
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err = core.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.NumTriples("m"); n != 4 {
+		t.Fatalf("snapshot has %d triples, want 4", n)
+	}
+}
+
+func TestRunRejectsBadFastPathFlags(t *testing.T) {
+	if err := run([]string{"-batch", "0"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Fatal("-batch 0 accepted")
+	}
+	if err := run([]string{"-sync-every", "0"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Fatal("-sync-every 0 accepted")
+	}
+}

@@ -1,9 +1,14 @@
 package bench
 
-// Load-path benchmark: the cost of bulk inserting into the central
-// schema with all indexes maintained (the §7.3 "set-up cost" analogue).
+// Load-path benchmarks: the cost of bulk inserting into the central
+// schema with all indexes maintained (the §7.3 "set-up cost" analogue),
+// across the per-triple and batched fast paths, with and without a WAL.
+// CI runs these once each (-bench=Load -benchtime=1x) as a smoke test.
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func BenchmarkLoadOracle20k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -11,4 +16,53 @@ func BenchmarkLoadOracle20k(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+var benchCorpus struct {
+	once sync.Once
+	doc  string
+	err  error
+}
+
+func benchDoc(b *testing.B) string {
+	benchCorpus.once.Do(func() {
+		benchCorpus.doc, benchCorpus.err = GenerateNT(20000, 1)
+	})
+	if benchCorpus.err != nil {
+		b.Fatal(benchCorpus.err)
+	}
+	return benchCorpus.doc
+}
+
+func benchLoad(b *testing.B, cfg LoadConfig) {
+	doc := benchDoc(b)
+	cfg.Triples = 20000
+	cfg.Trials = 1
+	dir := b.TempDir()
+	b.ResetTimer()
+	var tps float64
+	for i := 0; i < b.N; i++ {
+		res, err := MeasureLoad(cfg, doc, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tps = res.TriplesPerSec
+	}
+	b.ReportMetric(tps, "triples/s")
+}
+
+func BenchmarkLoadPerTriple20k(b *testing.B) {
+	benchLoad(b, LoadConfig{Batch: 1, Workers: 1})
+}
+
+func BenchmarkLoadBatched20k(b *testing.B) {
+	benchLoad(b, LoadConfig{Batch: 1024, Workers: -1})
+}
+
+func BenchmarkLoadPerTripleWAL20k(b *testing.B) {
+	benchLoad(b, LoadConfig{WAL: true, Batch: 1, Workers: 1, SyncEvery: 1})
+}
+
+func BenchmarkLoadBatchedWAL20k(b *testing.B) {
+	benchLoad(b, LoadConfig{WAL: true, Batch: 1024, Workers: -1, SyncEvery: 8})
 }

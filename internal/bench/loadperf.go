@@ -1,0 +1,121 @@
+package bench
+
+// Bulk-load throughput measurement (Experiment I's "set-up cost" angle,
+// §7.3): how fast triples move from N-Triples text into the central
+// schema, per-triple vs the batched fast path, with and without a WAL.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/ntriples"
+	"repro/internal/reify"
+	"repro/internal/uniprot"
+	"repro/internal/wal"
+
+	"repro/internal/core"
+)
+
+// LoadConfig describes one bulk-load measurement.
+type LoadConfig struct {
+	// Triples is the corpus size.
+	Triples int
+	// WAL enables write-ahead logging during the load.
+	WAL bool
+	// Batch is the Loader batch size; 0 or 1 is the per-triple path.
+	Batch int
+	// Workers follows reify.Loader semantics: 0 or 1 serial, < 0 all CPUs.
+	Workers int
+	// SyncEvery > 1 wraps the WAL in group commit (fsync every N commits).
+	SyncEvery int
+	// Trials is the number of timed runs averaged; < 1 means 1.
+	Trials int
+}
+
+// LoadResult is a completed measurement.
+type LoadResult struct {
+	Config        LoadConfig
+	Seconds       float64
+	TriplesPerSec float64
+}
+
+// GenerateNT renders a deterministic UniProt-like corpus (§7.1) as
+// N-Triples text for load benchmarking.
+func GenerateNT(triples int, seed int64) (string, error) {
+	var b strings.Builder
+	_, err := uniprot.Stream(uniprot.Config{Triples: triples, Seed: seed},
+		func(t ntriples.Triple, _ bool) error {
+			b.WriteString(t.String())
+			b.WriteByte('\n')
+			return nil
+		})
+	return b.String(), err
+}
+
+// MeasureLoad loads doc into a fresh store per the config, Trials times,
+// and reports the mean wall-clock throughput. The timed region covers
+// parsing, insertion, and (under WAL) making every record durable — the
+// group-commit buffer is flushed inside the clock. WAL files are created
+// under dir and removed afterwards.
+func MeasureLoad(cfg LoadConfig, doc string, dir string) (LoadResult, error) {
+	trials := cfg.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	var total time.Duration
+	for i := 0; i < trials; i++ {
+		st := core.New()
+		if _, err := st.CreateRDFModel("bench", "", ""); err != nil {
+			return LoadResult{}, err
+		}
+		var log *wal.Log
+		var group *wal.GroupLog
+		var walFile string
+		if cfg.WAL {
+			walFile = filepath.Join(dir, fmt.Sprintf("load-%d.wal", i))
+			var err error
+			log, _, err = wal.OpenFile(walFile)
+			if err != nil {
+				return LoadResult{}, err
+			}
+			if cfg.SyncEvery > 1 {
+				group = wal.Group(log, wal.GroupOptions{SyncEvery: cfg.SyncEvery})
+				st.SetDurability(group)
+			} else {
+				st.SetDurability(log)
+			}
+		}
+		loader := &reify.Loader{
+			Store:     st,
+			Model:     "bench",
+			Workers:   cfg.Workers,
+			BatchSize: cfg.Batch,
+		}
+		start := time.Now()
+		_, err := loader.Load(strings.NewReader(doc))
+		if err == nil && group != nil {
+			err = group.Flush()
+		}
+		total += time.Since(start)
+		if log != nil {
+			if group != nil {
+				group.Close()
+			} else {
+				log.Close()
+			}
+			os.Remove(walFile)
+		}
+		if err != nil {
+			return LoadResult{}, err
+		}
+	}
+	secs := total.Seconds() / float64(trials)
+	return LoadResult{
+		Config:        cfg,
+		Seconds:       secs,
+		TriplesPerSec: float64(cfg.Triples) / secs,
+	}, nil
+}

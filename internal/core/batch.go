@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rdfterm"
+)
+
+// Bulk-insert fast path. The per-triple insert path takes the store's
+// write lock, updates every index, and pays a WAL commit (an fsync, when
+// durable) for every statement; at UniProt scale (§7.1.1, millions of
+// triples) that is latency-bound, not bandwidth-bound. InsertBatch
+// amortizes all three costs: one lock acquisition, one WAL record group,
+// one commit point per batch.
+
+// BatchTriple is one statement queued for InsertBatch.
+type BatchTriple struct {
+	Subject   rdfterm.Term
+	Predicate rdfterm.Term
+	Object    rdfterm.Term
+	// Implied inserts the triple as an indirect statement (CONTEXT = "I",
+	// §5.2) — the base of a reification that was never asserted directly.
+	Implied bool
+}
+
+// BatchResult reports what a batch did.
+type BatchResult struct {
+	// Triples holds the storage object for every input statement, in
+	// input order (repeated statements share a TID with bumped COST).
+	Triples []TripleS
+	// NewLinks is the number of new rdf_link$ rows created.
+	NewLinks int
+}
+
+// InsertBatch inserts a batch of triples under a single write-lock
+// acquisition and a single WAL commit point. The batch runs in two
+// phases, mirroring the §4.1 pipeline at batch granularity: every
+// distinct term across the batch is interned into rdf_value$ first
+// (repeats hit the term-ID cache), then the rdf_link$ rows are inserted.
+// The WAL sees one record group ending in one Commit, so a crash either
+// keeps the whole batch or replays a consistent prefix of it.
+//
+// On error the store keeps the entries already applied (each is
+// individually consistent) and the WAL is left uncommitted; the error
+// identifies the failing entry by batch index.
+func (s *Store) InsertBatch(model string, batch []BatchTriple) (BatchResult, error) {
+	if len(batch) == 0 {
+		return BatchResult{}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mid, err := s.getModelIDLocked(model)
+	if err != nil {
+		return BatchResult{}, err
+	}
+
+	// Phase 1: intern. After this loop every VALUE_ID the batch needs
+	// exists, so the link phase is pure index-and-insert work.
+	interned := make([]internedTriple, len(batch))
+	for i, bt := range batch {
+		it, err := s.internTripleLocked(mid, bt.Subject, bt.Predicate, bt.Object)
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("core: batch entry %d: %w", i, err)
+		}
+		interned[i] = it
+	}
+
+	// Phase 2: links.
+	res := BatchResult{Triples: make([]TripleS, len(batch))}
+	for i, it := range interned {
+		context := ContextDirect
+		if batch[i].Implied {
+			context = ContextIndirect
+		}
+		ts, created, err := s.insertLinkLocked(mid, it, context)
+		if err != nil {
+			return res, fmt.Errorf("core: batch entry %d: %w", i, err)
+		}
+		res.Triples[i] = ts
+		if created {
+			res.NewLinks++
+		}
+	}
+	return res, s.logCommit()
+}

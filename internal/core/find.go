@@ -32,11 +32,25 @@ func (s *Store) Find(model string, pat Pattern) ([]TripleS, error) {
 }
 
 // FindModels runs Find over several models, concatenating results — the
-// multi-model scope of SDO_RDF_MATCH (§6.1).
+// multi-model scope of SDO_RDF_MATCH (§6.1). The whole call holds one
+// read lock: all model names are resolved up front (an unknown model
+// fails before any scanning), and a concurrent writer cannot commit
+// between the per-model scans, so the result is a consistent snapshot
+// across every model in the list.
 func (s *Store) FindModels(models []string, pat Pattern) ([]TripleS, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mids := make([]int64, len(models))
+	for i, m := range models {
+		mid, err := s.getModelIDLocked(m)
+		if err != nil {
+			return nil, err
+		}
+		mids[i] = mid
+	}
 	var out []TripleS
-	for _, m := range models {
-		ts, err := s.Find(m, pat)
+	for _, mid := range mids {
+		ts, err := s.findModel(mid, pat)
 		if err != nil {
 			return nil, err
 		}
@@ -69,33 +83,36 @@ func (s *Store) findModel(mid int64, pat Pattern) ([]TripleS, error) {
 		}
 	}
 
+	// collectIDs fetches each candidate row and applies only the residual
+	// checks — the components the index prefix does NOT already guarantee.
+	// A component baked into the scanned key prefix is equal on every row
+	// the scan returns, so re-checking it per row is pure overhead.
 	var out []TripleS
-	collectRow := func(r reldb.Row) bool {
-		if pat.Predicate != nil && r[lcPValueID].Int64() != pid {
-			return true
-		}
-		if pat.Object != nil && r[lcCanonEndNodeID].Int64() != oid {
-			return true
-		}
-		if pat.Subject != nil && r[lcStartNodeID].Int64() != sid {
-			return true
-		}
-		out = append(out, s.tripleSFromRow(r))
-		return true
-	}
-	collectIDs := func(ids []reldb.RowID) error {
+	collectIDs := func(ids []reldb.RowID, checkS, checkP, checkO bool) error {
 		for _, rid := range ids {
 			r, err := s.links.Get(rid)
 			if err != nil {
 				continue // row deleted since index snapshot
 			}
-			collectRow(r)
+			if checkS && r[lcStartNodeID].Int64() != sid {
+				continue
+			}
+			if checkP && r[lcPValueID].Int64() != pid {
+				continue
+			}
+			if checkO && r[lcCanonEndNodeID].Int64() != oid {
+				continue
+			}
+			out = append(out, s.tripleSFromRow(r))
 		}
 		return nil
 	}
 
 	switch {
 	case pat.Subject != nil:
+		// MSPO prefix covers (M,S), plus P if bound, plus O if P and O are
+		// both bound. The only possible residual is O when P is unbound
+		// (the prefix cannot skip the P column to reach O).
 		prefix := reldb.Key{reldb.Int(mid), reldb.Int(sid)}
 		if pat.Predicate != nil {
 			prefix = append(prefix, reldb.Int(pid))
@@ -108,21 +125,24 @@ func (s *Store) findModel(mid int64, pat Pattern) ([]TripleS, error) {
 			ids = append(ids, rid)
 			return true
 		})
-		return out, collectIDs(ids)
+		return out, collectIDs(ids, false, false, pat.Predicate == nil && pat.Object != nil)
 	case pat.Predicate != nil:
+		// MP prefix covers (M,P); O is residual. S is unbound here (the
+		// MSPO branch would have taken it).
 		var ids []reldb.RowID
 		s.linkMP.ScanPrefix(reldb.Key{reldb.Int(mid), reldb.Int(pid)}, func(_ reldb.Key, rid reldb.RowID) bool {
 			ids = append(ids, rid)
 			return true
 		})
-		return out, collectIDs(ids)
+		return out, collectIDs(ids, false, false, pat.Object != nil)
 	case pat.Object != nil:
+		// MO prefix covers (M,O-canon); nothing else is bound.
 		var ids []reldb.RowID
 		s.linkMO.ScanPrefix(reldb.Key{reldb.Int(mid), reldb.Int(oid)}, func(_ reldb.Key, rid reldb.RowID) bool {
 			ids = append(ids, rid)
 			return true
 		})
-		return out, collectIDs(ids)
+		return out, collectIDs(ids, false, false, false)
 	default:
 		err := s.links.ScanPartition(mid, func(_ reldb.RowID, r reldb.Row) bool {
 			out = append(out, s.tripleSFromRow(r))

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// Crash-point matrix for the group-commit bulk-load path. The record
+// stream a GroupLog emits is byte-identical to a plain Log's (frames are
+// only buffered, never reordered), so the golden image, record stream,
+// and per-commit fingerprints from the fault-free plain run remain the
+// ground truth. What changes under group commit is *when* bytes reach
+// the file: only at sync points, in one large write. A crash therefore
+// loses up to SyncEvery-1 whole commits — but whatever survives must
+// still be a prefix of the golden history, replay to a consistent store,
+// and, on a commit boundary, equal the golden store byte for byte.
+
+// groupWorkload is the WAL crash workload extended with batch inserts,
+// so the matrix covers InsertBatch's two-phase record groups too.
+func groupWorkload() []walOp {
+	ops := walWorkload()
+	ops = append(ops,
+		walOp{"batch insert", func(s *Store) error {
+			_, err := s.InsertBatch("gov", batchWorkload())
+			return err
+		}},
+		walOp{"batch repeat", func(s *Store) error {
+			// Re-run part of the batch: pure cost bumps, no new links.
+			_, err := s.InsertBatch("gov", batchWorkload()[:3])
+			return err
+		}},
+	)
+	return ops
+}
+
+// TestWALGroupCommitCrashMatrix drives every fault offset of the
+// group-commit log image through fail-stop, short-write, and bit-flip
+// faults at SyncEvery=3, proving batched durability keeps the
+// synced-prefix-is-consistent property.
+func TestWALGroupCommitCrashMatrix(t *testing.T) {
+	const syncEvery = 3
+	ops := groupWorkload()
+	img, golden, commits := goldenRun(t, ops)
+
+	stride := 1
+	if testing.Short() {
+		stride = 17
+	}
+	byteOffsets := func() []int {
+		var offs []int
+		for c := 0; c <= len(img); c += stride {
+			offs = append(offs, c)
+		}
+		if offs[len(offs)-1] != len(img) {
+			offs = append(offs, len(img))
+		}
+		return offs
+	}
+	matrix := []struct {
+		mode    wal.FaultMode
+		offsets []int
+	}{
+		{wal.FailStop, frameBoundaries(img)},
+		{wal.ShortWrite, byteOffsets()},
+		{wal.CorruptByte, byteOffsets()},
+	}
+
+	cases := 0
+	for _, m := range matrix {
+		for _, cut := range m.offsets {
+			cases++
+			label := fmt.Sprintf("group/%s@%d", m.mode, cut)
+
+			ff := &wal.FaultFile{FailAt: int64(cut), Mode: m.mode}
+			log, err := wal.NewLog(ff, true)
+			if err == nil {
+				g := wal.Group(log, wal.GroupOptions{SyncEvery: syncEvery})
+				live := New()
+				live.SetDurability(g)
+				for _, op := range ops {
+					if err := op.do(live); err != nil {
+						break
+					}
+				}
+				// The crash strikes before the final flush: buffered
+				// commits die with the process, which is exactly the
+				// group-commit durability tradeoff under test.
+			}
+			surviving := ff.Bytes()
+
+			res, err := wal.ScanBytes(surviving)
+			if err != nil {
+				if m.mode == wal.CorruptByte && cut < len(wal.Magic) && errors.Is(err, wal.ErrNotWAL) {
+					continue
+				}
+				t.Fatalf("%s: scan: %v", label, err)
+			}
+			if !recordsArePrefix(res.Records, golden) {
+				t.Fatalf("%s: recovered %d records are not a golden prefix", label, len(res.Records))
+			}
+			rec := New()
+			if err := rec.Replay(res.Records); err != nil {
+				t.Fatalf("%s: replay: %v", label, err)
+			}
+			if errs := rec.CheckInvariants(); len(errs) > 0 {
+				t.Fatalf("%s: invariants after recovery: %v", label, errs)
+			}
+			if want, ok := commits[len(res.Records)]; ok {
+				if got := fingerprint(t, rec); !bytes.Equal(got, want) {
+					t.Fatalf("%s: recovered store differs from golden store at commit with %d records",
+						label, len(res.Records))
+				}
+				if _, err := rec.NewTripleS("post", "gov:s", "gov:p", "gov:o", govAliases()); err == nil {
+					t.Fatalf("%s: insert into missing model succeeded", label)
+				}
+				if _, err := rec.CreateRDFModel("post", "", ""); err != nil {
+					t.Fatalf("%s: store not writable after recovery: %v", label, err)
+				}
+				if _, err := rec.InsertBatch("post", batchWorkload()); err != nil {
+					t.Fatalf("%s: batch insert after recovery: %v", label, err)
+				}
+				if errs := rec.CheckInvariants(); len(errs) > 0 {
+					t.Fatalf("%s: invariants after post-recovery batch: %v", label, errs)
+				}
+			}
+		}
+	}
+
+	// Sanity: a fault-free group run with a final flush lands the full
+	// golden image.
+	bf := &wal.BufferFile{}
+	log, err := wal.NewLog(bf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := wal.Group(log, wal.GroupOptions{SyncEvery: syncEvery})
+	clean := New()
+	clean.SetDurability(g)
+	for _, op := range ops {
+		if err := op.do(clean); err != nil {
+			t.Fatalf("clean group run, op %q: %v", op.name, err)
+		}
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bf.Bytes(), img) {
+		t.Fatal("group-commit log image differs from plain log image")
+	}
+	t.Logf("group crash matrix: %d fault points over a %d-byte log (%d records, SyncEvery=%d)",
+		cases, len(img), len(golden), syncEvery)
+}

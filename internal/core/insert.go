@@ -84,40 +84,67 @@ func (s *Store) insertTermsCtx(model string, sub, prop, obj rdfterm.Term, contex
 	return ts, s.logCommit()
 }
 
+// internedTriple carries one triple between the two phases of an insert:
+// the blank-resolved terms and their interned VALUE_IDs. Batch inserts
+// run the intern phase over the whole batch before touching rdf_link$.
+type internedTriple struct {
+	sub, prop, obj rdfterm.Term
+	sid, pid, oid  int64
+	canonID        int64
+}
+
 // insertLocked implements the §4.1 parsing pipeline. Caller holds s.mu.
 // It returns the storage object and whether a new link row was created.
 func (s *Store) insertLocked(modelID int64, sub, prop, obj rdfterm.Term, context string) (TripleS, bool, error) {
+	it, err := s.internTripleLocked(modelID, sub, prop, obj)
+	if err != nil {
+		return TripleS{}, false, err
+	}
+	return s.insertLinkLocked(modelID, it, context)
+}
+
+// internTripleLocked is the intern phase: blank resolution plus value
+// interning for subject, predicate, object, and the object's canonical
+// form (reusing existing VALUE_IDs, §4.1). Caller holds s.mu for writing.
+func (s *Store) internTripleLocked(modelID int64, sub, prop, obj rdfterm.Term) (internedTriple, error) {
 	if prop.Kind != rdfterm.URI {
-		return TripleS{}, false, fmt.Errorf("core: predicate must be a URI, got %s", prop)
+		return internedTriple{}, fmt.Errorf("core: predicate must be a URI, got %s", prop)
 	}
 	var err error
 	if sub, err = s.resolveBlankLocked(modelID, sub); err != nil {
-		return TripleS{}, false, err
+		return internedTriple{}, err
 	}
 	if obj, err = s.resolveBlankLocked(modelID, obj); err != nil {
-		return TripleS{}, false, err
+		return internedTriple{}, err
 	}
-	// Intern the three text values (reusing existing VALUE_IDs, §4.1).
 	sid, err := s.internValueLocked(sub)
 	if err != nil {
-		return TripleS{}, false, err
+		return internedTriple{}, err
 	}
 	pid, err := s.internValueLocked(prop)
 	if err != nil {
-		return TripleS{}, false, err
+		return internedTriple{}, err
 	}
 	oid, err := s.internValueLocked(obj)
 	if err != nil {
-		return TripleS{}, false, err
+		return internedTriple{}, err
 	}
 	// Canonical object ID (CANON_END_NODE_ID): typed literals match on
 	// their canonical form.
 	canonID := oid
 	if canon := rdfterm.Canonical(obj); !canon.Equal(obj) {
 		if canonID, err = s.internValueLocked(canon); err != nil {
-			return TripleS{}, false, err
+			return internedTriple{}, err
 		}
 	}
+	return internedTriple{sub: sub, prop: prop, obj: obj, sid: sid, pid: pid, oid: oid, canonID: canonID}, nil
+}
+
+// insertLinkLocked is the link phase: with all values interned, find or
+// create the rdf_link$ row. Caller holds s.mu for writing.
+func (s *Store) insertLinkLocked(modelID int64, it internedTriple, context string) (TripleS, bool, error) {
+	sub, prop, obj := it.sub, it.prop, it.obj
+	sid, pid, oid, canonID := it.sid, it.pid, it.oid, it.canonID
 	// Does the triple already exist in this model?
 	mspoKey := reldb.Key{reldb.Int(modelID), reldb.Int(sid), reldb.Int(pid), reldb.Int(canonID)}
 	if rid, ok := s.linkMSPO.LookupOne(mspoKey); ok {

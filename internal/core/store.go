@@ -55,6 +55,14 @@ type Store struct {
 	modelSeq *reldb.Sequence
 	blankSeq *reldb.Sequence
 
+	// termIDs caches term → VALUE_ID so hot terms (repeated subjects and
+	// predicates during bulk load) skip the function-index lookup.
+	// rdf_value$ rows are never deleted or rewritten, so entries cannot go
+	// stale; the cache is only bounded (see termCacheMax). Entries are
+	// added only under the write lock; readers holding RLock may consult
+	// it because RWMutex excludes writers while any reader is in.
+	termIDs map[string]int64
+
 	// mu serializes multi-table mutations (value interning + link insert),
 	// keeping cross-table invariants atomic. Readers hold the read lock:
 	// the underlying tables and indexes are not safe for concurrent

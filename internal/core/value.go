@@ -12,9 +12,33 @@ import (
 // characters").
 const maxValueNameLen = rdfterm.LongLiteralThreshold
 
+// termCacheMax bounds the term → VALUE_ID cache. When the cap is hit the
+// whole map is dropped (values remain in the store; only the shortcut is
+// lost) rather than tracking recency — bulk loads touch terms in bursts,
+// so a full reset costs one warm-up pass.
+const termCacheMax = 1 << 20
+
+// termCacheKey flattens a term into the cache key. The components are
+// separated by NUL, which cannot occur inside a validated term.
+func termCacheKey(t rdfterm.Term) string {
+	return t.ValueType() + "\x00" + t.Lexical() + "\x00" + t.Datatype + "\x00" + t.Language
+}
+
+// cacheTermIDLocked records a term's VALUE_ID for later lookups. Caller
+// holds s.mu for writing (readers only ever read the map).
+func (s *Store) cacheTermIDLocked(key string, id int64) {
+	if s.termIDs == nil || len(s.termIDs) >= termCacheMax {
+		s.termIDs = make(map[string]int64, 1024)
+	}
+	s.termIDs[key] = id
+}
+
 // lookupValueID returns the VALUE_ID for a term, or (0,false) when the
 // text value is not interned yet.
 func (s *Store) lookupValueID(t rdfterm.Term) (int64, bool) {
+	if id, ok := s.termIDs[termCacheKey(t)]; ok {
+		return id, true
+	}
 	rid, ok := s.valueText.LookupOne(termKey(t))
 	if !ok {
 		return 0, false
@@ -33,7 +57,12 @@ func (s *Store) internValueLocked(t rdfterm.Term) (int64, error) {
 	if err := t.Validate(); err != nil {
 		return 0, err
 	}
+	key := termCacheKey(t)
+	if id, ok := s.termIDs[key]; ok {
+		return id, nil
+	}
 	if id, ok := s.lookupValueID(t); ok {
+		s.cacheTermIDLocked(key, id)
 		return id, nil
 	}
 	id := s.valueSeq.Next()
@@ -43,6 +72,7 @@ func (s *Store) internValueLocked(t rdfterm.Term) (int64, error) {
 	if err := s.logRecord(valueRecord(id, t.Lexical(), t.ValueType(), t.Datatype, t.Language)); err != nil {
 		return 0, err
 	}
+	s.cacheTermIDLocked(key, id)
 	return id, nil
 }
 

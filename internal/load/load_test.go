@@ -1,0 +1,198 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ntriples"
+)
+
+// genNT builds a deterministic N-Triples document with n statements,
+// sprinkled with comments and blank lines.
+func genNT(n int) string {
+	var b strings.Builder
+	b.WriteString("# header comment\n\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<http://s/%d> <http://p/%d> \"obj %d\" .\n", i%97, i%7, i)
+		if i%50 == 25 {
+			b.WriteString("# interleaved comment\n")
+		}
+	}
+	return b.String()
+}
+
+// TestParseMatchesSerial: the parallel parser must produce exactly the
+// serial reader's triple sequence, for various worker/chunk geometries.
+func TestParseMatchesSerial(t *testing.T) {
+	doc := genNT(1203)
+	want, err := ntriples.NewReader(strings.NewReader(doc)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []Options{
+		{Workers: 1},
+		{Workers: 2, ChunkLines: 7},
+		{Workers: 4, ChunkLines: 1},
+		{Workers: 8, ChunkLines: 64},
+		{}, // GOMAXPROCS workers, default chunking
+	} {
+		got, err := Parse(strings.NewReader(doc), opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%+v: %d triples, want %d", opt, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: triple %d = %v, want %v (order not preserved?)", opt, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunBatchSizes: sink sees full batches then the remainder, in order.
+func TestRunBatchSizes(t *testing.T) {
+	doc := genNT(1000)
+	var sizes []int
+	seen := 0
+	n, err := Run(strings.NewReader(doc), Options{Workers: 4, BatchSize: 300, ChunkLines: 11},
+		func(batch []ntriples.Triple) error {
+			sizes = append(sizes, len(batch))
+			for _, tr := range batch {
+				want := fmt.Sprintf("obj %d", seen)
+				if tr.Object.Value != want {
+					t.Fatalf("triple %d out of order: %q != %q", seen, tr.Object.Value, want)
+				}
+				seen++
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 || seen != 1000 {
+		t.Fatalf("delivered %d/%d triples, want 1000", n, seen)
+	}
+	for i, s := range sizes[:len(sizes)-1] {
+		if s != 300 {
+			t.Fatalf("batch %d has %d triples, want 300", i, s)
+		}
+	}
+	if last := sizes[len(sizes)-1]; last != 100 {
+		t.Fatalf("final batch has %d triples, want 100", last)
+	}
+}
+
+// TestParseErrorPosition: a syntax error must carry its original input
+// line number and cancel the pipeline; the earliest error wins.
+func TestParseErrorPosition(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&b, "<http://s/%d> <http://p> <http://o> .\n", i)
+	}
+	b.WriteString("this is not a triple\n") // line 101
+	for i := 0; i < 100; i++ {
+		b.WriteString("also garbage\n") // later errors must not win
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := Parse(strings.NewReader(b.String()), Options{Workers: workers, ChunkLines: 10})
+		var perr *ntriples.ParseError
+		if !errors.As(err, &perr) {
+			t.Fatalf("workers=%d: error %v is not a ParseError", workers, err)
+		}
+		if perr.Line != 101 {
+			t.Fatalf("workers=%d: error at line %d, want 101", workers, perr.Line)
+		}
+	}
+}
+
+// TestSinkErrorCancels: a sink failure stops the pipeline promptly.
+func TestSinkErrorCancels(t *testing.T) {
+	boom := errors.New("sink full")
+	calls := 0
+	_, err := Run(strings.NewReader(genNT(5000)), Options{Workers: 4, BatchSize: 100},
+		func([]ntriples.Triple) error {
+			calls++
+			if calls == 3 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if calls != 3 {
+		t.Fatalf("sink called %d times after failure, want 3", calls)
+	}
+}
+
+// errReader fails after a few bytes, simulating a broken input stream.
+type errReader struct {
+	data string
+	off  int
+}
+
+func (e *errReader) Read(p []byte) (int, error) {
+	if e.off >= len(e.data) {
+		return 0, errors.New("stream torn")
+	}
+	n := copy(p, e.data[e.off:])
+	e.off += n
+	return n, nil
+}
+
+// TestScannerErrorPropagates: an input I/O error surfaces from Run.
+func TestScannerErrorPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Run(&errReader{data: genNT(100)}, Options{Workers: workers},
+			func([]ntriples.Triple) error { return nil })
+		if err == nil || err == io.EOF {
+			t.Fatalf("workers=%d: stream error lost: %v", workers, err)
+		}
+	}
+}
+
+// TestBulkLoad: the streaming fast path must load the same store state
+// as per-triple inserts.
+func TestBulkLoad(t *testing.T) {
+	doc := genNT(777)
+	fast := core.New()
+	if _, err := fast.CreateRDFModel("m", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	n, err := BulkLoad(fast, "m", strings.NewReader(doc), Options{Workers: 4, BatchSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 777 {
+		t.Fatalf("loaded %d triples, want 777", n)
+	}
+
+	slow := core.New()
+	if _, err := slow.CreateRDFModel("m", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ntriples.NewReader(strings.NewReader(doc)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ts {
+		if _, err := slow.InsertTerms("m", tr.Subject, tr.Predicate, tr.Object); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nf, _ := fast.NumTriples("m")
+	ns, _ := slow.NumTriples("m")
+	if nf != ns {
+		t.Fatalf("bulk store has %d triples, per-triple store has %d", nf, ns)
+	}
+	if fast.NumValues() != slow.NumValues() || fast.NumNodes() != slow.NumNodes() {
+		t.Fatalf("value/node counts diverge: %d/%d vs %d/%d",
+			fast.NumValues(), fast.NumNodes(), slow.NumValues(), slow.NumNodes())
+	}
+}

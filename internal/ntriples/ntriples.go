@@ -44,10 +44,13 @@ type Reader struct {
 	line int
 }
 
-// NewReader wraps r. Lines up to 16 MiB are supported (long literals).
+// MaxLineLen is the longest supported input line (long literals).
+const MaxLineLen = 16 * 1024 * 1024
+
+// NewReader wraps r. Lines up to MaxLineLen are supported.
 func NewReader(r io.Reader) *Reader {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineLen)
 	return &Reader{sc: sc}
 }
 
@@ -55,13 +58,12 @@ func NewReader(r io.Reader) *Reader {
 func (r *Reader) Next() (Triple, error) {
 	for r.sc.Scan() {
 		r.line++
-		line := strings.TrimSpace(r.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		t, err := r.parseLine(line)
+		t, ok, err := ParseLine(r.sc.Text(), r.line)
 		if err != nil {
 			return Triple{}, err
+		}
+		if !ok {
+			continue
 		}
 		return t, nil
 	}
@@ -69,6 +71,23 @@ func (r *Reader) Next() (Triple, error) {
 		return Triple{}, err
 	}
 	return Triple{}, io.EOF
+}
+
+// ParseLine parses one N-Triples line. ok is false for blank and comment
+// lines (no triple, no error). lineNo is reported in parse errors — the
+// parallel bulk loader (internal/load) parses lines out of band and needs
+// positions to survive the fan-out.
+func ParseLine(line string, lineNo int) (t Triple, ok bool, err error) {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+		return Triple{}, false, nil
+	}
+	r := &Reader{line: lineNo}
+	t, err = r.parseLine(trimmed)
+	if err != nil {
+		return Triple{}, false, err
+	}
+	return t, true, nil
 }
 
 // ReadAll drains the reader.

@@ -25,8 +25,10 @@ package reify
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/load"
 	"repro/internal/ntriples"
 	"repro/internal/rdfterm"
 )
@@ -61,6 +63,15 @@ type Loader struct {
 	// KeepOriginalURIs records <DBUri, origResource, R> for every folded
 	// quad.
 	KeepOriginalURIs bool
+	// Workers is the number of parallel N-Triples parse workers Load
+	// uses (the internal/load pipeline). 0 or 1 parses serially; < 0
+	// uses GOMAXPROCS.
+	Workers int
+	// BatchSize, when > 1, inserts non-quad triples through
+	// Store.InsertBatch in groups of BatchSize — one write-lock
+	// acquisition and one WAL commit point per group, instead of one
+	// per triple.
+	BatchSize int
 }
 
 // Stats summarizes one load.
@@ -93,23 +104,24 @@ func (q *quad) complete() bool {
 	return q.hasType && q.sub != nil && q.pred != nil && q.obj != nil
 }
 
-// Load reads all triples from r and loads them into the model.
+// Load reads all triples from r and loads them into the model. The
+// entire input is read before inserting (§7.3: quad members may arrive
+// in any order); with Workers set, parsing fans out across the
+// internal/load pipeline.
 func (l *Loader) Load(r io.Reader) (Stats, error) {
 	var stats Stats
 	if l.Store == nil || l.Model == "" {
 		return stats, fmt.Errorf("reify: Loader needs Store and Model")
 	}
-	reader := ntriples.NewReader(r)
-	var triples []ntriples.Triple
-	for {
-		t, err := reader.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return stats, err
-		}
-		triples = append(triples, t)
+	workers := l.Workers
+	if workers < 0 {
+		workers = 0 // load.Options: 0 → GOMAXPROCS
+	} else if workers == 0 {
+		workers = 1 // Loader default: serial
+	}
+	triples, err := load.Parse(r, load.Options{Workers: workers})
+	if err != nil {
+		return stats, err
 	}
 	stats.Read = len(triples)
 	return l.loadParsed(triples, stats)
@@ -165,13 +177,22 @@ func (l *Loader) loadParsed(triples []ntriples.Triple, stats Stats) (Stats, erro
 	}
 
 	// Pass 2: fold complete quads; base triples become indirect statements
-	// unless also asserted directly in the input.
+	// unless also asserted directly in the input. Quad resources are
+	// processed in sorted order so a load is deterministic: the same
+	// input always assigns the same VALUE_IDs and LINK_IDs, and two
+	// stores loaded from the same file are byte-identical.
 	asserted := map[string]bool{}
 	for _, t := range rest {
 		asserted[tripleKey(t)] = true
 	}
+	resources := make([]rdfterm.Term, 0, len(quads))
+	for res := range quads {
+		resources = append(resources, res)
+	}
+	sort.Slice(resources, func(i, j int) bool { return resources[i].Compare(resources[j]) < 0 })
 	dburiOf := map[rdfterm.Term]string{}
-	for res, q := range quads {
+	for _, res := range resources {
+		q := quads[res]
 		if !q.complete() {
 			stats.Incomplete++
 			if err := l.handleIncomplete(res, q, &stats); err != nil {
@@ -214,6 +235,24 @@ func (l *Loader) loadParsed(triples []ntriples.Triple, stats Stats) (Stats, erro
 
 	// Pass 3: insert remaining triples, rewriting references to folded
 	// quad resources into DBUris (assertions about reified statements).
+	// With BatchSize > 1 the inserts go through Store.InsertBatch —
+	// interning, link insertion, and the WAL commit are amortized over
+	// each batch instead of paid per triple.
+	var batch []core.BatchTriple
+	batchRewrites := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := l.Store.InsertBatch(l.Model, batch); err != nil {
+			return err
+		}
+		stats.Inserted += len(batch)
+		stats.AssertionsRewritten += batchRewrites
+		batch = batch[:0]
+		batchRewrites = 0
+		return nil
+	}
 	for _, t := range rest {
 		if asserted["folded|"+tripleKey(t)] {
 			// The base triple was already inserted during folding; skip the
@@ -232,6 +271,18 @@ func (l *Loader) loadParsed(triples []ntriples.Triple, stats Stats) (Stats, erro
 			obj = rdfterm.NewURI(d)
 			rewritten = true
 		}
+		if l.BatchSize > 1 {
+			batch = append(batch, core.BatchTriple{Subject: sub, Predicate: t.Predicate, Object: obj})
+			if rewritten {
+				batchRewrites++
+			}
+			if len(batch) >= l.BatchSize {
+				if err := flush(); err != nil {
+					return stats, err
+				}
+			}
+			continue
+		}
 		if _, err := l.Store.InsertTerms(l.Model, sub, t.Predicate, obj); err != nil {
 			return stats, err
 		}
@@ -240,7 +291,7 @@ func (l *Loader) loadParsed(triples []ntriples.Triple, stats Stats) (Stats, erro
 			stats.AssertionsRewritten++
 		}
 	}
-	return stats, nil
+	return stats, flush()
 }
 
 // insertImplied inserts the base triple of a reification as an indirect

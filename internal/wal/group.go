@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Group commit: a bulk load that fsyncs once per triple is bounded by
+// disk flush latency, not bandwidth. A GroupLog sits between the store
+// and a Log, buffering framed records in memory and acknowledging
+// commits without syncing; every SyncEvery commits (or every Interval,
+// whichever comes first) the buffered frames are written and fsynced in
+// one batch.
+//
+// The durability contract weakens in exactly one documented way: a crash
+// may lose up to the last SyncEvery-1 committed mutations. What survives
+// is still a prefix of the record stream in commit order, so recovery
+// replays to a consistent state — the crash-point matrix property is
+// preserved, only the freshness of the surviving prefix changes.
+
+// GroupOptions configure a GroupLog.
+type GroupOptions struct {
+	// SyncEvery is the number of Commit calls between fsyncs. 0 or 1
+	// syncs on every commit (no grouping).
+	SyncEvery int
+	// Interval, when positive, bounds how long a committed record may
+	// stay buffered: a background flusher syncs at least this often.
+	Interval time.Duration
+}
+
+// GroupLog wraps a Log with group commit. It satisfies the same
+// Append/Commit contract as Log (core.Durability), so the store cannot
+// tell the difference. Close flushes and closes the underlying Log.
+type GroupLog struct {
+	log  *Log
+	opts GroupOptions
+
+	mu      sync.Mutex
+	buf     []byte // framed records not yet written to the file
+	pending int    // commits since the last sync
+	err     error  // first flush failure, latched: the log is behind memory
+
+	stop chan struct{} // closes the interval flusher
+	done chan struct{}
+}
+
+// Group wraps l with group commit. With an Interval, a background
+// goroutine flushes periodically; call Close (or Flush + stopping use)
+// before discarding the GroupLog.
+func Group(l *Log, opts GroupOptions) *GroupLog {
+	if opts.SyncEvery < 1 {
+		opts.SyncEvery = 1
+	}
+	g := &GroupLog{log: l, opts: opts}
+	if opts.Interval > 0 {
+		g.stop = make(chan struct{})
+		g.done = make(chan struct{})
+		go g.flushLoop()
+	}
+	return g
+}
+
+// flushLoop syncs buffered commits at least every Interval.
+func (g *GroupLog) flushLoop() {
+	defer close(g.done)
+	t := time.NewTicker(g.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.mu.Lock()
+			if g.pending > 0 && g.err == nil {
+				g.flushLocked()
+			}
+			g.mu.Unlock()
+		}
+	}
+}
+
+// Append frames the record into the in-memory buffer. Nothing reaches
+// the file until the next flush, so Append cannot tear the on-disk log.
+func (g *GroupLog) Append(r Record) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err != nil {
+		return g.err
+	}
+	g.buf = appendFrame(g.buf, &r)
+	return nil
+}
+
+// Commit marks a commit boundary. Every SyncEvery-th commit flushes the
+// buffer and fsyncs; in between, the commit is acknowledged from memory.
+func (g *GroupLog) Commit() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err != nil {
+		return g.err
+	}
+	g.pending++
+	if g.pending >= g.opts.SyncEvery {
+		return g.flushLocked()
+	}
+	return nil
+}
+
+// Flush writes and fsyncs everything buffered, regardless of SyncEvery.
+// Call it before checkpointing (snapshot + Reset) and before exit.
+func (g *GroupLog) Flush() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err != nil {
+		return g.err
+	}
+	if g.pending == 0 && len(g.buf) == 0 {
+		return nil
+	}
+	return g.flushLocked()
+}
+
+// flushLocked writes the buffered frames in one Write and syncs. A
+// failure is latched: the in-memory store is ahead of the log from that
+// point on, and every later Append/Commit reports it. Caller holds g.mu.
+func (g *GroupLog) flushLocked() error {
+	if len(g.buf) > 0 {
+		if err := g.log.writeRaw(g.buf); err != nil {
+			g.err = fmt.Errorf("wal: group flush: %w", err)
+			return g.err
+		}
+		g.buf = g.buf[:0]
+	}
+	if err := g.log.Commit(); err != nil {
+		g.err = err
+		return g.err
+	}
+	g.pending = 0
+	return nil
+}
+
+// Buffered reports the number of commits currently held in memory —
+// the most a crash right now could lose.
+func (g *GroupLog) Buffered() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pending
+}
+
+// Close stops the interval flusher, flushes outstanding commits, and
+// closes the underlying Log.
+func (g *GroupLog) Close() error {
+	if g.stop != nil {
+		close(g.stop)
+		<-g.done
+		g.stop = nil
+	}
+	flushErr := g.Flush()
+	if err := g.log.Close(); err != nil {
+		return err
+	}
+	return flushErr
+}

@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// groupRecords is a small mixed record workload for group-commit tests.
+func groupRecords() []Record {
+	return []Record{
+		{Type: TypeCreateModel, ModelID: 7, Name: "m"},
+		{Type: TypeInternValue, ValueID: 1068, Text: "http://a", ValueType: "UR"},
+		{Type: TypeInternValue, ValueID: 1069, Text: "lit", ValueType: "PL", Language: "en"},
+		{Type: TypeInsertLink, LinkID: 2051, ModelID: 7, StartID: 1068, PropID: 1069,
+			EndID: 1068, CanonID: 1068, LinkType: "RDF_MEMBER", Cost: 1, Context: "D"},
+		{Type: TypeUpdateLink, LinkID: 2051, Cost: 2, Context: "D"},
+		{Type: TypeSeqAdvance, Seq: SeqBlank, SeqValue: 3},
+		{Type: TypeDeleteLink, LinkID: 2051},
+	}
+}
+
+// TestGroupLogSameImage: a GroupLog must produce byte-identical log
+// images to a plain Log for the same record stream.
+func TestGroupLogSameImage(t *testing.T) {
+	recs := groupRecords()
+
+	plain := &BufferFile{}
+	l, err := NewLog(plain, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	grouped := &BufferFile{}
+	gl, err := NewLog(grouped, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group(gl, GroupOptions{SyncEvery: 3})
+	for _, r := range recs {
+		if err := g.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), grouped.Bytes()) {
+		t.Fatalf("group image (%d bytes) differs from plain image (%d bytes)",
+			grouped.Len(), plain.Len())
+	}
+	res, err := ScanBytes(grouped.Bytes())
+	if err != nil || res.Truncated {
+		t.Fatalf("scan: %v (truncated=%v)", err, res.Truncated)
+	}
+	if len(res.Records) != len(recs) {
+		t.Fatalf("scanned %d records, want %d", len(res.Records), len(recs))
+	}
+}
+
+// TestGroupLogBuffersUntilThreshold: commits below SyncEvery stay in
+// memory; the SyncEvery-th lands everything at once.
+func TestGroupLogBuffersUntilThreshold(t *testing.T) {
+	f := &BufferFile{}
+	l, err := NewLog(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group(l, GroupOptions{SyncEvery: 3})
+	header := f.Len()
+
+	for i := 0; i < 2; i++ {
+		if err := g.Append(Record{Type: TypeDeleteLink, LinkID: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != header {
+		t.Fatalf("bytes written before threshold: %d", f.Len()-header)
+	}
+	if got := g.Buffered(); got != 2 {
+		t.Fatalf("Buffered() = %d, want 2", got)
+	}
+	if err := g.Append(Record{Type: TypeDeleteLink, LinkID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() == header {
+		t.Fatal("threshold commit wrote nothing")
+	}
+	res, err := ScanBytes(f.Bytes())
+	if err != nil || res.Truncated || len(res.Records) != 3 {
+		t.Fatalf("scan after group flush: %v records=%d truncated=%v", err, len(res.Records), res.Truncated)
+	}
+	if got := g.Buffered(); got != 0 {
+		t.Fatalf("Buffered() after flush = %d, want 0", got)
+	}
+}
+
+// TestGroupLogIntervalFlush: with an Interval, a lone commit becomes
+// durable without reaching SyncEvery.
+func TestGroupLogIntervalFlush(t *testing.T) {
+	f := &BufferFile{}
+	l, err := NewLog(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group(l, GroupOptions{SyncEvery: 1000, Interval: 5 * time.Millisecond})
+	defer g.Close()
+	if err := g.Append(Record{Type: TypeDeleteLink, LinkID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Buffered() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never synced the pending commit")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res, err := ScanBytes(f.Bytes())
+	if err != nil || len(res.Records) != 1 {
+		t.Fatalf("scan after interval flush: %v records=%d", err, len(res.Records))
+	}
+}
+
+// TestGroupLogLatchesFlushError: after a failed flush the in-memory
+// store is ahead of the log; every later operation must keep failing.
+func TestGroupLogLatchesFlushError(t *testing.T) {
+	ff := &FaultFile{FailAt: int64(len(Magic)), Mode: FailStop}
+	l, err := NewLog(ff, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group(l, GroupOptions{SyncEvery: 2})
+	if err := g.Append(Record{Type: TypeDeleteLink, LinkID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(); err != nil {
+		t.Fatalf("buffered commit should not touch the file: %v", err)
+	}
+	if err := g.Append(Record{Type: TypeDeleteLink, LinkID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(); err == nil {
+		t.Fatal("flush over a dead file succeeded")
+	}
+	if err := g.Commit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error not latched on Commit: %v", err)
+	}
+	if err := g.Append(Record{Type: TypeDeleteLink, LinkID: 3}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error not latched on Append: %v", err)
+	}
+	if err := g.Flush(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error not latched on Flush: %v", err)
+	}
+}
+
+// TestGroupLogCloseFlushes: Close must land buffered commits before
+// closing the file.
+func TestGroupLogCloseFlushes(t *testing.T) {
+	f := &BufferFile{}
+	l, err := NewLog(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group(l, GroupOptions{SyncEvery: 100, Interval: time.Hour})
+	if err := g.Append(Record{Type: TypeDeleteLink, LinkID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScanBytes(f.Bytes())
+	if err != nil || len(res.Records) != 1 {
+		t.Fatalf("scan after Close: %v records=%d", err, len(res.Records))
+	}
+}

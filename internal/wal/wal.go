@@ -106,22 +106,37 @@ func OpenFile(path string) (*Log, ScanResult, error) {
 	return &Log{f: f}, res, nil
 }
 
+// appendFrame encodes one record, framed and checksummed, onto dst.
+func appendFrame(dst []byte, r *Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	dst = appendPayload(dst, r)
+	payload := dst[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
 // Append frames and writes one record. The write is buffered by the OS
 // until Commit; a crash before Commit may tear the frame, which recovery
 // detects and truncates.
 func (l *Log) Append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.buf = l.buf[:0]
-	l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
-	l.buf = appendPayload(l.buf, &r)
-	payload := l.buf[frameHeaderLen:]
-	binary.LittleEndian.PutUint32(l.buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(l.buf[4:8], crc32.ChecksumIEEE(payload))
+	l.buf = appendFrame(l.buf[:0], &r)
 	if _, err := l.f.Write(l.buf); err != nil {
 		return fmt.Errorf("wal: append %s: %w", r.Type, err)
 	}
 	return nil
+}
+
+// writeRaw writes already-framed bytes to the underlying file — the flush
+// path of a GroupLog, which frames records itself.
+func (l *Log) writeRaw(b []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.f.Write(b)
+	return err
 }
 
 // Commit makes all appended records durable.
