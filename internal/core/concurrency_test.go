@@ -112,7 +112,9 @@ func TestConcurrentReadersWriterStress(t *testing.T) {
 		s.TotalTriples()
 		s.NumValues()
 		s.NumNodes()
-		s.ModelNames()
+		if _, err := s.ModelNames(); err != nil {
+			return err
+		}
 		_, err := s.NumTriples(fmt.Sprintf("m%d", i%models))
 		return err
 	})

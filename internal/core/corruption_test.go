@@ -1,0 +1,94 @@
+package core
+
+// Regression tests for error paths that used to be swallowed: scans that
+// hit an index entry whose table row cannot be produced must report the
+// divergence, not return a silently shorter answer. The tests manufacture
+// the divergence white-box, by pointing a store table at an empty
+// replacement from a different database so the intact indexes dangle.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/reldb"
+)
+
+// severedModels swaps s.models for an empty table so every modelPK rowid
+// dangles.
+func severedModels(t *testing.T, s *Store) {
+	t.Helper()
+	other := reldb.NewDatabase("SCRATCH")
+	tbl, err := other.CreateTable(modelSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.models = tbl
+}
+
+// severedValues swaps s.values for an empty table so every valuePK rowid
+// dangles while the index still claims the IDs exist.
+func severedValues(t *testing.T, s *Store) {
+	t.Helper()
+	other := reldb.NewDatabase("SCRATCH")
+	tbl, err := other.CreateTable(valueSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.values = tbl
+}
+
+func TestModelNamesSurfacesCatalogCorruption(t *testing.T) {
+	s := newStoreWithModel(t, "m")
+	if names, err := s.ModelNames(); err != nil || len(names) != 1 {
+		t.Fatalf("healthy ModelNames = %v, %v", names, err)
+	}
+	severedModels(t, s)
+	names, err := s.ModelNames()
+	if err == nil {
+		t.Fatalf("ModelNames on corrupt catalog returned %v with no error", names)
+	}
+	if !strings.Contains(err.Error(), "unreadable") {
+		t.Fatalf("ModelNames error %q does not describe the unreadable row", err)
+	}
+}
+
+func TestModelStatisticsSurfacesUnreadableValues(t *testing.T) {
+	s := newStoreWithModel(t, "m")
+	a := govAliases()
+	ts, err := s.NewTripleS("m", "gov:s", "gov:p", "gov:o", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reify("m", ts.TID); err != nil {
+		t.Fatal(err)
+	}
+	if stats, err := s.ModelStatistics("m"); err != nil || stats.Reified != 1 {
+		t.Fatalf("healthy ModelStatistics = %+v, %v", stats, err)
+	}
+	severedValues(t, s)
+	if stats, err := s.ModelStatistics("m"); err == nil {
+		t.Fatalf("ModelStatistics with unreadable values returned %+v with no error", stats)
+	}
+}
+
+func TestCheckInvariantsReportsUnreadableValues(t *testing.T) {
+	s := newStoreWithModel(t, "m")
+	a := govAliases()
+	if _, err := s.NewTripleS("m", "gov:s", "gov:p", "gov:o", a); err != nil {
+		t.Fatal(err)
+	}
+	if errs := s.CheckInvariants(); len(errs) != 0 {
+		t.Fatalf("healthy store has violations: %v", errs)
+	}
+	severedValues(t, s)
+	errs := s.CheckInvariants()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "indexed in rdf_value$ but unreadable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("invariant sweep did not report the index/table divergence: %v", errs)
+	}
+}

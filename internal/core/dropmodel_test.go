@@ -15,7 +15,7 @@ func hasNode(s *Store, term string) bool {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	vid, ok := s.lookupValueID(t)
+	vid, ok := s.lookupValueIDLocked(t)
 	if !ok {
 		return false
 	}

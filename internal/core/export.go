@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/ntriples"
@@ -31,7 +32,7 @@ func (s *Store) ExportModel(model string, w io.Writer, opts ExportOptions) error
 		s.mu.RUnlock()
 		return err
 	}
-	all, err := s.findModel(mid, Pattern{})
+	all, err := s.findModelLocked(mid, Pattern{})
 	s.mu.RUnlock()
 	if err != nil {
 		return err
@@ -156,6 +157,17 @@ func (s *Store) ModelStatistics(model string) (Statistics, error) {
 		return Statistics{}, err
 	}
 	stats := Statistics{ByLinkType: map[string]int{}}
+	// A link row whose value IDs do not resolve is corruption; surface it
+	// instead of silently under-counting reified triples.
+	var scanErr error
+	lookup := func(id int64) (rdfterm.Term, bool) {
+		t, err := s.getValueLocked(id)
+		if err != nil {
+			scanErr = fmt.Errorf("core: model %q statistics: link VALUE_ID %d unreadable: %w", model, id, err)
+			return rdfterm.Term{}, false
+		}
+		return t, true
+	}
 	err = s.links.ScanPartition(mid, func(_ reldb.RowID, r reldb.Row) bool {
 		stats.Triples++
 		stats.ByLinkType[r[lcLinkType].Str()]++
@@ -168,17 +180,30 @@ func (s *Store) ModelStatistics(model string) (Statistics, error) {
 		if r[lcReifLink].Str() == "Y" {
 			// Reification rows specifically: predicate rdf:type, object
 			// rdf:Statement, subject a DBUri.
-			if sub, err := s.getValueLocked(r[lcStartNodeID].Int64()); err == nil {
-				if _, isDBUri := ParseDBUri(sub.Value); isDBUri {
-					if prop, err := s.getValueLocked(r[lcPValueID].Int64()); err == nil && prop.Value == rdfterm.RDFType {
-						if obj, err := s.getValueLocked(r[lcEndNodeID].Int64()); err == nil && obj.Value == rdfterm.RDFStatement {
-							stats.Reified++
-						}
+			sub, ok := lookup(r[lcStartNodeID].Int64())
+			if !ok {
+				return false
+			}
+			if _, isDBUri := ParseDBUri(sub.Value); isDBUri {
+				prop, ok := lookup(r[lcPValueID].Int64())
+				if !ok {
+					return false
+				}
+				if prop.Value == rdfterm.RDFType {
+					obj, ok := lookup(r[lcEndNodeID].Int64())
+					if !ok {
+						return false
+					}
+					if obj.Value == rdfterm.RDFStatement {
+						stats.Reified++
 					}
 				}
 			}
 		}
 		return true
 	})
+	if scanErr != nil {
+		return Statistics{}, scanErr
+	}
 	return stats, err
 }

@@ -28,7 +28,7 @@ func (s *Store) Find(model string, pat Pattern) ([]TripleS, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.findModel(mid, pat)
+	return s.findModelLocked(mid, pat)
 }
 
 // FindModels runs Find over several models, concatenating results — the
@@ -50,7 +50,7 @@ func (s *Store) FindModels(models []string, pat Pattern) ([]TripleS, error) {
 	}
 	var out []TripleS
 	for _, mid := range mids {
-		ts, err := s.findModel(mid, pat)
+		ts, err := s.findModelLocked(mid, pat)
 		if err != nil {
 			return nil, err
 		}
@@ -59,26 +59,26 @@ func (s *Store) FindModels(models []string, pat Pattern) ([]TripleS, error) {
 	return out, nil
 }
 
-// findModel executes the pattern match. Caller holds s.mu (either mode).
-func (s *Store) findModel(mid int64, pat Pattern) ([]TripleS, error) {
+// findModelLocked executes the pattern match with s.mu held (either mode).
+func (s *Store) findModelLocked(mid int64, pat Pattern) ([]TripleS, error) {
 	// Resolve constrained term IDs; a constrained term that is not interned
 	// matches nothing.
 	var sid, pid, oid int64
 	if pat.Subject != nil {
 		var ok bool
-		if sid, ok = s.lookupResolvedID(mid, *pat.Subject); !ok {
+		if sid, ok = s.lookupResolvedIDLocked(mid, *pat.Subject); !ok {
 			return nil, nil
 		}
 	}
 	if pat.Predicate != nil {
 		var ok bool
-		if pid, ok = s.lookupValueID(*pat.Predicate); !ok {
+		if pid, ok = s.lookupValueIDLocked(*pat.Predicate); !ok {
 			return nil, nil
 		}
 	}
 	if pat.Object != nil {
 		var ok bool
-		if oid, ok = s.lookupCanonID(mid, *pat.Object); !ok {
+		if oid, ok = s.lookupCanonIDLocked(mid, *pat.Object); !ok {
 			return nil, nil
 		}
 	}

@@ -388,15 +388,15 @@ func (s *Store) IsTripleTerms(model string, sub, prop, obj rdfterm.Term) (Triple
 // isTripleTermsLocked is IsTripleTerms with the model resolved and s.mu
 // held (either mode).
 func (s *Store) isTripleTermsLocked(mid int64, sub, prop, obj rdfterm.Term) (TripleS, bool, error) {
-	sid, ok := s.lookupResolvedID(mid, sub)
+	sid, ok := s.lookupResolvedIDLocked(mid, sub)
 	if !ok {
 		return TripleS{}, false, nil
 	}
-	pid, ok := s.lookupValueID(prop)
+	pid, ok := s.lookupValueIDLocked(prop)
 	if !ok {
 		return TripleS{}, false, nil
 	}
-	canonID, ok := s.lookupCanonID(mid, obj)
+	canonID, ok := s.lookupCanonIDLocked(mid, obj)
 	if !ok {
 		return TripleS{}, false, nil
 	}
@@ -411,12 +411,12 @@ func (s *Store) isTripleTermsLocked(mid int64, sub, prop, obj rdfterm.Term) (Tri
 	return s.tripleSFromRow(r), true, nil
 }
 
-// lookupResolvedID maps a term (resolving model-scoped blank labels,
+// lookupResolvedIDLocked maps a term (resolving model-scoped blank labels,
 // without allocating) to its VALUE_ID. Blank labels are first resolved
 // through rdf_blank_node$ (user labels); labels that are already internal
 // (e.g. a blank node read back from query results and used as a
 // constraint) fall back to direct value lookup.
-func (s *Store) lookupResolvedID(modelID int64, t rdfterm.Term) (int64, bool) {
+func (s *Store) lookupResolvedIDLocked(modelID int64, t rdfterm.Term) (int64, bool) {
 	if t.Kind == rdfterm.Blank {
 		if rid, ok := s.blankPK.LookupOne(reldb.Key{reldb.Int(modelID), reldb.String_(t.Value)}); ok {
 			r, err := s.blanks.Get(rid)
@@ -425,16 +425,16 @@ func (s *Store) lookupResolvedID(modelID int64, t rdfterm.Term) (int64, bool) {
 			}
 			return r[2].Int64(), true
 		}
-		return s.lookupValueID(t)
+		return s.lookupValueIDLocked(t)
 	}
-	return s.lookupValueID(t)
+	return s.lookupValueIDLocked(t)
 }
 
-// lookupCanonID returns the VALUE_ID of the canonical form of an object
+// lookupCanonIDLocked returns the VALUE_ID of the canonical form of an object
 // term (what CANON_END_NODE_ID stores).
-func (s *Store) lookupCanonID(modelID int64, obj rdfterm.Term) (int64, bool) {
+func (s *Store) lookupCanonIDLocked(modelID int64, obj rdfterm.Term) (int64, bool) {
 	if obj.Kind == rdfterm.Blank {
-		return s.lookupResolvedID(modelID, obj)
+		return s.lookupResolvedIDLocked(modelID, obj)
 	}
-	return s.lookupValueID(rdfterm.Canonical(obj))
+	return s.lookupValueIDLocked(rdfterm.Canonical(obj))
 }

@@ -70,6 +70,11 @@ func (s *Store) CheckInvariants() []error {
 			if want := rdfterm.LinkType(prop.Value); r[lcLinkType].Str() != want {
 				addf("link %d: LINK_TYPE %q, predicate implies %q", linkID, r[lcLinkType].Str(), want)
 			}
+		} else if s.valuePK.Contains(reldb.Key{reldb.Int(pid)}) {
+			// The wholly-missing case is already reported as a dangling
+			// VALUE_ID above; an indexed-but-unreadable row is a distinct
+			// index/table divergence and must not be swallowed.
+			addf("link %d: predicate VALUE_ID %d indexed in rdf_value$ but unreadable: %v", linkID, pid, err)
 		}
 		return true
 	})

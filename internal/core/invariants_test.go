@@ -162,7 +162,7 @@ func TestConcurrentInsertsAcrossModels(t *testing.T) {
 	// Interned subjects are shared: only 20 distinct x:s values exist.
 	subjects := 0
 	for i := 0; i < 20; i++ {
-		if _, ok := s.lookupValueID(rdfterm.NewURI(fmt.Sprintf("http://x#s%d", i))); ok {
+		if _, ok := s.lookupValueIDLocked(rdfterm.NewURI(fmt.Sprintf("http://x#s%d", i))); ok {
 			subjects++
 		}
 	}

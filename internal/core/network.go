@@ -66,22 +66,27 @@ func (n *RDFNetwork) Nodes(fn func(node int64) bool) {
 
 // OutLinks implements ndm.Graph: links whose START_NODE_ID is node.
 func (n *RDFNetwork) OutLinks(node int64, fn func(linkID, end int64, cost float64) bool) {
-	n.visit(n.store.linkStart, node, lcEndNodeID, fn)
+	n.visit(false, node, lcEndNodeID, fn)
 }
 
 // InLinks implements ndm.Graph: links whose END_NODE_ID is node.
 func (n *RDFNetwork) InLinks(node int64, fn func(linkID, start int64, cost float64) bool) {
-	n.visit(n.store.linkEnd, node, lcStartNodeID, fn)
+	n.visit(true, node, lcStartNodeID, fn)
 }
 
-func (n *RDFNetwork) visit(ix *reldb.Index, node int64, otherCol int, fn func(linkID, other int64, cost float64) bool) {
+func (n *RDFNetwork) visit(fromEnd bool, node int64, otherCol int, fn func(linkID, other int64, cost float64) bool) {
 	// Collect matching links under the read lock, call fn outside it
-	// (see Nodes).
+	// (see Nodes). The index is selected inside the critical section so
+	// the guarded field read is covered by the lock.
 	type hop struct {
 		linkID, other int64
 		cost          float64
 	}
 	n.store.mu.RLock()
+	ix := n.store.linkStart
+	if fromEnd {
+		ix = n.store.linkEnd
+	}
 	var ids []reldb.RowID
 	ix.ScanPrefix(reldb.Key{reldb.Int(node)}, func(_ reldb.Key, rid reldb.RowID) bool {
 		ids = append(ids, rid)
@@ -107,7 +112,7 @@ func (n *RDFNetwork) visit(ix *reldb.Index, node int64, otherCol int, fn func(li
 func (n *RDFNetwork) NodeID(t rdfterm.Term) (int64, bool) {
 	n.store.mu.RLock()
 	defer n.store.mu.RUnlock()
-	return n.store.lookupValueID(t)
+	return n.store.lookupValueIDLocked(t)
 }
 
 // NodeTerm resolves a network node back to its term.

@@ -60,6 +60,8 @@ func Recover(snap io.Reader, log io.Reader) (*Store, RecoverInfo, error) {
 // derived state (rdf_node$, indexes, model views) is rebuilt by the same
 // code paths as live mutations. Replay does not re-log: attach a
 // durability sink after recovery.
+//
+//repro:vet-ignore walcheck replay applies records already durable in the WAL; re-logging them would duplicate every record on the next recovery
 func (s *Store) Replay(records []wal.Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

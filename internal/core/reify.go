@@ -172,15 +172,15 @@ func (s *Store) IsReifiedByID(model string, linkID int64) (bool, error) {
 // isReifiedLocked searches for the DBUri reification row. (Read-only; safe
 // with or without s.mu.)
 func (s *Store) isReifiedLocked(modelID, linkID int64) bool {
-	sid, ok := s.lookupValueID(rdfterm.NewURI(DBUri(linkID)))
+	sid, ok := s.lookupValueIDLocked(rdfterm.NewURI(DBUri(linkID)))
 	if !ok {
 		return false
 	}
-	pid, ok := s.lookupValueID(rdfterm.NewURI(rdfterm.RDFType))
+	pid, ok := s.lookupValueIDLocked(rdfterm.NewURI(rdfterm.RDFType))
 	if !ok {
 		return false
 	}
-	oid, ok := s.lookupValueID(rdfterm.NewURI(rdfterm.RDFStatement))
+	oid, ok := s.lookupValueIDLocked(rdfterm.NewURI(rdfterm.RDFStatement))
 	if !ok {
 		return false
 	}

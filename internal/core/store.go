@@ -31,29 +31,29 @@ var (
 type Store struct {
 	db *reldb.Database
 
-	models *reldb.Table
-	values *reldb.Table
-	nodes  *reldb.Table
-	links  *reldb.Table
-	blanks *reldb.Table
+	models *reldb.Table //repro:guarded-by mu
+	values *reldb.Table //repro:guarded-by mu
+	nodes  *reldb.Table //repro:guarded-by mu
+	links  *reldb.Table //repro:guarded-by mu
+	blanks *reldb.Table //repro:guarded-by mu
 
-	modelPK   *reldb.Index
-	modelName *reldb.Index
-	valuePK   *reldb.Index
-	valueText *reldb.Index
-	nodePK    *reldb.Index
-	linkPK    *reldb.Index
-	linkMSPO  *reldb.Index
-	linkMP    *reldb.Index
-	linkMO    *reldb.Index
-	linkStart *reldb.Index
-	linkEnd   *reldb.Index
-	blankPK   *reldb.Index
+	modelPK   *reldb.Index //repro:guarded-by mu
+	modelName *reldb.Index //repro:guarded-by mu
+	valuePK   *reldb.Index //repro:guarded-by mu
+	valueText *reldb.Index //repro:guarded-by mu
+	nodePK    *reldb.Index //repro:guarded-by mu
+	linkPK    *reldb.Index //repro:guarded-by mu
+	linkMSPO  *reldb.Index //repro:guarded-by mu
+	linkMP    *reldb.Index //repro:guarded-by mu
+	linkMO    *reldb.Index //repro:guarded-by mu
+	linkStart *reldb.Index //repro:guarded-by mu
+	linkEnd   *reldb.Index //repro:guarded-by mu
+	blankPK   *reldb.Index //repro:guarded-by mu
 
-	valueSeq *reldb.Sequence
-	linkSeq  *reldb.Sequence
-	modelSeq *reldb.Sequence
-	blankSeq *reldb.Sequence
+	valueSeq *reldb.Sequence //repro:guarded-by mu
+	linkSeq  *reldb.Sequence //repro:guarded-by mu
+	modelSeq *reldb.Sequence //repro:guarded-by mu
+	blankSeq *reldb.Sequence //repro:guarded-by mu
 
 	// termIDs caches term → VALUE_ID so hot terms (repeated subjects and
 	// predicates during bulk load) skip the function-index lookup.
@@ -61,7 +61,7 @@ type Store struct {
 	// stale; the cache is only bounded (see termCacheMax). Entries are
 	// added only under the write lock; readers holding RLock may consult
 	// it because RWMutex excludes writers while any reader is in.
-	termIDs map[string]int64
+	termIDs map[string]int64 //repro:guarded-by mu
 
 	// mu serializes multi-table mutations (value interning + link insert),
 	// keeping cross-table invariants atomic. Readers hold the read lock:
@@ -243,18 +243,27 @@ func (s *Store) getModelIDLocked(name string) (int64, error) {
 	return r[mcModelID].Int64(), nil
 }
 
-// ModelNames returns the names of all models, sorted by model ID.
-func (s *Store) ModelNames() []string {
+// ModelNames returns the names of all models, sorted by model ID. A
+// catalog row the index points at but the table cannot produce is
+// corruption, not an empty result, and is reported as an error.
+func (s *Store) ModelNames() ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var names []string
-	s.modelPK.Scan(nil, nil, func(_ reldb.Key, rid reldb.RowID) bool {
-		if r, err := s.models.Get(rid); err == nil {
-			names = append(names, r[mcModelName].Str())
+	var scanErr error
+	s.modelPK.Scan(nil, nil, func(k reldb.Key, rid reldb.RowID) bool {
+		r, err := s.models.Get(rid)
+		if err != nil {
+			scanErr = fmt.Errorf("core: model catalog row %v (id %v) unreadable: %w", rid, k, err)
+			return false
 		}
+		names = append(names, r[mcModelName].Str())
 		return true
 	})
-	return names
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return names, nil
 }
 
 // ModelView returns the rdfm_<model> view.

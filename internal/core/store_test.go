@@ -49,8 +49,8 @@ func TestCreateModel(t *testing.T) {
 	if _, err := s.CreateRDFModel("", "x", "y"); err == nil {
 		t.Fatal("empty model name accepted")
 	}
-	if names := s.ModelNames(); len(names) != 1 || names[0] != "cia" {
-		t.Fatalf("ModelNames = %v", names)
+	if names, err := s.ModelNames(); err != nil || len(names) != 1 || names[0] != "cia" {
+		t.Fatalf("ModelNames = %v, %v", names, err)
 	}
 	if _, err := s.ModelView("cia"); err != nil {
 		t.Fatalf("model view missing: %v", err)

@@ -33,9 +33,9 @@ func (s *Store) cacheTermIDLocked(key string, id int64) {
 	s.termIDs[key] = id
 }
 
-// lookupValueID returns the VALUE_ID for a term, or (0,false) when the
+// lookupValueIDLocked returns the VALUE_ID for a term, or (0,false) when the
 // text value is not interned yet.
-func (s *Store) lookupValueID(t rdfterm.Term) (int64, bool) {
+func (s *Store) lookupValueIDLocked(t rdfterm.Term) (int64, bool) {
 	if id, ok := s.termIDs[termCacheKey(t)]; ok {
 		return id, true
 	}
@@ -61,7 +61,7 @@ func (s *Store) internValueLocked(t rdfterm.Term) (int64, error) {
 	if id, ok := s.termIDs[key]; ok {
 		return id, nil
 	}
-	if id, ok := s.lookupValueID(t); ok {
+	if id, ok := s.lookupValueIDLocked(t); ok {
 		s.cacheTermIDLocked(key, id)
 		return id, nil
 	}

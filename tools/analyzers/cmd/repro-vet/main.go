@@ -1,0 +1,74 @@
+// Command repro-vet bundles the repository's contract analyzers —
+// lockcheck, walcheck, errwrapcheck — into one binary that runs two ways:
+//
+//	go vet -vettool=$(pwd)/bin/repro-vet ./...   # vet protocol (CI, make lint)
+//	bin/repro-vet ./...                          # standalone, no go vet driver
+//
+// Standalone mode loads packages with the framework's own loader, so it
+// works offline and without build-cache plumbing; the vet-protocol mode
+// is what the Makefile and CI use because it inherits go vet's caching
+// and package enumeration.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/tools/analyzers/errwrapcheck"
+	"repro/tools/analyzers/framework"
+	"repro/tools/analyzers/lockcheck"
+	"repro/tools/analyzers/walcheck"
+)
+
+var analyzers = []*framework.Analyzer{
+	lockcheck.Analyzer,
+	walcheck.Analyzer,
+	errwrapcheck.Analyzer,
+}
+
+func main() {
+	if framework.VetMain(os.Args[1:], analyzers) {
+		return
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// standalone analyzes the named packages ("./..." patterns or package
+// directories) without the go vet driver.
+func standalone(args []string) int {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	root, modPath, err := framework.FindModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro-vet: %v\n", err)
+		return 1
+	}
+	dirs, err := framework.ExpandPatterns(root, args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro-vet: %v\n", err)
+		return 1
+	}
+	loader := framework.NewLoader(root, modPath)
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro-vet: %v\n", err)
+			exit = 1
+			continue
+		}
+		diags, err := framework.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro-vet: %v\n", err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Println(framework.FormatRel(pkg.Fset, root, d))
+			exit = 1
+		}
+	}
+	return exit
+}
+

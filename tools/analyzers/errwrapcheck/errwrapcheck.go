@@ -1,0 +1,165 @@
+// Package errwrapcheck keeps the store's sentinel errors matchable.
+// Callers are promised `errors.Is(err, core.ErrNoSuchModel)` works across
+// every layer; that only holds if each wrap site uses %w. A fmt.Errorf
+// that formats a package-level error sentinel with %v or %s flattens it
+// to text and silently breaks the contract, so this pass flags exactly
+// that: a constant format string whose %v/%s argument resolves to a
+// package-level variable of type error.
+//
+// Locals and struct fields are not sentinels (nobody matches against
+// them by identity), and non-constant format strings are skipped.
+package errwrapcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the errwrapcheck pass.
+var Analyzer = &framework.Analyzer{
+	Name: "errwrapcheck",
+	Doc:  "check that package sentinel errors are wrapped with %w, not flattened with %v/%s",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && isFmtErrorf(pass, call) {
+				checkErrorf(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFmtErrorf resolves the callee to fmt.Errorf.
+func isFmtErrorf(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Errorf" {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "fmt"
+}
+
+func checkErrorf(pass *framework.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	for _, v := range formatVerbs(format) {
+		if v.c != 'v' && v.c != 's' {
+			continue
+		}
+		argPos := 1 + v.arg
+		if argPos < 1 || argPos >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[argPos]
+		if sentinel := sentinelVar(pass, arg); sentinel != nil {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf formats sentinel %s with %%%c; use %%w so errors.Is/errors.As can unwrap it",
+				sentinel.Name(), v.c)
+		}
+	}
+}
+
+// sentinelVar resolves e to a package-level variable of type error, nil
+// otherwise.
+func sentinelVar(pass *framework.Pass, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[x.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorInterface) {
+		return nil
+	}
+	return v
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// verb is one conversion in a format string: the verb rune and the
+// zero-based operand index it consumes.
+type verb struct {
+	c   rune
+	arg int
+}
+
+// formatVerbs scans a Printf-style format string, tracking the operand
+// index through flags, *-widths, and explicit [n] argument indexes.
+func formatVerbs(format string) []verb {
+	var out []verb
+	arg := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		// width / precision, each possibly '*' (which consumes an operand)
+		for {
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			}
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+			if i < len(format) && format[i] == '.' {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) && format[i] == '[' {
+			j := strings.IndexByte(format[i:], ']')
+			if j < 0 {
+				break
+			}
+			if n, err := strconv.Atoi(format[i+1 : i+j]); err == nil && n >= 1 {
+				arg = n - 1
+			}
+			i += j + 1
+		}
+		if i >= len(format) {
+			break
+		}
+		out = append(out, verb{c: rune(format[i]), arg: arg})
+		arg++
+		i++
+	}
+	return out
+}

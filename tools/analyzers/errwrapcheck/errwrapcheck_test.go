@@ -1,0 +1,11 @@
+package errwrapcheck
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/framework"
+)
+
+func TestErrwrapcheck(t *testing.T) {
+	framework.RunTest(t, "testdata", Analyzer, "badwrap", "goodwrap")
+}

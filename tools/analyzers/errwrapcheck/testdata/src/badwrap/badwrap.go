@@ -1,0 +1,32 @@
+// Package badwrap flattens its sentinels in every way errwrapcheck
+// must catch.
+package badwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNotFound = errors.New("not found")
+var ErrBusy = errors.New("busy")
+
+// The classic: sentinel under %v.
+func Lookup(k string) error {
+	return fmt.Errorf("lookup %q: %v", k, ErrNotFound) // want `fmt\.Errorf formats sentinel ErrNotFound with %v; use %w`
+}
+
+// %s flattens just the same.
+func Acquire() error {
+	return fmt.Errorf("acquire: %s", ErrBusy) // want `fmt\.Errorf formats sentinel ErrBusy with %s; use %w`
+}
+
+// Only the operand that is the sentinel is flagged; the earlier %s and
+// %v consume ordinary values.
+func Both(op, k string) error {
+	return fmt.Errorf("%s at %v: %v", op, k, ErrNotFound) // want `formats sentinel ErrNotFound with %v`
+}
+
+// Explicit argument indexes are followed.
+func Indexed(k string) error {
+	return fmt.Errorf("%[2]v: %[1]s", k, ErrBusy) // want `formats sentinel ErrBusy with %v`
+}

@@ -1,0 +1,30 @@
+// Package goodwrap holds the wrapping patterns errwrapcheck must accept.
+package goodwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNotFound = errors.New("not found")
+
+// The contract: sentinels travel under %w.
+func Lookup(k string) error {
+	return fmt.Errorf("lookup %q: %w", k, ErrNotFound)
+}
+
+// A local error is not a sentinel; nobody matches it by identity.
+func Local() error {
+	err := errors.New("transient")
+	return fmt.Errorf("op: %v", err)
+}
+
+// Non-error operands under %v/%s are ordinary formatting.
+func Message(name string) error {
+	return fmt.Errorf("bad name %s", name)
+}
+
+// Non-constant format strings cannot be analyzed and are skipped.
+func Passthrough(format string, args ...interface{}) error {
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,60 @@
+// Package framework is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that the repository's custom vet
+// passes need. The container this repo builds in has no module proxy
+// access, so the real x/tools module cannot be vendored; everything here
+// is stdlib-only (go/ast, go/types, go/importer).
+//
+// The shape mirrors go/analysis deliberately — Analyzer{Name, Doc, Run},
+// Pass with Fset/Files/Pkg/TypesInfo and Reportf — so the passes can be
+// ported to the real framework by swapping the import if x/tools ever
+// becomes available.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in
+	// //repro:vet-ignore suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the pass enforces.
+	Doc string
+	// Run executes the pass over one package.
+	Run func(*Pass) error
+	// SkipTestFiles suppresses diagnostics positioned in _test.go files.
+	// The lock and WAL contracts bind the production code; white-box
+	// tests single-thread the store and are exempt.
+	SkipTestFiles bool
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,173 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Loader parses and type-checks packages without the go/packages driver
+// (which lives in x/tools) and without network access. Import paths are
+// resolved structurally: paths under the module prefix map into the
+// module tree, everything else maps into GOROOT/src and is type-checked
+// from source. Dependency packages are cached per Loader.
+type Loader struct {
+	Fset *token.FileSet
+	// ModuleRoot is the absolute directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	deps map[string]*types.Package
+}
+
+// NewLoader builds a loader for the module rooted at moduleRoot.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		deps:       map[string]*types.Package{},
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("framework: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("framework: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Dir   string
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewTypesInfo allocates the types.Info maps the analyzers rely on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load parses and type-checks the package in dir. importPath names the
+// package for the type checker; pass "" to derive it from the module
+// layout. Test files (_test.go) are not loaded — the contracts bind the
+// production sources.
+func (l *Loader) Load(dir, importPath string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if importPath == "" {
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			importPath = l.ModulePath
+		} else {
+			importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: (*depImporter)(l)}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("framework: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Dir: dir, Path: importPath, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// depImporter resolves and source-type-checks dependency packages.
+type depImporter Loader
+
+func (im *depImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := im.deps[path]; ok {
+		return p, nil
+	}
+	var dir string
+	switch {
+	case path == im.ModulePath:
+		dir = im.ModuleRoot
+	case strings.HasPrefix(path, im.ModulePath+"/"):
+		dir = filepath.Join(im.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, im.ModulePath+"/")))
+	default:
+		dir = filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path))
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	fset := (*Loader)(im).Fset
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Dependencies only need their exported API shape; soft errors in
+	// GOROOT sources (build-tag corner cases and the like) are ignored as
+	// long as a usable package object comes back.
+	conf := types.Config{Importer: im, FakeImportC: true, Error: func(error) {}}
+	pkg, err := conf.Check(path, fset, files, nil)
+	if pkg == nil {
+		return nil, err
+	}
+	pkg.MarkComplete()
+	im.deps[path] = pkg
+	return pkg, nil
+}

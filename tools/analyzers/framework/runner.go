@@ -1,0 +1,104 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// RunPackage applies the analyzers to a loaded package and returns the
+// surviving diagnostics, sorted by position. Suppression comments are
+// honored (and audited: a vet-ignore with no justification is reported),
+// and analyzers with SkipTestFiles set never report into _test.go files.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("framework: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	sups := collectSuppressions(pkg.Fset, pkg.Files)
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		if analyzerByName(analyzers, d.Analyzer).SkipTestFiles &&
+			strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
+			continue
+		}
+		suppressed := false
+		for _, s := range sups {
+			if s.matches(pkg.Fset, d) && s.reason != "" {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+
+	// Audit the suppressions themselves: an unjustified one is a
+	// diagnostic, and one naming an unknown analyzer is a typo that
+	// would silently fail to suppress anything.
+	for _, s := range sups {
+		switch {
+		case s.reason == "":
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: s.analyzer,
+				Message:  fmt.Sprintf("vet-ignore for %s has no justification; state why the contract does not apply", s.analyzer),
+			})
+		case !known[s.analyzer]:
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: s.analyzer,
+				Message:  fmt.Sprintf("vet-ignore names unknown analyzer %q", s.analyzer),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+func analyzerByName(analyzers []*Analyzer, name string) *Analyzer {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return &Analyzer{Name: name}
+}
+
+// Format renders a diagnostic in the conventional file:line:col form.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	p := fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+}
+
+// FormatRel is Format with filenames rendered relative to root when
+// possible, keeping tool output stable across checkouts.
+func FormatRel(fset *token.FileSet, root string, d Diagnostic) string {
+	p := fset.Position(d.Pos)
+	name := p.Filename
+	if root != "" {
+		if rel, ok := strings.CutPrefix(name, strings.TrimSuffix(root, "/")+"/"); ok {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", name, p.Line, p.Column, d.Analyzer, d.Message)
+}

@@ -1,0 +1,67 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments. A diagnostic may be silenced with
+//
+//	//repro:vet-ignore <analyzer> <justification>
+//
+// placed on the flagged line, on the line above it, or in the doc
+// comment of the flagged declaration. The justification is mandatory:
+// a suppression without one is itself reported, so every exemption in
+// the tree carries its reason next to the code it excuses.
+const ignoreDirective = "repro:vet-ignore"
+
+// suppression is one parsed //repro:vet-ignore comment.
+type suppression struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	// fromLine..toLine is the line range the suppression covers: the
+	// comment group's own lines plus the line immediately after it.
+	file             string
+	fromLine, toLine int
+}
+
+// collectSuppressions parses every vet-ignore directive in the files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				name, reason, _ := strings.Cut(rest, " ")
+				start := fset.Position(cg.Pos())
+				end := fset.Position(cg.End())
+				out = append(out, suppression{
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+					pos:      c.Pos(),
+					file:     start.Filename,
+					fromLine: start.Line,
+					toLine:   end.Line + 1,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// matches reports whether the suppression covers a diagnostic from the
+// named analyzer at pos.
+func (s suppression) matches(fset *token.FileSet, d Diagnostic) bool {
+	if s.analyzer != d.Analyzer {
+		return false
+	}
+	p := fset.Position(d.Pos)
+	return p.Filename == s.file && p.Line >= s.fromLine && p.Line <= s.toLine
+}

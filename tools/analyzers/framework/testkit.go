@@ -1,0 +1,125 @@
+package framework
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Testkit: an analysistest-style fixture runner. Fixture packages live
+// under <analyzer>/testdata/src/<pkg> (the go tool never builds testdata
+// trees, so deliberately broken code is safe there). Expected findings
+// are marked in the fixture source with trailing comments:
+//
+//	s.tab.Insert(v) // want `accesses guarded field`
+//
+// Each backquoted or double-quoted string after "want" is a regexp that
+// must match exactly one diagnostic on that line; diagnostics with no
+// matching expectation, and expectations with no matching diagnostic,
+// fail the test.
+
+// expectation is one `// want` entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// RunTest loads each fixture package and checks the analyzer's
+// diagnostics against the // want comments.
+func RunTest(t *testing.T, testdata string, a *Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkgName := range pkgs {
+		dir := filepath.Join(testdata, "src", pkgName)
+		loader := NewLoader(dir, pkgName)
+		pkg, err := loader.Load(dir, pkgName)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgName, err)
+		}
+		diags, err := RunPackage(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgName, err)
+		}
+		expects, err := parseExpectations(pkg)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", pkgName, err)
+		}
+		for _, d := range diags {
+			p := pkg.Fset.Position(d.Pos)
+			matched := false
+			for _, e := range expects {
+				if !e.hit && e.file == p.Filename && e.line == p.Line && e.re.MatchString(d.Message) {
+					e.hit = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: %s", pkgName, Format(pkg.Fset, d))
+			}
+		}
+		for _, e := range expects {
+			if !e.hit {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+					pkgName, e.file, e.line, e.re)
+			}
+		}
+	}
+}
+
+// parseExpectations extracts // want comments from the fixture files.
+func parseExpectations(pkg *Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWantPatterns(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", p.Filename, p.Line, err)
+				}
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", p.Filename, p.Line, pat, err)
+					}
+					out = append(out, &expectation{file: p.Filename, line: p.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWantPatterns splits `"re1" "re2"` / backquoted variants.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want pattern must be quoted, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		raw := s[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %s: %w", raw, err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}

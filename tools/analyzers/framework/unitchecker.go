@@ -1,0 +1,155 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// Vet tool protocol (the contract behind `go vet -vettool=...`), as
+// implemented by golang.org/x/tools/go/analysis/unitchecker and re-derived
+// here from cmd/go/internal/work.vetConfig. The go command drives the
+// tool three ways:
+//
+//	tool -V=full         → print "<name> version <id>" (build cache key)
+//	tool -flags          → print a JSON description of accepted flags
+//	tool <unit>.cfg      → analyze one package unit described by the
+//	                       JSON config, write the .vetx facts file,
+//	                       exit nonzero on findings
+//
+// Dependencies are presented as compiled export data (PackageFile), so a
+// unit check is one types.Config.Check with the stdlib gc importer — no
+// source re-checking and no network.
+
+// vetConfig mirrors the fields of cmd/go's vet config JSON that this
+// implementation consumes. Unknown fields are ignored by encoding/json,
+// which keeps the struct forward-compatible across toolchains.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain handles a vet-protocol invocation. It returns false when the
+// arguments are not a vet-protocol call (so the caller can fall back to
+// standalone mode); otherwise it runs to completion and exits.
+func VetMain(args []string, analyzers []*Analyzer) bool {
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			// The version string doubles as the tool's build-cache key;
+			// bump it when analyzer behavior changes so cached clean
+			// verdicts are invalidated.
+			fmt.Printf("repro-vet version repro-vet-1 %s\n", vetCacheEpoch)
+			os.Exit(0)
+		case args[0] == "-flags":
+			// No tool-specific flags; an empty JSON list tells cmd/go so.
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(vetUnit(args[0], analyzers))
+		}
+	}
+	return false
+}
+
+// vetCacheEpoch feeds the -V=full output; see VetMain.
+const vetCacheEpoch = "epoch-1"
+
+// vetUnit analyzes one package unit and returns the process exit code.
+func vetUnit(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repro-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The facts file must exist even when empty, or cmd/go aborts. This
+	// implementation propagates no cross-package facts, so it is always
+	// empty — written first so every early exit below is safe.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "repro-vet: %v\n", err)
+			return 1
+		}
+	}
+	// Dependency-only visits exist to propagate facts; with none to
+	// compute, they are a no-op.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "repro-vet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "repro-vet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &Package{Dir: cfg.Dir, Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: tpkg, Info: info}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro-vet: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, Format(fset, d))
+	}
+	return 2
+}

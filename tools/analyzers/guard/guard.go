@@ -1,0 +1,188 @@
+// Package guard collects the store's concurrency-contract annotations:
+// struct fields marked
+//
+//	//repro:guarded-by <mutexField>
+//
+// (in the field's doc comment or trailing line comment) may only be
+// touched while the named sibling sync.Mutex/sync.RWMutex is held. The
+// lockcheck and walcheck analyzers consume these facts; keeping the
+// collection here gives both passes one definition of "guarded".
+package guard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Directive is the marker prefix (after the // of the comment).
+const Directive = "repro:guarded-by"
+
+// Info is the guard relation of one package.
+type Info struct {
+	// Guarded maps each marked field to its protecting mutex field.
+	Guarded map[*types.Var]*types.Var
+	// Mutexes is the set of fields named as protectors.
+	Mutexes map[*types.Var]bool
+	// ByType maps a named struct type to its guard mutex, for resolving
+	// "which lock does a method on this type answer to". A struct with
+	// marked fields has exactly one guard mutex.
+	ByType map[*types.TypeName]*types.Var
+	// MutexName maps the named struct type to the mutex field's name.
+	MutexName map[*types.TypeName]string
+}
+
+// Collect parses the guard annotations of the package. Malformed
+// directives are reported through the pass.
+func Collect(pass *framework.Pass) *Info {
+	info := &Info{
+		Guarded:   map[*types.Var]*types.Var{},
+		Mutexes:   map[*types.Var]bool{},
+		ByType:    map[*types.TypeName]*types.Var{},
+		MutexName: map[*types.TypeName]string{},
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			collectStruct(pass, info, ts, st)
+			return true
+		})
+	}
+	return info
+}
+
+func collectStruct(pass *framework.Pass, info *Info, ts *ast.TypeSpec, st *ast.StructType) {
+	// First resolve field name → object for mutex lookup.
+	fieldObj := map[string]*types.Var{}
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				fieldObj[name.Name] = v
+			}
+		}
+	}
+	typeName, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+
+	for _, fld := range st.Fields.List {
+		mutexName, pos := directiveOf(fld)
+		if mutexName == "" {
+			continue
+		}
+		mu, ok := fieldObj[mutexName]
+		if !ok {
+			pass.Reportf(pos, "guarded-by names %q, but struct %s has no such field", mutexName, ts.Name.Name)
+			continue
+		}
+		if !IsMutexType(mu.Type()) {
+			pass.Reportf(pos, "guarded-by names %q, which is not a sync.Mutex or sync.RWMutex", mutexName)
+			continue
+		}
+		for _, name := range fld.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				info.Guarded[v] = mu
+			}
+		}
+		info.Mutexes[mu] = true
+		if typeName != nil {
+			if prev, ok := info.ByType[typeName]; ok && prev != mu {
+				pass.Reportf(pos, "struct %s has guarded fields under two mutexes (%s and %s); the analyzers support one guard mutex per struct",
+					ts.Name.Name, prev.Name(), mu.Name())
+				continue
+			}
+			info.ByType[typeName] = mu
+			info.MutexName[typeName] = mutexName
+		}
+	}
+}
+
+// directiveOf extracts the guarded-by mutex name from a field's doc or
+// trailing comment, returning the directive position.
+func directiveOf(fld *ast.Field) (string, token.Pos) {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, Directive)
+			if !ok {
+				continue
+			}
+			return strings.TrimSpace(rest), c.Pos()
+		}
+	}
+	return "", fld.Pos()
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func IsMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// FieldSel resolves a selector expression to the struct field it reads,
+// or nil when it is not a field selection.
+func FieldSel(pass *framework.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// RootIdent walks a selector/paren/star chain to its base identifier;
+// nil when the base is not a plain identifier (a call result, an index
+// expression, ...).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Render prints an expression compactly (types.ExprString), for building
+// lock-state keys like "s.mu" or "n.store.mu".
+func Render(e ast.Expr) string { return types.ExprString(e) }
+
+// NamedOf unwraps pointers and returns the *types.TypeName of a (possibly
+// pointer-to) named type, or nil.
+func NamedOf(t types.Type) *types.TypeName {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x.Obj()
+		default:
+			return nil
+		}
+	}
+}

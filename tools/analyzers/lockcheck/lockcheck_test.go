@@ -1,0 +1,11 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/framework"
+)
+
+func TestLockcheck(t *testing.T) {
+	framework.RunTest(t, "testdata", Analyzer, "badlock", "goodlock")
+}

@@ -1,0 +1,108 @@
+// Package goodlock exercises the patterns lockcheck must accept: defer
+// unlocks, manual unlock on every path, *Locked helpers, constructors on
+// unshared locals, goroutines that lock for themselves, and multi-level
+// receiver chains. The analyzer must stay silent on this package.
+package goodlock
+
+import "sync"
+
+type Table struct{ n int }
+
+func (t *Table) Insert(v int) { t.n++ }
+func (t *Table) Len() int     { return t.n }
+
+type Store struct {
+	mu  sync.RWMutex
+	tab *Table //repro:guarded-by mu
+	seq int64  //repro:guarded-by mu
+}
+
+// New touches guarded fields on a local the caller cannot see yet.
+func New() *Store {
+	s := &Store{tab: &Table{}}
+	s.seq = 1
+	return s
+}
+
+// Len uses the canonical RLock + defer shape.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tab.Len()
+}
+
+// Insert pairs the lock manually but unlocks on every return path.
+func (s *Store) Insert(v int) bool {
+	s.mu.Lock()
+	if v < 0 {
+		s.mu.Unlock()
+		return false
+	}
+	s.insertLocked(v)
+	s.mu.Unlock()
+	return true
+}
+
+// insertLocked documents the caller-holds-the-lock contract by name.
+func (s *Store) insertLocked(v int) {
+	s.tab.Insert(v)
+	s.seq++
+}
+
+// Snapshot reads several guarded fields inside one critical section.
+func (s *Store) Snapshot() (int, int64) {
+	s.mu.RLock()
+	n := s.tab.Len()
+	seq := s.seq
+	s.mu.RUnlock()
+	return n, seq
+}
+
+// Refresh spawns a goroutine that acquires the lock for itself.
+func (s *Store) Refresh() {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.tab.Insert(0)
+	}()
+}
+
+// Use calls a locking method from an unlocked context.
+func Use(s *Store) {
+	s.Insert(4)
+}
+
+// Collect snapshots under a manually paired lock; the early return
+// inside the scan callback leaves the closure, not Collect, so it does
+// not leak the lock Collect owns.
+func (s *Store) Collect(limit int) []int {
+	s.mu.RLock()
+	var out []int
+	walk(s.tab.Len(), func(v int) bool {
+		if v >= limit {
+			return false
+		}
+		out = append(out, v)
+		return true
+	})
+	s.mu.RUnlock()
+	return out
+}
+
+func walk(n int, fn func(int) bool) {
+	for i := 0; i < n; i++ {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
+type Network struct{ store *Store }
+
+// Grow reaches the guarded field through a two-level chain; the lock
+// state is tracked per rendered base, so n.store.mu covers n.store.tab.
+func (n *Network) Grow(v int) {
+	n.store.mu.Lock()
+	defer n.store.mu.Unlock()
+	n.store.tab.Insert(v)
+}

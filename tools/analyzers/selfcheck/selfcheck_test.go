@@ -1,0 +1,82 @@
+// Package selfcheck is the meta-test behind the "repo is clean" claim:
+// it runs every contract analyzer over every package of the live module
+// and asserts zero diagnostics, so a violation introduced anywhere in
+// the tree fails `go test ./...` even before make lint or CI runs. The
+// long variant also builds the repro-vet binary and drives it through
+// `go vet -vettool` to prove the vet protocol wiring works end to end.
+package selfcheck
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/tools/analyzers/errwrapcheck"
+	"repro/tools/analyzers/framework"
+	"repro/tools/analyzers/lockcheck"
+	"repro/tools/analyzers/walcheck"
+)
+
+var analyzers = []*framework.Analyzer{
+	lockcheck.Analyzer,
+	walcheck.Analyzer,
+	errwrapcheck.Analyzer,
+}
+
+// TestRepositoryIsClean loads each package of the module in-process and
+// runs the three analyzers over it.
+func TestRepositoryIsClean(t *testing.T) {
+	root, modPath, err := framework.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := framework.ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("package enumeration found only %d directories; the sweep is not covering the module", len(dirs))
+	}
+	loader := framework.NewLoader(root, modPath)
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir, "")
+		if err != nil {
+			t.Errorf("loading %s: %v", dir, err)
+			continue
+		}
+		diags, err := framework.RunPackage(pkg, analyzers)
+		if err != nil {
+			t.Errorf("analyzing %s: %v", pkg.Path, err)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s", framework.FormatRel(pkg.Fset, root, d))
+		}
+	}
+}
+
+// TestVetToolProtocol builds repro-vet and runs it under the real go vet
+// driver. Skipped in -short runs (the race CI job) because it shells out
+// to the toolchain and rebuilds the world's export data.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec test skipped in -short mode")
+	}
+	root, _, err := framework.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "repro-vet")
+	build := exec.Command("go", "build", "-o", bin, "./tools/analyzers/cmd/repro-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building repro-vet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	vet.Env = os.Environ()
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool reported diagnostics or failed: %v\n%s", err, out)
+	}
+}
