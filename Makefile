@@ -11,7 +11,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 LINT_STRICT ?=
 
 .PHONY: all build vet test race cover bench fuzz experiments examples clean \
-	lint analyzers staticcheck govulncheck fuzz-smoke
+	lint analyzers staticcheck govulncheck fuzz-smoke chaos
 
 all: build vet test
 
@@ -51,6 +51,14 @@ govulncheck:
 
 test:
 	$(GO) test ./...
+
+# Supervisor fault-injection stress under the race detector: concurrent
+# writers/readers/scrubber driven through injected WAL faults, asserting
+# the full Healthy→Degraded→Recovering→Healthy cycle, no corrupt reads,
+# and zero loss of acknowledged commits.
+chaos:
+	$(GO) test -race -count=3 -run 'TestChaosCycle|TestDurabilityFault|TestDegradedReads' \
+		./internal/supervise/ ./internal/core/ -v
 
 race:
 	$(GO) test -race ./...

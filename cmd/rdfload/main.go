@@ -212,15 +212,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			saved, 100*float64(stats.QuadsFolded)/float64(4*stats.QuadsFolded))
 	}
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			return err
-		}
-		if err := store.Save(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		// Atomic checkpoint: tmp file + fsync + rename, so a crash
+		// mid-save never clobbers an existing good snapshot.
+		if err := store.SaveFile(*save); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "snapshot written to %s\n", *save)

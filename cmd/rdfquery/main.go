@@ -4,7 +4,8 @@
 // Usage:
 //
 //	rdfquery -data file.nt -query '(?s ?p ?o)' [-filter '?s != "x"'] \
-//	         [-alias gov=http://www.us.gov#] [-rule 'ante=>cons' ...] [-rdfs]
+//	         [-alias gov=http://www.us.gov#] [-rule 'ante=>cons' ...] [-rdfs] \
+//	         [-timeout 10s]
 //	rdfquery -snapshot store.snap -model data -query '(?s ?p ?o)'
 //	rdfquery -snapshot store.snap -wal store.wal -model data -query '(?s ?p ?o)'
 //	rdfquery -data file.nt -stats
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -54,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 	query := fs.String("query", "", "match query, e.g. '(?s ?p ?o)'")
 	queryModel := fs.String("model", "data", "model to query when opening a snapshot")
 	stats := fs.Bool("stats", false, "print model storage statistics instead of running a query")
+	timeout := fs.Duration("timeout", 0, "abort the query if it runs longer than this (e.g. 500ms, 10s; 0 = no limit)")
 	filter := fs.String("filter", "", "optional filter expression")
 	rdfs := fs.Bool("rdfs", false, "enable the built-in RDFS rulebase")
 	var aliases, rules multiFlag
@@ -177,8 +180,17 @@ func run(args []string, stdout io.Writer) error {
 		opts.Resolver = cat
 	}
 
-	rs, err := match.Match(store, *query, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rs, err := match.MatchContext(ctx, store, *query, opts)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("query exceeded -timeout %v: %w", *timeout, err)
+		}
 		return err
 	}
 	headers := make([]string, len(rs.Vars))

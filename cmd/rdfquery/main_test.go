@@ -328,3 +328,31 @@ func TestQuerySnapshotErrorMessages(t *testing.T) {
 		t.Fatalf("non-WAL error = %v, want 'not a WAL' message", err)
 	}
 }
+
+func TestQueryTimeoutFlag(t *testing.T) {
+	// A generous timeout lets the query finish normally.
+	path := writeData(t, icData)
+	var out strings.Builder
+	err := run([]string{
+		"-data", path,
+		"-query", "(?s ?p ?o)",
+		"-timeout", "30s",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 rows") {
+		t.Errorf("output:\n%s", out.String())
+	}
+
+	// A sub-microsecond budget trips before the join can run.
+	out.Reset()
+	err = run([]string{
+		"-data", path,
+		"-query", "(?a ?p ?b) (?b ?q ?c)",
+		"-timeout", "1ns",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-timeout") {
+		t.Fatalf("1ns timeout error = %v, want '-timeout' message", err)
+	}
+}

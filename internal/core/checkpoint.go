@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/wal"
+)
+
+// Atomic checkpoint persistence. A checkpoint must never leave a
+// half-written snapshot shadowing the previous good one: SaveFile stages
+// the image in a sibling *.tmp file, fsyncs it, renames it over the
+// target (atomic on POSIX filesystems), and fsyncs the directory so the
+// rename itself is durable. A crash at any point leaves either the old
+// snapshot or the new one — plus, at worst, a stray *.tmp that recovery
+// removes.
+
+// tmpSuffix marks an in-progress snapshot write.
+const tmpSuffix = ".tmp"
+
+// SaveFile writes a snapshot of the store to path atomically.
+func (s *Store) SaveFile(path string) error {
+	tmp := path + tmpSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: publishing %s: %w", path, err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives a crash.
+// Filesystems that refuse to fsync directories (some network mounts) are
+// tolerated: the rename is still atomic, only its durability ordering is
+// weaker.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// RemoveStaleSnapshot deletes the *.tmp left behind by a checkpoint that
+// crashed before its rename. Call before loading a snapshot; a missing
+// tmp is not an error.
+func RemoveStaleSnapshot(path string) {
+	os.Remove(path + tmpSuffix)
+}
+
+// LoadFile rebuilds a store from the snapshot at path, first removing
+// any stale in-progress *.tmp sibling. The *.tmp is never loaded — it
+// may be truncated mid-write — so a crash during checkpoint can only
+// surface the previous good snapshot.
+func LoadFile(path string) (*Store, error) {
+	RemoveStaleSnapshot(path)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// RecoverFiles rebuilds a store from an on-disk checkpoint + WAL pair:
+// stale snapshot tmp removed, snapshot loaded when present (fresh store
+// otherwise), WAL opened (created when absent) with its torn tail
+// truncated, and the verified records replayed. The returned log is
+// positioned for appending; attach it (or a wal.Group over it) with
+// SetDurability to continue mutating durably.
+func RecoverFiles(snapPath, walPath string) (*Store, *wal.Log, RecoverInfo, error) {
+	return RecoverFilesWith(snapPath, walPath, wal.OpenFile)
+}
+
+// RecoverFilesWith is RecoverFiles with an injectable WAL opener (tests
+// substitute fault-wrapped files via wal.OpenFileWith).
+func RecoverFilesWith(snapPath, walPath string, openWAL func(string) (*wal.Log, wal.ScanResult, error)) (*Store, *wal.Log, RecoverInfo, error) {
+	var s *Store
+	if snapPath != "" {
+		var err error
+		s, err = LoadFile(snapPath)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, nil, RecoverInfo{}, err
+		}
+	}
+	if s == nil {
+		s = New()
+	}
+	log, res, err := openWAL(walPath)
+	if err != nil {
+		return nil, nil, RecoverInfo{}, err
+	}
+	if err := s.Replay(res.Records); err != nil {
+		log.Close()
+		return nil, nil, RecoverInfo{}, err
+	}
+	return s, log, RecoverInfo{
+		Applied:    len(res.Records),
+		ValidBytes: res.ValidBytes,
+		Truncated:  res.Truncated,
+		TailErr:    res.TailErr,
+	}, nil
+}
+
+// Checkpoint makes the store's current state the new durable baseline:
+// the snapshot is written atomically (SaveFile), then the WAL is
+// truncated back to its header. Readers proceed throughout (Save holds
+// only the read lock); the caller must ensure no mutation commits
+// between the snapshot and the truncation — the supervisor does this by
+// excluding mutations for the duration, single-threaded CLIs get it for
+// free. A crash after the snapshot rename but before the truncation
+// leaves a WAL whose records the snapshot already contains; replaying
+// them fails loudly on duplicate IDs rather than corrupting silently —
+// restart recovery from the snapshot alone in that case.
+func Checkpoint(s *Store, snapPath string, log *wal.Log) error {
+	if err := s.SaveFile(snapPath); err != nil {
+		return err
+	}
+	if log != nil {
+		if err := log.Reset(); err != nil {
+			return fmt.Errorf("core: checkpoint: truncating WAL: %w", err)
+		}
+	}
+	return nil
+}

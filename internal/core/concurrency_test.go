@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -179,5 +180,82 @@ func TestConcurrentReadersWriterStress(t *testing.T) {
 	}
 	if got, want := rec.TotalTriples(), s.TotalTriples(); got != want {
 		t.Fatalf("recovered %d triples, live has %d", got, want)
+	}
+}
+
+// TestDegradedReadsWhileWritesRejected proves the core property the
+// supervisor's Degraded mode is built on: when the durability sink is
+// broken, mutations are rejected with the typed ErrDurability while
+// concurrent readers keep serving consistent results the whole time.
+func TestDegradedReadsWhileWritesRejected(t *testing.T) {
+	fl := wal.NewFlaky(&wal.BufferFile{})
+	log, err := wal.NewLog(fl, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.SetDurability(log)
+	a := rdfterm.Default().With(rdfterm.Alias{Prefix: "x", Namespace: "http://x#"})
+	if _, err := s.CreateRDFModel("m", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	const seeded = 50
+	for i := 0; i < seeded; i++ {
+		if _, err := s.NewTripleS("m", fmt.Sprintf("x:s%d", i), "x:p", fmt.Sprintf("x:o%d", i), a); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Break the sink permanently: the store is now effectively read-only.
+	fl.FailWrites(1 << 30)
+
+	var stop atomic.Bool
+	errCh := make(chan error, 8)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				rows, err := s.Find("m", Pattern{})
+				if err != nil {
+					errCh <- fmt.Errorf("read while degraded: %w", err)
+					return
+				}
+				if len(rows) != seeded {
+					errCh <- fmt.Errorf("read while degraded saw %d rows, want %d", len(rows), seeded)
+					return
+				}
+				for _, row := range rows {
+					if _, err := row.GetTriple(); err != nil {
+						errCh <- fmt.Errorf("corrupt row while degraded: %w", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Writers hammer the broken sink: every attempt must come back as a
+	// typed durability error, and none may leak a partial row into what
+	// the readers see (the count check above would catch it).
+	for i := 0; i < 25; i++ {
+		_, err := s.NewTripleS("m", fmt.Sprintf("x:new%d", i), "x:p", "x:o", a)
+		if err == nil {
+			t.Fatal("mutation against broken WAL succeeded")
+		}
+		if !errors.Is(err, ErrDurability) {
+			t.Fatalf("mutation error %v does not wrap ErrDurability", err)
+		}
+	}
+
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if errs := s.CheckInvariants(); len(errs) > 0 {
+		t.Fatalf("invariants violated after degraded churn: %v", errs[0])
 	}
 }

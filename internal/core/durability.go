@@ -1,10 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/wal"
 )
+
+// ErrDurability marks a mutation error caused by the durability sink
+// (WAL append or commit failure) rather than by the mutation itself. At
+// that point the in-memory store is ahead of the log: the mutation was
+// not acknowledged, but its in-memory effects may persist and will be
+// captured by the next checkpoint. Supervisors match this sentinel with
+// errors.Is to transition the store into degraded (read-only) mode.
+var ErrDurability = errors.New("core: durability sink failed")
 
 // Durability receives the store's logical mutations as WAL records. The
 // paper's Oracle deployment gets redo logging from the engine; here the
@@ -39,7 +48,7 @@ func (s *Store) logRecord(r wal.Record) error {
 		return nil
 	}
 	if err := s.dur.Append(r); err != nil {
-		return fmt.Errorf("core: logging %s: %w", r.Type, err)
+		return fmt.Errorf("%w: logging %s: %w", ErrDurability, r.Type, err)
 	}
 	return nil
 }
@@ -50,7 +59,7 @@ func (s *Store) logCommit() error {
 		return nil
 	}
 	if err := s.dur.Commit(); err != nil {
-		return fmt.Errorf("core: committing WAL: %w", err)
+		return fmt.Errorf("%w: committing WAL: %w", ErrDurability, err)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,6 +24,13 @@ type ExportOptions struct {
 
 // ExportModel writes the model to w.
 func (s *Store) ExportModel(model string, w io.Writer, opts ExportOptions) error {
+	return s.ExportModelCtx(context.Background(), model, w, opts)
+}
+
+// ExportModelCtx is ExportModel with cancellation: both the locked link
+// scan and the per-triple serialization loop poll ctx, so a long export
+// can be aborted by deadline or cancel without finishing the pass.
+func (s *Store) ExportModelCtx(ctx context.Context, model string, w io.Writer, opts ExportOptions) error {
 	// Snapshot the link set under the read lock, then release it: the
 	// per-triple value lookups below take their own read locks, and
 	// RWMutex read locks must not nest.
@@ -32,7 +40,7 @@ func (s *Store) ExportModel(model string, w io.Writer, opts ExportOptions) error
 		s.mu.RUnlock()
 		return err
 	}
-	all, err := s.findModelLocked(mid, Pattern{})
+	all, err := s.findModelLocked(ctx, mid, Pattern{})
 	s.mu.RUnlock()
 	if err != nil {
 		return err
@@ -67,7 +75,12 @@ func (s *Store) ExportModel(model string, w io.Writer, opts ExportOptions) error
 		return t
 	}
 
-	for _, ts := range all {
+	for i, ts := range all {
+		if i%cancelEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: export: %w", err)
+			}
+		}
 		tr, err := ts.GetTriple()
 		if err != nil {
 			return err

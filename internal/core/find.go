@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/rdfterm"
 	"repro/internal/reldb"
 )
@@ -17,18 +20,32 @@ type Pattern struct {
 // P returns a pointer to a term, for building patterns inline.
 func P(t rdfterm.Term) *rdfterm.Term { return &t }
 
+// cancelEvery is how many scanned rows a read path processes between
+// context checks. Small enough that cancellation lands within a fraction
+// of a millisecond on any pattern shape, large enough that the check is
+// invisible in scan throughput.
+const cancelEvery = 256
+
 // Find returns every triple in the model matching the pattern, choosing
 // the best available index: (M,S[,P[,O]]) prefix on the unique MSPO index,
 // (M,P) on the predicate index, (M,O-canon) on the object index, falling
 // back to a partition-pruned scan for fully unbound patterns.
 func (s *Store) Find(model string, pat Pattern) ([]TripleS, error) {
+	return s.FindCtx(context.Background(), model, pat)
+}
+
+// FindCtx is Find with cancellation: the scan aborts (returning ctx.Err
+// wrapped) as soon as ctx is done, checking every cancelEvery rows, so a
+// runaway query releases the read lock promptly after a cancel or
+// deadline.
+func (s *Store) FindCtx(ctx context.Context, model string, pat Pattern) ([]TripleS, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return nil, err
 	}
-	return s.findModelLocked(mid, pat)
+	return s.findModelLocked(ctx, mid, pat)
 }
 
 // FindModels runs Find over several models, concatenating results — the
@@ -38,6 +55,11 @@ func (s *Store) Find(model string, pat Pattern) ([]TripleS, error) {
 // between the per-model scans, so the result is a consistent snapshot
 // across every model in the list.
 func (s *Store) FindModels(models []string, pat Pattern) ([]TripleS, error) {
+	return s.FindModelsCtx(context.Background(), models, pat)
+}
+
+// FindModelsCtx is FindModels with cancellation (see FindCtx).
+func (s *Store) FindModelsCtx(ctx context.Context, models []string, pat Pattern) ([]TripleS, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	mids := make([]int64, len(models))
@@ -50,7 +72,7 @@ func (s *Store) FindModels(models []string, pat Pattern) ([]TripleS, error) {
 	}
 	var out []TripleS
 	for _, mid := range mids {
-		ts, err := s.findModelLocked(mid, pat)
+		ts, err := s.findModelLocked(ctx, mid, pat)
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +82,9 @@ func (s *Store) FindModels(models []string, pat Pattern) ([]TripleS, error) {
 }
 
 // findModelLocked executes the pattern match with s.mu held (either mode).
-func (s *Store) findModelLocked(mid int64, pat Pattern) ([]TripleS, error) {
+// The scan polls ctx every cancelEvery rows and aborts with a wrapped
+// ctx.Err() when it fires.
+func (s *Store) findModelLocked(ctx context.Context, mid int64, pat Pattern) ([]TripleS, error) {
 	// Resolve constrained term IDs; a constrained term that is not interned
 	// matches nothing.
 	var sid, pid, oid int64
@@ -83,6 +107,21 @@ func (s *Store) findModelLocked(mid int64, pat Pattern) ([]TripleS, error) {
 		}
 	}
 
+	// scanned counts rows across the index scan and the fetch loop; the
+	// context is polled every cancelEvery increments.
+	scanned := 0
+	var ctxErr error
+	tick := func() bool {
+		scanned++
+		if scanned%cancelEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = fmt.Errorf("core: find: %w", err)
+				return false
+			}
+		}
+		return true
+	}
+
 	// collectIDs fetches each candidate row and applies only the residual
 	// checks — the components the index prefix does NOT already guarantee.
 	// A component baked into the scanned key prefix is equal on every row
@@ -90,6 +129,9 @@ func (s *Store) findModelLocked(mid int64, pat Pattern) ([]TripleS, error) {
 	var out []TripleS
 	collectIDs := func(ids []reldb.RowID, checkS, checkP, checkO bool) error {
 		for _, rid := range ids {
+			if !tick() {
+				return ctxErr
+			}
 			r, err := s.links.Get(rid)
 			if err != nil {
 				continue // row deleted since index snapshot
@@ -123,8 +165,11 @@ func (s *Store) findModelLocked(mid int64, pat Pattern) ([]TripleS, error) {
 		var ids []reldb.RowID
 		s.linkMSPO.ScanPrefix(prefix, func(_ reldb.Key, rid reldb.RowID) bool {
 			ids = append(ids, rid)
-			return true
+			return tick()
 		})
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 		return out, collectIDs(ids, false, false, pat.Predicate == nil && pat.Object != nil)
 	case pat.Predicate != nil:
 		// MP prefix covers (M,P); O is residual. S is unbound here (the
@@ -132,22 +177,31 @@ func (s *Store) findModelLocked(mid int64, pat Pattern) ([]TripleS, error) {
 		var ids []reldb.RowID
 		s.linkMP.ScanPrefix(reldb.Key{reldb.Int(mid), reldb.Int(pid)}, func(_ reldb.Key, rid reldb.RowID) bool {
 			ids = append(ids, rid)
-			return true
+			return tick()
 		})
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 		return out, collectIDs(ids, false, false, pat.Object != nil)
 	case pat.Object != nil:
 		// MO prefix covers (M,O-canon); nothing else is bound.
 		var ids []reldb.RowID
 		s.linkMO.ScanPrefix(reldb.Key{reldb.Int(mid), reldb.Int(oid)}, func(_ reldb.Key, rid reldb.RowID) bool {
 			ids = append(ids, rid)
-			return true
+			return tick()
 		})
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 		return out, collectIDs(ids, false, false, false)
 	default:
 		err := s.links.ScanPartition(mid, func(_ reldb.RowID, r reldb.Row) bool {
 			out = append(out, s.tripleSFromRow(r))
-			return true
+			return tick()
 		})
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 		return out, err
 	}
 }
@@ -156,7 +210,13 @@ func (s *Store) findModelLocked(mid int64, pat Pattern) ([]TripleS, error) {
 // of a model whose subject text equals subject. It exercises the member-
 // function access path (value lookup → link index prefix scan).
 func (s *Store) FindBySubjectText(model, subject string) ([]Triple, error) {
-	ts, err := s.Find(model, Pattern{Subject: P(rdfterm.NewURI(subject))})
+	return s.FindBySubjectTextCtx(context.Background(), model, subject)
+}
+
+// FindBySubjectTextCtx is FindBySubjectText with cancellation (see
+// FindCtx).
+func (s *Store) FindBySubjectTextCtx(ctx context.Context, model, subject string) ([]Triple, error) {
+	ts, err := s.FindCtx(ctx, model, Pattern{Subject: P(rdfterm.NewURI(subject))})
 	if err != nil {
 		return nil, err
 	}

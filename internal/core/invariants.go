@@ -11,6 +11,8 @@ import (
 // schema and returns every violation found. It exists for tests (notably
 // the property tests that hammer the store with random operation
 // sequences) and for diagnostics; a healthy store returns an empty slice.
+// The background scrubber (see scrub.go) runs the same checks in bounded
+// slices so the read lock is yielded between batches.
 //
 // Invariants checked:
 //
@@ -32,71 +34,104 @@ func (s *Store) CheckInvariants() []error {
 		errs = append(errs, fmt.Errorf(format, args...))
 	}
 
-	// Collect live link facts.
-	usedNodes := map[int64]bool{}
-	seenMSPO := map[string]int64{}
+	audit := newLinkAudit()
 	s.links.Scan(func(_ reldb.RowID, r reldb.Row) bool {
-		linkID := r[lcLinkID].Int64()
-		modelID := r[lcModelID].Int64()
-		sid, pid, oid, cid := r[lcStartNodeID].Int64(), r[lcPValueID].Int64(), r[lcEndNodeID].Int64(), r[lcCanonEndNodeID].Int64()
-
-		for _, pair := range [][2]int64{{sid, 1}, {pid, 2}, {oid, 3}, {cid, 4}} {
-			if !s.valuePK.Contains(reldb.Key{reldb.Int(pair[0])}) {
-				addf("link %d: dangling VALUE_ID %d (pos %d)", linkID, pair[0], pair[1])
-			}
-		}
-		usedNodes[sid] = true
-		usedNodes[oid] = true
-
-		if cost := r[lcCost].Int64(); cost < 1 {
-			addf("link %d: COST = %d < 1", linkID, cost)
-		}
-		key := fmt.Sprintf("%d|%d|%d|%d", modelID, sid, pid, cid)
-		if other, dup := seenMSPO[key]; dup {
-			addf("links %d and %d: duplicate (MODEL,S,P,CANON)", other, linkID)
-		}
-		seenMSPO[key] = linkID
-
-		if !s.modelPK.Contains(reldb.Key{reldb.Int(modelID)}) {
-			addf("link %d: MODEL_ID %d not in rdf_model$", linkID, modelID)
-		}
-		if ctx := r[lcContext].Str(); ctx != ContextDirect && ctx != ContextIndirect {
-			addf("link %d: CONTEXT %q", linkID, ctx)
-		}
-		if rf := r[lcReifLink].Str(); rf != "Y" && rf != "N" {
-			addf("link %d: REIF_LINK %q", linkID, rf)
-		}
-		if prop, err := s.getValueLocked(pid); err == nil {
-			if want := rdfterm.LinkType(prop.Value); r[lcLinkType].Str() != want {
-				addf("link %d: LINK_TYPE %q, predicate implies %q", linkID, r[lcLinkType].Str(), want)
-			}
-		} else if s.valuePK.Contains(reldb.Key{reldb.Int(pid)}) {
-			// The wholly-missing case is already reported as a dangling
-			// VALUE_ID above; an indexed-but-unreadable row is a distinct
-			// index/table divergence and must not be swallowed.
-			addf("link %d: predicate VALUE_ID %d indexed in rdf_value$ but unreadable: %v", linkID, pid, err)
-		}
+		s.checkLinkLocked(r, audit, addf, addf)
 		return true
 	})
+	s.checkNodeSetLocked(audit, addf)
+	s.checkBlanksLocked(addf)
+	return errs
+}
 
-	// rdf_node$ must equal the used-node set.
+// linkAudit accumulates the cross-link facts the per-link checks feed:
+// which nodes are referenced by live links (invariant 2) and which
+// (MODEL,S,P,CANON) keys have been seen (invariant 4).
+type linkAudit struct {
+	usedNodes map[int64]bool
+	seenMSPO  map[string]int64
+}
+
+func newLinkAudit() *linkAudit {
+	return &linkAudit{usedNodes: map[int64]bool{}, seenMSPO: map[string]int64{}}
+}
+
+// checkLinkLocked runs the per-link invariants (1, 3, 4, 5, 6) on one
+// rdf_link$ row, folding the row's facts into the audit. Violations go
+// through addf, except duplicate-(MODEL,S,P,CANON) findings, which go
+// through dupf: those compare against rows audited earlier, so a sliced
+// sweep that observed earlier rows under a different lock acquisition
+// must be able to quarantine them (a row deleted and re-added between
+// slices would otherwise report a false duplicate). CheckInvariants,
+// which audits everything under one lock hold, passes addf for both.
+// Caller holds s.mu (either mode).
+func (s *Store) checkLinkLocked(r reldb.Row, audit *linkAudit, addf, dupf func(format string, args ...interface{})) {
+	linkID := r[lcLinkID].Int64()
+	modelID := r[lcModelID].Int64()
+	sid, pid, oid, cid := r[lcStartNodeID].Int64(), r[lcPValueID].Int64(), r[lcEndNodeID].Int64(), r[lcCanonEndNodeID].Int64()
+
+	for _, pair := range [][2]int64{{sid, 1}, {pid, 2}, {oid, 3}, {cid, 4}} {
+		if !s.valuePK.Contains(reldb.Key{reldb.Int(pair[0])}) {
+			addf("link %d: dangling VALUE_ID %d (pos %d)", linkID, pair[0], pair[1])
+		}
+	}
+	audit.usedNodes[sid] = true
+	audit.usedNodes[oid] = true
+
+	if cost := r[lcCost].Int64(); cost < 1 {
+		addf("link %d: COST = %d < 1", linkID, cost)
+	}
+	key := fmt.Sprintf("%d|%d|%d|%d", modelID, sid, pid, cid)
+	if other, dup := audit.seenMSPO[key]; dup {
+		dupf("links %d and %d: duplicate (MODEL,S,P,CANON)", other, linkID)
+	}
+	audit.seenMSPO[key] = linkID
+
+	if !s.modelPK.Contains(reldb.Key{reldb.Int(modelID)}) {
+		addf("link %d: MODEL_ID %d not in rdf_model$", linkID, modelID)
+	}
+	if ctx := r[lcContext].Str(); ctx != ContextDirect && ctx != ContextIndirect {
+		addf("link %d: CONTEXT %q", linkID, ctx)
+	}
+	if rf := r[lcReifLink].Str(); rf != "Y" && rf != "N" {
+		addf("link %d: REIF_LINK %q", linkID, rf)
+	}
+	if prop, err := s.getValueLocked(pid); err == nil {
+		if want := rdfterm.LinkType(prop.Value); r[lcLinkType].Str() != want {
+			addf("link %d: LINK_TYPE %q, predicate implies %q", linkID, r[lcLinkType].Str(), want)
+		}
+	} else if s.valuePK.Contains(reldb.Key{reldb.Int(pid)}) {
+		// The wholly-missing case is already reported as a dangling
+		// VALUE_ID above; an indexed-but-unreadable row is a distinct
+		// index/table divergence and must not be swallowed.
+		addf("link %d: predicate VALUE_ID %d indexed in rdf_value$ but unreadable: %v", linkID, pid, err)
+	}
+}
+
+// checkNodeSetLocked verifies invariant 2: rdf_node$ equals the set of
+// nodes used by the audited links. Only meaningful after every live link
+// has been folded into the audit. Caller holds s.mu.
+func (s *Store) checkNodeSetLocked(audit *linkAudit, addf func(format string, args ...interface{})) {
 	nodeSet := map[int64]bool{}
 	s.nodes.Scan(func(_ reldb.RowID, r reldb.Row) bool {
 		nodeSet[r[0].Int64()] = true
 		return true
 	})
-	for n := range usedNodes {
+	for n := range audit.usedNodes {
 		if !nodeSet[n] {
 			addf("node %d used by links but missing from rdf_node$", n)
 		}
 	}
 	for n := range nodeSet {
-		if !usedNodes[n] {
+		if !audit.usedNodes[n] {
 			addf("node %d in rdf_node$ but unused by any link", n)
 		}
 	}
+}
 
-	// Blank mappings point at BN values.
+// checkBlanksLocked verifies invariant 7: blank mappings point at
+// BN-typed values. Caller holds s.mu.
+func (s *Store) checkBlanksLocked(addf func(format string, args ...interface{})) {
 	s.blanks.Scan(func(_ reldb.RowID, r reldb.Row) bool {
 		vid := r[2].Int64()
 		term, err := s.getValueLocked(vid)
@@ -109,5 +144,4 @@ func (s *Store) CheckInvariants() []error {
 		}
 		return true
 	})
-	return errs
 }

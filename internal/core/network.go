@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/ndm"
 	"repro/internal/rdfterm"
 	"repro/internal/reldb"
@@ -15,12 +17,13 @@ import (
 type RDFNetwork struct {
 	store  *Store
 	models map[int64]bool // nil = all models
+	ctx    context.Context
 }
 
 // Network returns the NDM view of the given models (all models when none
 // are named).
 func (s *Store) Network(models ...string) (*RDFNetwork, error) {
-	n := &RDFNetwork{store: s}
+	n := &RDFNetwork{store: s, ctx: context.Background()}
 	if len(models) > 0 {
 		n.models = make(map[int64]bool, len(models))
 		for _, m := range models {
@@ -33,6 +36,18 @@ func (s *Store) Network(models ...string) (*RDFNetwork, error) {
 	}
 	return n, nil
 }
+
+// WithContext returns a view of the network whose traversals stop once
+// ctx is done: Nodes/OutLinks/InLinks simply stop visiting, so any NDM
+// analysis running over the view winds down instead of walking the rest
+// of the graph. Pair with the ndm package's *Ctx analysis entry points,
+// which additionally report the cancellation as an error.
+func (n *RDFNetwork) WithContext(ctx context.Context) *RDFNetwork {
+	return &RDFNetwork{store: n.store, models: n.models, ctx: ctx}
+}
+
+// done reports whether the network's context has been cancelled.
+func (n *RDFNetwork) done() bool { return n.ctx.Err() != nil }
 
 // inScope reports whether a link row belongs to the selected models.
 func (n *RDFNetwork) inScope(r reldb.Row) bool {
@@ -54,11 +69,11 @@ func (n *RDFNetwork) Nodes(fn func(node int64) bool) {
 	var nodes []int64
 	n.store.nodes.Scan(func(_ reldb.RowID, r reldb.Row) bool {
 		nodes = append(nodes, r[0].Int64())
-		return true
+		return len(nodes)%cancelEvery != 0 || !n.done()
 	})
 	n.store.mu.RUnlock()
 	for _, node := range nodes {
-		if !fn(node) {
+		if n.done() || !fn(node) {
 			return
 		}
 	}
@@ -90,10 +105,13 @@ func (n *RDFNetwork) visit(fromEnd bool, node int64, otherCol int, fn func(linkI
 	var ids []reldb.RowID
 	ix.ScanPrefix(reldb.Key{reldb.Int(node)}, func(_ reldb.Key, rid reldb.RowID) bool {
 		ids = append(ids, rid)
-		return true
+		return len(ids)%cancelEvery != 0 || !n.done()
 	})
 	var hops []hop
-	for _, rid := range ids {
+	for i, rid := range ids {
+		if i%cancelEvery == 0 && n.done() {
+			break
+		}
 		r, err := n.store.links.Get(rid)
 		if err != nil || !n.inScope(r) {
 			continue
@@ -102,7 +120,7 @@ func (n *RDFNetwork) visit(fromEnd bool, node int64, otherCol int, fn func(linkI
 	}
 	n.store.mu.RUnlock()
 	for _, h := range hops {
-		if !fn(h.linkID, h.other, h.cost) {
+		if n.done() || !fn(h.linkID, h.other, h.cost) {
 			return
 		}
 	}

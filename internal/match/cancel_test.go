@@ -1,0 +1,141 @@
+package match
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdfterm"
+)
+
+// buildJoinStore loads a model whose 3-pattern join explodes
+// combinatorially: three all-to-all x:p layers of width w (so the
+// intermediate binding sets grow as w², then w³), padded with filler
+// triples to the requested total size.
+func buildJoinStore(t testing.TB, w, total int) *core.Store {
+	t.Helper()
+	s := core.New()
+	if _, err := s.CreateRDFModel("big", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	uri := func(layer, i int) rdfterm.Term {
+		return rdfterm.NewURI(fmt.Sprintf("http://x#n%d_%d", layer, i))
+	}
+	p := rdfterm.NewURI("http://x#p")
+	var batch []core.BatchTriple
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if _, err := s.InsertBatch("big", batch); err != nil {
+			t.Fatal(err)
+		}
+		batch = batch[:0]
+	}
+	n := 0
+	for layer := 0; layer < 3; layer++ {
+		for i := 0; i < w; i++ {
+			for j := 0; j < w; j++ {
+				batch = append(batch, core.BatchTriple{Subject: uri(layer, i), Predicate: p, Object: uri(layer+1, j)})
+				n++
+				if len(batch) == 10000 {
+					flush()
+				}
+			}
+		}
+	}
+	filler := rdfterm.NewURI("http://x#filler")
+	for ; n < total; n++ {
+		batch = append(batch, core.BatchTriple{
+			Subject:   rdfterm.NewURI(fmt.Sprintf("http://x#f%d", n%512)),
+			Predicate: filler,
+			Object:    rdfterm.NewURI(fmt.Sprintf("http://x#v%d", n)),
+		})
+		if len(batch) == 10000 {
+			flush()
+		}
+	}
+	flush()
+	return s
+}
+
+// The acceptance bar for cancellable queries: a join over a 100k-triple
+// model returns within 100ms of context cancellation, and the store is
+// immediately writable afterwards (no leaked read lock).
+func TestMatchContextCancelsLargeJoin(t *testing.T) {
+	s := buildJoinStore(t, 30, 100000)
+	query := "(?a <http://x#p> ?b) (?b <http://x#p> ?c) (?c <http://x#p> ?d)"
+
+	// Sanity: the query itself is valid — a narrowed variant completes.
+	narrow, err := Match(s, "(<http://x#n0_0> <http://x#p> ?b) (?b <http://x#p> ?c)", Options{Models: []string{"big"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Len() != 30*30 {
+		t.Fatalf("narrowed join returned %d rows, want %d", narrow.Len(), 30*30)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := MatchContext(ctx, s, query, Options{Models: []string{"big"}})
+		done <- err
+	}()
+	// Let the join get going, then cancel. The full join materializes
+	// ~w³ = 27k bindings through repeated index scans, far more than it
+	// can finish in 30ms.
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	cancelledAt := time.Now()
+	select {
+	case err := <-done:
+		if d := time.Since(cancelledAt); d > 100*time.Millisecond {
+			t.Fatalf("MatchContext returned %v after cancellation (budget 100ms)", d)
+		}
+		if err == nil {
+			t.Skip("join finished before cancellation on this machine; nothing to assert")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("MatchContext error = %v, want context.Canceled in chain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("MatchContext did not return after cancellation")
+	}
+
+	// No lock leak: a write must complete promptly.
+	writeDone := make(chan error, 1)
+	go func() {
+		a := rdfterm.Default().With(rdfterm.Alias{Prefix: "x", Namespace: "http://x#"})
+		_, err := s.NewTripleS("big", "x:w", "x:p2", "x:w2", a)
+		writeDone <- err
+	}()
+	select {
+	case err := <-writeDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("write blocked after cancelled MatchContext: read lock leaked")
+	}
+}
+
+func TestMatchContextDeadline(t *testing.T) {
+	s := buildJoinStore(t, 12, 5000)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	query := "(?a <http://x#p> ?b) (?b <http://x#p> ?c) (?c <http://x#p> ?d)"
+	start := time.Now()
+	_, err := MatchContext(ctx, s, query, Options{Models: []string{"big"}})
+	if err == nil {
+		t.Skip("join finished inside the deadline on this machine")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("MatchContext error = %v, want DeadlineExceeded in chain", err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("MatchContext overran its 5ms deadline by %v", d)
+	}
+}

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -84,8 +85,24 @@ func (r *ResultSet) Len() int { return len(r.Rows) }
 // triples when rulebases are requested), applies the filter, and returns
 // the variable bindings.
 func Match(store *core.Store, query string, opts Options) (*ResultSet, error) {
+	return MatchContext(context.Background(), store, query, opts)
+}
+
+// cancelEvery is how many intermediate bindings the join loop processes
+// between context checks (the per-pattern scans underneath poll on their
+// own cadence via core.FindCtx).
+const cancelEvery = 256
+
+// MatchContext is Match with cancellation: the join loop polls ctx
+// between bindings and each index scan polls it internally, so a
+// combinatorial join aborts promptly — releasing the store's read lock —
+// once the deadline passes or the caller cancels.
+func MatchContext(ctx context.Context, store *core.Store, query string, opts Options) (*ResultSet, error) {
 	if len(opts.Models) == 0 {
 		return nil, fmt.Errorf("match: at least one model is required")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("match: %w", err)
 	}
 	aliases := rdfterm.Default()
 	if opts.Aliases != nil {
@@ -125,11 +142,18 @@ func Match(store *core.Store, query string, opts Options) (*ResultSet, error) {
 	// more concrete terms run earlier (cheap heuristic planner).
 	order := planOrder(pats)
 	bindings := []map[string]rdfterm.Term{{}}
+	polled := 0
 	for _, pi := range order {
 		pat := pats[pi]
 		var next []map[string]rdfterm.Term
 		for _, b := range bindings {
-			matches, err := findPattern(store, scope, pat, b)
+			polled++
+			if polled%cancelEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("match: %w", err)
+				}
+			}
+			matches, err := findPattern(ctx, store, scope, pat, b)
 			if err != nil {
 				return nil, err
 			}
@@ -236,7 +260,7 @@ func planOrder(pats []TriplePattern) []int {
 
 // findPattern evaluates one pattern under a partial binding, returning the
 // extended bindings.
-func findPattern(store *core.Store, models []string, pat TriplePattern, b map[string]rdfterm.Term) ([]map[string]rdfterm.Term, error) {
+func findPattern(ctx context.Context, store *core.Store, models []string, pat TriplePattern, b map[string]rdfterm.Term) ([]map[string]rdfterm.Term, error) {
 	resolve := func(pt PatternTerm) *rdfterm.Term {
 		if !pt.IsVar() {
 			t := pt.Term
@@ -262,7 +286,7 @@ func findPattern(store *core.Store, models []string, pat TriplePattern, b map[st
 	}
 	var out []map[string]rdfterm.Term
 	for _, model := range models {
-		found, err := store.Find(model, cp)
+		found, err := store.FindCtx(ctx, model, cp)
 		if err != nil {
 			return nil, err
 		}

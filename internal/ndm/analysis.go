@@ -2,9 +2,14 @@ package ndm
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 )
+
+// cancelEvery is how many search steps (heap pops / frontier visits) an
+// analysis performs between context checks in the *Ctx entry points.
+const cancelEvery = 256
 
 // Path is a walk through the network: Nodes has one more element than
 // Links, and Cost is the sum of link costs.
@@ -45,6 +50,16 @@ type edgeTo struct {
 // ShortestPath returns a minimum-cost directed path from source to target
 // (Dijkstra; link costs must be non-negative, which AddLink enforces).
 func ShortestPath(g Graph, source, target int64) (Path, error) {
+	return ShortestPathCtx(context.Background(), g, source, target)
+}
+
+// ShortestPathCtx is ShortestPath with cancellation: the Dijkstra loop
+// polls ctx every cancelEvery pops, so a search over a large network
+// aborts promptly on cancel or deadline.
+func ShortestPathCtx(ctx context.Context, g Graph, source, target int64) (Path, error) {
+	if err := ctx.Err(); err != nil {
+		return Path{}, fmt.Errorf("ndm: shortest path: %w", err)
+	}
 	if !g.HasNode(source) || !g.HasNode(target) {
 		return Path{}, fmt.Errorf("%w: endpoint missing", ErrNoPath)
 	}
@@ -52,7 +67,14 @@ func ShortestPath(g Graph, source, target int64) (Path, error) {
 	from := map[int64]edgeTo{}
 	done := map[int64]bool{}
 	q := &pq{{node: source, dist: 0}}
+	steps := 0
 	for q.Len() > 0 {
+		steps++
+		if steps%cancelEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Path{}, fmt.Errorf("ndm: shortest path: %w", err)
+			}
+		}
 		cur := heap.Pop(q).(pqItem)
 		if done[cur.node] {
 			continue
@@ -107,7 +129,12 @@ type NodeCost struct {
 // <= maxCost (excluding source itself), sorted by cost then node ID — NDM's
 // "within cost" analysis.
 func WithinCost(g Graph, source int64, maxCost float64) ([]NodeCost, error) {
-	dist, err := dijkstraAll(g, source, maxCost)
+	return WithinCostCtx(context.Background(), g, source, maxCost)
+}
+
+// WithinCostCtx is WithinCost with cancellation (see ShortestPathCtx).
+func WithinCostCtx(ctx context.Context, g Graph, source int64, maxCost float64) ([]NodeCost, error) {
+	dist, err := dijkstraAll(ctx, g, source, maxCost)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +151,13 @@ func WithinCost(g Graph, source int64, maxCost float64) ([]NodeCost, error) {
 // NearestNeighbors returns the k reachable nodes closest to source
 // (excluding source), sorted by cost then node ID.
 func NearestNeighbors(g Graph, source int64, k int) ([]NodeCost, error) {
-	dist, err := dijkstraAll(g, source, -1)
+	return NearestNeighborsCtx(context.Background(), g, source, k)
+}
+
+// NearestNeighborsCtx is NearestNeighbors with cancellation (see
+// ShortestPathCtx).
+func NearestNeighborsCtx(ctx context.Context, g Graph, source int64, k int) ([]NodeCost, error) {
+	dist, err := dijkstraAll(ctx, g, source, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -150,15 +183,26 @@ func sortNodeCosts(out []NodeCost) {
 	})
 }
 
-// dijkstraAll computes distances from source; maxCost < 0 means unbounded.
-func dijkstraAll(g Graph, source int64, maxCost float64) (map[int64]float64, error) {
+// dijkstraAll computes distances from source; maxCost < 0 means
+// unbounded. The pop loop polls ctx every cancelEvery steps.
+func dijkstraAll(ctx context.Context, g Graph, source int64, maxCost float64) (map[int64]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("ndm: cost analysis: %w", err)
+	}
 	if !g.HasNode(source) {
 		return nil, fmt.Errorf("ndm: node %d does not exist", source)
 	}
 	dist := map[int64]float64{source: 0}
 	done := map[int64]bool{}
 	q := &pq{{node: source, dist: 0}}
+	steps := 0
 	for q.Len() > 0 {
+		steps++
+		if steps%cancelEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("ndm: cost analysis: %w", err)
+			}
+		}
 		cur := heap.Pop(q).(pqItem)
 		if done[cur.node] {
 			continue
@@ -183,15 +227,31 @@ func dijkstraAll(g Graph, source int64, maxCost float64) (map[int64]float64, err
 // within maxDepth hops (maxDepth < 0 = unbounded), excluding source,
 // sorted by node ID.
 func Reachable(g Graph, source int64, maxDepth int) ([]int64, error) {
+	return ReachableCtx(context.Background(), g, source, maxDepth)
+}
+
+// ReachableCtx is Reachable with cancellation: the BFS polls ctx every
+// cancelEvery frontier visits.
+func ReachableCtx(ctx context.Context, g Graph, source int64, maxDepth int) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("ndm: reachability: %w", err)
+	}
 	if !g.HasNode(source) {
 		return nil, fmt.Errorf("ndm: node %d does not exist", source)
 	}
 	seen := map[int64]bool{source: true}
 	frontier := []int64{source}
 	depth := 0
+	visits := 0
 	for len(frontier) > 0 && (maxDepth < 0 || depth < maxDepth) {
 		var next []int64
 		for _, n := range frontier {
+			visits++
+			if visits%cancelEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("ndm: reachability: %w", err)
+				}
+			}
 			g.OutLinks(n, func(_, end int64, _ float64) bool {
 				if !seen[end] {
 					seen[end] = true

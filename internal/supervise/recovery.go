@@ -1,0 +1,209 @@
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// Recovery. After a durability fault the in-memory store is AHEAD of the
+// broken log and authoritative: every acknowledged mutation is in memory,
+// so recovery is NOT a replay — it is re-establishing a durable baseline
+// for what memory already holds. Each attempt reopens the WAL file,
+// checkpoints the current memory image atomically (core.SaveFile: tmp +
+// fsync + rename + dir fsync), and truncates the fresh log. One
+// acknowledged-durability wart is inherent here: a mutation whose WAL
+// append failed was rejected to its caller but may have partially applied
+// in memory; re-baselining persists it. That errs on the side of keeping
+// data (at-least-once), never losing acknowledged commits.
+//
+// Corruption recovery (scrubber violations) is different: memory is the
+// suspect, disk is the authority. The attempt re-verifies memory and, if
+// the damage is confirmed, rebuilds the store from snapshot + WAL replay
+// and swaps it in — acknowledged mutations are in the WAL, so the rebuilt
+// image contains them.
+
+// recoverLoop waits for a fault and drives the retry schedule.
+func (sv *Supervisor) recoverLoop() {
+	defer sv.wg.Done()
+	for {
+		select {
+		case <-sv.stop:
+			return
+		case <-sv.wake:
+		}
+		sv.runRecovery()
+	}
+}
+
+// runRecovery retries recovery with capped exponential backoff and
+// jitter until it succeeds, the attempt budget runs out (→Failed), or
+// the supervisor closes.
+func (sv *Supervisor) runRecovery() {
+	b := sv.cfg.Backoff
+	delay := b.Initial
+	for attempt := 1; ; attempt++ {
+		if sv.stopped() {
+			return
+		}
+		sv.transition(Recovering, nil, attempt)
+		err := sv.attemptRecovery()
+		if err == nil {
+			sv.transition(Healthy, nil, attempt)
+			return
+		}
+		if b.MaxAttempts > 0 && attempt >= b.MaxAttempts {
+			sv.transition(Failed, fmt.Errorf("supervise: recovery attempt %d/%d: %w", attempt, b.MaxAttempts, err), attempt)
+			return
+		}
+		sv.transition(Degraded, fmt.Errorf("supervise: recovery attempt %d: %w", attempt, err), attempt)
+		select {
+		case <-sv.stop:
+			return
+		case <-time.After(sv.jitter(delay)):
+		}
+		delay = time.Duration(float64(delay) * b.Multiplier)
+		if delay > b.Max {
+			delay = b.Max
+		}
+	}
+}
+
+// jitter randomizes a delay by ±Backoff.Jitter. Recovery-loop goroutine
+// only (sv.rng is not locked).
+func (sv *Supervisor) jitter(d time.Duration) time.Duration {
+	j := sv.cfg.Backoff.Jitter
+	if j <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (1 + j*(2*sv.rng.Float64()-1)))
+}
+
+// attemptRecovery runs one recovery attempt with mutations excluded.
+func (sv *Supervisor) attemptRecovery() error {
+	sv.opMu.Lock()
+	defer sv.opMu.Unlock()
+	sv.mu.Lock()
+	st, oldLog, reason := sv.store, sv.log, sv.reason
+	sv.mu.Unlock()
+
+	var scrubErr *ScrubError
+	if errors.As(reason, &scrubErr) {
+		return sv.recoverFromCorruption(st, oldLog)
+	}
+	return sv.rebaseline(st, oldLog)
+}
+
+// rebaseline re-establishes durability for the authoritative in-memory
+// image: close the broken log, reopen the WAL file, checkpoint memory,
+// truncate. Called with opMu held exclusively.
+func (sv *Supervisor) rebaseline(st *core.Store, oldLog *wal.Log) error {
+	sv.closeOldLog(oldLog)
+	log, _, err := sv.cfg.OpenWAL(sv.cfg.WALPath)
+	if err != nil {
+		return fmt.Errorf("reopening WAL: %w", err)
+	}
+	if err := core.Checkpoint(st, sv.cfg.SnapshotPath, log); err != nil {
+		log.Close()
+		return fmt.Errorf("re-baselining: %w", err)
+	}
+	st.SetDurability(log)
+	sv.mu.Lock()
+	sv.log = log
+	sv.mu.Unlock()
+	return nil
+}
+
+// recoverFromCorruption handles a scrubber-confirmed invariant failure:
+// re-verify memory (the scrub may predate a fix), and rebuild from disk
+// when the damage is real. Called with opMu held exclusively.
+func (sv *Supervisor) recoverFromCorruption(st *core.Store, oldLog *wal.Log) error {
+	if len(sv.cfg.Verify(st)) == 0 {
+		// Memory verifies clean now; keep it and its log.
+		return nil
+	}
+	sv.closeOldLog(oldLog)
+	fresh, log, _, err := core.RecoverFilesWith(sv.cfg.SnapshotPath, sv.cfg.WALPath, sv.cfg.OpenWAL)
+	if err != nil {
+		return fmt.Errorf("rebuilding from disk: %w", err)
+	}
+	if errs := sv.cfg.Verify(fresh); len(errs) > 0 {
+		log.Close()
+		return fmt.Errorf("disk image fails verification too: %w", errs[0])
+	}
+	fresh.SetDurability(log)
+	sv.mu.Lock()
+	sv.store, sv.log = fresh, log
+	sv.mu.Unlock()
+	return nil
+}
+
+// closeOldLog detaches and closes the failed log, tolerating errors (the
+// sink is already known broken) and repeated attempts (sv.log nils out).
+func (sv *Supervisor) closeOldLog(oldLog *wal.Log) {
+	if oldLog == nil {
+		return
+	}
+	oldLog.Close()
+	sv.mu.Lock()
+	if sv.log == oldLog {
+		sv.log = nil
+	}
+	sv.mu.Unlock()
+}
+
+// ScrubError is the structured report a failing background sweep
+// escalates with: the full ScrubReport rides along for diagnostics.
+type ScrubError struct {
+	Report core.ScrubReport
+}
+
+// Error summarizes the violations.
+func (e *ScrubError) Error() string {
+	n := len(e.Report.Violations)
+	msg := fmt.Sprintf("supervise: scrub found %d invariant violation(s) across %d links", n, e.Report.Links)
+	if n > 0 {
+		msg += ": " + e.Report.Violations[0].Error()
+		if n > 1 {
+			msg += fmt.Sprintf(" (and %d more)", n-1)
+		}
+	}
+	return msg
+}
+
+// scrubLoop periodically sweeps invariants and statistics in bounded
+// slices, escalating violations.
+func (sv *Supervisor) scrubLoop() {
+	defer sv.wg.Done()
+	t := time.NewTicker(sv.cfg.ScrubInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sv.stop:
+			return
+		case <-t.C:
+		}
+		if sv.State() != Healthy {
+			continue // recovery owns the store right now
+		}
+		rep, err := sv.cfg.Scrub(sv.scrubCtx, sv.Store(), sv.cfg.ScrubSlice)
+		if err != nil {
+			continue // cancelled at shutdown
+		}
+		sv.noteScrub(rep)
+		if len(rep.Violations) > 0 {
+			sv.degrade(&ScrubError{Report: rep})
+		}
+	}
+}
+
+// noteScrub records a completed sweep for Health.
+func (sv *Supervisor) noteScrub(rep core.ScrubReport) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.scrubs++
+	sv.lastScrub = rep
+}

@@ -1,0 +1,458 @@
+// Package supervise wraps a core.Store in a health-state machine so a
+// deployment survives its durability layer misbehaving. The paper's
+// store inherits Oracle's operational posture — the database stays up
+// and queryable even when parts of it fail — and this package reproduces
+// that posture for the reimplementation:
+//
+//	Healthy ──fault──▶ Degraded ──retry──▶ Recovering ──ok──▶ Healthy
+//	                      ▲                    │
+//	                      └────attempt failed──┘ (capped backoff + jitter)
+//	                                           │
+//	                                           └──attempts exhausted──▶ Failed (terminal)
+//
+// A WAL append/sync error or a failed checkpoint moves the store to
+// Degraded: mutations are rejected with ErrDegraded while reads keep
+// serving from the in-memory image (which is ahead of the broken log and
+// authoritative). A background recovery loop retries with exponential
+// backoff — reopen the WAL, checkpoint the current memory image
+// atomically, truncate the log — until the sink heals or the attempt
+// budget runs out (Failed, terminal; reads still served).
+//
+// A background scrubber periodically sweeps the store's invariants and
+// per-model statistics in bounded slices (core.ScrubPass), escalating
+// genuine violations to Degraded with a structured ScrubError; recovery
+// for corruption re-verifies and, if the damage is real, rebuilds the
+// store from the on-disk snapshot + WAL.
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// State is a supervisor health state.
+type State int32
+
+const (
+	// Healthy serves reads and writes.
+	Healthy State = iota
+	// Degraded serves reads only; mutations fail with ErrDegraded while
+	// the recovery loop works in the background.
+	Degraded
+	// Recovering is Degraded with a recovery attempt actively running.
+	Recovering
+	// Failed is terminal: the attempt budget is exhausted. Reads still
+	// serve; mutations fail with ErrFailed until the process restarts.
+	Failed
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "Healthy"
+	case Degraded:
+		return "Degraded"
+	case Recovering:
+		return "Recovering"
+	case Failed:
+		return "Failed"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Sentinel errors for the mutation gate. Both wrap the underlying cause,
+// so errors.Is(err, ErrDegraded) selects the gate and the full chain
+// explains the fault.
+var (
+	ErrDegraded = errors.New("supervise: store degraded (read-only)")
+	ErrFailed   = errors.New("supervise: store failed (recovery exhausted)")
+	ErrClosed   = errors.New("supervise: supervisor closed")
+)
+
+// Backoff shapes the recovery retry schedule.
+type Backoff struct {
+	// Initial is the delay before the second attempt (default 50ms; the
+	// first attempt runs immediately).
+	Initial time.Duration
+	// Max caps the delay between attempts (default 5s).
+	Max time.Duration
+	// Multiplier grows the delay each failed attempt (default 2).
+	Multiplier float64
+	// Jitter randomizes each delay by ±Jitter fraction (default 0.2) so
+	// a fleet of stores does not retry in lockstep.
+	Jitter float64
+	// MaxAttempts bounds recovery attempts per fault; 0 retries forever.
+	// Exhausting the budget moves the supervisor to Failed.
+	MaxAttempts int
+}
+
+// Transition describes one state change, for observability hooks.
+type Transition struct {
+	From, To State
+	// Reason is the fault driving the transition (nil for →Healthy).
+	Reason error
+	// Attempt numbers the recovery attempt (0 outside recovery).
+	Attempt int
+}
+
+// Config configures Open.
+type Config struct {
+	// SnapshotPath and WALPath locate the durable state. Checkpoints are
+	// written atomically (core.SaveFile): tmp + fsync + rename.
+	SnapshotPath string
+	WALPath      string
+	// OpenWAL opens/creates the WAL (default wal.OpenFile). Tests inject
+	// fault-wrapped files via wal.OpenFileWith here.
+	OpenWAL func(path string) (*wal.Log, wal.ScanResult, error)
+	// ScrubInterval is the pause between background invariant sweeps;
+	// 0 disables the scrubber.
+	ScrubInterval time.Duration
+	// ScrubSlice bounds how many links one scrub slice audits under the
+	// read lock (0 = core's default).
+	ScrubSlice int
+	// QueryTimeout bounds each read served through the supervisor's
+	// query methods (0 = unbounded).
+	QueryTimeout time.Duration
+	// Backoff shapes recovery retries; zero fields take defaults.
+	Backoff Backoff
+	// OnTransition, when set, observes every state change (called outside
+	// the supervisor's locks, from supervisor goroutines).
+	OnTransition func(Transition)
+	// Scrub overrides the background sweep (default core.Store.ScrubPass).
+	// Tests inject fabricated violation reports here.
+	Scrub func(ctx context.Context, st *core.Store, slice int) (core.ScrubReport, error)
+	// Verify overrides the invariant check recovery re-verifies a
+	// suspect store with (default core.Store.CheckInvariants).
+	Verify func(st *core.Store) []error
+	// Seed seeds the backoff jitter (0 picks a fixed seed; determinism
+	// only matters to tests).
+	Seed int64
+}
+
+// Supervisor wraps a store with the health-state machine. Reads go to
+// Store() or the query helpers in any state; mutations must go through
+// Mutate so the gate and the fault detector see them.
+type Supervisor struct {
+	cfg Config
+
+	// opMu serializes mutations against recovery and checkpointing:
+	// mutations hold it shared for the duration of the store call, the
+	// recovery loop and Checkpoint hold it exclusively, so the WAL is
+	// never swapped or truncated under an in-flight mutation. It guards
+	// an execution window, not data — the data guard is mu below.
+	opMu sync.RWMutex
+
+	mu         sync.Mutex
+	state      State            //repro:guarded-by mu
+	reason     error            //repro:guarded-by mu
+	store      *core.Store      //repro:guarded-by mu
+	log        *wal.Log         //repro:guarded-by mu
+	closed     bool             //repro:guarded-by mu
+	recoveries int              //repro:guarded-by mu
+	scrubs     int              //repro:guarded-by mu
+	lastScrub  core.ScrubReport //repro:guarded-by mu
+
+	wake      chan struct{}
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	scrubCtx  context.Context
+	scrubStop context.CancelFunc
+	rng       *rand.Rand // recovery-loop goroutine only
+}
+
+// Open recovers the store from SnapshotPath + WALPath (either or both
+// may be absent — a fresh pair is created), attaches the WAL, and starts
+// the supervisor's background loops.
+func Open(cfg Config) (*Supervisor, error) {
+	if cfg.OpenWAL == nil {
+		cfg.OpenWAL = wal.OpenFile
+	}
+	if cfg.Backoff.Initial <= 0 {
+		cfg.Backoff.Initial = 50 * time.Millisecond
+	}
+	if cfg.Backoff.Max <= 0 {
+		cfg.Backoff.Max = 5 * time.Second
+	}
+	if cfg.Backoff.Multiplier < 1 {
+		cfg.Backoff.Multiplier = 2
+	}
+	if cfg.Backoff.Jitter < 0 || cfg.Backoff.Jitter >= 1 {
+		cfg.Backoff.Jitter = 0.2
+	}
+	if cfg.Scrub == nil {
+		cfg.Scrub = func(ctx context.Context, st *core.Store, slice int) (core.ScrubReport, error) {
+			return st.ScrubPass(ctx, slice)
+		}
+	}
+	if cfg.Verify == nil {
+		cfg.Verify = func(st *core.Store) []error { return st.CheckInvariants() }
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	st, log, _, err := core.RecoverFilesWith(cfg.SnapshotPath, cfg.WALPath, cfg.OpenWAL)
+	if err != nil {
+		return nil, fmt.Errorf("supervise: open: %w", err)
+	}
+	st.SetDurability(log)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sv := &Supervisor{
+		cfg:       cfg,
+		state:     Healthy,
+		store:     st,
+		log:       log,
+		wake:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		scrubCtx:  ctx,
+		scrubStop: cancel,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+	sv.wg.Add(1)
+	go sv.recoverLoop()
+	if cfg.ScrubInterval > 0 {
+		sv.wg.Add(1)
+		go sv.scrubLoop()
+	}
+	return sv, nil
+}
+
+// State returns the current health state.
+func (sv *Supervisor) State() State {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.state
+}
+
+// Err returns the fault behind the current non-Healthy state (nil when
+// Healthy).
+func (sv *Supervisor) Err() error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.reason
+}
+
+// Health is a snapshot of the supervisor's condition.
+type Health struct {
+	State State
+	// Reason is the active fault (nil when Healthy).
+	Reason error
+	// Recoveries counts completed Degraded→Healthy cycles.
+	Recoveries int
+	// Scrubs counts completed background sweeps; LastScrub is the most
+	// recent report.
+	Scrubs    int
+	LastScrub core.ScrubReport
+}
+
+// Health returns a snapshot of the supervisor's condition.
+func (sv *Supervisor) Health() Health {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return Health{
+		State:      sv.state,
+		Reason:     sv.reason,
+		Recoveries: sv.recoveries,
+		Scrubs:     sv.scrubs,
+		LastScrub:  sv.lastScrub,
+	}
+}
+
+// Store returns the current store for direct reads. The pointer may be
+// replaced by corruption recovery; long-lived readers should re-fetch it
+// rather than cache it. Mutating through this pointer bypasses the
+// health gate and the fault detector — use Mutate.
+func (sv *Supervisor) Store() *core.Store {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.store
+}
+
+// gate admits one mutation: the supervisor must be open and Healthy.
+// The returned error wraps the active fault under the matching sentinel.
+func (sv *Supervisor) gate() (*core.Store, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	switch {
+	case sv.closed:
+		return nil, ErrClosed
+	case sv.state == Failed:
+		return nil, fmt.Errorf("%w: %w", ErrFailed, sv.reason)
+	case sv.state != Healthy:
+		if sv.reason != nil {
+			return nil, fmt.Errorf("%w: %w", ErrDegraded, sv.reason)
+		}
+		return nil, ErrDegraded
+	}
+	return sv.store, nil
+}
+
+// Mutate runs one mutation against the store. In any state but Healthy
+// the mutation is rejected (ErrDegraded/ErrFailed/ErrClosed) without
+// touching the store. A mutation that fails against the durability sink
+// (core.ErrDurability in the chain) trips the supervisor to Degraded —
+// the caller's error reports the rejected operation; the recovery loop
+// handles the sink.
+func (sv *Supervisor) Mutate(fn func(*core.Store) error) error {
+	sv.opMu.RLock()
+	defer sv.opMu.RUnlock()
+	st, err := sv.gate()
+	if err != nil {
+		return err
+	}
+	if err := fn(st); err != nil {
+		if errors.Is(err, core.ErrDurability) {
+			sv.degrade(err)
+		}
+		return err
+	}
+	return nil
+}
+
+// InsertBatch is Mutate(core.InsertBatch) with the result threaded out.
+func (sv *Supervisor) InsertBatch(model string, batch []core.BatchTriple) (core.BatchResult, error) {
+	var res core.BatchResult
+	err := sv.Mutate(func(st *core.Store) error {
+		var err error
+		res, err = st.InsertBatch(model, batch)
+		return err
+	})
+	return res, err
+}
+
+// readCtx applies the configured query timeout.
+func (sv *Supervisor) readCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if sv.cfg.QueryTimeout > 0 {
+		return context.WithTimeout(ctx, sv.cfg.QueryTimeout)
+	}
+	return ctx, func() {}
+}
+
+// Find serves a pattern query in any health state (Degraded and Failed
+// stores keep reading), bounded by the configured query timeout.
+func (sv *Supervisor) Find(ctx context.Context, model string, pat core.Pattern) ([]core.TripleS, error) {
+	ctx, cancel := sv.readCtx(ctx)
+	defer cancel()
+	return sv.Store().FindCtx(ctx, model, pat)
+}
+
+// FindModels is Find over several models under one consistent snapshot.
+func (sv *Supervisor) FindModels(ctx context.Context, models []string, pat core.Pattern) ([]core.TripleS, error) {
+	ctx, cancel := sv.readCtx(ctx)
+	defer cancel()
+	return sv.Store().FindModelsCtx(ctx, models, pat)
+}
+
+// Checkpoint snapshots the current state atomically and truncates the
+// WAL, excluding mutations for the duration. A failed checkpoint trips
+// the supervisor to Degraded (the previous snapshot is intact — SaveFile
+// never overwrites in place).
+func (sv *Supervisor) Checkpoint() error {
+	sv.opMu.Lock()
+	defer sv.opMu.Unlock()
+	st, err := sv.gate()
+	if err != nil {
+		return err
+	}
+	sv.mu.Lock()
+	log := sv.log
+	sv.mu.Unlock()
+	if err := core.Checkpoint(st, sv.cfg.SnapshotPath, log); err != nil {
+		err = fmt.Errorf("supervise: checkpoint: %w", err)
+		sv.degrade(err)
+		return err
+	}
+	return nil
+}
+
+// Close stops the background loops and closes the WAL. Safe to call
+// twice; mutations after Close fail with ErrClosed.
+func (sv *Supervisor) Close() error {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return nil
+	}
+	sv.closed = true
+	sv.mu.Unlock()
+	sv.scrubStop()
+	close(sv.stop)
+	sv.wg.Wait()
+	sv.mu.Lock()
+	log := sv.log
+	sv.log = nil
+	sv.mu.Unlock()
+	if log != nil {
+		if err := log.Close(); err != nil {
+			return fmt.Errorf("supervise: close: %w", err)
+		}
+	}
+	return nil
+}
+
+// degrade records a fault and wakes the recovery loop. No-op unless the
+// supervisor is currently Healthy: an already-degraded store keeps its
+// first fault as the root cause, and Failed is terminal.
+func (sv *Supervisor) degrade(cause error) {
+	sv.mu.Lock()
+	if sv.closed || sv.state != Healthy {
+		sv.mu.Unlock()
+		return
+	}
+	sv.state = Degraded
+	sv.reason = cause
+	sv.mu.Unlock()
+	sv.notify(Transition{From: Healthy, To: Degraded, Reason: cause})
+	select {
+	case sv.wake <- struct{}{}:
+	default:
+	}
+}
+
+// transition moves the state machine during recovery. Failed is terminal
+// and the machine freezes once closed.
+func (sv *Supervisor) transition(to State, reason error, attempt int) {
+	sv.mu.Lock()
+	if sv.closed || sv.state == Failed || sv.state == to {
+		sv.mu.Unlock()
+		return
+	}
+	from := sv.state
+	sv.state = to
+	if reason != nil {
+		sv.reason = reason
+	}
+	if to == Healthy {
+		sv.reason = nil
+		sv.recoveries++
+	}
+	sv.mu.Unlock()
+	sv.notify(Transition{From: from, To: to, Reason: reason, Attempt: attempt})
+}
+
+// notify delivers a transition to the observability hook.
+func (sv *Supervisor) notify(tr Transition) {
+	if sv.cfg.OnTransition != nil {
+		sv.cfg.OnTransition(tr)
+	}
+}
+
+// stopped reports whether Close has begun.
+func (sv *Supervisor) stopped() bool {
+	select {
+	case <-sv.stop:
+		return true
+	default:
+		return false
+	}
+}

@@ -3,6 +3,10 @@ package wal
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
 )
 
 // Fault injection for crash testing. A FaultFile stands in for the WAL's
@@ -121,3 +125,186 @@ func (b *BufferFile) Sync() error { return nil }
 
 // Close is a no-op.
 func (b *BufferFile) Close() error { return nil }
+
+// FlakyFile models a disk that misbehaves *transiently*: writes or syncs
+// fail for a while and then start succeeding again — a controller reset,
+// a full-then-freed filesystem, an NFS hiccup. Where FaultFile dies at
+// one byte offset forever (crash modelling), a FlakyFile is the substrate
+// for degraded-mode testing: the store must reject mutations cleanly
+// while the fault lasts and recover once it clears.
+//
+// Two injection modes compose:
+//
+//   - counted: FailWrites(n)/FailSyncs(n) arm the next n calls to fail,
+//     after which calls succeed again ("fail N times then succeed");
+//   - rated: SetErrorRate(writeRate, syncRate, seed) makes each call fail
+//     with the given probability, deterministically from the seed.
+//
+// A failing write is atomic (nothing lands), so the backing image never
+// tears mid-frame; torn writes stay FaultFile's job. When inner is nil
+// the FlakyFile is its own in-memory backing store; otherwise successful
+// calls pass through to inner (typically an *os.File via OpenFileWith),
+// so the surviving on-disk image is real.
+type FlakyFile struct {
+	mu    sync.Mutex
+	inner File   // nil = self-backed in-memory image
+	buf   []byte // in-memory image when inner == nil
+
+	failWrites int // remaining forced write failures
+	failSyncs  int // remaining forced sync failures
+	writeRate  float64
+	syncRate   float64
+	rng        *rand.Rand
+
+	writeFails int // total injected write failures (for assertions)
+	syncFails  int // total injected sync failures
+	closed     bool
+}
+
+// NewFlaky wraps inner (nil for a self-backed in-memory file) with no
+// faults armed.
+func NewFlaky(inner File) *FlakyFile {
+	return &FlakyFile{inner: inner}
+}
+
+// FailWrites arms the next n Write calls to fail (atomically: nothing is
+// written). Cumulative with any previously armed failures.
+func (f *FlakyFile) FailWrites(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWrites += n
+}
+
+// FailSyncs arms the next n Sync calls to fail.
+func (f *FlakyFile) FailSyncs(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncs += n
+}
+
+// SetErrorRate makes every Write fail with probability writeRate and
+// every Sync with probability syncRate, driven by a deterministic PRNG
+// seeded with seed. Rates of 0 disable the mode.
+func (f *FlakyFile) SetErrorRate(writeRate, syncRate float64, seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeRate = writeRate
+	f.syncRate = syncRate
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// InjectedFailures reports how many writes and syncs have been failed so
+// far.
+func (f *FlakyFile) InjectedFailures() (writes, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writeFails, f.syncFails
+}
+
+// failWriteLocked decides whether this write fails. Caller holds f.mu.
+func (f *FlakyFile) failWriteLocked() bool {
+	if f.failWrites > 0 {
+		f.failWrites--
+		return true
+	}
+	return f.writeRate > 0 && f.rng != nil && f.rng.Float64() < f.writeRate
+}
+
+// failSyncLocked decides whether this sync fails. Caller holds f.mu.
+func (f *FlakyFile) failSyncLocked() bool {
+	if f.failSyncs > 0 {
+		f.failSyncs--
+		return true
+	}
+	return f.syncRate > 0 && f.rng != nil && f.rng.Float64() < f.syncRate
+}
+
+// Write appends p, or fails atomically when a fault is armed or drawn.
+func (f *FlakyFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("%w: write on closed file", ErrInjected)
+	}
+	if f.failWriteLocked() {
+		f.writeFails++
+		return 0, fmt.Errorf("%w: transient write failure", ErrInjected)
+	}
+	if f.inner != nil {
+		return f.inner.Write(p)
+	}
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+// Sync flushes, or fails when a fault is armed or drawn.
+func (f *FlakyFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("%w: sync on closed file", ErrInjected)
+	}
+	if f.failSyncLocked() {
+		f.syncFails++
+		return fmt.Errorf("%w: transient sync failure", ErrInjected)
+	}
+	if f.inner != nil {
+		return f.inner.Sync()
+	}
+	return nil
+}
+
+// Truncate supports checkpoint Reset: it forwards to the inner file when
+// that is truncatable, and trims the in-memory image otherwise.
+func (f *FlakyFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inner != nil {
+		t, ok := f.inner.(truncatable)
+		if !ok {
+			return fmt.Errorf("wal: inner file %T does not support Truncate", f.inner)
+		}
+		return t.Truncate(size)
+	}
+	if size < 0 || size > int64(len(f.buf)) {
+		return fmt.Errorf("wal: truncate to %d outside file of %d bytes", size, len(f.buf))
+	}
+	f.buf = f.buf[:size]
+	return nil
+}
+
+// Seek supports checkpoint Reset (in-memory writes always append, so only
+// the inner-file case needs a real seek).
+func (f *FlakyFile) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inner != nil {
+		t, ok := f.inner.(truncatable)
+		if !ok {
+			return 0, fmt.Errorf("wal: inner file %T does not support Seek", f.inner)
+		}
+		return t.Seek(offset, whence)
+	}
+	if whence != io.SeekStart {
+		return 0, fmt.Errorf("wal: in-memory FlakyFile only supports SeekStart")
+	}
+	return offset, nil
+}
+
+// Close closes the file; later writes and syncs fail.
+func (f *FlakyFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	if f.inner != nil {
+		return f.inner.Close()
+	}
+	return nil
+}
+
+// Bytes returns the in-memory image (self-backed files only).
+func (f *FlakyFile) Bytes() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.buf...)
+}

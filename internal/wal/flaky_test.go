@@ -1,0 +1,185 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestFlakyFileCountedFaults: FailWrites(n)/FailSyncs(n) fail exactly the
+// next n calls and then succeed, with failing writes landing nothing.
+func TestFlakyFileCountedFaults(t *testing.T) {
+	f := NewFlaky(nil)
+	if _, err := f.Write([]byte("ok1")); err != nil {
+		t.Fatalf("unarmed write failed: %v", err)
+	}
+	f.FailWrites(2)
+	for i := 0; i < 2; i++ {
+		if n, err := f.Write([]byte("lost")); !errors.Is(err, ErrInjected) || n != 0 {
+			t.Fatalf("armed write %d: n=%d err=%v, want 0, ErrInjected", i, n, err)
+		}
+	}
+	if _, err := f.Write([]byte("ok2")); err != nil {
+		t.Fatalf("write after faults drained: %v", err)
+	}
+	if got := string(f.Bytes()); got != "ok1ok2" {
+		t.Fatalf("image %q, want %q (failed writes must land nothing)", got, "ok1ok2")
+	}
+
+	f.FailSyncs(1)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed sync: %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after fault drained: %v", err)
+	}
+	w, s := f.InjectedFailures()
+	if w != 2 || s != 1 {
+		t.Fatalf("InjectedFailures = (%d,%d), want (2,1)", w, s)
+	}
+}
+
+// TestFlakyFileErrorRate: the rated mode fails a deterministic subset of
+// calls; successes still append, failures never do.
+func TestFlakyFileErrorRate(t *testing.T) {
+	f := NewFlaky(nil)
+	f.SetErrorRate(0.5, 0, 42)
+	var ok int
+	for i := 0; i < 200; i++ {
+		if _, err := f.Write([]byte("x")); err == nil {
+			ok++
+		} else if !errors.Is(err, ErrInjected) {
+			t.Fatalf("unexpected error kind: %v", err)
+		}
+	}
+	fails, _ := f.InjectedFailures()
+	if ok+fails != 200 {
+		t.Fatalf("ok %d + fails %d != 200", ok, fails)
+	}
+	if ok == 0 || fails == 0 {
+		t.Fatalf("rate 0.5 produced ok=%d fails=%d; both should occur", ok, fails)
+	}
+	if len(f.Bytes()) != ok {
+		t.Fatalf("image holds %d bytes, %d writes succeeded", len(f.Bytes()), ok)
+	}
+}
+
+// TestFlakyFileWrapsRealFile: through OpenFileWith, injected failures
+// leave the on-disk image a valid WAL holding exactly the acknowledged
+// records.
+func TestFlakyFileWrapsRealFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flaky.wal")
+	var ff *FlakyFile
+	log, _, err := OpenFileWith(path, func(f File) File {
+		ff = NewFlaky(f)
+		return ff
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Record{Type: TypeInternValue, ValueID: 1068, Text: "http://a", ValueType: "UR"}
+	if err := log.Append(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ff.FailWrites(1)
+	if err := log.Append(Record{Type: TypeInternValue, ValueID: 1069, Text: "lost", ValueType: "UR"}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append through armed fault: %v, want ErrInjected", err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Scan(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("atomic write failure must not tear the log: %v", res.TailErr)
+	}
+	if len(res.Records) != 1 || res.Records[0].Text != "http://a" {
+		t.Fatalf("disk holds %d records %+v, want just the acknowledged one", len(res.Records), res.Records)
+	}
+}
+
+// TestGroupLogReopen: a latched flush error rejects every later operation
+// with the original error — including operations racing the failure —
+// until Reopen clears the latch, after which the group commits again.
+func TestGroupLogReopen(t *testing.T) {
+	ff := NewFlaky(nil)
+	l, err := NewLog(ff, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group(l, GroupOptions{SyncEvery: 1})
+	rec := Record{Type: TypeInternValue, ValueID: 1068, Text: "http://a", ValueType: "UR"}
+	if err := g.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	ff.FailWrites(1)
+	first := g.Commit()
+	if !errors.Is(first, ErrInjected) {
+		t.Fatalf("commit through armed fault: %v, want ErrInjected", first)
+	}
+
+	// Pre-Reopen waiters: every operation issued while the latch is set
+	// must see the original flush error, not success and not a new one.
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				errs[i] = g.Append(rec)
+			} else {
+				errs[i] = g.Commit()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("pre-Reopen op %d: err = %v, want the latched flush error", i, err)
+		}
+		if err.Error() != first.Error() {
+			t.Fatalf("pre-Reopen op %d: %q, want the original %q", i, err, first)
+		}
+	}
+	if g.Err() == nil {
+		t.Fatal("latch not visible through Err()")
+	}
+
+	// Recovery: restart the log (checkpoint stands in for the snapshot the
+	// real supervisor writes first), then clear the latch.
+	ff2 := NewFlaky(nil)
+	l2, err := NewLog(ff2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Reopen(l2)
+	if g.Err() != nil {
+		t.Fatalf("latch survives Reopen: %v", g.Err())
+	}
+	if err := g.Append(rec); err != nil {
+		t.Fatalf("append after Reopen: %v", err)
+	}
+	if err := g.Commit(); err != nil {
+		t.Fatalf("commit after Reopen: %v", err)
+	}
+	res, err := Scan(bytes.NewReader(ff2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 {
+		t.Fatalf("reopened log holds %d records, want 1 (stale pre-fault buffer must be discarded)", len(res.Records))
+	}
+}

@@ -140,6 +140,38 @@ func (g *GroupLog) flushLocked() error {
 	return nil
 }
 
+// Err returns the latched flush error, if any: non-nil means the
+// in-memory store is ahead of the log and every Append/Commit is being
+// rejected with this error.
+func (g *GroupLog) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// Reopen clears a latched flush error and rebinds the GroupLog to l
+// (nil keeps the current Log), discarding any frames still buffered from
+// before the fault. It is the recovery path's reset: once a flush has
+// failed, the in-memory store is ahead of the log, and the only sound way
+// forward is to checkpoint the store into a snapshot and restart the log
+// — after which the stale buffer describes state the snapshot already
+// holds. Callers must therefore checkpoint (snapshot + log reset/reopen)
+// BEFORE calling Reopen; calling it without a checkpoint silently drops
+// the buffered commits from durability.
+//
+// Appends and commits that failed before Reopen keep the error they were
+// given — Reopen only unlatches future operations.
+func (g *GroupLog) Reopen(l *Log) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if l != nil {
+		g.log = l
+	}
+	g.err = nil
+	g.buf = g.buf[:0]
+	g.pending = 0
+}
+
 // Buffered reports the number of commits currently held in memory —
 // the most a crash right now could lose.
 func (g *GroupLog) Buffered() int {

@@ -72,6 +72,15 @@ func NewLog(f File, fresh bool) (*Log, error) {
 // the returned ScanResult's records, and the file itself is truncated to
 // the verified prefix so subsequent appends extend valid data.
 func OpenFile(path string) (*Log, ScanResult, error) {
+	return OpenFileWith(path, nil)
+}
+
+// OpenFileWith is OpenFile with an injection seam: when wrap is non-nil
+// the Log appends through wrap(f) instead of the raw *os.File. Fault
+// tests wrap the real file in a FlakyFile so the on-disk image stays
+// genuine while writes and syncs misbehave on demand. Scanning and
+// torn-tail truncation happen on the raw file, before wrapping.
+func OpenFileWith(path string, wrap func(File) File) (*Log, ScanResult, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, ScanResult{}, err
@@ -81,10 +90,14 @@ func OpenFile(path string) (*Log, ScanResult, error) {
 		f.Close()
 		return nil, ScanResult{}, err
 	}
+	sink := File(f)
+	if wrap != nil {
+		sink = wrap(f)
+	}
 	if st.Size() == 0 {
-		l, err := NewLog(f, true)
+		l, err := NewLog(sink, true)
 		if err != nil {
-			f.Close()
+			sink.Close()
 			return nil, ScanResult{}, err
 		}
 		return l, ScanResult{ValidBytes: int64(len(Magic))}, nil
@@ -103,7 +116,7 @@ func OpenFile(path string) (*Log, ScanResult, error) {
 		f.Close()
 		return nil, ScanResult{}, err
 	}
-	return &Log{f: f}, res, nil
+	return &Log{f: sink}, res, nil
 }
 
 // appendFrame encodes one record, framed and checksummed, onto dst.
