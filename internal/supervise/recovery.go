@@ -1,6 +1,7 @@
 package supervise
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -83,15 +84,21 @@ func (sv *Supervisor) jitter(d time.Duration) time.Duration {
 }
 
 // attemptRecovery runs one recovery attempt with mutations excluded.
+// Fault classification reads rootCause, not reason: reason is rewritten
+// with each failed attempt's error, and classifying from it would let a
+// transient attempt failure (e.g. a refused WAL reopen) flip a
+// corruption fault into a durability fault on the next attempt —
+// rebaseline() would then checkpoint the known-corrupt memory image
+// over the good snapshot.
 func (sv *Supervisor) attemptRecovery() error {
 	sv.opMu.Lock()
 	defer sv.opMu.Unlock()
 	sv.mu.Lock()
-	st, oldLog, reason := sv.store, sv.log, sv.reason
+	st, oldLog, rootCause := sv.store, sv.log, sv.rootCause
 	sv.mu.Unlock()
 
 	var scrubErr *ScrubError
-	if errors.As(reason, &scrubErr) {
+	if errors.As(rootCause, &scrubErr) {
 		return sv.recoverFromCorruption(st, oldLog)
 	}
 	return sv.rebaseline(st, oldLog)
@@ -191,7 +198,14 @@ func (sv *Supervisor) scrubLoop() {
 		}
 		rep, err := sv.cfg.Scrub(sv.scrubCtx, sv.Store(), sv.cfg.ScrubSlice)
 		if err != nil {
-			continue // cancelled at shutdown
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				continue // sweep cancelled at shutdown
+			}
+			// A sweep that failed for any other reason (an injected Scrub
+			// hook hitting real I/O trouble, say) means the store could
+			// not be verified — escalate rather than silently retrying.
+			sv.degrade(fmt.Errorf("supervise: scrub failed: %w", err))
+			continue
 		}
 		sv.noteScrub(rep)
 		if len(rep.Violations) > 0 {

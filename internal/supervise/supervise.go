@@ -132,8 +132,9 @@ type Config struct {
 	// Verify overrides the invariant check recovery re-verifies a
 	// suspect store with (default core.Store.CheckInvariants).
 	Verify func(st *core.Store) []error
-	// Seed seeds the backoff jitter (0 picks a fixed seed; determinism
-	// only matters to tests).
+	// Seed seeds the backoff jitter. 0 (the default) seeds from the
+	// clock so a fleet of stores does not retry in lockstep; tests that
+	// need a deterministic schedule set it explicitly.
 	Seed int64
 }
 
@@ -153,6 +154,7 @@ type Supervisor struct {
 	mu         sync.Mutex
 	state      State            //repro:guarded-by mu
 	reason     error            //repro:guarded-by mu
+	rootCause  error            //repro:guarded-by mu
 	store      *core.Store      //repro:guarded-by mu
 	log        *wal.Log         //repro:guarded-by mu
 	closed     bool             //repro:guarded-by mu
@@ -197,7 +199,7 @@ func Open(cfg Config) (*Supervisor, error) {
 	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = 1
+		seed = time.Now().UnixNano()
 	}
 
 	st, log, _, err := core.RecoverFilesWith(cfg.SnapshotPath, cfg.WALPath, cfg.OpenWAL)
@@ -388,6 +390,13 @@ func (sv *Supervisor) Close() error {
 	sv.scrubStop()
 	close(sv.stop)
 	sv.wg.Wait()
+	// Exclude in-flight operations: a Mutate/Checkpoint that passed the
+	// gate before closed was set may still be appending; closing the log
+	// under it would turn a durable write into a spurious write-on-closed
+	// error. The background loops are already drained (wg.Wait above), so
+	// nothing else can hold opMu for long.
+	sv.opMu.Lock()
+	defer sv.opMu.Unlock()
 	sv.mu.Lock()
 	log := sv.log
 	sv.log = nil
@@ -411,6 +420,11 @@ func (sv *Supervisor) degrade(cause error) {
 	}
 	sv.state = Degraded
 	sv.reason = cause
+	// rootCause is the fault that started this Degraded episode. Unlike
+	// reason it is never overwritten by per-attempt retry errors, so the
+	// recovery loop's fault classification (corruption vs durability)
+	// stays stable across failed attempts.
+	sv.rootCause = cause
 	sv.mu.Unlock()
 	sv.notify(Transition{From: Healthy, To: Degraded, Reason: cause})
 	select {
@@ -434,6 +448,7 @@ func (sv *Supervisor) transition(to State, reason error, attempt int) {
 	}
 	if to == Healthy {
 		sv.reason = nil
+		sv.rootCause = nil
 		sv.recoveries++
 	}
 	sv.mu.Unlock()
