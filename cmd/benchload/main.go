@@ -31,6 +31,10 @@ type result struct {
 	SyncEvery     int     `json:"sync_every"`
 	Seconds       float64 `json:"seconds"`
 	TriplesPerSec float64 `json:"triples_per_sec"`
+	// Metrics comes from one extra instrumented (untimed) run of the
+	// same configuration: fsync count and latency percentiles, mean
+	// insert-batch size, term-cache hit rate, group-commit amortization.
+	Metrics bench.LoadMetrics `json:"metrics"`
 }
 
 type report struct {
@@ -91,6 +95,10 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.name, err)
 		}
+		met, err := bench.CollectMetrics(cfg, doc, dir)
+		if err != nil {
+			return fmt.Errorf("%s (instrumented run): %w", c.name, err)
+		}
 		r := result{
 			Name:          c.name,
 			WAL:           cfg.WAL,
@@ -99,10 +107,12 @@ func run() error {
 			SyncEvery:     cfg.SyncEvery,
 			Seconds:       res.Seconds,
 			TriplesPerSec: res.TriplesPerSec,
+			Metrics:       met,
 		}
 		rep.Results = append(rep.Results, r)
 		byName[c.name] = r
-		fmt.Fprintf(os.Stderr, "%-36s %8.3fs  %10.0f triples/s\n", c.name, r.Seconds, r.TriplesPerSec)
+		fmt.Fprintf(os.Stderr, "%-36s %8.3fs  %10.0f triples/s  (fsyncs %d, cache hit %.0f%%)\n",
+			c.name, r.Seconds, r.TriplesPerSec, met.Fsyncs, 100*met.CacheHitRate)
 	}
 	rep.SpeedupNoWAL = byName["batched+parallel"].TriplesPerSec / byName["per-triple"].TriplesPerSec
 	rep.SpeedupWAL = byName["batched+parallel+wal+group-commit"].TriplesPerSec / byName["per-triple+wal"].TriplesPerSec

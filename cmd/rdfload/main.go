@@ -29,6 +29,12 @@
 // committed batches, but always recovers to a consistent state). The
 // defaults load fast and sync on every batch; -batch 1 -workers 1
 // restores the original one-triple-one-commit path.
+//
+// Observability: -admin ADDR serves the runtime metrics registry
+// (/metrics in Prometheus text format, /healthz, /events, /debug/pprof)
+// for the duration of the load, instrumenting the store and WAL at no
+// cost to un-instrumented runs. -admin-linger keeps the endpoint up
+// after the load finishes so the final counters can be scraped.
 package main
 
 import (
@@ -36,10 +42,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ntriples"
+	"repro/internal/obs"
 	"repro/internal/rdfxml"
 	"repro/internal/reify"
 	"repro/internal/wal"
@@ -65,6 +75,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	batch := fs.Int("batch", 1024, "insert triples in batches of this size (1 = one insert, one WAL commit per triple)")
 	workers := fs.Int("workers", 0, "parallel N-Triples parse workers (0 = all CPUs, 1 = serial)")
 	syncEvery := fs.Int("sync-every", 1, "with -wal, fsync once every N commits instead of every commit (group commit)")
+	adminAddr := fs.String("admin", "", "serve /metrics, /healthz, /events, and /debug/pprof on this address (e.g. 127.0.0.1:9090) while loading")
+	adminLinger := fs.Duration("admin-linger", 0, "with -admin, keep serving this long after the load finishes so the endpoint can be scraped")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +85,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *syncEvery < 1 {
 		return fmt.Errorf("-sync-every must be >= 1 (got %d)", *syncEvery)
+	}
+
+	// Admin surface: a registry plus an HTTP listener started before the
+	// load so a long-running bulk load can be watched live. With no
+	// -admin flag reg stays nil and every instrument hook below is a
+	// nil-receiver no-op.
+	var reg *obs.Registry
+	if *adminAddr != "" {
+		reg = obs.NewRegistry()
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("-admin %s: %w", *adminAddr, err)
+		}
+		srv := &http.Server{Handler: obs.NewHandler(reg, nil)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s/\n", ln.Addr())
 	}
 
 	var in io.Reader = stdin
@@ -104,6 +133,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "loaded checkpoint snapshot %s\n", *snapPath)
 	}
+	store.SetMetrics(core.NewMetrics(reg))
 	var log *wal.Log
 	var group *wal.GroupLog
 	if *walPath != "" {
@@ -135,6 +165,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			store.SetDurability(group)
 		} else {
 			store.SetDurability(log)
+		}
+		if reg != nil {
+			m := wal.NewMetrics(reg)
+			if group != nil {
+				group.SetMetrics(m) // also attaches to the underlying log
+			} else {
+				log.SetMetrics(m)
+			}
 		}
 	}
 	if _, err := store.GetModelID(*model); err != nil {
@@ -226,6 +264,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			}
 			fmt.Fprintf(stdout, "WAL %s checkpointed (truncated)\n", *walPath)
 		}
+	}
+	if *adminAddr != "" && *adminLinger > 0 {
+		// Keep the admin endpoint up so post-load scrapes (CI smoke,
+		// one-off profiling) can read the final metrics.
+		fmt.Fprintf(os.Stderr, "admin endpoint lingering %s\n", *adminLinger)
+		time.Sleep(*adminLinger)
 	}
 	return nil
 }

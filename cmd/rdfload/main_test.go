@@ -1,12 +1,16 @@
 package main
 
 import (
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -356,5 +360,81 @@ func TestRunRejectsBadFastPathFlags(t *testing.T) {
 	}
 	if err := run([]string{"-sync-every", "0"}, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Fatal("-sync-every 0 accepted")
+	}
+}
+
+// TestRunAdminEndpoint drives the full admin path: a durable load with
+// -admin serving the registry, scraped over HTTP while the endpoint
+// lingers, with the exposition strictly parsed and checked for the
+// store and WAL series the load must have produced.
+func TestRunAdminEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "store.wal")
+	// Reserve a port, free it, and hand it to -admin. (A small window
+	// exists where another process could grab it; tests tolerate that
+	// by failing loudly rather than flaking silently.)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-model", "m", "-wal", walPath, "-sync-every", "4",
+			"-admin", addr, "-admin-linger", "5s",
+		}, strings.NewReader("<http://a> <http://p> <http://b> .\n"), &strings.Builder{})
+	}()
+
+	// Poll /metrics until the lingering endpoint answers.
+	var exp *obs.Exposition
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			exp, err = obs.ParseExposition(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("/metrics unparseable: %v", err)
+			}
+			if exp.HasPrefix("wal_") {
+				break // load finished; WAL counters are final
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admin endpoint never served WAL metrics (err %v)", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, prefix := range []string{"core_", "wal_"} {
+		if !exp.HasPrefix(prefix) {
+			t.Errorf("exposition missing %s* series", prefix)
+		}
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/healthz = %s, want 200", resp.Status)
+	}
+	// The command is still lingering; don't wait the full 5s here.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+	}
+}
+
+func TestRunAdminBadAddr(t *testing.T) {
+	err := run([]string{"-admin", "definitely-not-an-address:xyz"},
+		strings.NewReader(""), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "-admin") {
+		t.Fatalf("bad -admin addr error = %v", err)
 	}
 }

@@ -17,6 +17,12 @@
 // checkpoint, the log holds everything since; -wal alone recovers from
 // the log only). -stats prints the model's storage statistics (rows,
 // contexts, link types) instead of querying.
+//
+// Observability: -explain appends an EXPLAIN-style execution trace to
+// the output (plan order, per-stage candidate counts and timings);
+// -slow DURATION logs any query over the threshold with its trace;
+// -admin ADDR serves the runtime metrics registry (/metrics, /healthz,
+// /events, /debug/pprof) while the command runs.
 package main
 
 import (
@@ -25,12 +31,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/inference"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/rdfterm"
 	"repro/internal/reify"
 	"repro/internal/wal"
@@ -59,6 +69,10 @@ func run(args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "abort the query if it runs longer than this (e.g. 500ms, 10s; 0 = no limit)")
 	filter := fs.String("filter", "", "optional filter expression")
 	rdfs := fs.Bool("rdfs", false, "enable the built-in RDFS rulebase")
+	explain := fs.Bool("explain", false, "print the query execution trace (plan order, per-stage candidates and timings) after the rows")
+	slow := fs.Duration("slow", 0, "log queries slower than this threshold with their full trace (0 = off)")
+	adminAddr := fs.String("admin", "", "serve /metrics, /healthz, /events, and /debug/pprof on this address while the command runs")
+	adminLinger := fs.Duration("admin-linger", 0, "with -admin, keep serving this long after the query finishes so the endpoint can be scraped")
 	var aliases, rules multiFlag
 	fs.Var(&aliases, "alias", "namespace alias prefix=namespace (repeatable)")
 	fs.Var(&rules, "rule", "inference rule 'antecedent=>consequent' (repeatable)")
@@ -67,6 +81,28 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *query == "" && !*stats {
 		return fmt.Errorf("-query is required (or pass -stats)")
+	}
+
+	// Admin surface: serve the metrics registry while the command runs.
+	// Deferred LIFO order means the linger sleep runs before the server
+	// closes, so CI smoke checks can scrape the final counters.
+	var reg *obs.Registry
+	if *adminAddr != "" {
+		reg = obs.NewRegistry()
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("-admin %s: %w", *adminAddr, err)
+		}
+		srv := &http.Server{Handler: obs.NewHandler(reg, nil)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		if *adminLinger > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "admin endpoint lingering %s\n", *adminLinger)
+				time.Sleep(*adminLinger)
+			}()
+		}
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s/\n", ln.Addr())
 	}
 
 	aliasSet := rdfterm.Default()
@@ -116,6 +152,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "loaded %d triples (%d reification quads folded)\n\n", stats.Read, stats.QuadsFolded)
 	}
+	store.SetMetrics(core.NewMetrics(reg))
 
 	if *stats {
 		st, err := store.ModelStatistics(model)
@@ -136,9 +173,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	opts := match.Options{
-		Models:  []string{model},
-		Aliases: aliasSet,
-		Filter:  *filter,
+		Models:    []string{model},
+		Aliases:   aliasSet,
+		Filter:    *filter,
+		Metrics:   match.NewMetrics(reg),
+		SlowQuery: *slow,
+	}
+	var trace match.Trace
+	if *explain || *slow > 0 {
+		opts.Trace = &trace
 	}
 	if len(rules) > 0 || *rdfs {
 		cat := inference.NewCatalog(store)
@@ -202,6 +245,14 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, strings.Join(rs.Strings(i), "\t"))
 	}
 	fmt.Fprintf(stdout, "\n%d rows\n", rs.Len())
+	if *explain {
+		fmt.Fprintln(stdout, "\nexplain:")
+		trace.Format(stdout)
+	}
+	if *slow > 0 && trace.Total >= *slow {
+		fmt.Fprintf(os.Stderr, "slow query (total %s >= -slow %s):\n", trace.Total.Round(time.Microsecond), *slow)
+		trace.Format(os.Stderr)
+	}
 	return nil
 }
 

@@ -356,3 +356,53 @@ func TestQueryTimeoutFlag(t *testing.T) {
 		t.Fatalf("1ns timeout error = %v, want '-timeout' message", err)
 	}
 }
+
+func TestQueryExplain(t *testing.T) {
+	path := writeData(t, icData)
+	var out strings.Builder
+	err := run([]string{
+		"-data", path,
+		"-alias", "gov=http://www.us.gov#",
+		"-query", "(?s gov:terrorSuspect ?o) (?s ?p ?o)",
+		"-explain",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"explain:", "plan: ", "stage 1: #", "candidates=", "total "} {
+		if !strings.Contains(got, want) {
+			t.Errorf("explain output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestQuerySlowThreshold(t *testing.T) {
+	// Any real query exceeds a 1ns threshold; the slow-query trace goes
+	// to stderr, so here we assert the query itself is unaffected.
+	path := writeData(t, icData)
+	var out strings.Builder
+	err := run([]string{
+		"-data", path,
+		"-query", "(?s ?p ?o)",
+		"-slow", "1ns",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 rows") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestQueryAdminBadAddr(t *testing.T) {
+	path := writeData(t, icData)
+	err := run([]string{
+		"-data", path,
+		"-query", "(?s ?p ?o)",
+		"-admin", "definitely-not-an-address:xyz",
+	}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "-admin") {
+		t.Fatalf("bad -admin addr error = %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/ntriples"
+	"repro/internal/obs"
 	"repro/internal/reify"
 	"repro/internal/uniprot"
 	"repro/internal/wal"
@@ -59,7 +60,8 @@ func GenerateNT(triples int, seed int64) (string, error) {
 // and reports the mean wall-clock throughput. The timed region covers
 // parsing, insertion, and (under WAL) making every record durable — the
 // group-commit buffer is flushed inside the clock. WAL files are created
-// under dir and removed afterwards.
+// under dir and removed afterwards. Timed trials run uninstrumented;
+// use CollectMetrics for the observability companion numbers.
 func MeasureLoad(cfg LoadConfig, doc string, dir string) (LoadResult, error) {
 	trials := cfg.Trials
 	if trials < 1 {
@@ -67,50 +69,12 @@ func MeasureLoad(cfg LoadConfig, doc string, dir string) (LoadResult, error) {
 	}
 	var total time.Duration
 	for i := 0; i < trials; i++ {
-		st := core.New()
-		if _, err := st.CreateRDFModel("bench", "", ""); err != nil {
-			return LoadResult{}, err
-		}
-		var log *wal.Log
-		var group *wal.GroupLog
-		var walFile string
-		if cfg.WAL {
-			walFile = filepath.Join(dir, fmt.Sprintf("load-%d.wal", i))
-			var err error
-			log, _, err = wal.OpenFile(walFile)
-			if err != nil {
-				return LoadResult{}, err
-			}
-			if cfg.SyncEvery > 1 {
-				group = wal.Group(log, wal.GroupOptions{SyncEvery: cfg.SyncEvery})
-				st.SetDurability(group)
-			} else {
-				st.SetDurability(log)
-			}
-		}
-		loader := &reify.Loader{
-			Store:     st,
-			Model:     "bench",
-			Workers:   cfg.Workers,
-			BatchSize: cfg.Batch,
-		}
-		start := time.Now()
-		_, err := loader.Load(strings.NewReader(doc))
-		if err == nil && group != nil {
-			err = group.Flush()
-		}
-		total += time.Since(start)
-		if log != nil {
-			if group != nil {
-				group.Close()
-			} else {
-				log.Close()
-			}
-			os.Remove(walFile)
-		}
+		walFile := filepath.Join(dir, fmt.Sprintf("load-%d.wal", i))
+		elapsed, err := loadOnce(cfg, doc, walFile, nil)
 		if err != nil {
 			return LoadResult{}, err
 		}
+		total += elapsed
 	}
 	secs := total.Seconds() / float64(trials)
 	return LoadResult{
@@ -118,4 +82,107 @@ func MeasureLoad(cfg LoadConfig, doc string, dir string) (LoadResult, error) {
 		Seconds:       secs,
 		TriplesPerSec: float64(cfg.Triples) / secs,
 	}, nil
+}
+
+// loadOnce runs one bulk load per the config into a fresh store and
+// returns the wall time of the timed region (parse, insert, flush). A
+// non-nil registry instruments the store and WAL for the run.
+func loadOnce(cfg LoadConfig, doc, walFile string, reg *obs.Registry) (time.Duration, error) {
+	st := core.New()
+	if _, err := st.CreateRDFModel("bench", "", ""); err != nil {
+		return 0, err
+	}
+	st.SetMetrics(core.NewMetrics(reg))
+	var log *wal.Log
+	var group *wal.GroupLog
+	if cfg.WAL {
+		var err error
+		log, _, err = wal.OpenFile(walFile)
+		if err != nil {
+			return 0, err
+		}
+		if cfg.SyncEvery > 1 {
+			group = wal.Group(log, wal.GroupOptions{SyncEvery: cfg.SyncEvery})
+			st.SetDurability(group)
+			group.SetMetrics(wal.NewMetrics(reg))
+		} else {
+			st.SetDurability(log)
+			log.SetMetrics(wal.NewMetrics(reg))
+		}
+	}
+	loader := &reify.Loader{
+		Store:     st,
+		Model:     "bench",
+		Workers:   cfg.Workers,
+		BatchSize: cfg.Batch,
+	}
+	start := time.Now()
+	_, err := loader.Load(strings.NewReader(doc))
+	if err == nil && group != nil {
+		err = group.Flush()
+	}
+	elapsed := time.Since(start)
+	if log != nil {
+		if group != nil {
+			group.Close()
+		} else {
+			log.Close()
+		}
+		os.Remove(walFile)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// LoadMetrics is the observability companion to a LoadResult: the
+// metric snapshot of one instrumented (untimed) run of the same
+// configuration, so BENCH reports carry the durability and batching
+// behavior behind the throughput number.
+type LoadMetrics struct {
+	// Fsyncs and the latency percentiles describe the WAL sync schedule
+	// (zero when the configuration runs without a WAL).
+	Fsyncs          int64   `json:"fsyncs"`
+	FsyncP50Seconds float64 `json:"fsync_p50_seconds"`
+	FsyncP99Seconds float64 `json:"fsync_p99_seconds"`
+	// BatchSizeMean is the mean triples per InsertBatch call.
+	BatchSizeMean float64 `json:"batch_size_mean"`
+	// CacheHitRate is term-intern cache hits / (hits + misses).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CommitsPerFlushMean is the mean commits amortized per group-commit
+	// flush (zero without group commit).
+	CommitsPerFlushMean float64 `json:"commits_per_flush_mean"`
+}
+
+// CollectMetrics runs one instrumented load of the configuration and
+// summarizes its registry snapshot. It is a separate, untimed run so
+// MeasureLoad's throughput numbers stay comparable across builds with
+// and without instrumentation attached.
+func CollectMetrics(cfg LoadConfig, doc string, dir string) (LoadMetrics, error) {
+	reg := obs.NewRegistry()
+	if _, err := loadOnce(cfg, doc, filepath.Join(dir, "load-metrics.wal"), reg); err != nil {
+		return LoadMetrics{}, err
+	}
+	snap := reg.Snapshot()
+	var lm LoadMetrics
+	if c, ok := snap.Counter("wal_fsyncs_total"); ok {
+		lm.Fsyncs = c.Value
+	}
+	if h, ok := snap.Histogram("wal_fsync_seconds"); ok && h.Count > 0 {
+		lm.FsyncP50Seconds = h.Quantile(0.50)
+		lm.FsyncP99Seconds = h.Quantile(0.99)
+	}
+	if h, ok := snap.Histogram("core_insert_batch_triples"); ok {
+		lm.BatchSizeMean = h.Mean()
+	}
+	hits, _ := snap.Counter("core_term_cache_hits_total")
+	misses, _ := snap.Counter("core_term_cache_misses_total")
+	if total := hits.Value + misses.Value; total > 0 {
+		lm.CacheHitRate = float64(hits.Value) / float64(total)
+	}
+	if h, ok := snap.Histogram("wal_group_commits_per_flush"); ok {
+		lm.CommitsPerFlushMean = h.Mean()
+	}
+	return lm, nil
 }

@@ -47,8 +47,11 @@ func (s *Store) InsertBatch(model string, batch []BatchTriple) (BatchResult, err
 	if len(batch) == 0 {
 		return BatchResult{}, nil
 	}
+	t0 := s.met.startTimer()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.met.onWriteLockAcquired(t0)
+	s.met.onBatch(len(batch))
 	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return BatchResult{}, err
@@ -81,5 +84,6 @@ func (s *Store) InsertBatch(model string, batch []BatchTriple) (BatchResult, err
 			res.NewLinks++
 		}
 	}
+	s.met.setTriples(s.links.Len())
 	return res, s.logCommit()
 }

@@ -133,6 +133,7 @@ func RecoverFilesWith(snapPath, walPath string, openWAL func(string) (*wal.Log, 
 // them fails loudly on duplicate IDs rather than corrupting silently —
 // restart recovery from the snapshot alone in that case.
 func Checkpoint(s *Store, snapPath string, log *wal.Log) error {
+	t0 := s.met.startTimer()
 	if err := s.SaveFile(snapPath); err != nil {
 		return err
 	}
@@ -141,5 +142,6 @@ func Checkpoint(s *Store, snapPath string, log *wal.Log) error {
 			return fmt.Errorf("core: checkpoint: truncating WAL: %w", err)
 		}
 	}
+	s.met.onCheckpoint(t0)
 	return nil
 }

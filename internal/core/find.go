@@ -39,8 +39,10 @@ func (s *Store) Find(model string, pat Pattern) ([]TripleS, error) {
 // runaway query releases the read lock promptly after a cancel or
 // deadline.
 func (s *Store) FindCtx(ctx context.Context, model string, pat Pattern) ([]TripleS, error) {
+	t0 := s.met.startTimer()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.met.onReadLockAcquired(t0)
 	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return nil, err
@@ -60,8 +62,10 @@ func (s *Store) FindModels(models []string, pat Pattern) ([]TripleS, error) {
 
 // FindModelsCtx is FindModels with cancellation (see FindCtx).
 func (s *Store) FindModelsCtx(ctx context.Context, models []string, pat Pattern) ([]TripleS, error) {
+	t0 := s.met.startTimer()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.met.onReadLockAcquired(t0)
 	mids := make([]int64, len(models))
 	for i, m := range models {
 		mid, err := s.getModelIDLocked(m)

@@ -71,8 +71,10 @@ func (s *Store) InsertImplied(model string, sub, prop, obj rdfterm.Term) (Triple
 }
 
 func (s *Store) insertTermsCtx(model string, sub, prop, obj rdfterm.Term, context string) (TripleS, error) {
+	t0 := s.met.startTimer()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.met.onWriteLockAcquired(t0)
 	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return TripleS{}, err
@@ -81,6 +83,7 @@ func (s *Store) insertTermsCtx(model string, sub, prop, obj rdfterm.Term, contex
 	if err != nil {
 		return TripleS{}, err
 	}
+	s.met.setTriples(s.links.Len())
 	return ts, s.logCommit()
 }
 

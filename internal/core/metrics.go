@@ -1,0 +1,141 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics instruments the store against an obs registry. A nil *Metrics
+// is the disabled state: every hook is a nil-receiver no-op, so the
+// uninstrumented hot path pays one branch and never calls time.Now.
+//
+// The lock-wait histograms time only the acquisition of s.mu (how long a
+// caller queued behind writers/readers), not the critical section — they
+// answer "is the store lock contended", which is the question the single
+// global RWMutex design raises.
+type Metrics struct {
+	batches     *obs.Counter
+	batchSize   *obs.Histogram
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	lockWaitW   *obs.Histogram
+	lockWaitR   *obs.Histogram
+
+	checkpoints   *obs.Counter
+	checkpointDur *obs.Histogram
+	replayRecords *obs.Counter
+	replayDur     *obs.Histogram
+
+	triples  *obs.Gauge
+	ndmSteps *obs.Counter
+}
+
+// NewMetrics registers the store metric families on reg. Returns nil
+// when reg is nil, which disables instrumentation end to end.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		batches:     reg.Counter("core_insert_batches_total", "InsertBatch calls"),
+		batchSize:   reg.Histogram("core_insert_batch_triples", "triples per InsertBatch call", obs.CountBuckets),
+		cacheHits:   reg.Counter("core_term_cache_hits_total", "term interning resolved from the term-ID cache"),
+		cacheMisses: reg.Counter("core_term_cache_misses_total", "term interning that missed the term-ID cache"),
+		lockWaitW:   reg.Histogram("core_write_lock_wait_seconds", "time spent acquiring the store write lock", obs.DurationBuckets),
+		lockWaitR:   reg.Histogram("core_read_lock_wait_seconds", "time spent acquiring the store read lock", obs.DurationBuckets),
+
+		checkpoints:   reg.Counter("core_checkpoints_total", "completed checkpoints (snapshot + WAL reset)"),
+		checkpointDur: reg.Histogram("core_checkpoint_seconds", "checkpoint duration", obs.DurationBuckets),
+		replayRecords: reg.Counter("core_replay_records_total", "WAL records applied during recovery replay"),
+		replayDur:     reg.Histogram("core_replay_seconds", "recovery replay duration", obs.DurationBuckets),
+
+		triples:  reg.Gauge("core_triples", "rdf_link$ rows across all models"),
+		ndmSteps: reg.Counter("ndm_traversal_steps_total", "graph elements visited by NDM traversals (nodes enumerated plus links expanded)"),
+	}
+}
+
+// SetMetrics attaches instrumentation to the store. Like SetDurability,
+// call before the store is shared across goroutines: the field is read
+// by lock-wait timing before s.mu is acquired, so attach-before-share is
+// the synchronization.
+func (s *Store) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = m
+}
+
+// startTimer returns now, or the zero time when metrics are disabled so
+// the paired Histogram.ObserveSince is a no-op.
+func (m *Metrics) startTimer() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (m *Metrics) onWriteLockAcquired(t0 time.Time) {
+	if m == nil {
+		return
+	}
+	m.lockWaitW.ObserveSince(t0)
+}
+
+func (m *Metrics) onReadLockAcquired(t0 time.Time) {
+	if m == nil {
+		return
+	}
+	m.lockWaitR.ObserveSince(t0)
+}
+
+func (m *Metrics) onBatch(size int) {
+	if m == nil {
+		return
+	}
+	m.batches.Inc()
+	m.batchSize.Observe(float64(size))
+}
+
+func (m *Metrics) onCacheHit() {
+	if m == nil {
+		return
+	}
+	m.cacheHits.Inc()
+}
+
+func (m *Metrics) onCacheMiss() {
+	if m == nil {
+		return
+	}
+	m.cacheMisses.Inc()
+}
+
+func (m *Metrics) onCheckpoint(t0 time.Time) {
+	if m == nil {
+		return
+	}
+	m.checkpoints.Inc()
+	m.checkpointDur.ObserveSince(t0)
+}
+
+func (m *Metrics) onReplay(records int, t0 time.Time) {
+	if m == nil {
+		return
+	}
+	m.replayRecords.Add(int64(records))
+	m.replayDur.ObserveSince(t0)
+}
+
+func (m *Metrics) setTriples(n int) {
+	if m == nil {
+		return
+	}
+	m.triples.Set(int64(n))
+}
+
+func (m *Metrics) onTraversalSteps(n int) {
+	if m == nil {
+		return
+	}
+	m.ndmSteps.Add(int64(n))
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rdfterm"
+)
+
+// TestStoreMetricsSeries: one instrumented batch insert populates the
+// batch, cache, lock-wait, and triple-count series.
+func TestStoreMetricsSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New()
+	s.SetMetrics(NewMetrics(reg))
+	if _, err := s.CreateRDFModel("m", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	batch := batchWorkload()
+	if _, err := s.InsertBatch("m", batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Find("m", Pattern{}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if c, ok := snap.Counter("core_insert_batches_total"); !ok || c.Value != 1 {
+		t.Fatalf("core_insert_batches_total = %+v", c)
+	}
+	if h, ok := snap.Histogram("core_insert_batch_triples"); !ok || h.Count != 1 || h.Sum != float64(len(batch)) {
+		t.Fatalf("core_insert_batch_triples = %+v", h)
+	}
+	hits, _ := snap.Counter("core_term_cache_hits_total")
+	misses, _ := snap.Counter("core_term_cache_misses_total")
+	// The workload repeats terms within the batch, so both sides of the
+	// intern cache must have fired.
+	if hits.Value == 0 || misses.Value == 0 {
+		t.Fatalf("cache hits = %d, misses = %d; want both > 0", hits.Value, misses.Value)
+	}
+	if h, ok := snap.Histogram("core_write_lock_wait_seconds"); !ok || h.Count == 0 {
+		t.Fatalf("core_write_lock_wait_seconds = %+v", h)
+	}
+	if h, ok := snap.Histogram("core_read_lock_wait_seconds"); !ok || h.Count == 0 {
+		t.Fatalf("core_read_lock_wait_seconds = %+v", h)
+	}
+	if g, ok := snap.Gauge("core_triples"); !ok || g.Value == 0 {
+		t.Fatalf("core_triples = %+v", g)
+	}
+}
+
+// benchBatches builds n distinct 64-triple batches so the insert path
+// does real interning work on every iteration.
+func benchBatches(n int) [][]BatchTriple {
+	uri := rdfterm.NewURI
+	out := make([][]BatchTriple, n)
+	for i := range out {
+		batch := make([]BatchTriple, 64)
+		for j := range batch {
+			batch[j] = BatchTriple{
+				Subject:   uri(fmt.Sprintf("http://s/%d-%d", i, j)),
+				Predicate: uri(fmt.Sprintf("http://p/%d", j%8)),
+				Object:    uri(fmt.Sprintf("http://o/%d-%d", i, j)),
+			}
+		}
+		out[i] = batch
+	}
+	return out
+}
+
+// BenchmarkInsertBatch is the uninstrumented baseline: the metrics
+// field is nil, so every hook is a one-branch no-op. Compare with
+// BenchmarkInsertBatchInstrumented to measure the disabled and enabled
+// overhead of the obs layer (the ISSUE budget: disabled must be free).
+func BenchmarkInsertBatch(b *testing.B) {
+	benchmarkInsertBatch(b, nil)
+}
+
+// BenchmarkInsertBatchInstrumented runs the same workload with a live
+// registry attached.
+func BenchmarkInsertBatchInstrumented(b *testing.B) {
+	benchmarkInsertBatch(b, NewMetrics(obs.NewRegistry()))
+}
+
+func benchmarkInsertBatch(b *testing.B, m *Metrics) {
+	batches := benchBatches(b.N)
+	s := New()
+	s.SetMetrics(m)
+	if _, err := s.CreateRDFModel("m", "", ""); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.InsertBatch("m", batches[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

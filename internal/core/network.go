@@ -72,6 +72,7 @@ func (n *RDFNetwork) Nodes(fn func(node int64) bool) {
 		return len(nodes)%cancelEvery != 0 || !n.done()
 	})
 	n.store.mu.RUnlock()
+	n.store.met.onTraversalSteps(len(nodes))
 	for _, node := range nodes {
 		if n.done() || !fn(node) {
 			return
@@ -119,6 +120,7 @@ func (n *RDFNetwork) visit(fromEnd bool, node int64, otherCol int, fn func(linkI
 		hops = append(hops, hop{r[lcLinkID].Int64(), r[otherCol].Int64(), float64(r[lcCost].Int64())})
 	}
 	n.store.mu.RUnlock()
+	n.store.met.onTraversalSteps(len(hops))
 	for _, h := range hops {
 		if n.done() || !fn(h.linkID, h.other, h.cost) {
 			return

@@ -63,6 +63,7 @@ func Recover(snap io.Reader, log io.Reader) (*Store, RecoverInfo, error) {
 //
 //repro:vet-ignore walcheck replay applies records already durable in the WAL; re-logging them would duplicate every record on the next recovery
 func (s *Store) Replay(records []wal.Record) error {
+	t0 := s.met.startTimer()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, r := range records {
@@ -70,6 +71,8 @@ func (s *Store) Replay(records []wal.Record) error {
 			return fmt.Errorf("core: replaying WAL record %d (%s): %w", i, r.Type, err)
 		}
 	}
+	s.met.onReplay(len(records), t0)
+	s.met.setTriples(s.links.Len())
 	return nil
 }
 

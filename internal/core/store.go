@@ -74,6 +74,12 @@ type Store struct {
 	// dur, when non-nil, receives every logical mutation as a WAL record
 	// (see durability.go). nil — the default — costs nothing.
 	dur Durability
+
+	// met, when non-nil, receives instrumentation hooks (see metrics.go).
+	// Deliberately NOT guarded-by mu: lock-wait timing reads it before
+	// acquiring the lock, so the synchronization is attach-before-share
+	// (SetMetrics), exactly like dur.
+	met *Metrics
 }
 
 // New creates a fresh central schema (the MDSYS schema of the paper) and

@@ -59,8 +59,10 @@ func (s *Store) internValueLocked(t rdfterm.Term) (int64, error) {
 	}
 	key := termCacheKey(t)
 	if id, ok := s.termIDs[key]; ok {
+		s.met.onCacheHit()
 		return id, nil
 	}
+	s.met.onCacheMiss()
 	if id, ok := s.lookupValueIDLocked(t); ok {
 		s.cacheTermIDLocked(key, id)
 		return id, nil

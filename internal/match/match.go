@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rdfterm"
@@ -40,6 +41,16 @@ type Options struct {
 	// OrderBy sorts results by the named variables (lexical order of the
 	// bound terms), applied after Filter and Distinct.
 	OrderBy []string
+	// Trace, when non-nil, is filled with the EXPLAIN-style execution
+	// record (plan order, per-stage candidates and timings).
+	Trace *Trace
+	// Metrics, when non-nil, records query/stage series and receives
+	// slow-query events (see NewMetrics).
+	Metrics *Metrics
+	// SlowQuery, when positive, is the threshold above which a completed
+	// query is counted and logged as slow (requires Metrics for the event
+	// to land anywhere).
+	SlowQuery time.Duration
 }
 
 // ResultSet holds match results: Vars in first-occurrence order, one term
@@ -140,11 +151,33 @@ func MatchContext(ctx context.Context, store *core.Store, query string, opts Opt
 
 	// Left-deep join over patterns, most-selective-first: patterns with
 	// more concrete terms run earlier (cheap heuristic planner).
+	//
+	// Tracing, metrics, and the slow-query log share one gate: when none
+	// is requested the loop takes the untimed path and never calls
+	// time.Now (the "zero overhead when disabled" budget, DESIGN.md §7).
 	order := planOrder(pats)
+	traced := opts.Trace != nil || opts.Metrics != nil || opts.SlowQuery > 0
+	var trace *Trace
+	var queryStart time.Time
+	if traced {
+		trace = opts.Trace
+		if trace == nil {
+			trace = &Trace{}
+		}
+		trace.Query = query
+		trace.PlanOrder = append(trace.PlanOrder[:0], order...)
+		trace.Stages = trace.Stages[:0]
+		queryStart = time.Now()
+	}
 	bindings := []map[string]rdfterm.Term{{}}
 	polled := 0
 	for _, pi := range order {
 		pat := pats[pi]
+		var stageStart time.Time
+		if traced {
+			stageStart = time.Now()
+		}
+		candidates := 0
 		var next []map[string]rdfterm.Term
 		for _, b := range bindings {
 			polled++
@@ -153,11 +186,22 @@ func MatchContext(ctx context.Context, store *core.Store, query string, opts Opt
 					return nil, fmt.Errorf("match: %w", err)
 				}
 			}
-			matches, err := findPattern(ctx, store, scope, pat, b)
+			matches, n, err := findPattern(ctx, store, scope, pat, b)
 			if err != nil {
 				return nil, err
 			}
+			candidates += n
 			next = append(next, matches...)
+		}
+		if traced {
+			trace.Stages = append(trace.Stages, StageTrace{
+				Index:       pi,
+				Pattern:     pat.String(),
+				InBindings:  len(bindings),
+				Candidates:  candidates,
+				OutBindings: len(next),
+				Duration:    time.Since(stageStart),
+			})
 		}
 		bindings = next
 		if len(bindings) == 0 {
@@ -198,6 +242,14 @@ func MatchContext(ctx context.Context, store *core.Store, query string, opts Opt
 	if len(opts.OrderBy) > 0 {
 		if err := rs.sortBy(opts.OrderBy); err != nil {
 			return nil, err
+		}
+	}
+	if traced {
+		trace.Rows = rs.Len()
+		trace.Total = time.Since(queryStart)
+		opts.Metrics.onQuery(trace)
+		if opts.SlowQuery > 0 && trace.Total >= opts.SlowQuery {
+			opts.Metrics.onSlowQuery(trace)
 		}
 	}
 	return rs, nil
@@ -258,9 +310,10 @@ func planOrder(pats []TriplePattern) []int {
 	return order
 }
 
-// findPattern evaluates one pattern under a partial binding, returning the
-// extended bindings.
-func findPattern(ctx context.Context, store *core.Store, models []string, pat TriplePattern, b map[string]rdfterm.Term) ([]map[string]rdfterm.Term, error) {
+// findPattern evaluates one pattern under a partial binding, returning
+// the extended bindings plus the number of candidate triples the store
+// produced before unification (the stage's scan volume, for tracing).
+func findPattern(ctx context.Context, store *core.Store, models []string, pat TriplePattern, b map[string]rdfterm.Term) ([]map[string]rdfterm.Term, int, error) {
 	resolve := func(pt PatternTerm) *rdfterm.Term {
 		if !pt.IsVar() {
 			t := pt.Term
@@ -279,21 +332,23 @@ func findPattern(ctx context.Context, store *core.Store, models []string, pat Tr
 	}
 	// Literal subjects can never match (RDF subjects are URIs/blanks).
 	if cp.Subject != nil && cp.Subject.Kind == rdfterm.Literal {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if cp.Predicate != nil && cp.Predicate.Kind != rdfterm.URI {
-		return nil, nil
+		return nil, 0, nil
 	}
+	candidates := 0
 	var out []map[string]rdfterm.Term
 	for _, model := range models {
 		found, err := store.FindCtx(ctx, model, cp)
 		if err != nil {
-			return nil, err
+			return nil, candidates, err
 		}
+		candidates += len(found)
 		for _, ts := range found {
 			tr, err := ts.GetTriple()
 			if err != nil {
-				return nil, err
+				return nil, candidates, err
 			}
 			nb := unify(pat, tr, b)
 			if nb != nil {
@@ -301,7 +356,7 @@ func findPattern(ctx context.Context, store *core.Store, models []string, pat Tr
 			}
 		}
 	}
-	return out, nil
+	return out, candidates, nil
 }
 
 // unify extends binding b with the pattern's variables bound to the

@@ -1,0 +1,79 @@
+package ndm
+
+import "repro/internal/obs"
+
+// Observability. NDM analysis runs over the Graph interface, so the
+// instrumentation point is the graph itself: Instrument wraps any Graph
+// so every node enumerated and link expanded counts one traversal step.
+// The series name matches the one the store's RDFNetwork view records
+// (ndm_traversal_steps_total), so standalone logical networks and the
+// RDF-store-as-network land in the same family — the paper's point that
+// the RDF graph *is* an NDM network carries over to the metrics.
+
+// Metrics instruments NDM traversals against an obs registry. A nil
+// *Metrics is the disabled state: Instrument returns the graph
+// unchanged, so uninstrumented analysis pays nothing.
+type Metrics struct {
+	steps *obs.Counter
+}
+
+// NewMetrics registers the NDM metric family on reg. Returns nil when
+// reg is nil, which disables instrumentation end to end.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		steps: reg.Counter("ndm_traversal_steps_total", "graph elements visited by NDM traversals (nodes enumerated plus links expanded)"),
+	}
+}
+
+// Instrument wraps g so traversal work flows into the registry. With a
+// nil receiver it returns g unchanged — callers thread one pointer and
+// never branch themselves.
+func (m *Metrics) Instrument(g Graph) Graph {
+	if m == nil {
+		return g
+	}
+	return &countedGraph{g: g, m: m}
+}
+
+// countedGraph counts each visit callback as one step and adds the
+// total once per call, keeping the per-element cost to a local
+// increment (one atomic add per Nodes/OutLinks/InLinks call, not per
+// element).
+type countedGraph struct {
+	g Graph
+	m *Metrics
+}
+
+func (c *countedGraph) HasNode(node int64) bool { return c.g.HasNode(node) }
+
+func (c *countedGraph) Nodes(fn func(node int64) bool) {
+	n := 0
+	c.g.Nodes(func(node int64) bool {
+		n++
+		return fn(node)
+	})
+	c.m.steps.Add(int64(n))
+}
+
+func (c *countedGraph) OutLinks(node int64, fn func(linkID, end int64, cost float64) bool) {
+	n := 0
+	c.g.OutLinks(node, func(linkID, end int64, cost float64) bool {
+		n++
+		return fn(linkID, end, cost)
+	})
+	c.m.steps.Add(int64(n))
+}
+
+func (c *countedGraph) InLinks(node int64, fn func(linkID, start int64, cost float64) bool) {
+	n := 0
+	c.g.InLinks(node, func(linkID, start int64, cost float64) bool {
+		n++
+		return fn(linkID, start, cost)
+	})
+	c.m.steps.Add(int64(n))
+}
+
+var _ Graph = (*countedGraph)(nil)

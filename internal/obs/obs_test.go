@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", DurationBuckets)
+	var ev *EventLog
+	if c != nil || g != nil || h != nil || r.Events() != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(1.5)
+	ev.Emit("s", "n", nil)
+	if c.Value() != 0 || g.Value() != 0 || ev.Len() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if snap := r.Snapshot(); snap.Series() != 0 {
+		t.Fatalf("nil registry snapshot has %d series", snap.Series())
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "operations")
+	c.Add(5)
+	c.Inc()
+	c.Add(-9) // counters only go up; negative adds are dropped
+	if got := c.Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	if again := r.Counter("ops_total", "ignored"); again != c {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestRegistryBadNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name must panic")
+		}
+	}()
+	r.Counter("bad name!", "")
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound rule: a
+// value exactly on a boundary lands in that boundary's bucket, values
+// past the last bound land in +Inf, and values below the first bound
+// land in the first bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 5})
+	for _, v := range []float64{
+		0,    // below first bound -> bucket 0 (le=1)
+		1,    // exactly on bound -> bucket 0 (le=1, inclusive)
+		1.5,  // -> bucket 1 (le=2)
+		2,    // -> bucket 1
+		2.01, // -> bucket 2 (le=5)
+		5,    // -> bucket 2
+		5.01, // -> +Inf
+		math.Inf(1),
+	} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	snap := h.snapshot()
+	want := []int64{2, 2, 2, 2}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 8 {
+		t.Fatalf("count = %d, want 8", snap.Count)
+	}
+	if math.IsNaN(snap.Sum) || math.IsInf(snap.Sum, 0) == false {
+		// 0+1+1.5+2+2.01+5+5.01+Inf = +Inf
+		t.Fatalf("sum = %v, want +Inf", snap.Sum)
+	}
+}
+
+func TestHistogramBoundsNormalized(t *testing.T) {
+	h := newHistogram("x", "", []float64{5, 1, 5, math.Inf(1), 2, math.NaN()})
+	want := []float64{1, 2, 5}
+	if len(h.bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", h.bounds, want)
+	}
+	for i, b := range want {
+		if h.bounds[i] != b {
+			t.Fatalf("bounds = %v, want %v", h.bounds, want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{10, 20, 30})
+	// 10 observations uniformly in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	snap := h.snapshot()
+	if p50 := snap.Quantile(0.5); p50 != 10 {
+		t.Fatalf("p50 = %g, want 10", p50)
+	}
+	if p100 := snap.Quantile(1); p100 != 20 {
+		t.Fatalf("p100 = %g, want 20", p100)
+	}
+	if empty := (HistogramSnap{Bounds: []float64{1}}).Quantile(0.5); empty != 0 {
+		t.Fatalf("empty quantile = %g, want 0", empty)
+	}
+	// Overflow-only data saturates at the last finite bound.
+	h2 := newHistogram("o", "", []float64{1})
+	h2.Observe(100)
+	if q := h2.snapshot().Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %g, want 1", q)
+	}
+}
+
+// TestRegistryConcurrency hammers every instrument kind from parallel
+// writers while a reader snapshots — run under -race this is the
+// lock-free write path's correctness test.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			var sb strings.Builder
+			if err := snap.WriteProm(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ParseExposition(strings.NewReader(sb.String())); err != nil {
+				t.Errorf("mid-flight exposition unparseable: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			c := r.Counter("conc_ops_total", "")
+			g := r.Gauge("conc_depth", "")
+			h := r.Histogram("conc_lat", "", DurationBuckets)
+			ev := r.Events()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) * 0.001)
+				if i%500 == 0 {
+					ev.Emit("test", "tick", map[string]string{"worker": "w"})
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	snap := r.Snapshot()
+	c, _ := snap.Counter("conc_ops_total")
+	if c.Value != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value, workers*iters)
+	}
+	h, _ := snap.Histogram("conc_lat")
+	if h.Count != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count, workers*iters)
+	}
+	sum := int64(0)
+	for _, n := range h.Counts {
+		sum += n
+	}
+	if sum != h.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, h.Count)
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.Emit("s", "e", map[string]string{"i": string(rune('0' + i))})
+	}
+	events := l.Snapshot()
+	if len(events) != 3 {
+		t.Fatalf("retained %d events, want 3", len(events))
+	}
+	// Oldest two evicted: Seqs 3,4,5 remain, in order.
+	for i, want := range []int64{3, 4, 5} {
+		if events[i].Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d", i, events[i].Seq, want)
+		}
+	}
+	if events[0].Scope != "s" || events[0].Name != "e" {
+		t.Fatalf("event fields lost: %+v", events[0])
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "")
+	r.Counter("a_total", "")
+	snap := r.Snapshot()
+	if snap.Counters[0].Name != "a_total" || snap.Counters[1].Name != "z_total" {
+		t.Fatalf("counters not sorted: %+v", snap.Counters)
+	}
+}
+
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"no_value_here\n",
+		"name{unterminated=\"x\" 3\n",
+		"2name 7\n",
+		"# TYPE x wibble\n",
+		"x{le=unquoted} 3\n",
+		"name not_a_number\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Fatalf("ParseExposition accepted %q", in)
+		}
+	}
+	// Histogram whose +Inf bucket disagrees with _count.
+	in := "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n"
+	if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+		t.Fatal("ParseExposition accepted inconsistent histogram")
+	}
+}

@@ -1,0 +1,148 @@
+package supervise
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Observability. Every supervisor notification — health transitions,
+// recovery attempts, scrub findings — flows through one funnel
+// (notify/onScrub) into the obs registry: a state gauge and counters
+// for dashboards, plus structured events in the registry's ring so
+// tests and /events can assert on exactly what happened and why. The
+// OnTransition callback remains for programmatic consumers; the event
+// log is the durable-within-process record.
+
+// Metrics instruments a Supervisor against an obs registry. nil
+// disables instrumentation (the hooks are nil-receiver no-ops).
+type Metrics struct {
+	state            *obs.Gauge
+	transitions      *obs.Counter
+	degraded         *obs.Counter
+	recoveryAttempts *obs.Counter
+	recoveries       *obs.Counter
+	scrubPasses      *obs.Counter
+	scrubViolations  *obs.Counter
+	scrubDur         *obs.Histogram
+	events           *obs.EventLog
+}
+
+// NewMetrics registers the supervisor metric families on reg. Returns
+// nil when reg is nil.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		state:            reg.Gauge("supervise_state", "current health state (0 Healthy, 1 Degraded, 2 Recovering, 3 Failed)"),
+		transitions:      reg.Counter("supervise_transitions_total", "health-state transitions"),
+		degraded:         reg.Counter("supervise_degraded_total", "faults that tripped the store into Degraded"),
+		recoveryAttempts: reg.Counter("supervise_recovery_attempts_total", "recovery attempts started"),
+		recoveries:       reg.Counter("supervise_recoveries_total", "completed Degraded->Healthy cycles"),
+		scrubPasses:      reg.Counter("supervise_scrub_passes_total", "completed background scrub sweeps"),
+		scrubViolations:  reg.Counter("supervise_scrub_violations_total", "invariant violations found by scrub sweeps"),
+		scrubDur:         reg.Histogram("supervise_scrub_seconds", "scrub sweep duration", obs.DurationBuckets),
+		events:           reg.Events(),
+	}
+}
+
+// startTimer returns now, or the zero time when metrics are disabled.
+func (m *Metrics) startTimer() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// onTransition updates the state series and emits the structured
+// transition event (fields: from, to, state, reason, rootCause,
+// attempt).
+func (m *Metrics) onTransition(tr Transition) {
+	if m == nil {
+		return
+	}
+	m.state.Set(int64(tr.To))
+	m.transitions.Inc()
+	switch tr.To {
+	case Degraded:
+		m.degraded.Inc()
+	case Recovering:
+		m.recoveryAttempts.Inc()
+	case Healthy:
+		m.recoveries.Inc()
+	}
+	fields := map[string]string{
+		"from":    tr.From.String(),
+		"to":      tr.To.String(),
+		"state":   tr.To.String(),
+		"attempt": strconv.Itoa(tr.Attempt),
+	}
+	if tr.Reason != nil {
+		fields["reason"] = tr.Reason.Error()
+	}
+	if tr.RootCause != nil {
+		fields["rootCause"] = tr.RootCause.Error()
+	}
+	m.events.Emit("supervise", "transition", fields)
+}
+
+// markHealthy initializes the state gauge at Open, before any
+// transition fires.
+func (m *Metrics) markHealthy() {
+	if m == nil {
+		return
+	}
+	m.state.Set(int64(Healthy))
+}
+
+// onScrub records one completed sweep; sweeps with findings also land
+// in the event log (the escalation to Degraded emits its own
+// transition event with the ScrubError as rootCause).
+func (m *Metrics) onScrub(t0 time.Time, rep core.ScrubReport) {
+	if m == nil {
+		return
+	}
+	m.scrubPasses.Inc()
+	m.scrubViolations.Add(int64(len(rep.Violations)))
+	m.scrubDur.ObserveSince(t0)
+	if len(rep.Violations) > 0 {
+		m.events.Emit("supervise", "scrub_violations", map[string]string{
+			"links":      strconv.Itoa(rep.Links),
+			"violations": strconv.Itoa(len(rep.Violations)),
+			"first":      rep.Violations[0].Error(),
+		})
+	}
+}
+
+// onScrubError records a sweep that could not complete (and is being
+// escalated by the caller).
+func (m *Metrics) onScrubError(err error) {
+	if m == nil {
+		return
+	}
+	m.events.Emit("supervise", "scrub_error", map[string]string{"error": err.Error()})
+}
+
+// Healthz adapts the supervisor's health snapshot to the admin
+// endpoint's payload: anything but Healthy answers 503, with the
+// active fault as the reason and recovery/scrub counters as detail.
+func (sv *Supervisor) Healthz() obs.Health {
+	h := sv.Health()
+	out := obs.Health{
+		Healthy: h.State == Healthy,
+		State:   h.State.String(),
+		Detail: map[string]any{
+			"recoveries":      h.Recoveries,
+			"scrubs":          h.Scrubs,
+			"scrubLinks":      h.LastScrub.Links,
+			"scrubViolations": len(h.LastScrub.Violations),
+		},
+	}
+	if h.Reason != nil {
+		out.Reason = h.Reason.Error()
+	}
+	return out
+}

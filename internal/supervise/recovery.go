@@ -196,6 +196,7 @@ func (sv *Supervisor) scrubLoop() {
 		if sv.State() != Healthy {
 			continue // recovery owns the store right now
 		}
+		t0 := sv.met.startTimer()
 		rep, err := sv.cfg.Scrub(sv.scrubCtx, sv.Store(), sv.cfg.ScrubSlice)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -204,9 +205,11 @@ func (sv *Supervisor) scrubLoop() {
 			// A sweep that failed for any other reason (an injected Scrub
 			// hook hitting real I/O trouble, say) means the store could
 			// not be verified — escalate rather than silently retrying.
+			sv.met.onScrubError(err)
 			sv.degrade(fmt.Errorf("supervise: scrub failed: %w", err))
 			continue
 		}
+		sv.met.onScrub(t0, rep)
 		sv.noteScrub(rep)
 		if len(rep.Violations) > 0 {
 			sv.degrade(&ScrubError{Report: rep})

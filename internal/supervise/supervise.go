@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -99,6 +100,11 @@ type Transition struct {
 	From, To State
 	// Reason is the fault driving the transition (nil for →Healthy).
 	Reason error
+	// RootCause is the fault that started the current Degraded episode —
+	// stable across retry attempts, unlike Reason, which is rewritten
+	// with each failed attempt's error. On the →Healthy transition it is
+	// the fault that was just recovered from.
+	RootCause error
 	// Attempt numbers the recovery attempt (0 outside recovery).
 	Attempt int
 }
@@ -136,6 +142,10 @@ type Config struct {
 	// clock so a fleet of stores does not retry in lockstep; tests that
 	// need a deterministic schedule set it explicitly.
 	Seed int64
+	// Obs, when set, receives the supervisor's metric series and routes
+	// every transition and scrub notification into the registry's event
+	// log with structured fields (see NewMetrics).
+	Obs *obs.Registry
 }
 
 // Supervisor wraps a store with the health-state machine. Reads go to
@@ -168,6 +178,10 @@ type Supervisor struct {
 	scrubCtx  context.Context
 	scrubStop context.CancelFunc
 	rng       *rand.Rand // recovery-loop goroutine only
+
+	// met is set once in Open (attach-before-share) and read by the
+	// notification funnel; nil when Config.Obs is unset.
+	met *Metrics
 }
 
 // Open recovers the store from SnapshotPath + WALPath (either or both
@@ -219,7 +233,9 @@ func Open(cfg Config) (*Supervisor, error) {
 		scrubCtx:  ctx,
 		scrubStop: cancel,
 		rng:       rand.New(rand.NewSource(seed)),
+		met:       NewMetrics(cfg.Obs),
 	}
+	sv.met.markHealthy()
 	sv.wg.Add(1)
 	go sv.recoverLoop()
 	if cfg.ScrubInterval > 0 {
@@ -426,7 +442,7 @@ func (sv *Supervisor) degrade(cause error) {
 	// stays stable across failed attempts.
 	sv.rootCause = cause
 	sv.mu.Unlock()
-	sv.notify(Transition{From: Healthy, To: Degraded, Reason: cause})
+	sv.notify(Transition{From: Healthy, To: Degraded, Reason: cause, RootCause: cause})
 	select {
 	case sv.wake <- struct{}{}:
 	default:
@@ -446,17 +462,23 @@ func (sv *Supervisor) transition(to State, reason error, attempt int) {
 	if reason != nil {
 		sv.reason = reason
 	}
+	// Capture before the →Healthy clear so the recovery transition still
+	// names the fault it recovered from.
+	rootCause := sv.rootCause
 	if to == Healthy {
 		sv.reason = nil
 		sv.rootCause = nil
 		sv.recoveries++
 	}
 	sv.mu.Unlock()
-	sv.notify(Transition{From: from, To: to, Reason: reason, Attempt: attempt})
+	sv.notify(Transition{From: from, To: to, Reason: reason, RootCause: rootCause, Attempt: attempt})
 }
 
-// notify delivers a transition to the observability hook.
+// notify delivers a transition to every observability sink: the obs
+// registry (state gauge, transition counters, structured event) and the
+// configured callback.
 func (sv *Supervisor) notify(tr Transition) {
+	sv.met.onTransition(tr)
 	if sv.cfg.OnTransition != nil {
 		sv.cfg.OnTransition(tr)
 	}

@@ -37,12 +37,24 @@ type GroupLog struct {
 	opts GroupOptions
 
 	mu      sync.Mutex
-	buf     []byte // framed records not yet written to the file
-	pending int    // commits since the last sync
-	err     error  // first flush failure, latched: the log is behind memory
+	buf     []byte   // framed records not yet written to the file
+	pending int      // commits since the last sync
+	err     error    // first flush failure, latched: the log is behind memory
+	met     *Metrics // nil when instrumentation is disabled
 
 	stop chan struct{} // closes the interval flusher
 	done chan struct{}
+}
+
+// SetMetrics attaches instrumentation to the group layer and the
+// underlying Log (the Log records fsync latency; the group layer records
+// appends, flush batching, and the buffered-commit gauge). Call before
+// the GroupLog is shared.
+func (g *GroupLog) SetMetrics(m *Metrics) {
+	g.mu.Lock()
+	g.met = m
+	g.mu.Unlock()
+	g.log.SetMetrics(m)
 }
 
 // Group wraps l with group commit. With an Interval, a background
@@ -88,7 +100,9 @@ func (g *GroupLog) Append(r Record) error {
 	if g.err != nil {
 		return g.err
 	}
+	before := len(g.buf)
 	g.buf = appendFrame(g.buf, &r)
+	g.met.onAppend(len(g.buf) - before)
 	return nil
 }
 
@@ -104,6 +118,7 @@ func (g *GroupLog) Commit() error {
 	if g.pending >= g.opts.SyncEvery {
 		return g.flushLocked()
 	}
+	g.met.setBuffered(g.pending)
 	return nil
 }
 
@@ -128,14 +143,17 @@ func (g *GroupLog) flushLocked() error {
 	if len(g.buf) > 0 {
 		if err := g.log.writeRaw(g.buf); err != nil {
 			g.err = fmt.Errorf("wal: group flush: %w", err)
+			g.met.onGroupFlushError()
 			return g.err
 		}
 		g.buf = g.buf[:0]
 	}
 	if err := g.log.Commit(); err != nil {
 		g.err = err
+		g.met.onGroupFlushError()
 		return g.err
 	}
+	g.met.onGroupFlush(g.pending)
 	g.pending = 0
 	return nil
 }

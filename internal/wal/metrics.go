@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics instruments a Log (and optionally a GroupLog) against an obs
+// registry. A nil *Metrics is the disabled state: every hook below is a
+// nil-receiver no-op, so the uninstrumented hot path costs one branch
+// and never calls time.Now. Attach with SetMetrics before the log is
+// shared across goroutines.
+type Metrics struct {
+	appends     *obs.Counter
+	appendBytes *obs.Counter
+	fsyncs      *obs.Counter
+	fsyncErrors *obs.Counter
+	fsyncLat    *obs.Histogram
+	resets      *obs.Counter
+
+	groupFlushes    *obs.Counter
+	groupFlushErrs  *obs.Counter
+	groupCommitsPer *obs.Histogram
+	groupBuffered   *obs.Gauge
+}
+
+// NewMetrics registers the WAL metric families on reg. Returns nil when
+// reg is nil, which disables instrumentation end to end.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		appends:     reg.Counter("wal_appends_total", "records appended to the WAL"),
+		appendBytes: reg.Counter("wal_append_bytes_total", "framed bytes appended to the WAL"),
+		fsyncs:      reg.Counter("wal_fsyncs_total", "fsync calls on the WAL file"),
+		fsyncErrors: reg.Counter("wal_fsync_errors_total", "failed fsync calls on the WAL file"),
+		fsyncLat:    reg.Histogram("wal_fsync_seconds", "WAL fsync latency", obs.DurationBuckets),
+		resets:      reg.Counter("wal_resets_total", "checkpoint truncations of the WAL"),
+
+		groupFlushes:    reg.Counter("wal_group_flushes_total", "group-commit flushes (write + fsync batches)"),
+		groupFlushErrs:  reg.Counter("wal_group_flush_errors_total", "group-commit flushes that failed and latched an error"),
+		groupCommitsPer: reg.Histogram("wal_group_commits_per_flush", "commits acknowledged per group flush", obs.CountBuckets),
+		groupBuffered:   reg.Gauge("wal_group_buffered_commits", "commits currently buffered in memory (max loss on crash)"),
+	}
+}
+
+// startTimer returns now, or the zero time when metrics are disabled so
+// the paired Histogram.ObserveSince is a no-op.
+func (m *Metrics) startTimer() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (m *Metrics) onAppend(bytes int) {
+	if m == nil {
+		return
+	}
+	m.appends.Inc()
+	m.appendBytes.Add(int64(bytes))
+}
+
+func (m *Metrics) onFsync(t0 time.Time) {
+	if m == nil {
+		return
+	}
+	m.fsyncs.Inc()
+	m.fsyncLat.ObserveSince(t0)
+}
+
+func (m *Metrics) onFsyncError() {
+	if m == nil {
+		return
+	}
+	m.fsyncErrors.Inc()
+}
+
+func (m *Metrics) onReset() {
+	if m == nil {
+		return
+	}
+	m.resets.Inc()
+}
+
+func (m *Metrics) onGroupFlush(commits int) {
+	if m == nil {
+		return
+	}
+	m.groupFlushes.Inc()
+	m.groupCommitsPer.Observe(float64(commits))
+	m.groupBuffered.Set(0)
+}
+
+func (m *Metrics) onGroupFlushError() {
+	if m == nil {
+		return
+	}
+	m.groupFlushErrs.Inc()
+}
+
+func (m *Metrics) setBuffered(n int) {
+	if m == nil {
+		return
+	}
+	m.groupBuffered.Set(int64(n))
+}

@@ -52,7 +52,16 @@ type truncatable interface {
 type Log struct {
 	mu  sync.Mutex
 	f   File
-	buf []byte // scratch frame buffer, reused across appends
+	buf []byte   // scratch frame buffer, reused across appends
+	met *Metrics // nil when instrumentation is disabled
+}
+
+// SetMetrics attaches instrumentation. Call before the log is shared;
+// a nil m (or never calling) leaves the log uninstrumented.
+func (l *Log) SetMetrics(m *Metrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.met = m
 }
 
 // NewLog wraps an already-positioned File. When fresh is true the magic
@@ -140,6 +149,7 @@ func (l *Log) Append(r Record) error {
 	if _, err := l.f.Write(l.buf); err != nil {
 		return fmt.Errorf("wal: append %s: %w", r.Type, err)
 	}
+	l.met.onAppend(len(l.buf))
 	return nil
 }
 
@@ -156,9 +166,12 @@ func (l *Log) writeRaw(b []byte) error {
 func (l *Log) Commit() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	t0 := l.met.startTimer()
 	if err := l.f.Sync(); err != nil {
+		l.met.onFsyncError()
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.met.onFsync(t0)
 	return nil
 }
 
@@ -178,6 +191,7 @@ func (l *Log) Reset() error {
 	if _, err := t.Seek(int64(len(Magic)), io.SeekStart); err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
 	}
+	l.met.onReset()
 	return l.f.Sync()
 }
 

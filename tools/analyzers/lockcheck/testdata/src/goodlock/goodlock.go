@@ -106,3 +106,52 @@ func (n *Network) Grow(v int) {
 	defer n.store.mu.Unlock()
 	n.store.tab.Insert(v)
 }
+
+// Probe is a nil-safe instrument in the shape of the obs package:
+// methods are nil-receiver no-ops so a disabled probe costs one branch.
+type Probe struct{ n int64 }
+
+func (p *Probe) start() int64 {
+	if p == nil {
+		return 0
+	}
+	return 1
+}
+
+func (p *Probe) observe(t0 int64) {
+	if p == nil {
+		return
+	}
+	p.n += t0
+}
+
+// Ring is an event buffer in the shape of the obs event log: the ring
+// and cursor are guarded, appends go through a *Locked helper.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []int //repro:guarded-by mu
+	next int   //repro:guarded-by mu
+	// met is deliberately unannotated: lock-wait timing reads it before
+	// mu is acquired, so attach-before-share is the synchronization.
+	met *Probe
+}
+
+// Emit times the lock acquisition itself: the probe read and the timer
+// start must precede the Lock, which is exactly why met carries no
+// guarded-by annotation.
+func (r *Ring) Emit(v int) {
+	t0 := r.met.start()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.met.observe(t0)
+	r.emitLocked(v)
+}
+
+func (r *Ring) emitLocked(v int) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.next%len(r.buf)] = v
+	r.next++
+}

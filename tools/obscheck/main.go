@@ -1,0 +1,95 @@
+// Command obscheck scrapes a running admin endpoint and fails when the
+// exposition is unparseable or thinner than expected — the CI gate for
+// the -admin surface.
+//
+// Usage:
+//
+//	obscheck -base http://127.0.0.1:9090 [-min-series 20] [-prefixes wal_,core_]
+//
+// It GETs /metrics, parses it with the strict Prometheus-text parser
+// the admin handler's golden test uses, and checks the family count and
+// per-subsystem prefixes; then GETs /healthz and requires a well-formed
+// JSON health payload. Exit status 0 means the endpoint serves what a
+// scraper needs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
+	base := fs.String("base", "http://127.0.0.1:9090", "admin endpoint base URL")
+	minSeries := fs.Int("min-series", 20, "minimum metric families /metrics must expose")
+	prefixes := fs.String("prefixes", "", "comma-separated series prefixes that must be present (e.g. wal_,core_)")
+	wait := fs.Duration("wait", 10*time.Second, "keep retrying the first scrape this long (endpoint may still be starting)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	exp, err := scrape(*base+"/metrics", *wait)
+	if err != nil {
+		return err
+	}
+	if got := exp.Families(); got < *minSeries {
+		return fmt.Errorf("/metrics exposes %d families, want >= %d", got, *minSeries)
+	}
+	if *prefixes != "" {
+		for _, p := range strings.Split(*prefixes, ",") {
+			if p = strings.TrimSpace(p); p != "" && !exp.HasPrefix(p) {
+				return fmt.Errorf("/metrics has no %s* series", p)
+			}
+		}
+	}
+
+	resp, err := http.Get(*base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("/healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	var h obs.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("/healthz is not valid JSON: %w", err)
+	}
+	if h.State == "" {
+		return fmt.Errorf("/healthz payload has no state: %+v", h)
+	}
+	fmt.Printf("ok: %d families, healthz %s (%s)\n", exp.Families(), resp.Status, h.State)
+	return nil
+}
+
+// scrape GETs and strictly parses the exposition, retrying until the
+// endpoint answers or the wait budget runs out.
+func scrape(url string, wait time.Duration) (*obs.Exposition, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			exp, perr := obs.ParseExposition(resp.Body)
+			resp.Body.Close()
+			if perr != nil {
+				return nil, fmt.Errorf("%s unparseable: %w", url, perr)
+			}
+			return exp, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("%s unreachable: %w", url, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
