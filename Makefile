@@ -11,7 +11,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 LINT_STRICT ?=
 
 .PHONY: all build vet test race cover bench fuzz experiments examples clean \
-	lint analyzers staticcheck govulncheck fuzz-smoke chaos
+	lint analyzers staticcheck govulncheck fuzz-smoke chaos server-smoke
 
 all: build vet test
 
@@ -62,6 +62,15 @@ chaos:
 
 race:
 	$(GO) test -race ./...
+
+# Serving-layer smoke: a short self-serve chaos bench (mixed multi-
+# tenant load with WAL fault injection, a synchronized burst far above
+# admission capacity, drain under load — rdfbench fails on any corrupt
+# read, hung request, or an unrejected burst), then the server package
+# under the race detector.
+server-smoke:
+	$(GO) run ./cmd/rdfbench -conns 200 -duration 3s -burst 96 -max-inflight 16
+	$(GO) test -race -count=1 ./internal/server/
 
 cover:
 	$(GO) test -cover ./...

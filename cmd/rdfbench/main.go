@@ -1,0 +1,679 @@
+// Command rdfbench is the load generator and chaos harness for
+// rdfserve. It drives thousands of concurrent connections through the
+// HTTP query surface with a mixed read/write workload and verifies the
+// robustness contract end to end:
+//
+//   - zero corrupt reads: sentinel triples inserted before the run are
+//     re-read continuously; any response that returns a sentinel with
+//     the wrong value counts as corruption (the run fails),
+//   - over-limit requests are rejected with typed 429/503 envelopes,
+//     never hung: every request completes within the client-side hang
+//     budget or the run fails,
+//   - graceful drain: shutdown fires while load is still running, and
+//     every in-flight request must terminate within its deadline.
+//
+// Two modes:
+//
+//	rdfbench -base http://127.0.0.1:8080        # drive a running server
+//	rdfbench -conns 1000 -duration 10s          # self-serve chaos drill
+//
+// Without -base, rdfbench starts an in-process rdfserve-equivalent over
+// a supervised store whose WAL is wrapped with a deterministic fault
+// injector (-chaos-wal-write-rate), so the bench exercises the
+// Degraded/Recovering 503 paths and WAL recovery under fire, then
+// shuts the server down mid-load to verify the drain contract. Results
+// (p50/p99 latency per endpoint, status and rejection tallies,
+// corruption and hang counts) print as a table and, with -json, land
+// in a machine-readable report (BENCH_6.json in CI).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/supervise"
+	"repro/internal/wal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rdfbench:", err)
+		os.Exit(1)
+	}
+}
+
+const (
+	numSentinels = 64
+	numChain     = 16
+)
+
+type config struct {
+	base      string
+	conns     int
+	duration  time.Duration
+	model     string
+	jsonPath  string
+	chaosRate float64
+	chaosSeed int64
+	burst     int
+	inflight  int64
+	hangSlack time.Duration
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rdfbench", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.base, "base", "", "base URL of a running rdfserve (empty = self-serve chaos mode)")
+	fs.IntVar(&cfg.conns, "conns", 1000, "concurrent connections")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "steady-state load duration")
+	fs.StringVar(&cfg.model, "model", "bench", "model name")
+	fs.StringVar(&cfg.jsonPath, "json", "", "write the machine-readable report to this file")
+	fs.Float64Var(&cfg.chaosRate, "chaos-wal-write-rate", 0.02, "self-serve: probability each WAL write fails")
+	fs.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "self-serve: fault injector seed")
+	fs.IntVar(&cfg.burst, "burst", 256, "size of the synchronized heavy-query burst that must overflow admission")
+	fs.Int64Var(&cfg.inflight, "max-inflight", 32, "self-serve: server admission capacity (small, so the burst rejects)")
+	fs.DurationVar(&cfg.hangSlack, "hang-slack", 15*time.Second, "client-side hang budget past the server's max timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.conns < 1 {
+		return errors.New("-conns must be >= 1")
+	}
+
+	b := newBench(cfg)
+	if cfg.base == "" {
+		stop, injected, err := b.startSelfServe(stdout)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		b.injectedFailures = injected
+	}
+	if err := b.prepare(); err != nil {
+		return err
+	}
+	if b.armChaos != nil {
+		// Faults arm only after the seed data is durably in: the drill
+		// is about serving under faults, not about seeding the store.
+		b.armChaos()
+	}
+	b.steadyState(stdout)
+	b.burstPhase(stdout)
+	if cfg.base == "" {
+		if err := b.drainPhase(stdout); err != nil {
+			return err
+		}
+	}
+	return b.report(stdout)
+}
+
+// bench holds the run's shared state and counters.
+type bench struct {
+	cfg    config
+	client *http.Client
+	srv    *server.Server // self-serve only
+	sup    *supervise.Supervisor
+
+	mu        sync.Mutex
+	latencies map[string][]time.Duration // endpoint -> samples
+	statuses  map[int]int64
+	codes     map[string]int64
+
+	corrupt  atomic.Int64
+	hung     atomic.Int64
+	netErrs  atomic.Int64
+	requests atomic.Int64
+
+	burstRejected    int64
+	burstOK          int64
+	drainResult      *drainReport
+	injectedFailures func() (int, int)
+	armChaos         func()
+}
+
+type drainReport struct {
+	InflightAtDrain int64 `json:"inflight_at_drain"`
+	Completed       int64 `json:"completed"`
+	Hung            int64 `json:"hung"`
+	Rejected503     int64 `json:"rejected_shutting_down"`
+	DrainMS         int64 `json:"drain_ms"`
+}
+
+func newBench(cfg config) *bench {
+	return &bench{
+		cfg: cfg,
+		client: &http.Client{
+			Timeout: 30*time.Second + cfg.hangSlack,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.conns + cfg.burst,
+				MaxIdleConnsPerHost: cfg.conns + cfg.burst,
+				MaxConnsPerHost:     0,
+			},
+		},
+		latencies: map[string][]time.Duration{},
+		statuses:  map[int]int64{},
+		codes:     map[string]int64{},
+	}
+}
+
+// startSelfServe boots an in-process server over a supervised store
+// with WAL fault injection, in a temp dir.
+func (b *bench) startSelfServe(stdout io.Writer) (stop func(), injected func() (int, int), err error) {
+	dir, err := os.MkdirTemp("", "rdfbench-*")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var flakyMu sync.Mutex
+	var flakies []*wal.FlakyFile
+	var armed bool // faults arm after the seed insert (armChaos)
+	scfg := supervise.Config{
+		WALPath:      filepath.Join(dir, "bench.wal"),
+		SnapshotPath: filepath.Join(dir, "bench.snap"),
+		Obs:          obs.NewRegistry(),
+	}
+	if b.cfg.chaosRate > 0 {
+		scfg.OpenWAL = func(path string) (*wal.Log, wal.ScanResult, error) {
+			return wal.OpenFileWith(path, func(f wal.File) wal.File {
+				fl := wal.NewFlaky(f)
+				flakyMu.Lock()
+				if armed {
+					fl.SetErrorRate(b.cfg.chaosRate, 0, b.cfg.chaosSeed)
+				}
+				flakies = append(flakies, fl)
+				flakyMu.Unlock()
+				return fl
+			})
+		}
+		b.armChaos = func() {
+			flakyMu.Lock()
+			defer flakyMu.Unlock()
+			armed = true
+			for _, fl := range flakies {
+				fl.SetErrorRate(b.cfg.chaosRate, 0, b.cfg.chaosSeed)
+			}
+		}
+	}
+	sup, err := supervise.Open(scfg)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	b.sup = sup
+
+	srv, err := server.New(server.Config{
+		Backend:       sup,
+		DefaultModels: []string{b.cfg.model},
+		Registry:      scfg.Obs,
+		MaxInflight:   b.cfg.inflight,
+		MaxQueue:      64,
+		QueueWait:     200 * time.Millisecond,
+		DrainGrace:    time.Second,
+	})
+	if err != nil {
+		sup.Close()
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	b.srv = srv
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sup.Close()
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	go srv.Serve(ln)
+	b.cfg.base = "http://" + ln.Addr().String()
+	fmt.Fprintf(stdout, "self-serve: %s (chaos write rate %.2f, capacity %d)\n",
+		b.cfg.base, b.cfg.chaosRate, b.cfg.inflight)
+
+	injected = func() (int, int) {
+		flakyMu.Lock()
+		defer flakyMu.Unlock()
+		var w, s int
+		for _, f := range flakies {
+			fw, fs := f.InjectedFailures()
+			w += fw
+			s += fs
+		}
+		return w, s
+	}
+	stop = func() {
+		sup.Close()
+		os.RemoveAll(dir)
+	}
+	return stop, injected, nil
+}
+
+// prepare creates the model, the sentinel triples whose values every
+// read phase re-verifies, and a small edge chain for /traverse.
+func (b *bench) prepare() error {
+	triples := make([]map[string]string, 0, numSentinels+numChain)
+	for i := 0; i < numSentinels; i++ {
+		triples = append(triples, map[string]string{
+			"s": fmt.Sprintf("<urn:bench:sentinel:%d>", i),
+			"p": "<urn:bench:p>",
+			"o": sentinelValue(i),
+		})
+	}
+	for i := 0; i < numChain; i++ {
+		triples = append(triples, map[string]string{
+			"s": fmt.Sprintf("<urn:bench:n%d>", i),
+			"p": "<urn:bench:edge>",
+			"o": fmt.Sprintf("<urn:bench:n%d>", i+1),
+		})
+	}
+	// Join fodder for the burst phase: two all-to-all 30-wide layers, so
+	// the burst's 2-hop join expands to 27k intermediate bindings and
+	// each query is slow enough that a synchronized burst overflows the
+	// admission queue instead of draining through it.
+	for layer := 0; layer < 2; layer++ {
+		for i := 0; i < 30; i++ {
+			for j := 0; j < 30; j++ {
+				triples = append(triples, map[string]string{
+					"s": fmt.Sprintf("<urn:bench:j%d:%d>", layer, i),
+					"p": "<urn:bench:join>",
+					"o": fmt.Sprintf("<urn:bench:j%d:%d>", layer+1, j),
+				})
+			}
+		}
+	}
+	body := map[string]any{"model": b.cfg.model, "create_model": true, "triples": triples}
+	// The seed insert must land; under chaos the first attempts may hit
+	// injected WAL faults, so retry through the degraded episodes.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, respBody, _, err := b.do("POST", "/insert", body, "")
+		if err == nil && status == 200 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("seed insert never landed (last status %d, err %v, body %s)", status, err, respBody)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func sentinelValue(i int) string { return fmt.Sprintf("%q", fmt.Sprintf("sval-%d", i)) }
+
+// do issues one request and returns (status, body, latency).
+func (b *bench) do(method, path string, body any, tenant string) (int, []byte, time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		bb, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		rd = bytes.NewReader(bb)
+	}
+	req, err := http.NewRequest(method, b.cfg.base+path, rd)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	t0 := time.Now()
+	resp, err := b.client.Do(req)
+	lat := time.Since(t0)
+	if err != nil {
+		return 0, nil, lat, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, nil, time.Since(t0), err
+	}
+	return resp.StatusCode, data, time.Since(t0), nil
+}
+
+// record books one completed request into the tallies.
+func (b *bench) record(endpoint string, status int, bodyBytes []byte, lat time.Duration, err error) {
+	b.requests.Add(1)
+	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			b.hung.Add(1) // the server let a request exceed the hang budget
+		} else {
+			b.netErrs.Add(1)
+		}
+		return
+	}
+	b.mu.Lock()
+	b.statuses[status]++
+	if status != 200 {
+		var env struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(bodyBytes, &env) == nil && env.Error.Code != "" {
+			b.codes[env.Error.Code]++
+		}
+	}
+	b.latencies[endpoint] = append(b.latencies[endpoint], lat)
+	b.mu.Unlock()
+}
+
+// verifySentinel checks one sentinel read for corruption.
+func (b *bench) verifySentinel(i int, status int, body []byte) {
+	if status != 200 {
+		return // rejected (degraded/admission) — not a corruption
+	}
+	var resp struct {
+		Triples []struct {
+			O string `json:"o"`
+		} `json:"triples"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil || len(resp.Triples) == 0 {
+		b.corrupt.Add(1)
+		return
+	}
+	for _, t := range resp.Triples {
+		if t.O != sentinelValue(i) {
+			b.corrupt.Add(1)
+			return
+		}
+	}
+}
+
+// steadyState drives the mixed workload: sentinel finds (verified),
+// pattern queries, traversals, and inserts that keep tripping the WAL
+// fault injector.
+func (b *bench) steadyState(stdout io.Writer) {
+	fmt.Fprintf(stdout, "steady state: %d connections for %s\n", b.cfg.conns, b.cfg.duration)
+	stopAt := time.Now().Add(b.cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < b.cfg.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			tenant := fmt.Sprintf("t%d", w%8)
+			seq := 0
+			for time.Now().Before(stopAt) {
+				seq++
+				switch r := rng.Float64(); {
+				case r < 0.55: // verified sentinel read
+					i := rng.Intn(numSentinels)
+					// Name the model explicitly: against an external
+					// rdfserve the default model is not ours.
+					status, body, lat, err := b.do("GET",
+						fmt.Sprintf("/find?model=%s&s=%%3Curn%%3Abench%%3Asentinel%%3A%d%%3E",
+							url.QueryEscape(b.cfg.model), i), nil, tenant)
+					b.record("find", status, body, lat, err)
+					if err == nil {
+						b.verifySentinel(i, status, body)
+					}
+				case r < 0.80: // pattern query
+					status, body, lat, err := b.do("POST", "/query", map[string]any{
+						"query": "(?s <urn:bench:p> ?o)", "limit": 100,
+						"models": []string{b.cfg.model},
+					}, tenant)
+					b.record("query", status, body, lat, err)
+				case r < 0.90: // graph traversal
+					status, body, lat, err := b.do("POST", "/traverse", map[string]any{
+						"op": "shortest_path", "source": "<urn:bench:n0>",
+						"target": fmt.Sprintf("<urn:bench:n%d>", numChain),
+						"models": []string{b.cfg.model},
+					}, tenant)
+					b.record("traverse", status, body, lat, err)
+				default: // write — the chaos trigger
+					status, body, lat, err := b.do("POST", "/insert", map[string]any{
+						"model": b.cfg.model,
+						"triples": []map[string]string{{
+							"s": fmt.Sprintf("<urn:bench:w%d:%d>", w, seq),
+							"p": "<urn:bench:wp>",
+							"o": fmt.Sprintf("%q", fmt.Sprintf("v%d", seq)),
+						}},
+					}, tenant)
+					b.record("insert", status, body, lat, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// burstPhase fires a synchronized burst of heavy queries sized past the
+// admission capacity: the overflow MUST come back as typed 429/503,
+// and nothing may hang.
+func (b *bench) burstPhase(stdout io.Writer) {
+	if b.srv != nil {
+		fmt.Fprintf(stdout, "burst: %d simultaneous heavy queries (capacity %d weight units)\n",
+			b.cfg.burst, b.cfg.inflight)
+	} else {
+		fmt.Fprintf(stdout, "burst: %d simultaneous heavy queries\n", b.cfg.burst)
+	}
+	start := make(chan struct{})
+	var warm sync.WaitGroup
+	var wg sync.WaitGroup
+	var ok, rejected int64
+	for i := 0; i < b.cfg.burst; i++ {
+		wg.Add(1)
+		warm.Add(1)
+		go func() {
+			defer wg.Done()
+			// Pre-establish this goroutine's connection so the burst
+			// arrives simultaneously instead of spread across dials.
+			b.do("GET", "/healthz", nil, "")
+			warm.Done()
+			<-start
+			status, body, lat, err := b.do("POST", "/query", map[string]any{
+				"query":    "(?a <urn:bench:join> ?b) (?b <urn:bench:join> ?c)",
+				"order_by": []string{"a", "c"}, "limit": 10000,
+				"models": []string{b.cfg.model},
+			}, "")
+			b.record("query", status, body, lat, err)
+			switch {
+			case err == nil && status == 200:
+				atomic.AddInt64(&ok, 1)
+			case err == nil && (status == 429 || status == 503):
+				atomic.AddInt64(&rejected, 1)
+			}
+		}()
+	}
+	warm.Wait()
+	close(start)
+	wg.Wait()
+	b.burstOK, b.burstRejected = ok, rejected
+	fmt.Fprintf(stdout, "burst: %d served, %d rejected with typed 429/503\n", ok, rejected)
+}
+
+// drainPhase shuts the in-process server down while load is still
+// running and verifies every in-flight request terminates promptly.
+func (b *bench) drainPhase(stdout io.Writer) error {
+	fmt.Fprintln(stdout, "drain: shutting down under load")
+	var dr drainReport
+	stop := make(chan struct{})
+	var drainStarted atomic.Bool
+	var wg sync.WaitGroup
+	var outstanding atomic.Int64
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				outstanding.Add(1)
+				status, body, lat, err := b.do("GET",
+					fmt.Sprintf("/find?s=%%3Curn%%3Abench%%3Asentinel%%3A%d%%3E", w%numSentinels), nil, "")
+				outstanding.Add(-1)
+				if err != nil && drainStarted.Load() {
+					// The listener is closing connections; a dial or
+					// reuse failure here is the expected end of this
+					// worker, not a server fault.
+					return
+				}
+				b.record("find", status, body, lat, err)
+				if err == nil && status == 503 {
+					var env struct {
+						Error struct {
+							Code string `json:"code"`
+						} `json:"error"`
+					}
+					if json.Unmarshal(body, &env) == nil && env.Error.Code == "shutting_down" {
+						atomic.AddInt64(&dr.Rejected503, 1)
+						return // the server is draining; this worker is done
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(200 * time.Millisecond) // let the workers get in flight
+	dr.InflightAtDrain = outstanding.Load()
+
+	t0 := time.Now()
+	drainStarted.Store(true)
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := b.srv.Shutdown(sctx)
+	dr.DrainMS = time.Since(t0).Milliseconds()
+	close(stop)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(45 * time.Second):
+		dr.Hung = outstanding.Load()
+	}
+	dr.Completed = dr.InflightAtDrain - dr.Hung
+	b.drainResult = &dr
+	fmt.Fprintf(stdout, "drain: %d in flight at shutdown, drained in %dms, %d hung\n",
+		dr.InflightAtDrain, dr.DrainMS, dr.Hung)
+	if err != nil {
+		return fmt.Errorf("shutdown under load: %w", err)
+	}
+	if dr.Hung > 0 {
+		return fmt.Errorf("%d requests hung through shutdown", dr.Hung)
+	}
+	return nil
+}
+
+// ---- reporting ----
+
+type endpointStats struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+type report struct {
+	Bench       string                   `json:"bench"`
+	Base        string                   `json:"base"`
+	Conns       int                      `json:"conns"`
+	DurationS   float64                  `json:"duration_s"`
+	Requests    int64                    `json:"requests"`
+	Endpoints   map[string]endpointStats `json:"endpoints"`
+	Statuses    map[string]int64         `json:"statuses"`
+	ErrorCodes  map[string]int64         `json:"error_codes"`
+	BurstOK     int64                    `json:"burst_served"`
+	BurstReject int64                    `json:"burst_rejected"`
+	Corrupt     int64                    `json:"corrupt_reads"`
+	Hung        int64                    `json:"hung_requests"`
+	NetErrs     int64                    `json:"transport_errors"`
+	InjectedWAL int                      `json:"injected_wal_write_failures"`
+	Drain       *drainReport             `json:"drain,omitempty"`
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func (b *bench) report(stdout io.Writer) error {
+	rep := report{
+		Bench:       "server_chaos",
+		Base:        b.cfg.base,
+		Conns:       b.cfg.conns,
+		DurationS:   b.cfg.duration.Seconds(),
+		Requests:    b.requests.Load(),
+		Endpoints:   map[string]endpointStats{},
+		Statuses:    map[string]int64{},
+		ErrorCodes:  b.codes,
+		BurstOK:     b.burstOK,
+		BurstReject: b.burstRejected,
+		Corrupt:     b.corrupt.Load(),
+		Hung:        b.hung.Load(),
+		NetErrs:     b.netErrs.Load(),
+		Drain:       b.drainResult,
+	}
+	if b.injectedFailures != nil {
+		rep.InjectedWAL, _ = b.injectedFailures()
+	}
+	for st, n := range b.statuses {
+		rep.Statuses[fmt.Sprintf("%d", st)] = n
+	}
+	for ep, lats := range b.latencies {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rep.Endpoints[ep] = endpointStats{
+			Count: len(lats),
+			P50MS: float64(percentile(lats, 0.50).Microseconds()) / 1000,
+			P99MS: float64(percentile(lats, 0.99).Microseconds()) / 1000,
+			MaxMS: float64(percentile(lats, 1.0).Microseconds()) / 1000,
+		}
+	}
+
+	fmt.Fprintf(stdout, "\n%-10s %10s %10s %10s %10s\n", "endpoint", "count", "p50 ms", "p99 ms", "max ms")
+	eps := make([]string, 0, len(rep.Endpoints))
+	for ep := range rep.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		s := rep.Endpoints[ep]
+		fmt.Fprintf(stdout, "%-10s %10d %10.2f %10.2f %10.2f\n", ep, s.Count, s.P50MS, s.P99MS, s.MaxMS)
+	}
+	fmt.Fprintf(stdout, "statuses: %v\nerror codes: %v\n", rep.Statuses, rep.ErrorCodes)
+	fmt.Fprintf(stdout, "requests %d, corrupt reads %d, hung %d, transport errors %d, injected WAL faults %d\n",
+		rep.Requests, rep.Corrupt, rep.Hung, rep.NetErrs, rep.InjectedWAL)
+
+	if b.cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(b.cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", b.cfg.jsonPath)
+	}
+
+	if rep.Corrupt > 0 {
+		return fmt.Errorf("CORRUPT READS: %d sentinel reads returned wrong data", rep.Corrupt)
+	}
+	if rep.Hung > 0 {
+		return fmt.Errorf("%d requests exceeded the hang budget", rep.Hung)
+	}
+	if b.cfg.burst > int(b.cfg.inflight) && rep.BurstReject == 0 && b.cfg.base == "" {
+		return errors.New("burst exceeded capacity but nothing was rejected — admission control is not engaging")
+	}
+	fmt.Fprintln(stdout, "PASS: zero corrupt reads, zero hung requests")
+	return nil
+}

@@ -23,6 +23,9 @@
 // -slow DURATION logs any query over the threshold with its trace;
 // -admin ADDR serves the runtime metrics registry (/metrics, /healthz,
 // /events, /debug/pprof) while the command runs.
+//
+// Exit codes: 0 success; 1 any error; 2 the -timeout deadline expired
+// ("query timed out after X"); 130 the query was interrupted (Ctrl-C).
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -51,10 +55,32 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+// Exit codes. A deadline kill and a Ctrl-C are different events for the
+// calling script: one means "the query is too slow, tune it", the other
+// "the operator gave up" — so they get distinct codes.
+const (
+	exitFailure     = 1   // any other error
+	exitTimeout     = 2   // -timeout expired (query timed out after X)
+	exitInterrupted = 130 // SIGINT, the shell convention (128 + 2)
+)
+
+// exitError carries a specific process exit code up through run().
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rdfquery:", err)
-		os.Exit(1)
+		var xe *exitError
+		if errors.As(err, &xe) {
+			os.Exit(xe.code)
+		}
+		os.Exit(exitFailure)
 	}
 }
 
@@ -223,7 +249,11 @@ func run(args []string, stdout io.Writer) error {
 		opts.Resolver = cat
 	}
 
-	ctx := context.Background()
+	// Ctrl-C cancels the query through the same context the -timeout
+	// deadline uses, but the two exits are distinguishable: deadline →
+	// exit 2 with a "timed out" message, SIGINT → exit 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -231,8 +261,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	rs, err := match.MatchContext(ctx, store, *query, opts)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			return fmt.Errorf("query exceeded -timeout %v: %w", *timeout, err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return &exitError{code: exitTimeout,
+				err: fmt.Errorf("query timed out after %v (-timeout): %w", *timeout, err)}
+		case errors.Is(err, context.Canceled):
+			return &exitError{code: exitInterrupted,
+				err: fmt.Errorf("query interrupted: %w", err)}
 		}
 		return err
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -345,15 +347,24 @@ func TestQueryTimeoutFlag(t *testing.T) {
 		t.Errorf("output:\n%s", out.String())
 	}
 
-	// A sub-microsecond budget trips before the join can run.
+	// A sub-microsecond budget trips before the join can run, with the
+	// dedicated message and exit code 2 — scripts can tell a deadline
+	// kill (tune the query) from a Ctrl-C (exit 130).
 	out.Reset()
 	err = run([]string{
 		"-data", path,
 		"-query", "(?a ?p ?b) (?b ?q ?c)",
 		"-timeout", "1ns",
 	}, &out)
-	if err == nil || !strings.Contains(err.Error(), "-timeout") {
-		t.Fatalf("1ns timeout error = %v, want '-timeout' message", err)
+	if err == nil || !strings.Contains(err.Error(), "timed out after") {
+		t.Fatalf("1ns timeout error = %v, want 'timed out after' message", err)
+	}
+	var xe *exitError
+	if !errors.As(err, &xe) || xe.code != exitTimeout {
+		t.Fatalf("timeout error = %#v, want exitError with code %d", err, exitTimeout)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout error does not unwrap to DeadlineExceeded: %v", err)
 	}
 }
 

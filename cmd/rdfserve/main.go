@@ -1,0 +1,216 @@
+// Command rdfserve is the multi-tenant HTTP query server over the RDF
+// object store: SDO_RDF_MATCH pattern queries (POST /query), single-
+// pattern finds (GET /find), NDM graph traversals (POST /traverse), and
+// batch inserts (POST /insert), with per-request deadlines, weighted
+// admission control, result budgets, and health-gated graceful
+// degradation. The wire format and every tuning knob are documented in
+// SERVING.md.
+//
+// Usage:
+//
+//	rdfserve -addr 127.0.0.1:8080 -model data -load data.nt
+//	rdfserve -addr :8080 -wal store.wal -snapshot store.snap
+//	rdfserve -addr :8080 -wal store.wal -chaos-wal-write-rate 0.05
+//
+// Without -wal the store is memory-only and always Healthy. With -wal
+// (and optionally -snapshot) the store runs under the supervisor:
+// recovery, scrubbing, and the health states that gate admission
+// (Degraded/Recovering answer 503 + Retry-After; Failed answers 503).
+// The -chaos-wal-* flags wrap the WAL file with a deterministic fault
+// injector — every write/sync fails with the given probability — for
+// robustness drills: the server keeps serving reads while the
+// supervisor degrades and recovers underneath it.
+//
+// SIGINT/SIGTERM drain gracefully: new requests get 503 shutting_down,
+// in-flight requests get -drain-grace to finish, then their contexts
+// are cancelled and the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/reify"
+	"repro/internal/server"
+	"repro/internal/supervise"
+	"repro/internal/wal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rdfserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rdfserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	model := fs.String("model", "data", "default model for requests that name none (created if missing)")
+	load := fs.String("load", "", "N-Triples file to bulk-load into the model at startup")
+
+	walPath := fs.String("wal", "", "write-ahead log: run under the supervisor with durable mutations")
+	snapPath := fs.String("snapshot", "", "checkpoint snapshot to load before replaying the WAL")
+	scrubInterval := fs.Duration("scrub-interval", 0, "background invariant scrub cadence (0 disables; requires -wal)")
+	chaosWrite := fs.Float64("chaos-wal-write-rate", 0, "probability each WAL write fails (fault-injection drill; requires -wal)")
+	chaosSync := fs.Float64("chaos-wal-sync-rate", 0, "probability each WAL sync fails (requires -wal)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for the WAL fault injector")
+
+	maxInflight := fs.Int64("max-inflight", 64, "admission capacity in weight units (query/traverse 4, insert 2, find 1)")
+	maxQueue := fs.Int("max-queue", 128, "admission wait-queue bound (-1 = reject when saturated, no queueing)")
+	queueWait := fs.Duration("queue-wait", time.Second, "longest a request may wait for admission")
+	tenantCap := fs.Int64("tenant-cap", 0, "per-tenant in-flight weight cap (X-Tenant header; 0 disables)")
+
+	defaultTimeout := fs.Duration("default-timeout", 5*time.Second, "deadline for requests without ?timeout=")
+	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "clamp on client-supplied ?timeout=")
+	maxRows := fs.Int("max-rows", 10000, "result-row cap per response")
+	maxBindings := fs.Int("max-bindings", 1<<20, "intermediate join-binding budget per query")
+	maxResultBytes := fs.Int64("max-result-bytes", 8<<20, "encoded response byte budget")
+	degraded := fs.String("degraded-reads", "reject", "non-Healthy read policy: reject (503 + Retry-After) or serve")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503")
+	drainGrace := fs.Duration("drain-grace", 2*time.Second, "how long shutdown lets in-flight requests finish")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "hard bound on the whole shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var degradedReads server.DegradedReads
+	switch *degraded {
+	case "reject":
+		degradedReads = server.RejectDegraded
+	case "serve":
+		degradedReads = server.ServeDegraded
+	default:
+		return fmt.Errorf("-degraded-reads %q: want reject or serve", *degraded)
+	}
+	if (*chaosWrite > 0 || *chaosSync > 0 || *snapPath != "" || *scrubInterval > 0) && *walPath == "" {
+		return errors.New("-snapshot/-scrub-interval/-chaos-wal-* require -wal")
+	}
+
+	reg := obs.NewRegistry()
+
+	// Backend: supervised (durable, health-gated) with -wal, bare
+	// in-memory store otherwise.
+	var backend server.Backend
+	if *walPath != "" {
+		cfg := supervise.Config{
+			SnapshotPath:  *snapPath,
+			WALPath:       *walPath,
+			ScrubInterval: *scrubInterval,
+			Obs:           reg,
+		}
+		if *chaosWrite > 0 || *chaosSync > 0 {
+			cfg.OpenWAL = func(path string) (*wal.Log, wal.ScanResult, error) {
+				return wal.OpenFileWith(path, func(f wal.File) wal.File {
+					fl := wal.NewFlaky(f)
+					fl.SetErrorRate(*chaosWrite, *chaosSync, *chaosSeed)
+					return fl
+				})
+			}
+			fmt.Fprintf(stdout, "chaos: WAL faults armed (write %.2f, sync %.2f, seed %d)\n",
+				*chaosWrite, *chaosSync, *chaosSeed)
+		}
+		sv, err := supervise.Open(cfg)
+		if err != nil {
+			return fmt.Errorf("opening supervised store: %w", err)
+		}
+		defer sv.Close()
+		backend = sv
+	} else {
+		st := core.New()
+		st.SetMetrics(core.NewMetrics(reg))
+		backend = server.StoreBackend{S: st}
+	}
+
+	// Ensure the default model exists and load any seed data through the
+	// same mutation gate requests use.
+	if err := backend.Mutate(func(st *core.Store) error {
+		if _, err := st.GetModelID(*model); errors.Is(err, core.ErrNoSuchModel) {
+			if _, err := st.CreateRDFModel(*model, "", ""); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("creating model %q: %w", *model, err)
+	}
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		var stats reify.Stats
+		err = backend.Mutate(func(st *core.Store) error {
+			loader := &reify.Loader{Store: st, Model: *model, Policy: reify.DropIncomplete, BatchSize: 1024}
+			var lerr error
+			stats, lerr = loader.Load(f)
+			return lerr
+		})
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", *load, err)
+		}
+		fmt.Fprintf(stdout, "loaded %d triples from %s into %q\n", stats.Read, *load, *model)
+	}
+
+	srv, err := server.New(server.Config{
+		Backend:        backend,
+		DefaultModels:  []string{*model},
+		Registry:       reg,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		TenantCap:      *tenantCap,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxRows:        *maxRows,
+		MaxBindings:    *maxBindings,
+		MaxResultBytes: *maxResultBytes,
+		DegradedReads:  degradedReads,
+		RetryAfter:     *retryAfter,
+		DrainGrace:     *drainGrace,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	fmt.Fprintf(stdout, "serving on http://%s/ (model %q, admin under /debug)\n", ln.Addr(), *model)
+
+	// Serve until SIGINT/SIGTERM, then drain.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop()
+	fmt.Fprintln(stdout, "shutting down: draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "drained; bye")
+	return nil
+}

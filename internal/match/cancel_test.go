@@ -62,9 +62,22 @@ func buildJoinStore(t testing.TB, w, total int) *core.Store {
 	return s
 }
 
+// cancelBudget is how long after cancellation a query may keep running
+// before the test fails. Cancellation polls every 256 bindings/rows, so
+// the true latency is sub-millisecond on an idle machine — but CI boxes
+// are shared and the race detector slows everything severalfold, so the
+// budget asserts "prompt", not "instant". (The 100–200ms budgets this
+// replaces were flaky under -race; see CHANGES.md PR 5.)
+func cancelBudget() time.Duration {
+	if raceEnabled {
+		return 5 * time.Second
+	}
+	return time.Second
+}
+
 // The acceptance bar for cancellable queries: a join over a 100k-triple
-// model returns within 100ms of context cancellation, and the store is
-// immediately writable afterwards (no leaked read lock).
+// model returns promptly after context cancellation (cancelBudget), and
+// the store is immediately writable afterwards (no leaked read lock).
 func TestMatchContextCancelsLargeJoin(t *testing.T) {
 	s := buildJoinStore(t, 30, 100000)
 	query := "(?a <http://x#p> ?b) (?b <http://x#p> ?c) (?c <http://x#p> ?d)"
@@ -92,8 +105,8 @@ func TestMatchContextCancelsLargeJoin(t *testing.T) {
 	cancelledAt := time.Now()
 	select {
 	case err := <-done:
-		if d := time.Since(cancelledAt); d > 100*time.Millisecond {
-			t.Fatalf("MatchContext returned %v after cancellation (budget 100ms)", d)
+		if d := time.Since(cancelledAt); d > cancelBudget() {
+			t.Fatalf("MatchContext returned %v after cancellation (budget %v)", d, cancelBudget())
 		}
 		if err == nil {
 			t.Skip("join finished before cancellation on this machine; nothing to assert")
@@ -135,7 +148,7 @@ func TestMatchContextDeadline(t *testing.T) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("MatchContext error = %v, want DeadlineExceeded in chain", err)
 	}
-	if d := time.Since(start); d > 200*time.Millisecond {
-		t.Fatalf("MatchContext overran its 5ms deadline by %v", d)
+	if d := time.Since(start); d > cancelBudget() {
+		t.Fatalf("MatchContext overran its 5ms deadline by %v (budget %v)", d, cancelBudget())
 	}
 }

@@ -2,6 +2,7 @@ package match
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/rdfterm"
 )
+
+// ErrBudget is the sentinel for a query that exceeded its caller-imposed
+// resource budget (Options.MaxBindings). The query is aborted rather
+// than truncated: a partial join result is not a prefix of the true
+// result, so serving it would be silently wrong. Callers select the
+// class with errors.Is(err, ErrBudget); the full chain names the budget
+// that was blown.
+var ErrBudget = errors.New("match: query budget exceeded")
 
 // RulebaseResolver resolves (models, rulebases) to the name of the hidden
 // model holding the precomputed inferred triples — the rules index of
@@ -51,6 +60,15 @@ type Options struct {
 	// query is counted and logged as slow (requires Metrics for the event
 	// to land anywhere).
 	SlowQuery time.Duration
+	// Limit, when positive, caps the number of result rows. Rows beyond
+	// the cap are dropped and ResultSet.Truncated is set. With OrderBy
+	// the full result is sorted first, so the cap returns the true top-N.
+	Limit int
+	// MaxBindings, when positive, bounds the intermediate binding set a
+	// join stage may produce. A query whose join explodes past the bound
+	// is aborted with an ErrBudget error instead of exhausting memory —
+	// the admission price of serving untrusted queries.
+	MaxBindings int
 }
 
 // ResultSet holds match results: Vars in first-occurrence order, one term
@@ -58,6 +76,8 @@ type Options struct {
 type ResultSet struct {
 	Vars []string
 	Rows [][]rdfterm.Term
+	// Truncated reports that Options.Limit dropped rows beyond the cap.
+	Truncated bool
 }
 
 // Col returns the column index of a variable, or -1.
@@ -192,6 +212,10 @@ func MatchContext(ctx context.Context, store *core.Store, query string, opts Opt
 			}
 			candidates += n
 			next = append(next, matches...)
+			if opts.MaxBindings > 0 && len(next) > opts.MaxBindings {
+				return nil, fmt.Errorf("%w: stage %d produced %d intermediate bindings (max %d)",
+					ErrBudget, pi, len(next), opts.MaxBindings)
+			}
 		}
 		if traced {
 			trace.Stages = append(trace.Stages, StageTrace{
@@ -237,11 +261,22 @@ func MatchContext(ctx context.Context, store *core.Store, query string, opts Opt
 			}
 			emitted[key] = true
 		}
+		// Without ORDER BY the cap short-circuits projection; with it the
+		// full set must be collected and sorted first so the cap returns
+		// the true top-N (truncation happens below, after the sort).
+		if opts.Limit > 0 && len(opts.OrderBy) == 0 && len(rs.Rows) == opts.Limit {
+			rs.Truncated = true
+			break
+		}
 		rs.Rows = append(rs.Rows, row)
 	}
 	if len(opts.OrderBy) > 0 {
 		if err := rs.sortBy(opts.OrderBy); err != nil {
 			return nil, err
+		}
+		if opts.Limit > 0 && len(rs.Rows) > opts.Limit {
+			rs.Rows = rs.Rows[:opts.Limit]
+			rs.Truncated = true
 		}
 	}
 	if traced {

@@ -1,0 +1,6 @@
+//go:build !race
+
+package match
+
+// raceEnabled is false in uninstrumented builds; see race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package match
+
+// raceEnabled widens the cancel-latency budgets when the race detector
+// instruments the build (everything runs several times slower, and CI
+// machines are shared). The semantic assertions are identical in both
+// builds; only the latency budget changes.
+const raceEnabled = true

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Every failure leaves the server as a typed JSON envelope:
+//
+//	{"error": {"code": "queue_full", "message": "...", "retry_after": "1s"}}
+//
+// The HTTP status selects the class (4xx client / 429 admission / 5xx
+// availability), the machine-readable code names the exact condition,
+// and 429/503 responses carry a Retry-After header so well-behaved
+// clients back off instead of hammering a saturated or degraded store.
+// The full catalogue lives in SERVING.md.
+
+// Error codes. These are API surface — clients switch on them.
+const (
+	CodeBadRequest   = "bad_request"   // 400: malformed body, unparsable term, bad param
+	CodeUnknownModel = "unknown_model" // 404: named model does not exist
+	CodeBudget       = "budget"        // 413: row/binding/byte budget exceeded
+	CodeQueueFull    = "queue_full"    // 429: admission queue at capacity
+	CodeWaitTimeout  = "wait_timeout"  // 429: queued past the admission wait bound
+	CodeTenantLimit  = "tenant_limit"  // 429: per-tenant concurrency cap reached
+	CodeInternal     = "internal"      // 500: handler error or recovered panic
+	CodeDegraded     = "degraded"      // 503: supervisor Degraded (retryable)
+	CodeRecovering   = "recovering"    // 503: supervisor Recovering (retryable)
+	CodeFailed       = "failed"        // 503: supervisor Failed (terminal, no Retry-After)
+	CodeShuttingDown = "shutting_down" // 503: server draining (retryable elsewhere)
+	CodeDeadline     = "deadline"      // 504: query exceeded its deadline
+)
+
+// apiError is a failure with a designated wire representation.
+type apiError struct {
+	status     int
+	code       string
+	msg        string
+	retryAfter time.Duration // > 0 sets the Retry-After header
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s (%d %s)", e.msg, e.status, e.code) }
+
+// errBadRequest builds a 400.
+func errBadRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorBody is the JSON envelope.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	RetryAfter string `json:"retry_after,omitempty"`
+}
+
+// writeError renders an apiError. Must be called before any body bytes
+// have been written.
+func writeError(w http.ResponseWriter, e *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	body := errorBody{Error: errorDetail{Code: e.code, Message: e.msg}}
+	if e.retryAfter > 0 {
+		secs := int(e.retryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body.Error.RetryAfter = e.retryAfter.String()
+	}
+	w.WriteHeader(e.status)
+	json.NewEncoder(w).Encode(body)
+}

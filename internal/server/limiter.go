@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission control. The limiter is a weighted semaphore with a bounded
+// FIFO wait queue and optional per-tenant caps:
+//
+//   - Capacity is measured in weight units, not requests: a 3-pattern
+//     join costs more than a single-pattern /find, so endpoints acquire
+//     different weights and a flood of heavy queries saturates admission
+//     earlier than a flood of cheap ones.
+//   - A request that cannot be admitted immediately waits in a bounded
+//     FIFO queue. A full queue rejects instantly (ErrQueueFull → 429),
+//     and a waiter whose context expires before a slot frees is removed
+//     and rejected (ErrWaitTimeout → 429). Nothing ever blocks without a
+//     bound — "reject fast" beats "hang" for every client.
+//   - With a tenant cap, no single tenant (X-Tenant header) can hold
+//     more than its share of the capacity; a tenant at its cap is
+//     rejected (ErrTenantLimit → 429) even while global capacity
+//     remains, so one noisy tenant cannot starve the rest. Grants skip
+//     ahead past tenant-blocked waiters (FIFO within what is grantable).
+type Limiter struct {
+	mu        sync.Mutex
+	capacity  int64
+	maxQueue  int
+	tenantCap int64
+
+	inUse    int64            // granted weight
+	byTenant map[string]int64 // granted weight per tenant
+	queue    []*waiter        // FIFO; nil entries are cancelled waiters
+}
+
+// Typed admission rejections. All map to HTTP 429; the code in the JSON
+// error body distinguishes them.
+var (
+	ErrQueueFull   = errors.New("server: admission queue full")
+	ErrWaitTimeout = errors.New("server: admission wait expired")
+	ErrTenantLimit = errors.New("server: tenant concurrency limit reached")
+)
+
+type waiter struct {
+	weight int64
+	tenant string
+	ready  chan struct{} // closed on grant
+	done   bool          // granted or abandoned (guarded by Limiter.mu)
+}
+
+// NewLimiter builds a limiter with the given total weight capacity,
+// wait-queue bound, and per-tenant cap (0 disables tenant caps).
+func NewLimiter(capacity int64, maxQueue int, tenantCap int64) *Limiter {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if tenantCap > capacity || tenantCap <= 0 {
+		tenantCap = 0
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{
+		capacity:  capacity,
+		maxQueue:  maxQueue,
+		tenantCap: tenantCap,
+		byTenant:  map[string]int64{},
+	}
+}
+
+// Acquire admits one request of the given weight for the given tenant,
+// blocking in the wait queue until admitted, the context expires, or the
+// queue is full. On success the returned release function MUST be called
+// exactly once. Weights above capacity are clamped so the heaviest
+// request class remains admissible (alone).
+func (l *Limiter) Acquire(ctx context.Context, tenant string, weight int64) (release func(), err error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > l.capacity {
+		weight = l.capacity
+	}
+	l.mu.Lock()
+	if l.tenantCap > 0 && l.byTenant[tenant]+weight > l.tenantCap {
+		l.mu.Unlock()
+		return nil, ErrTenantLimit
+	}
+	// Enqueue, then promote: the promotion pass grants this waiter
+	// immediately if nothing grantable sits ahead of it (the queue may
+	// hold only tenant-blocked waiters, which do not bar admission).
+	w := &waiter{weight: weight, tenant: tenant, ready: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.promoteLocked()
+	if w.done {
+		l.mu.Unlock()
+		return l.releaseFunc(tenant, weight), nil
+	}
+	if l.queued() > l.maxQueue {
+		l.removeLocked(w)
+		l.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	l.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return l.releaseFunc(tenant, weight), nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		if w.done {
+			// Lost the race: the grant landed while ctx fired. Honor it —
+			// the caller still holds a valid slot and releases normally.
+			l.mu.Unlock()
+			return l.releaseFunc(tenant, weight), nil
+		}
+		w.done = true
+		l.removeLocked(w)
+		l.mu.Unlock()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, ErrWaitTimeout
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// TryAcquire is Acquire without waiting: it admits immediately or
+// rejects with ErrQueueFull/ErrTenantLimit.
+func (l *Limiter) TryAcquire(tenant string, weight int64) (release func(), err error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > l.capacity {
+		weight = l.capacity
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tenantCap > 0 && l.byTenant[tenant]+weight > l.tenantCap {
+		return nil, ErrTenantLimit
+	}
+	w := &waiter{weight: weight, tenant: tenant, ready: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.promoteLocked()
+	if !w.done {
+		l.removeLocked(w)
+		return nil, ErrQueueFull
+	}
+	return l.releaseFunc(tenant, weight), nil
+}
+
+// grantLocked books the weight. Caller holds mu.
+func (l *Limiter) grantLocked(tenant string, weight int64) {
+	l.inUse += weight
+	l.byTenant[tenant] += weight
+}
+
+// releaseFunc returns the idempotent release closure for one grant.
+func (l *Limiter) releaseFunc(tenant string, weight int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			l.inUse -= weight
+			if v := l.byTenant[tenant] - weight; v > 0 {
+				l.byTenant[tenant] = v
+			} else {
+				delete(l.byTenant, tenant)
+			}
+			l.promoteLocked()
+			l.mu.Unlock()
+		})
+	}
+}
+
+// promoteLocked grants queued waiters that now fit, in FIFO order.
+// A capacity-blocked waiter bars every waiter behind it (strict FIFO, so
+// a stream of light requests cannot starve a heavy one at the head); a
+// waiter blocked only by its tenant cap is skipped over. Caller holds mu.
+func (l *Limiter) promoteLocked() {
+	var kept []*waiter
+	blocked := false
+	for _, w := range l.queue {
+		if w == nil || w.done {
+			continue
+		}
+		if !blocked {
+			fits := l.inUse+w.weight <= l.capacity
+			tenantOK := l.tenantCap == 0 || l.byTenant[w.tenant]+w.weight <= l.tenantCap
+			if fits && tenantOK {
+				w.done = true
+				l.grantLocked(w.tenant, w.weight)
+				close(w.ready)
+				continue
+			}
+			blocked = !fits
+		}
+		kept = append(kept, w)
+	}
+	l.queue = kept
+}
+
+// removeLocked drops an abandoned waiter from the queue. Caller holds mu.
+func (l *Limiter) removeLocked(target *waiter) {
+	for i, w := range l.queue {
+		if w == target {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// queued counts live waiters. Caller holds mu.
+func (l *Limiter) queued() int {
+	n := 0
+	for _, w := range l.queue {
+		if w != nil && !w.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats is a point-in-time admission snapshot.
+type Stats struct {
+	Capacity int64
+	InUse    int64
+	Queued   int
+	Tenants  int
+}
+
+// Stats snapshots the limiter.
+func (l *Limiter) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Capacity: l.capacity, InUse: l.inUse, Queued: l.queued(), Tenants: len(l.byTenant)}
+}

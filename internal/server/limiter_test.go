@@ -1,0 +1,272 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterGrantsUpToCapacity(t *testing.T) {
+	l := NewLimiter(4, 0, 0)
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		r, err := l.TryAcquire("", 1)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, r)
+	}
+	if _, err := l.TryAcquire("", 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity acquire = %v, want ErrQueueFull", err)
+	}
+	releases[0]()
+	if _, err := l.TryAcquire("", 1); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	for _, r := range releases[1:] {
+		r()
+	}
+	if st := l.Stats(); st.InUse != 1 {
+		t.Fatalf("in-use = %d, want 1", st.InUse)
+	}
+}
+
+func TestLimiterWeights(t *testing.T) {
+	l := NewLimiter(8, 0, 0)
+	r1, err := l.TryAcquire("", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 units left: weight 4 must be rejected, weight 2 admitted.
+	if _, err := l.TryAcquire("", 4); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("weight-4 acquire = %v, want ErrQueueFull", err)
+	}
+	r2, err := l.TryAcquire("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r2()
+	// A weight above capacity clamps rather than deadlocking.
+	r3, err := l.TryAcquire("", 100)
+	if err != nil {
+		t.Fatalf("clamped over-capacity acquire: %v", err)
+	}
+	r3()
+}
+
+func TestLimiterQueueFIFO(t *testing.T) {
+	l := NewLimiter(1, 4, 0)
+	hold, err := l.TryAcquire("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	starts := make(chan struct{}, 3)
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			starts <- struct{}{}
+			r, err := l.Acquire(context.Background(), "", 1)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+		<-starts
+		// Serialize enqueue order so FIFO is observable.
+		for l.Stats().Queued < i {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	hold()
+	wg.Wait()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("grant order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestLimiterQueueBound(t *testing.T) {
+	l := NewLimiter(1, 2, 0)
+	hold, _ := l.TryAcquire("", 1)
+	defer hold()
+	ctx := context.Background()
+	errs := make(chan error, 3)
+	for i := 0; i < 2; i++ {
+		go func() {
+			cctx, cancel := context.WithTimeout(ctx, time.Minute)
+			defer cancel()
+			_, err := l.Acquire(cctx, "", 1)
+			errs <- err
+		}()
+	}
+	for l.Stats().Queued < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// Third waiter: queue full, immediate rejection.
+	if _, err := l.Acquire(ctx, "", 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue-full acquire = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestLimiterWaitTimeout(t *testing.T) {
+	l := NewLimiter(1, 4, 0)
+	hold, _ := l.TryAcquire("", 1)
+	defer hold()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := l.Acquire(ctx, "", 1)
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("expired wait = %v, want ErrWaitTimeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("wait did not respect its deadline")
+	}
+	if st := l.Stats(); st.Queued != 0 {
+		t.Fatalf("abandoned waiter still queued: %+v", st)
+	}
+}
+
+func TestLimiterTenantCap(t *testing.T) {
+	l := NewLimiter(8, 4, 2)
+	rA1, err := l.TryAcquire("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rA2, err := l.TryAcquire("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant a is at its cap; global capacity remains.
+	if _, err := l.TryAcquire("a", 1); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("over-cap tenant acquire = %v, want ErrTenantLimit", err)
+	}
+	// Tenant b is unaffected.
+	rB, err := l.TryAcquire("b", 2)
+	if err != nil {
+		t.Fatalf("tenant b: %v", err)
+	}
+	rA1()
+	rA2()
+	rB()
+}
+
+// A queued waiter blocked only by its tenant cap is skipped over, not a
+// barrier: later requests from other tenants flow past it, and it is
+// granted once its own tenant frees a slot.
+func TestLimiterTenantBlockedWaiterIsSkipped(t *testing.T) {
+	l := NewLimiter(4, 4, 2)
+	rA1, err := l.TryAcquire("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rX, err := l.TryAcquire("x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rY, err := l.TryAcquire("y", 1) // capacity saturated: 1+2+1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rY()
+	// Two tenant-a waiters queue behind the saturated capacity (both
+	// pass the entry cap check: only 1 unit of tenant a is granted).
+	grants := make(chan func(), 2)
+	var granted atomic.Int32
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := l.Acquire(context.Background(), "a", 1)
+			if err != nil {
+				t.Errorf("tenant-a waiter: %v", err)
+				return
+			}
+			granted.Add(1)
+			grants <- r
+		}()
+		for l.Stats().Queued < i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Free 2 units: the first a-waiter is granted (a reaches its cap of
+	// 2); the second fits the remaining capacity but stays tenant-blocked.
+	rX()
+	var first func()
+	select {
+	case first = <-grants:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first tenant-a waiter never granted")
+	}
+	if granted.Load() != 1 {
+		t.Fatalf("granted = %d, want 1 (second waiter is tenant-blocked)", granted.Load())
+	}
+	// Tenant b must flow past the tenant-blocked waiter at the head.
+	rB, err := l.TryAcquire("b", 1)
+	if err != nil {
+		t.Fatalf("tenant b behind tenant-blocked waiter: %v", err)
+	}
+	rB()
+	// Freeing a tenant-a slot grants the blocked waiter.
+	rA1()
+	select {
+	case r := <-grants:
+		r()
+	case <-time.After(2 * time.Second):
+		t.Fatal("tenant-blocked waiter never granted after tenant release")
+	}
+	first()
+	rY()
+	if st := l.Stats(); st.InUse != 0 || st.Queued != 0 {
+		t.Fatalf("limiter did not drain: %+v", st)
+	}
+}
+
+func TestLimiterConcurrentStress(t *testing.T) {
+	l := NewLimiter(16, 64, 0)
+	var wg sync.WaitGroup
+	var admitted, rejected atomic.Int64
+	var peak atomic.Int64
+	var cur atomic.Int64
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+			defer cancel()
+			w := int64(1 + i%4)
+			r, err := l.Acquire(ctx, "", w)
+			if err != nil {
+				rejected.Add(1)
+				return
+			}
+			admitted.Add(1)
+			if v := cur.Add(w); v > peak.Load() {
+				peak.Store(v)
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-w)
+			r()
+		}(i)
+	}
+	wg.Wait()
+	if peak.Load() > 16 {
+		t.Fatalf("in-flight weight peaked at %d, capacity 16", peak.Load())
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if st := l.Stats(); st.InUse != 0 || st.Queued != 0 {
+		t.Fatalf("limiter did not drain: %+v", st)
+	}
+	t.Logf("admitted %d, rejected %d, peak weight %d", admitted.Load(), rejected.Load(), peak.Load())
+}

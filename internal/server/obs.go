@@ -1,0 +1,192 @@
+package server
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics instruments the server against an obs registry: admission
+// (in-flight weight, queue depth, typed rejection counters), per-
+// endpoint latency histograms, response-class counters, and recovered
+// panics. nil disables instrumentation (the hooks are nil-receiver
+// no-ops), keeping the uninstrumented hot path free of clock reads.
+type Metrics struct {
+	inflight       *obs.Gauge
+	inflightReqs   *obs.Gauge
+	queueDepth     *obs.Gauge
+	admitted       *obs.Counter
+	rejectedFull   *obs.Counter
+	rejectedWait   *obs.Counter
+	rejectedTenant *obs.Counter
+	rejectedHealth *obs.Counter
+	rejectedDrain  *obs.Counter
+	responses2xx   *obs.Counter
+	responses4xx   *obs.Counter
+	responses5xx   *obs.Counter
+	deadlines      *obs.Counter
+	panics         *obs.Counter
+	truncated      *obs.Counter
+	waitDur        *obs.Histogram
+	queryDur       *obs.Histogram
+	findDur        *obs.Histogram
+	traverseDur    *obs.Histogram
+	insertDur      *obs.Histogram
+	events         *obs.EventLog
+}
+
+// NewMetrics registers the server metric families on reg. Returns nil
+// when reg is nil.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		inflight:       reg.Gauge("server_inflight_weight", "admitted weight units currently executing"),
+		inflightReqs:   reg.Gauge("server_inflight_requests", "requests currently executing"),
+		queueDepth:     reg.Gauge("server_queue_depth", "requests waiting for admission"),
+		admitted:       reg.Counter("server_admitted_total", "requests admitted past the limiter"),
+		rejectedFull:   reg.Counter("server_rejected_queue_full_total", "requests rejected: admission queue full (429)"),
+		rejectedWait:   reg.Counter("server_rejected_wait_timeout_total", "requests rejected: admission wait expired (429)"),
+		rejectedTenant: reg.Counter("server_rejected_tenant_total", "requests rejected: per-tenant cap (429)"),
+		rejectedHealth: reg.Counter("server_rejected_health_total", "requests rejected: store not Healthy (503)"),
+		rejectedDrain:  reg.Counter("server_rejected_drain_total", "requests rejected: server draining (503)"),
+		responses2xx:   reg.Counter("server_responses_2xx_total", "successful responses"),
+		responses4xx:   reg.Counter("server_responses_4xx_total", "client-error responses (400/404/413/429)"),
+		responses5xx:   reg.Counter("server_responses_5xx_total", "server-error responses (500/503/504)"),
+		deadlines:      reg.Counter("server_deadline_exceeded_total", "queries that hit their deadline (504)"),
+		panics:         reg.Counter("server_panics_recovered_total", "handler panics converted to 500s"),
+		truncated:      reg.Counter("server_truncated_results_total", "responses truncated by the row budget"),
+		waitDur:        reg.Histogram("server_admission_wait_seconds", "time spent queued for admission", obs.DurationBuckets),
+		queryDur:       reg.Histogram("server_query_seconds", "POST /query latency", obs.DurationBuckets),
+		findDur:        reg.Histogram("server_find_seconds", "GET /find latency", obs.DurationBuckets),
+		traverseDur:    reg.Histogram("server_traverse_seconds", "POST /traverse latency", obs.DurationBuckets),
+		insertDur:      reg.Histogram("server_insert_seconds", "POST /insert latency", obs.DurationBuckets),
+		events:         reg.Events(),
+	}
+}
+
+// startTimer returns now, or the zero time when metrics are disabled.
+func (m *Metrics) startTimer() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// onAdmitted records one admission grant and its queue wait.
+func (m *Metrics) onAdmitted(t0 time.Time, weight int64) {
+	if m == nil {
+		return
+	}
+	m.admitted.Inc()
+	m.inflight.Add(weight)
+	m.inflightReqs.Add(1)
+	m.waitDur.ObserveSince(t0)
+}
+
+// onDone unwinds the in-flight series and records endpoint latency.
+func (m *Metrics) onDone(endpoint string, t0 time.Time, weight int64) {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(-weight)
+	m.inflightReqs.Add(-1)
+	var h *obs.Histogram
+	switch endpoint {
+	case "query":
+		h = m.queryDur
+	case "find":
+		h = m.findDur
+	case "traverse":
+		h = m.traverseDur
+	case "insert":
+		h = m.insertDur
+	}
+	h.ObserveSince(t0)
+}
+
+// onRejected counts one typed rejection.
+func (m *Metrics) onRejected(code string) {
+	if m == nil {
+		return
+	}
+	switch code {
+	case CodeQueueFull:
+		m.rejectedFull.Inc()
+	case CodeWaitTimeout:
+		m.rejectedWait.Inc()
+	case CodeTenantLimit:
+		m.rejectedTenant.Inc()
+	case CodeDegraded, CodeRecovering, CodeFailed:
+		m.rejectedHealth.Inc()
+	case CodeShuttingDown:
+		m.rejectedDrain.Inc()
+	}
+}
+
+// onResponse buckets the final status code.
+func (m *Metrics) onResponse(status int) {
+	if m == nil {
+		return
+	}
+	switch {
+	case status >= 500:
+		m.responses5xx.Inc()
+	case status >= 400:
+		m.responses4xx.Inc()
+	default:
+		m.responses2xx.Inc()
+	}
+	if status == 504 {
+		m.deadlines.Inc()
+	}
+}
+
+// onTruncated counts a row-budget truncation.
+func (m *Metrics) onTruncated() {
+	if m == nil {
+		return
+	}
+	m.truncated.Inc()
+}
+
+// setQueueDepth mirrors the limiter's queue into the gauge.
+func (m *Metrics) setQueueDepth(n int) {
+	if m == nil {
+		return
+	}
+	m.queueDepth.Set(int64(n))
+}
+
+// onPanic records a recovered handler panic with its endpoint and a
+// rendering of the panic value.
+func (m *Metrics) onPanic(endpoint string, v any) {
+	if m == nil {
+		return
+	}
+	m.panics.Inc()
+	m.events.Emit("server", "panic", map[string]string{
+		"endpoint": endpoint,
+		"value":    truncateString(renderPanic(v), 256),
+	})
+}
+
+// onDrain records the shutdown sequence milestones.
+func (m *Metrics) onDrain(phase string, inflight int64) {
+	if m == nil {
+		return
+	}
+	m.events.Emit("server", "drain", map[string]string{
+		"phase":    phase,
+		"inflight": strconv.FormatInt(inflight, 10),
+	})
+}
+
+func truncateString(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
