@@ -1,0 +1,426 @@
+// Command benchjoin measures the join engines against each other: the
+// streaming iterator engine under the cost-based planner versus the
+// original materializing engine under the boundness heuristic, over the
+// join shapes the planner was built for — selective 3-pattern chains,
+// stars, 5-pattern chains, and a selectivity inversion the static
+// heuristic orders badly. Results land as JSON (BENCH_3.json).
+//
+// Usage:
+//
+//	benchjoin [-sizes 30000,1000000] [-trials 3] [-out BENCH_3.json]
+//	benchjoin -check BENCH_3.json [-tolerance 0.7]
+//
+// -check re-runs the 3-pattern chain benchmark at the smallest size
+// recorded in the baseline file and fails (exit 1) when the measured
+// streaming-vs-materializing speedup drops below tolerance × the
+// recorded speedup — the CI regression gate for join throughput. The
+// ratio, not absolute throughput, is compared, so the gate is stable
+// across machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/rdfterm"
+)
+
+const ns = "http://bench#"
+
+type entry struct {
+	Name       string  `json:"name"`
+	Query      string  `json:"query"`
+	Triples    int     `json:"triples"`
+	Rows       int     `json:"rows"`
+	Plan       string  `json:"plan"`
+	MatSeconds float64 `json:"materialize_seconds"`
+	StrSeconds float64 `json:"streaming_seconds"`
+	MatQPS     float64 `json:"materialize_qps"`
+	StrQPS     float64 `json:"streaming_qps"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type run struct {
+	Triples int     `json:"triples"`
+	Entries []entry `json:"entries"`
+}
+
+type report struct {
+	Experiment string `json:"experiment"`
+	Trials     int    `json:"trials"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Runs       []run  `json:"runs"`
+}
+
+func main() {
+	if err := mainErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjoin:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr() error {
+	sizes := flag.String("sizes", "1000000", "comma-separated store sizes in triples")
+	trials := flag.Int("trials", 3, "timed trials per engine (best-of reported)")
+	out := flag.String("out", "BENCH_3.json", "output JSON file")
+	check := flag.String("check", "", "baseline JSON to regression-check against (no file written)")
+	tolerance := flag.Float64("tolerance", 0.7, "minimum measured/baseline speedup ratio for -check")
+	flag.Parse()
+
+	if *check != "" {
+		return checkBaseline(*check, *trials, *tolerance)
+	}
+
+	rep := report{Experiment: "join_planner", Trials: *trials, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, f := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -sizes entry %q: %w", f, err)
+		}
+		r, err := runSize(n, *trials)
+		if err != nil {
+			return err
+		}
+		rep.Runs = append(rep.Runs, r)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+// bench describes one (dataset, query) benchmark case.
+type bench struct {
+	name  string
+	query string
+	build func(n int) (*core.Store, error)
+}
+
+var benches = []bench{
+	// The acceptance case: a selective 3-pattern chain. The cost planner
+	// keeps every stage connected (type probe, then walk the chain
+	// backwards); the heuristic runs the disconnected first pattern
+	// second and materializes every p1 edge.
+	{"chain3-selective", `(?x b:p1 ?y) (?y b:p2 ?z) (?z b:type "target")`, buildChain3},
+	// A star join around one selective hub: same plan on both engines,
+	// so the gap isolates the execution-engine cost (ID rows vs term-map
+	// materialization) on a fanout² result.
+	{"star-fanout", `(?h b:type "target") (?h b:p1 ?a) (?h b:p2 ?b)`, buildStar},
+	// A longer chain: each disconnected stage the heuristic schedules
+	// costs a full predicate scan on the materializing engine.
+	{"chain5-selective", `(?a b:p1 ?b) (?b b:p2 ?c) (?c b:p3 ?d) (?d b:p4 ?e) (?e b:type "target")`, buildChain5},
+	// Selectivity inversion: two 2-bound patterns tie under the
+	// boundness heuristic and text order picks the unselective one
+	// (every p2 object is the same literal); statistics pick the rare
+	// type probe first.
+	{"planner-inversion", `(?s b:p1 ?m) (?m b:p2 "common") (?s b:type "rare")`, buildInversion},
+}
+
+func runSize(n, trials int) (run, error) {
+	r := run{Triples: n}
+	for _, b := range benches {
+		e, err := runBench(b, n, trials)
+		if err != nil {
+			return r, fmt.Errorf("%s at %d: %w", b.name, n, err)
+		}
+		fmt.Printf("%-18s %8d triples  rows=%-6d mat=%.4fs str=%.6fs speedup=%.1fx  plan=%s\n",
+			e.Name, n, e.Rows, e.MatSeconds, e.StrSeconds, e.Speedup, e.Plan)
+		r.Entries = append(r.Entries, e)
+	}
+	return r, nil
+}
+
+func runBench(b bench, n, trials int) (entry, error) {
+	s, err := b.build(n)
+	if err != nil {
+		return entry{}, err
+	}
+	aliases := rdfterm.Default().With(rdfterm.Alias{Prefix: "b", Namespace: ns})
+	strOpts := match.Options{Models: []string{"g"}, Aliases: aliases}
+	matOpts := strOpts
+	matOpts.Engine = match.EngineMaterialize
+
+	// Warm-up runs double as the equality check (the differential tests
+	// cover correctness exhaustively; this guards the benchmark itself
+	// against measuring two different queries). The streaming warm-up
+	// also builds the statistics cache so the timed trials measure
+	// steady-state planning.
+	want, err := match.Match(s, b.query, matOpts)
+	if err != nil {
+		return entry{}, err
+	}
+	got, err := match.Match(s, b.query, strOpts)
+	if err != nil {
+		return entry{}, err
+	}
+	if !sameRows(want, got) {
+		return entry{}, fmt.Errorf("engines disagree: materialize %d rows, streaming %d rows", want.Len(), got.Len())
+	}
+
+	matSec, err := timeQuery(s, b.query, matOpts, trials, want.Len())
+	if err != nil {
+		return entry{}, err
+	}
+	strSec, err := timeQuery(s, b.query, strOpts, trials, want.Len())
+	if err != nil {
+		return entry{}, err
+	}
+
+	var tr match.Trace
+	trOpts := strOpts
+	trOpts.Trace = &tr
+	if _, err := match.Match(s, b.query, trOpts); err != nil {
+		return entry{}, err
+	}
+	plan := make([]string, len(tr.PlanOrder))
+	for i, pi := range tr.PlanOrder {
+		plan[i] = strconv.Itoa(pi)
+	}
+
+	return entry{
+		Name:       b.name,
+		Query:      b.query,
+		Triples:    n,
+		Rows:       want.Len(),
+		Plan:       strings.Join(plan, "->") + " (" + tr.Planner + ")",
+		MatSeconds: matSec,
+		StrSeconds: strSec,
+		MatQPS:     1 / matSec,
+		StrQPS:     1 / strSec,
+		Speedup:    matSec / strSec,
+	}, nil
+}
+
+// timeQuery returns the best-of-trials seconds for one query.
+func timeQuery(s *core.Store, query string, opts match.Options, trials, wantRows int) (float64, error) {
+	best := 0.0
+	for t := 0; t < trials; t++ {
+		t0 := time.Now()
+		rs, err := match.Match(s, query, opts)
+		if err != nil {
+			return 0, err
+		}
+		sec := time.Since(t0).Seconds()
+		if rs.Len() != wantRows {
+			return 0, fmt.Errorf("trial returned %d rows, want %d", rs.Len(), wantRows)
+		}
+		if t == 0 || sec < best {
+			best = sec
+		}
+	}
+	return best, nil
+}
+
+func sameRows(a, b *match.ResultSet) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	key := func(rs *match.ResultSet) []string {
+		keys := make([]string, rs.Len())
+		for i := range rs.Rows {
+			keys[i] = strings.Join(rs.Strings(i), "\x1f")
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	ka, kb := key(a), key(b)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- dataset builders -------------------------------------------------
+
+func newStore() (*core.Store, error) {
+	s := core.New()
+	if _, err := s.CreateRDFModel("g", "", ""); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func uri(s string) rdfterm.Term { return rdfterm.NewURI(ns + s) }
+
+type loader struct {
+	s     *core.Store
+	batch []core.BatchTriple
+	err   error
+}
+
+func (l *loader) add(s, p, o rdfterm.Term) {
+	if l.err != nil {
+		return
+	}
+	l.batch = append(l.batch, core.BatchTriple{Subject: s, Predicate: p, Object: o})
+	if len(l.batch) == 10000 {
+		l.flush()
+	}
+}
+
+func (l *loader) flush() {
+	if l.err != nil || len(l.batch) == 0 {
+		return
+	}
+	_, l.err = l.s.InsertBatch("g", l.batch)
+	l.batch = l.batch[:0]
+}
+
+// buildChain3 loads n/3 chains root -p1-> mid -p2-> leaf with exactly
+// one leaf typed "target" (the rest "noise") — chainStore at scale.
+func buildChain3(n int) (*core.Store, error) {
+	s, err := newStore()
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{s: s}
+	p1, p2, typ := uri("p1"), uri("p2"), uri("type")
+	target, noise := rdfterm.NewLiteral("target"), rdfterm.NewLiteral("noise")
+	chains := n / 3
+	for i := 0; i < chains; i++ {
+		l.add(uri(fmt.Sprintf("root%d", i)), p1, uri(fmt.Sprintf("mid%d", i)))
+		l.add(uri(fmt.Sprintf("mid%d", i)), p2, uri(fmt.Sprintf("leaf%d", i)))
+		o := noise
+		if i == chains/2 {
+			o = target
+		}
+		l.add(uri(fmt.Sprintf("leaf%d", i)), typ, o)
+	}
+	l.flush()
+	return s, l.err
+}
+
+// buildStar loads hubs with 64 p1-spokes and 64 p2-spokes each; one hub
+// is typed "target", so the query fans out 64x64 rows from one hub.
+func buildStar(n int) (*core.Store, error) {
+	s, err := newStore()
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{s: s}
+	const fan = 64
+	p1, p2, typ := uri("p1"), uri("p2"), uri("type")
+	target, noise := rdfterm.NewLiteral("target"), rdfterm.NewLiteral("noise")
+	hubs := n / (2*fan + 1)
+	if hubs < 1 {
+		hubs = 1
+	}
+	for h := 0; h < hubs; h++ {
+		hub := uri(fmt.Sprintf("hub%d", h))
+		for j := 0; j < fan; j++ {
+			l.add(hub, p1, uri(fmt.Sprintf("a%d_%d", h, j)))
+			l.add(hub, p2, uri(fmt.Sprintf("b%d_%d", h, j)))
+		}
+		o := noise
+		if h == hubs/2 {
+			o = target
+		}
+		l.add(hub, typ, o)
+	}
+	l.flush()
+	return s, l.err
+}
+
+// buildChain5 loads n/5 chains of four hops with one "target"-typed tail.
+func buildChain5(n int) (*core.Store, error) {
+	s, err := newStore()
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{s: s}
+	preds := []rdfterm.Term{uri("p1"), uri("p2"), uri("p3"), uri("p4")}
+	typ := uri("type")
+	target, noise := rdfterm.NewLiteral("target"), rdfterm.NewLiteral("noise")
+	chains := n / 5
+	for i := 0; i < chains; i++ {
+		for h, p := range preds {
+			l.add(uri(fmt.Sprintf("n%d_%d", h, i)), p, uri(fmt.Sprintf("n%d_%d", h+1, i)))
+		}
+		o := noise
+		if i == chains/2 {
+			o = target
+		}
+		l.add(uri(fmt.Sprintf("n4_%d", i)), typ, o)
+	}
+	l.flush()
+	return s, l.err
+}
+
+// buildInversion loads n/2 pairs (s_i p1 m_i)(m_i p2 "common") — every
+// p2 object the same literal — plus one (s_0 type "rare").
+func buildInversion(n int) (*core.Store, error) {
+	s, err := newStore()
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{s: s}
+	p1, p2, typ := uri("p1"), uri("p2"), uri("type")
+	common, rare := rdfterm.NewLiteral("common"), rdfterm.NewLiteral("rare")
+	pairs := n / 2
+	for i := 0; i < pairs; i++ {
+		l.add(uri(fmt.Sprintf("s%d", i)), p1, uri(fmt.Sprintf("m%d", i)))
+		l.add(uri(fmt.Sprintf("m%d", i)), p2, common)
+	}
+	l.add(uri("s0"), typ, rare)
+	l.flush()
+	return s, l.err
+}
+
+// --- regression check -------------------------------------------------
+
+// checkBaseline re-measures the chain3-selective case at the smallest
+// size in the baseline and compares speedups.
+func checkBaseline(path string, trials int, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	var baseEntry *entry
+	for i := range base.Runs {
+		for j := range base.Runs[i].Entries {
+			e := &base.Runs[i].Entries[j]
+			if e.Name != "chain3-selective" {
+				continue
+			}
+			if baseEntry == nil || e.Triples < baseEntry.Triples {
+				baseEntry = e
+			}
+		}
+	}
+	if baseEntry == nil {
+		return fmt.Errorf("%s has no chain3-selective entry", path)
+	}
+	got, err := runBench(benches[0], baseEntry.Triples, trials)
+	if err != nil {
+		return err
+	}
+	floor := tolerance * baseEntry.Speedup
+	fmt.Printf("chain3-selective at %d triples: measured %.1fx, baseline %.1fx, floor %.1fx\n",
+		baseEntry.Triples, got.Speedup, baseEntry.Speedup, floor)
+	if got.Speedup < floor {
+		return fmt.Errorf("join speedup regression: measured %.1fx < %.1fx (%.0f%% of baseline %.1fx)",
+			got.Speedup, floor, tolerance*100, baseEntry.Speedup)
+	}
+	fmt.Println("join benchmark check passed")
+	return nil
+}

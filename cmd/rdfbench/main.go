@@ -295,6 +295,29 @@ func (b *bench) prepare() error {
 			}
 		}
 	}
+	// Join-shape fodder for the steady-state join mix: a selective
+	// 3-pattern chain (one "target"-typed leaf among 40) and a star hub
+	// with two 12-wide spoke fans — the shapes the cost planner reorders,
+	// so the serving path exercises statistics and plan caching under
+	// concurrent writes.
+	for i := 0; i < 40; i++ {
+		typ := `"noise"`
+		if i == 20 {
+			typ = `"target"`
+		}
+		triples = append(triples,
+			map[string]string{"s": fmt.Sprintf("<urn:bench:cr%d>", i), "p": "<urn:bench:cp1>", "o": fmt.Sprintf("<urn:bench:cm%d>", i)},
+			map[string]string{"s": fmt.Sprintf("<urn:bench:cm%d>", i), "p": "<urn:bench:cp2>", "o": fmt.Sprintf("<urn:bench:cl%d>", i)},
+			map[string]string{"s": fmt.Sprintf("<urn:bench:cl%d>", i), "p": "<urn:bench:ctype>", "o": typ},
+		)
+	}
+	for i := 0; i < 12; i++ {
+		triples = append(triples,
+			map[string]string{"s": "<urn:bench:hub>", "p": "<urn:bench:hp1>", "o": fmt.Sprintf("<urn:bench:ha%d>", i)},
+			map[string]string{"s": "<urn:bench:hub>", "p": "<urn:bench:hp2>", "o": fmt.Sprintf("<urn:bench:hb%d>", i)},
+		)
+	}
+	triples = append(triples, map[string]string{"s": "<urn:bench:hub>", "p": "<urn:bench:ctype>", "o": `"hub"`})
 	body := map[string]any{"model": b.cfg.model, "create_model": true, "triples": triples}
 	// The seed insert must land; under chaos the first attempts may hit
 	// injected WAL faults, so retry through the degraded episodes.
@@ -422,9 +445,19 @@ func (b *bench) steadyState(stdout io.Writer) {
 					if err == nil {
 						b.verifySentinel(i, status, body)
 					}
-				case r < 0.80: // pattern query
+				case r < 0.72: // pattern query
 					status, body, lat, err := b.do("POST", "/query", map[string]any{
 						"query": "(?s <urn:bench:p> ?o)", "limit": 100,
+						"models": []string{b.cfg.model},
+					}, tenant)
+					b.record("query", status, body, lat, err)
+				case r < 0.80: // join-heavy query (selective chain / star)
+					q := `(?x <urn:bench:cp1> ?y) (?y <urn:bench:cp2> ?z) (?z <urn:bench:ctype> "target")`
+					if seq%2 == 0 {
+						q = `(?h <urn:bench:ctype> "hub") (?h <urn:bench:hp1> ?a) (?h <urn:bench:hp2> ?b)`
+					}
+					status, body, lat, err := b.do("POST", "/query", map[string]any{
+						"query": q, "limit": 200,
 						"models": []string{b.cfg.model},
 					}, tenant)
 					b.record("query", status, body, lat, err)

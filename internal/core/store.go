@@ -80,6 +80,12 @@ type Store struct {
 	// acquiring the lock, so the synchronization is attach-before-share
 	// (SetMetrics), exactly like dur.
 	met *Metrics
+
+	// stats caches per-model planner statistics (see stats.go).
+	// Deliberately NOT guarded-by mu: the cache has its own leaf mutex and
+	// the pointer is attach-before-share (set once in New), exactly like
+	// met.
+	stats *planStatsCache
 }
 
 // New creates a fresh central schema (the MDSYS schema of the paper) and
@@ -87,7 +93,7 @@ type Store struct {
 // from 1068, link IDs from 2051, model IDs from 7 (Figure 6).
 func New() *Store {
 	db := reldb.NewDatabase("MDSYS")
-	s := &Store{db: db}
+	s := &Store{db: db, stats: &planStatsCache{byModel: map[int64]*PlanStats{}}}
 	must := func(err error) {
 		if err != nil {
 			panic(fmt.Sprintf("core: building central schema: %v", err))

@@ -46,19 +46,32 @@ func ParseFilter(expr string) (*FilterExpr, error) {
 	return &FilterExpr{root: n}, nil
 }
 
+// lookupFunc resolves a variable name to its bound term. It is how the
+// filter reads bindings without forcing callers to materialize a map —
+// the streaming engine passes a closure over its current ID row.
+type lookupFunc func(name string) (rdfterm.Term, bool)
+
 // Eval evaluates the filter against variable bindings. Unbound variables
 // referenced by the filter make the row fail (three-valued logic collapsed
 // to false, as SQL WHERE does with NULL).
 func (f *FilterExpr) Eval(binding map[string]rdfterm.Term) bool {
+	return f.EvalFunc(func(name string) (rdfterm.Term, bool) {
+		t, ok := binding[name]
+		return t, ok
+	})
+}
+
+// EvalFunc is Eval with a variable-lookup callback instead of a map.
+func (f *FilterExpr) EvalFunc(look lookupFunc) bool {
 	if f == nil || f.root == nil {
 		return true
 	}
-	v, ok := f.root.eval(binding)
+	v, ok := f.root.eval(look)
 	return ok && v
 }
 
 type filterNode interface {
-	eval(b map[string]rdfterm.Term) (val, ok bool)
+	eval(look lookupFunc) (val, ok bool)
 }
 
 type boolNode struct {
@@ -66,27 +79,27 @@ type boolNode struct {
 	l, r filterNode
 }
 
-func (n *boolNode) eval(b map[string]rdfterm.Term) (bool, bool) {
+func (n *boolNode) eval(look lookupFunc) (bool, bool) {
 	switch n.op {
 	case "NOT":
-		v, ok := n.l.eval(b)
+		v, ok := n.l.eval(look)
 		return !v, ok
 	case "AND":
-		lv, lok := n.l.eval(b)
+		lv, lok := n.l.eval(look)
 		if lok && !lv {
 			return false, true // short-circuit false
 		}
-		rv, rok := n.r.eval(b)
+		rv, rok := n.r.eval(look)
 		if rok && !rv {
 			return false, true
 		}
 		return lv && rv, lok && rok
 	case "OR":
-		lv, lok := n.l.eval(b)
+		lv, lok := n.l.eval(look)
 		if lok && lv {
 			return true, true
 		}
-		rv, rok := n.r.eval(b)
+		rv, rok := n.r.eval(look)
 		if rok && rv {
 			return true, true
 		}
@@ -102,9 +115,9 @@ type operand struct {
 	num     float64
 }
 
-func (o operand) value(b map[string]rdfterm.Term) (string, bool) {
+func (o operand) value(look lookupFunc) (string, bool) {
 	if o.varName != "" {
-		t, ok := b[o.varName]
+		t, ok := look(o.varName)
 		if !ok {
 			return "", false
 		}
@@ -118,9 +131,9 @@ type cmpNode struct {
 	l, r operand
 }
 
-func (n *cmpNode) eval(b map[string]rdfterm.Term) (bool, bool) {
-	ls, lok := n.l.value(b)
-	rs, rok := n.r.value(b)
+func (n *cmpNode) eval(look lookupFunc) (bool, bool) {
+	ls, lok := n.l.value(look)
+	rs, rok := n.r.value(look)
 	if !lok || !rok {
 		return false, false
 	}

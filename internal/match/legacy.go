@@ -1,0 +1,213 @@
+package match
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdfterm"
+)
+
+// The original materializing engine, selected with
+// Options{Engine: EngineMaterialize}. It evaluates the join left-deep
+// over fully materialized []map[string]rdfterm.Term binding sets, one
+// store probe per (binding, model). It is kept as the differential-
+// testing oracle for the streaming engine and as a fallback: simple,
+// slow, and independently correct.
+
+// runMaterialize executes the query on the materializing engine. It
+// supports PlannerNaive (textual order) and otherwise uses the static
+// boundness heuristic; cost-based ordering is only wired into the
+// streaming engine.
+func runMaterialize(ctx context.Context, store *core.Store, scope []string, pats []TriplePattern, vars []string, filter *FilterExpr, opts Options, traced bool, trace *Trace) (*ResultSet, error) {
+	// Verify models exist up front for a clean error.
+	for _, m := range scope {
+		if _, err := store.GetModelID(m); err != nil {
+			return nil, err
+		}
+	}
+	var order []int
+	plannerName := "heuristic"
+	if opts.Planner == PlannerNaive {
+		plannerName = "naive"
+		order = make([]int, len(pats))
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		order = planOrder(pats)
+	}
+	if traced {
+		trace.Planner = plannerName
+		trace.PlanOrder = append(trace.PlanOrder[:0], order...)
+	}
+	bindings := []map[string]rdfterm.Term{{}}
+	polled := 0
+	for _, pi := range order {
+		pat := pats[pi]
+		var stageStart time.Time
+		if traced {
+			stageStart = time.Now()
+		}
+		candidates := 0
+		var next []map[string]rdfterm.Term
+		for _, b := range bindings {
+			polled++
+			if polled%cancelEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("match: %w", err)
+				}
+			}
+			matches, n, err := findPattern(ctx, store, scope, pat, b)
+			if err != nil {
+				return nil, err
+			}
+			candidates += n
+			next = append(next, matches...)
+			if opts.MaxBindings > 0 && len(next) > opts.MaxBindings {
+				return nil, fmt.Errorf("%w: stage %d produced %d intermediate bindings (max %d)",
+					ErrBudget, pi, len(next), opts.MaxBindings)
+			}
+		}
+		if traced {
+			trace.Stages = append(trace.Stages, StageTrace{
+				Index:       pi,
+				Pattern:     pat.String(),
+				InBindings:  len(bindings),
+				Candidates:  candidates,
+				OutBindings: len(next),
+				EstRows:     -1,
+				Duration:    time.Since(stageStart),
+			})
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			break
+		}
+	}
+
+	rs := &ResultSet{Vars: vars}
+	emitted := map[string]bool{}
+	for _, b := range bindings {
+		if !filter.Eval(b) {
+			continue
+		}
+		rw := make([]rdfterm.Term, len(vars))
+		for i, v := range vars {
+			rw[i] = b[v]
+		}
+		if opts.Distinct {
+			key := rowKey(rw)
+			if emitted[key] {
+				continue
+			}
+			emitted[key] = true
+		}
+		// Without ORDER BY the cap short-circuits projection; with it the
+		// full set must be collected and sorted first so the cap returns
+		// the true top-N (truncation happens below, after the sort).
+		if opts.Limit > 0 && len(opts.OrderBy) == 0 && len(rs.Rows) == opts.Limit {
+			rs.Truncated = true
+			break
+		}
+		rs.Rows = append(rs.Rows, rw)
+	}
+	if len(opts.OrderBy) > 0 {
+		if err := rs.sortBy(opts.OrderBy); err != nil {
+			return nil, err
+		}
+		if opts.Limit > 0 && len(rs.Rows) > opts.Limit {
+			rs.Rows = rs.Rows[:opts.Limit]
+			rs.Truncated = true
+		}
+	}
+	return rs, nil
+}
+
+// rowKey encodes a result row collision-free for DISTINCT (the
+// materializing engine's string build; the streaming engine keys on
+// display IDs instead).
+func rowKey(row []rdfterm.Term) string {
+	var b strings.Builder
+	for _, t := range row {
+		b.WriteString(t.String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// findPattern evaluates one pattern under a partial binding, returning
+// the extended bindings plus the number of candidate triples the store
+// produced before unification (the stage's scan volume, for tracing).
+func findPattern(ctx context.Context, store *core.Store, models []string, pat TriplePattern, b map[string]rdfterm.Term) ([]map[string]rdfterm.Term, int, error) {
+	resolve := func(pt PatternTerm) *rdfterm.Term {
+		if !pt.IsVar() {
+			t := pt.Term
+			return &t
+		}
+		if t, ok := b[pt.Var]; ok {
+			t := t
+			return &t
+		}
+		return nil
+	}
+	cp := core.Pattern{
+		Subject:   resolve(pat.S),
+		Predicate: resolve(pat.P),
+		Object:    resolve(pat.O),
+	}
+	// Literal subjects can never match (RDF subjects are URIs/blanks).
+	if cp.Subject != nil && cp.Subject.Kind == rdfterm.Literal {
+		return nil, 0, nil
+	}
+	if cp.Predicate != nil && cp.Predicate.Kind != rdfterm.URI {
+		return nil, 0, nil
+	}
+	candidates := 0
+	var out []map[string]rdfterm.Term
+	for _, model := range models {
+		found, err := store.FindCtx(ctx, model, cp)
+		if err != nil {
+			return nil, candidates, err
+		}
+		candidates += len(found)
+		for _, ts := range found {
+			tr, err := ts.GetTriple()
+			if err != nil {
+				return nil, candidates, err
+			}
+			nb := unify(pat, tr, b)
+			if nb != nil {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out, candidates, nil
+}
+
+// unify extends binding b with the pattern's variables bound to the
+// triple's terms, returning nil on conflict (same variable, different
+// term — e.g. (?x p ?x) against <a p b>).
+func unify(pat TriplePattern, tr core.Triple, b map[string]rdfterm.Term) map[string]rdfterm.Term {
+	nb := make(map[string]rdfterm.Term, len(b)+3)
+	for k, v := range b {
+		nb[k] = v
+	}
+	bind := func(pt PatternTerm, t rdfterm.Term) bool {
+		if !pt.IsVar() {
+			return true // concrete terms were matched by Find
+		}
+		if old, ok := nb[pt.Var]; ok {
+			// Compare canonically so 01^^int unifies with 1^^int.
+			return rdfterm.Canonical(old).Equal(rdfterm.Canonical(t))
+		}
+		nb[pt.Var] = t
+		return true
+	}
+	if !bind(pat.S, tr.Subject) || !bind(pat.P, tr.Property) || !bind(pat.O, tr.Object) {
+		return nil
+	}
+	return nb
+}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -27,6 +26,37 @@ var ErrBudget = errors.New("match: query budget exceeded")
 type RulebaseResolver interface {
 	ResolveIndex(models, rulebases []string) (string, error)
 }
+
+// Engine selects the join execution engine.
+type Engine int
+
+const (
+	// EngineStreaming (the default) evaluates the join as a pipeline of
+	// streaming iterators over ID rows inside one store read view — see
+	// iterator.go.
+	EngineStreaming Engine = iota
+	// EngineMaterialize is the original engine — full term-binding
+	// materialization per stage, one store probe per (binding, model) —
+	// kept as the differential-testing oracle (legacy.go).
+	EngineMaterialize
+)
+
+// Planner selects how the patterns are ordered before execution.
+type Planner int
+
+const (
+	// PlannerCost (the default) orders patterns by estimated selectivity
+	// from per-predicate store statistics, falling back to the heuristic
+	// when statistics are missing. Only the streaming engine costs plans;
+	// under EngineMaterialize this behaves like PlannerHeuristic.
+	PlannerCost Planner = iota
+	// PlannerHeuristic is the static boundness heuristic (planOrder):
+	// more concrete terms first, stable.
+	PlannerHeuristic
+	// PlannerNaive keeps the query's textual pattern order — the
+	// baseline the differential tests compare against.
+	PlannerNaive
+)
 
 // Options configure a Match call, mirroring the SDO_RDF_MATCH arguments
 // (§6.1): models, rulebases, aliases, filter.
@@ -50,8 +80,13 @@ type Options struct {
 	// OrderBy sorts results by the named variables (lexical order of the
 	// bound terms), applied after Filter and Distinct.
 	OrderBy []string
+	// Engine selects the execution engine (default EngineStreaming).
+	Engine Engine
+	// Planner selects the pattern-ordering strategy (default PlannerCost).
+	Planner Planner
 	// Trace, when non-nil, is filled with the EXPLAIN-style execution
-	// record (plan order, per-stage candidates and timings).
+	// record (plan order, per-stage estimated and actual cardinalities,
+	// timings).
 	Trace *Trace
 	// Metrics, when non-nil, records query/stage series and receives
 	// slow-query events (see NewMetrics).
@@ -62,12 +97,16 @@ type Options struct {
 	SlowQuery time.Duration
 	// Limit, when positive, caps the number of result rows. Rows beyond
 	// the cap are dropped and ResultSet.Truncated is set. With OrderBy
-	// the full result is sorted first, so the cap returns the true top-N.
+	// the full result is sorted first, so the cap returns the true top-N;
+	// without it the streaming engine stops the whole pipeline at the
+	// cap.
 	Limit int
 	// MaxBindings, when positive, bounds the intermediate binding set a
 	// join stage may produce. A query whose join explodes past the bound
 	// is aborted with an ErrBudget error instead of exhausting memory —
-	// the admission price of serving untrusted queries.
+	// the admission price of serving untrusted queries. The streaming
+	// engine accounts incrementally, so the abort fires as the bound is
+	// crossed, not after a stage materializes.
 	MaxBindings int
 }
 
@@ -119,15 +158,14 @@ func Match(store *core.Store, query string, opts Options) (*ResultSet, error) {
 	return MatchContext(context.Background(), store, query, opts)
 }
 
-// cancelEvery is how many intermediate bindings the join loop processes
-// between context checks (the per-pattern scans underneath poll on their
-// own cadence via core.FindCtx).
+// cancelEvery is how many rows the engines process between context checks
+// (the index scans underneath poll on their own cadence inside core).
 const cancelEvery = 256
 
-// MatchContext is Match with cancellation: the join loop polls ctx
-// between bindings and each index scan polls it internally, so a
-// combinatorial join aborts promptly — releasing the store's read lock —
-// once the deadline passes or the caller cancels.
+// MatchContext is Match with cancellation: the engines poll ctx between
+// rows and each index scan polls it internally, so a combinatorial join
+// aborts promptly — releasing the store's read lock — once the deadline
+// passes or the caller cancels.
 func MatchContext(ctx context.Context, store *core.Store, query string, opts Options) (*ResultSet, error) {
 	if len(opts.Models) == 0 {
 		return nil, fmt.Errorf("match: at least one model is required")
@@ -162,20 +200,10 @@ func MatchContext(ctx context.Context, store *core.Store, query string, opts Opt
 		}
 		scope = append(scope, idxModel)
 	}
-	// Verify models exist up front for a clean error.
-	for _, m := range scope {
-		if _, err := store.GetModelID(m); err != nil {
-			return nil, err
-		}
-	}
 
-	// Left-deep join over patterns, most-selective-first: patterns with
-	// more concrete terms run earlier (cheap heuristic planner).
-	//
 	// Tracing, metrics, and the slow-query log share one gate: when none
-	// is requested the loop takes the untimed path and never calls
+	// is requested the engines take the untimed path and never call
 	// time.Now (the "zero overhead when disabled" budget, DESIGN.md §7).
-	order := planOrder(pats)
 	traced := opts.Trace != nil || opts.Metrics != nil || opts.SlowQuery > 0
 	var trace *Trace
 	var queryStart time.Time
@@ -185,99 +213,21 @@ func MatchContext(ctx context.Context, store *core.Store, query string, opts Opt
 			trace = &Trace{}
 		}
 		trace.Query = query
-		trace.PlanOrder = append(trace.PlanOrder[:0], order...)
+		trace.PlanOrder = trace.PlanOrder[:0]
 		trace.Stages = trace.Stages[:0]
+		trace.Planner = ""
 		queryStart = time.Now()
 	}
-	bindings := []map[string]rdfterm.Term{{}}
-	polled := 0
-	for _, pi := range order {
-		pat := pats[pi]
-		var stageStart time.Time
-		if traced {
-			stageStart = time.Now()
-		}
-		candidates := 0
-		var next []map[string]rdfterm.Term
-		for _, b := range bindings {
-			polled++
-			if polled%cancelEvery == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, fmt.Errorf("match: %w", err)
-				}
-			}
-			matches, n, err := findPattern(ctx, store, scope, pat, b)
-			if err != nil {
-				return nil, err
-			}
-			candidates += n
-			next = append(next, matches...)
-			if opts.MaxBindings > 0 && len(next) > opts.MaxBindings {
-				return nil, fmt.Errorf("%w: stage %d produced %d intermediate bindings (max %d)",
-					ErrBudget, pi, len(next), opts.MaxBindings)
-			}
-		}
-		if traced {
-			trace.Stages = append(trace.Stages, StageTrace{
-				Index:       pi,
-				Pattern:     pat.String(),
-				InBindings:  len(bindings),
-				Candidates:  candidates,
-				OutBindings: len(next),
-				Duration:    time.Since(stageStart),
-			})
-		}
-		bindings = next
-		if len(bindings) == 0 {
-			break
-		}
-	}
 
-	// Project variables in first-occurrence (textual) order.
-	var vars []string
-	seen := map[string]bool{}
-	for _, pat := range pats {
-		for _, v := range pat.Vars() {
-			if !seen[v] {
-				seen[v] = true
-				vars = append(vars, v)
-			}
-		}
+	vars := collectVars(pats)
+	var rs *ResultSet
+	if opts.Engine == EngineMaterialize {
+		rs, err = runMaterialize(ctx, store, scope, pats, vars, filter, opts, traced, trace)
+	} else {
+		rs, err = runStreaming(ctx, store, scope, pats, vars, filter, opts, traced, trace)
 	}
-	rs := &ResultSet{Vars: vars}
-	emitted := map[string]bool{}
-	for _, b := range bindings {
-		if !filter.Eval(b) {
-			continue
-		}
-		row := make([]rdfterm.Term, len(vars))
-		for i, v := range vars {
-			row[i] = b[v]
-		}
-		if opts.Distinct {
-			key := rowKey(row)
-			if emitted[key] {
-				continue
-			}
-			emitted[key] = true
-		}
-		// Without ORDER BY the cap short-circuits projection; with it the
-		// full set must be collected and sorted first so the cap returns
-		// the true top-N (truncation happens below, after the sort).
-		if opts.Limit > 0 && len(opts.OrderBy) == 0 && len(rs.Rows) == opts.Limit {
-			rs.Truncated = true
-			break
-		}
-		rs.Rows = append(rs.Rows, row)
-	}
-	if len(opts.OrderBy) > 0 {
-		if err := rs.sortBy(opts.OrderBy); err != nil {
-			return nil, err
-		}
-		if opts.Limit > 0 && len(rs.Rows) > opts.Limit {
-			rs.Rows = rs.Rows[:opts.Limit]
-			rs.Truncated = true
-		}
+	if err != nil {
+		return nil, err
 	}
 	if traced {
 		trace.Rows = rs.Len()
@@ -290,14 +240,21 @@ func MatchContext(ctx context.Context, store *core.Store, query string, opts Opt
 	return rs, nil
 }
 
-// rowKey encodes a result row collision-free for DISTINCT.
-func rowKey(row []rdfterm.Term) string {
-	var b strings.Builder
-	for _, t := range row {
-		b.WriteString(t.String())
-		b.WriteByte('\x00')
+// collectVars returns the query's variables in first-occurrence (textual)
+// order — the projection order of the result set and the slot order of
+// the streaming engine's rows.
+func collectVars(pats []TriplePattern) []string {
+	var vars []string
+	seen := map[string]bool{}
+	for _, pat := range pats {
+		for _, v := range pat.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
 	}
-	return b.String()
+	return vars
 }
 
 // sortBy orders rows by the named variables.
@@ -319,102 +276,4 @@ func (r *ResultSet) sortBy(vars []string) error {
 		return false
 	})
 	return nil
-}
-
-// planOrder returns pattern indexes sorted by decreasing boundness
-// (number of concrete terms), stable for equal counts. Variables bound by
-// earlier patterns make later ones selective at execution time, so this
-// is a reasonable static order without statistics.
-func planOrder(pats []TriplePattern) []int {
-	order := make([]int, len(pats))
-	for i := range order {
-		order[i] = i
-	}
-	bound := func(p TriplePattern) int {
-		n := 0
-		for _, pt := range []PatternTerm{p.S, p.P, p.O} {
-			if !pt.IsVar() {
-				n++
-			}
-		}
-		return n
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return bound(pats[order[a]]) > bound(pats[order[b]])
-	})
-	return order
-}
-
-// findPattern evaluates one pattern under a partial binding, returning
-// the extended bindings plus the number of candidate triples the store
-// produced before unification (the stage's scan volume, for tracing).
-func findPattern(ctx context.Context, store *core.Store, models []string, pat TriplePattern, b map[string]rdfterm.Term) ([]map[string]rdfterm.Term, int, error) {
-	resolve := func(pt PatternTerm) *rdfterm.Term {
-		if !pt.IsVar() {
-			t := pt.Term
-			return &t
-		}
-		if t, ok := b[pt.Var]; ok {
-			t := t
-			return &t
-		}
-		return nil
-	}
-	cp := core.Pattern{
-		Subject:   resolve(pat.S),
-		Predicate: resolve(pat.P),
-		Object:    resolve(pat.O),
-	}
-	// Literal subjects can never match (RDF subjects are URIs/blanks).
-	if cp.Subject != nil && cp.Subject.Kind == rdfterm.Literal {
-		return nil, 0, nil
-	}
-	if cp.Predicate != nil && cp.Predicate.Kind != rdfterm.URI {
-		return nil, 0, nil
-	}
-	candidates := 0
-	var out []map[string]rdfterm.Term
-	for _, model := range models {
-		found, err := store.FindCtx(ctx, model, cp)
-		if err != nil {
-			return nil, candidates, err
-		}
-		candidates += len(found)
-		for _, ts := range found {
-			tr, err := ts.GetTriple()
-			if err != nil {
-				return nil, candidates, err
-			}
-			nb := unify(pat, tr, b)
-			if nb != nil {
-				out = append(out, nb)
-			}
-		}
-	}
-	return out, candidates, nil
-}
-
-// unify extends binding b with the pattern's variables bound to the
-// triple's terms, returning nil on conflict (same variable, different
-// term — e.g. (?x p ?x) against <a p b>).
-func unify(pat TriplePattern, tr core.Triple, b map[string]rdfterm.Term) map[string]rdfterm.Term {
-	nb := make(map[string]rdfterm.Term, len(b)+3)
-	for k, v := range b {
-		nb[k] = v
-	}
-	bind := func(pt PatternTerm, t rdfterm.Term) bool {
-		if !pt.IsVar() {
-			return true // concrete terms were matched by Find
-		}
-		if old, ok := nb[pt.Var]; ok {
-			// Compare canonically so 01^^int unifies with 1^^int.
-			return rdfterm.Canonical(old).Equal(rdfterm.Canonical(t))
-		}
-		nb[pt.Var] = t
-		return true
-	}
-	if !bind(pat.S, tr.Subject) || !bind(pat.P, tr.Property) || !bind(pat.O, tr.Object) {
-		return nil
-	}
-	return nb
 }

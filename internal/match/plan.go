@@ -1,0 +1,280 @@
+package match
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// The cost-based planner. Pattern order dominates join cost: starting
+// from the most selective pattern keeps every intermediate binding set
+// small, and each later pattern should share a variable with the ones
+// already run so it probes instead of re-scanning. The estimates come
+// from core.PlanStats — per-predicate link counts and distinct
+// subject/object cardinalities — under the usual independence
+// assumptions; when a model has no statistics (empty partition) the
+// planner falls back to the static boundness heuristic (planOrder).
+
+// planOrder returns pattern indexes sorted by decreasing boundness
+// (number of concrete terms), stable for equal counts. Variables bound by
+// earlier patterns make later ones selective at execution time, so this
+// is a reasonable static order without statistics.
+func planOrder(pats []TriplePattern) []int {
+	order := make([]int, len(pats))
+	for i := range order {
+		order[i] = i
+	}
+	bound := func(p TriplePattern) int {
+		n := 0
+		for _, pt := range []PatternTerm{p.S, p.P, p.O} {
+			if !pt.IsVar() {
+				n++
+			}
+		}
+		return n
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return bound(pats[order[a]]) > bound(pats[order[b]])
+	})
+	return order
+}
+
+// patIDs holds one pattern's concrete-term IDs resolved against one
+// model: 0 where the position is a variable. ok is false when some
+// concrete term cannot be resolved in the model (not interned, or a term
+// kind impossible for its position) — the pattern matches nothing there.
+type patIDs struct {
+	ok              bool
+	sid, pid, canon int64
+}
+
+// stagePlan is one pattern prepared for execution: its variable slots,
+// its per-model concrete IDs, and the planner's cumulative output
+// estimate (-1 when the active planner does not estimate).
+type stagePlan struct {
+	pi               int     // pattern index in the query text
+	est              float64 // estimated OutBindings; -1 = no estimate
+	sVar, pVar, oVar int     // variable slots, -1 for concrete positions
+	ids              []patIDs
+}
+
+// queryPlan is the executable plan: stages in execution order.
+type queryPlan struct {
+	stages []stagePlan
+	// empty: some pattern cannot match in any scoped model, so the whole
+	// conjunction is empty — no stage needs to run.
+	empty   bool
+	planner string // "cost", "heuristic", or "naive"
+}
+
+// buildPlan resolves every pattern's concrete terms against every scoped
+// model and orders the stages according to the requested planner. nvars
+// is the size of the query's variable table; varIdx maps names to slots.
+func buildPlan(tx *core.ReadTx, mids []int64, pats []TriplePattern, varIdx map[string]int, nvars int, planner Planner) queryPlan {
+	stages := make([]stagePlan, len(pats))
+	empty := false
+	for i, pat := range pats {
+		sp := stagePlan{pi: i, est: -1, sVar: -1, pVar: -1, oVar: -1, ids: make([]patIDs, len(mids))}
+		if pat.S.IsVar() {
+			sp.sVar = varIdx[pat.S.Var]
+		}
+		if pat.P.IsVar() {
+			sp.pVar = varIdx[pat.P.Var]
+		}
+		if pat.O.IsVar() {
+			sp.oVar = varIdx[pat.O.Var]
+		}
+		anyOK := false
+		for m, mid := range mids {
+			ids := patIDs{ok: true}
+			if !pat.S.IsVar() {
+				var ok bool
+				if ids.sid, ok = tx.SubjectIDLocked(mid, pat.S.Term); !ok {
+					ids.ok = false
+				}
+			}
+			if ids.ok && !pat.P.IsVar() {
+				var ok bool
+				if ids.pid, ok = tx.PredicateIDLocked(pat.P.Term); !ok {
+					ids.ok = false
+				}
+			}
+			if ids.ok && !pat.O.IsVar() {
+				var ok bool
+				if ids.canon, ok = tx.ObjectCanonIDLocked(mid, pat.O.Term); !ok {
+					ids.ok = false
+				}
+			}
+			sp.ids[m] = ids
+			anyOK = anyOK || ids.ok
+		}
+		if !anyOK {
+			empty = true
+		}
+		stages[i] = sp
+	}
+
+	plan := queryPlan{empty: empty}
+	switch planner {
+	case PlannerNaive:
+		plan.planner = "naive"
+		plan.stages = stages
+	case PlannerHeuristic:
+		plan.planner = "heuristic"
+		plan.stages = permuteStages(stages, planOrder(pats))
+	default: // PlannerCost
+		ag := gatherStats(tx, mids)
+		if ag.total == 0 {
+			// No statistics to estimate from (empty models): fall back.
+			plan.planner = "heuristic"
+			plan.stages = permuteStages(stages, planOrder(pats))
+		} else {
+			plan.planner = "cost"
+			plan.stages = costOrder(stages, ag, nvars)
+		}
+	}
+	return plan
+}
+
+func permuteStages(stages []stagePlan, order []int) []stagePlan {
+	out := make([]stagePlan, 0, len(stages))
+	for _, pi := range order {
+		out = append(out, stages[pi])
+	}
+	return out
+}
+
+// aggStats is core.PlanStats summed across the query's scoped models, so
+// estimates reflect the per-model union the engine executes.
+type aggStats struct {
+	total, ds, do int
+	preds         map[int64]core.PredStats
+}
+
+func gatherStats(tx *core.ReadTx, mids []int64) aggStats {
+	ag := aggStats{preds: map[int64]core.PredStats{}}
+	for _, mid := range mids {
+		ps := tx.PlanStatsLocked(mid)
+		ag.total += ps.Triples
+		ag.ds += ps.DistinctSubjects
+		ag.do += ps.DistinctObjects
+		for pid, st := range ps.Preds {
+			cur := ag.preds[pid]
+			cur.Count += st.Count
+			cur.DistinctSubjects += st.DistinctSubjects
+			cur.DistinctObjects += st.DistinctObjects
+			ag.preds[pid] = cur
+		}
+	}
+	return ag
+}
+
+func fmax1(n int) float64 {
+	if n < 1 {
+		return 1
+	}
+	return float64(n)
+}
+
+// estimateStage returns the expected number of matches ONE input row
+// produces for the pattern, given which variable slots are already bound.
+// With a concrete predicate the per-predicate histogram applies:
+// count/distinct-subjects per bound subject, count/distinct-objects per
+// bound object. Otherwise the model-wide cardinalities stand in, with a
+// 1/distinct-predicates factor for a predicate bound by an earlier
+// stage. A pattern with every position resolved is a single existence
+// probe: at most one match.
+func estimateStage(sp *stagePlan, bound []bool, ag aggStats) float64 {
+	sBound := sp.sVar < 0 || bound[sp.sVar]
+	pBound := sp.pVar < 0 || bound[sp.pVar]
+	oBound := sp.oVar < 0 || bound[sp.oVar]
+	var est float64
+	if sp.pVar < 0 {
+		// Concrete predicate: predicate VALUE_IDs are global, so any
+		// resolved model carries the pid; an unresolvable-everywhere
+		// pattern estimates to zero.
+		var pst core.PredStats
+		for _, ids := range sp.ids {
+			if ids.ok {
+				pst = ag.preds[ids.pid]
+				break
+			}
+		}
+		est = float64(pst.Count)
+		if sBound {
+			est /= fmax1(pst.DistinctSubjects)
+		}
+		if oBound {
+			est /= fmax1(pst.DistinctObjects)
+		}
+	} else {
+		est = float64(ag.total)
+		if pBound {
+			est /= fmax1(len(ag.preds))
+		}
+		if sBound {
+			est /= fmax1(ag.ds)
+		}
+		if oBound {
+			est /= fmax1(ag.do)
+		}
+	}
+	if sBound && pBound && oBound && est > 1 {
+		est = 1
+	}
+	return est
+}
+
+// connectedTo reports whether the pattern shares a variable with the
+// already-bound set.
+func connectedTo(sp *stagePlan, bound []bool) bool {
+	for _, v := range []int{sp.sVar, sp.pVar, sp.oVar} {
+		if v >= 0 && bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// costOrder greedily picks the cheapest next stage: the minimum-estimate
+// pattern overall for the first stage, then the minimum-estimate pattern
+// among those connected to the bound variables (avoiding cross products;
+// only when nothing is connected does it fall back to the global
+// minimum). Ties keep query-text order. est accumulates down the
+// pipeline, so each stage records its estimated output cardinality.
+func costOrder(stages []stagePlan, ag aggStats, nvars int) []stagePlan {
+	n := len(stages)
+	bound := make([]bool, nvars)
+	used := make([]bool, n)
+	out := make([]stagePlan, 0, n)
+	run := 1.0
+	for len(out) < n {
+		best := -1
+		bestConn := false
+		bestEst := 0.0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			conn := connectedTo(&stages[i], bound)
+			est := estimateStage(&stages[i], bound, ag)
+			better := best < 0 ||
+				(conn && !bestConn) ||
+				(conn == bestConn && est < bestEst)
+			if better {
+				best, bestConn, bestEst = i, conn, est
+			}
+		}
+		sp := stages[best]
+		used[best] = true
+		run *= bestEst
+		sp.est = run
+		for _, v := range []int{sp.sVar, sp.pVar, sp.oVar} {
+			if v >= 0 {
+				bound[v] = true
+			}
+		}
+		out = append(out, sp)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package match
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Golden plan tests for the cost-based planner: a known stats fixture
+// must produce a known iterator order, observable through
+// Trace.PlanOrder and Trace.Planner.
+
+// planFor runs the query traced and returns the chosen order and planner.
+func planFor(t *testing.T, s *core.Store, query string, opts Options) ([]int, string, *Trace) {
+	t.Helper()
+	var tr Trace
+	opts.Trace = &tr
+	if len(opts.Models) == 0 {
+		opts.Models = []string{"g"}
+	}
+	if opts.Aliases == nil {
+		opts.Aliases = govAliases()
+	}
+	if _, err := Match(s, query, opts); err != nil {
+		t.Fatal(err)
+	}
+	return tr.PlanOrder, tr.Planner, &tr
+}
+
+// TestCostPlanChain: on the chain fixture the cost planner starts from
+// the selective 2-bound type probe and then walks the connected chain —
+// 2 -> 1 -> 0, not the heuristic's 2 -> 0 -> 1 (which would pick the
+// disconnected first pattern and cross-product).
+func TestCostPlanChain(t *testing.T) {
+	s := chainStore(t, 100)
+	order, planner, tr := planFor(t, s, threeJoinQuery, Options{})
+	if !reflect.DeepEqual(order, []int{2, 1, 0}) {
+		t.Fatalf("cost plan = %v, want [2 1 0]", order)
+	}
+	if planner != "cost" {
+		t.Fatalf("planner = %q, want cost", planner)
+	}
+	for i, st := range tr.Stages {
+		if st.EstRows < 0 {
+			t.Fatalf("stage %d EstRows = %v, want an estimate", i, st.EstRows)
+		}
+	}
+}
+
+// invStore builds the selectivity-inversion fixture: n chains
+// (s_i p1 m_i)(m_i p2 "common") where EVERY p2 object is the same
+// literal, plus a single (s_0 type "rare"). The two 2-bound patterns in
+// the query look identical to the boundness heuristic, but statistics
+// show p2="common" matches n rows while type="rare" matches one.
+func invStore(t *testing.T, n int) *core.Store {
+	t.Helper()
+	s := core.New()
+	if _, err := s.CreateRDFModel("g", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	a := govAliases()
+	ins := func(sub, p, o string) {
+		t.Helper()
+		if _, err := s.NewTripleS("g", sub, p, o, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ins(fmt.Sprintf("gov:s%d", i), "gov:p1", fmt.Sprintf("gov:m%d", i))
+		ins(fmt.Sprintf("gov:m%d", i), "gov:p2", `"common"`)
+	}
+	ins("gov:s0", "gov:type", `"rare"`)
+	return s
+}
+
+const inversionQuery = `(?s gov:p1 ?m) (?m gov:p2 "common") (?s gov:type "rare")`
+
+// TestCostPlanSelectivityInversion: the heuristic ties the two 2-bound
+// patterns and keeps text order (pattern 1 first — the unselective one);
+// the cost planner sees count(type)=1 vs count(p2)/distinct-objects=n
+// and starts from the rare probe, then chains through ?s.
+func TestCostPlanSelectivityInversion(t *testing.T) {
+	s := invStore(t, 50)
+	order, planner, _ := planFor(t, s, inversionQuery, Options{})
+	if planner != "cost" {
+		t.Fatalf("planner = %q, want cost", planner)
+	}
+	if !reflect.DeepEqual(order, []int{2, 0, 1}) {
+		t.Fatalf("cost plan = %v, want [2 0 1]", order)
+	}
+	horder, hplanner, _ := planFor(t, s, inversionQuery, Options{Planner: PlannerHeuristic})
+	if hplanner != "heuristic" || !reflect.DeepEqual(horder, []int{1, 2, 0}) {
+		t.Fatalf("heuristic plan = %v (%s), want [1 2 0]", horder, hplanner)
+	}
+	// Both plans return the same single row.
+	rs, err := Match(s, inversionQuery, Options{Models: []string{"g"}, Aliases: govAliases()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", rs.Len())
+	}
+}
+
+// TestCostPlanFallbackEmptyStats: a model with no triples has no
+// statistics; the cost planner must fall back to the heuristic rather
+// than divide by zero or order arbitrarily.
+func TestCostPlanFallbackEmptyStats(t *testing.T) {
+	s := core.New()
+	if _, err := s.CreateRDFModel("g", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	order, planner, _ := planFor(t, s, `(?s ?p ?o) (?s gov:p1 ?o)`, Options{})
+	if planner != "heuristic" {
+		t.Fatalf("planner = %q, want heuristic fallback on empty stats", planner)
+	}
+	if !reflect.DeepEqual(order, []int{1, 0}) {
+		t.Fatalf("fallback plan = %v, want [1 0]", order)
+	}
+}
+
+// TestPlannerNaiveKeepsTextOrder: PlannerNaive must execute patterns in
+// query-text order on both engines — it is the differential baseline.
+func TestPlannerNaiveKeepsTextOrder(t *testing.T) {
+	s := chainStore(t, 20)
+	for _, eng := range []Engine{EngineStreaming, EngineMaterialize} {
+		order, planner, _ := planFor(t, s, threeJoinQuery, Options{Planner: PlannerNaive, Engine: eng})
+		if planner != "naive" || !reflect.DeepEqual(order, []int{0, 1, 2}) {
+			t.Fatalf("engine %d: naive plan = %v (%s), want [0 1 2]", eng, order, planner)
+		}
+	}
+}
+
+// TestPlannerHeuristicOption: explicitly requesting the boundness
+// heuristic on the streaming engine reproduces planOrder's choice.
+func TestPlannerHeuristicOption(t *testing.T) {
+	s := chainStore(t, 20)
+	order, planner, _ := planFor(t, s, threeJoinQuery, Options{Planner: PlannerHeuristic})
+	if planner != "heuristic" || !reflect.DeepEqual(order, []int{2, 0, 1}) {
+		t.Fatalf("heuristic plan = %v (%s), want [2 0 1]", order, planner)
+	}
+}
+
+// TestEmptyCollapse: a pattern whose concrete term resolves in no scoped
+// model makes the whole conjunction empty — the planner collapses the
+// query and no stage executes (Trace.Stages stays empty).
+func TestEmptyCollapse(t *testing.T) {
+	s := chainStore(t, 20)
+	var tr Trace
+	rs, err := Match(s, `(?x gov:nosuchpred ?y) (?x gov:p1 ?z)`, Options{
+		Models: []string{"g"}, Aliases: govAliases(), Trace: &tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 0 {
+		t.Fatalf("rows = %d, want 0", rs.Len())
+	}
+	if len(tr.Stages) != 0 {
+		t.Fatalf("empty-collapsed query ran %d stages, want 0", len(tr.Stages))
+	}
+	if len(rs.Vars) != 3 {
+		t.Fatalf("Vars = %v, want x,y,z reported even for an empty result", rs.Vars)
+	}
+	// An unresolvable literal object collapses the same way.
+	rs, err = Match(s, `(?z gov:type "no-such-type") (?y gov:p2 ?z)`, Options{
+		Models: []string{"g"}, Aliases: govAliases(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 0 {
+		t.Fatalf("rows = %d, want 0", rs.Len())
+	}
+}
+
+// TestEstRowsMaterializeUnestimated: the materializing engine does not
+// cost plans; its stages must carry EstRows = -1 so Format omits est=.
+func TestEstRowsMaterializeUnestimated(t *testing.T) {
+	s := chainStore(t, 20)
+	_, _, tr := planFor(t, s, threeJoinQuery, Options{Engine: EngineMaterialize})
+	if len(tr.Stages) == 0 {
+		t.Fatal("no stages traced")
+	}
+	for i, st := range tr.Stages {
+		if st.EstRows != -1 {
+			t.Fatalf("stage %d EstRows = %v, want -1 on the materializing engine", i, st.EstRows)
+		}
+	}
+}
+
+// TestCostPlanMultiModelStats: statistics aggregate across the scoped
+// models, so a probe selective in the union is still chosen first when
+// the qualifying triples live in a different model than the chains.
+func TestCostPlanMultiModelStats(t *testing.T) {
+	s := core.New()
+	a := govAliases()
+	for _, m := range []string{"m1", "m2"} {
+		if _, err := s.CreateRDFModel(m, "", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins := func(m, sub, p, o string) {
+		t.Helper()
+		if _, err := s.NewTripleS(m, sub, p, o, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		ins("m1", fmt.Sprintf("gov:root%d", i), "gov:p1", fmt.Sprintf("gov:mid%d", i))
+		ins("m1", fmt.Sprintf("gov:mid%d", i), "gov:p2", fmt.Sprintf("gov:leaf%d", i))
+	}
+	ins("m2", "gov:leaf7", "gov:type", `"target"`)
+	var tr Trace
+	rs, err := Match(s, threeJoinQuery, Options{
+		Models: []string{"m1", "m2"}, Aliases: govAliases(), Trace: &tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", rs.Len())
+	}
+	if tr.Planner != "cost" || len(tr.PlanOrder) != 3 || tr.PlanOrder[0] != 2 {
+		t.Fatalf("plan = %v (%s), want type probe first", tr.PlanOrder, tr.Planner)
+	}
+}

@@ -32,7 +32,12 @@ type StageTrace struct {
 	Candidates int
 	// OutBindings is the number of extended bindings leaving the stage.
 	OutBindings int
-	Duration    time.Duration
+	// EstRows is the planner's estimated OutBindings for the stage, or
+	// -1 when the active planner does not estimate (heuristic/naive).
+	// Comparing it against OutBindings shows where the cost model was
+	// wrong.
+	EstRows  float64
+	Duration time.Duration
 }
 
 // Trace is the execution record of one Match call. Pass an empty Trace
@@ -41,7 +46,10 @@ type Trace struct {
 	Query string
 	// PlanOrder holds pattern indexes in execution order.
 	PlanOrder []int
-	Stages    []StageTrace
+	// Planner names the strategy that chose the order: "cost",
+	// "heuristic", or "naive".
+	Planner string
+	Stages  []StageTrace
 	// Rows is the final row count after filter, distinct, and order-by.
 	Rows  int
 	Total time.Duration
@@ -59,11 +67,19 @@ func (t *Trace) Format(w io.Writer) {
 		for i, pi := range t.PlanOrder {
 			parts[i] = strconv.Itoa(pi)
 		}
-		fmt.Fprintf(w, "plan: %s\n", strings.Join(parts, " -> "))
+		if t.Planner != "" {
+			fmt.Fprintf(w, "plan: %s (%s)\n", strings.Join(parts, " -> "), t.Planner)
+		} else {
+			fmt.Fprintf(w, "plan: %s\n", strings.Join(parts, " -> "))
+		}
 	}
 	for i, st := range t.Stages {
-		fmt.Fprintf(w, "stage %d: #%d %s  in=%d candidates=%d out=%d  %s\n",
-			i+1, st.Index, st.Pattern, st.InBindings, st.Candidates, st.OutBindings,
+		est := ""
+		if st.EstRows >= 0 {
+			est = fmt.Sprintf(" est=%s", formatEst(st.EstRows))
+		}
+		fmt.Fprintf(w, "stage %d: #%d %s  in=%d candidates=%d out=%d%s  %s\n",
+			i+1, st.Index, st.Pattern, st.InBindings, st.Candidates, st.OutBindings, est,
 			st.Duration.Round(time.Microsecond))
 	}
 	fmt.Fprintf(w, "total %s, %d rows\n", t.Total.Round(time.Microsecond), t.Rows)
@@ -78,17 +94,31 @@ func (t *Trace) summary() map[string]string {
 	}
 	stages := make([]string, len(t.Stages))
 	for i, st := range t.Stages {
-		stages[i] = fmt.Sprintf("#%d in=%d cand=%d out=%d %s",
-			st.Index, st.InBindings, st.Candidates, st.OutBindings,
+		est := ""
+		if st.EstRows >= 0 {
+			est = " est=" + formatEst(st.EstRows)
+		}
+		stages[i] = fmt.Sprintf("#%d in=%d cand=%d out=%d%s %s",
+			st.Index, st.InBindings, st.Candidates, st.OutBindings, est,
 			st.Duration.Round(time.Microsecond))
 	}
 	return map[string]string{
-		"query":  t.Query,
-		"plan":   strings.Join(plan, ","),
-		"stages": strings.Join(stages, "; "),
-		"rows":   strconv.Itoa(t.Rows),
-		"total":  t.Total.Round(time.Microsecond).String(),
+		"query":   t.Query,
+		"plan":    strings.Join(plan, ","),
+		"planner": t.Planner,
+		"stages":  strings.Join(stages, "; "),
+		"rows":    strconv.Itoa(t.Rows),
+		"total":   t.Total.Round(time.Microsecond).String(),
 	}
+}
+
+// formatEst renders a cardinality estimate compactly: integers without a
+// fraction, small fractional estimates with one decimal.
+func formatEst(v float64) string {
+	if v >= 10 || v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v+0.5), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
 }
 
 // Metrics instruments Match against an obs registry. A nil *Metrics

@@ -49,7 +49,9 @@ func TestTraceThreePatternJoin(t *testing.T) {
 	var sb strings.Builder
 	tr.Format(&sb)
 	out := sb.String()
-	for _, want := range []string{"plan: 2 -> 0 -> 1", "stage 1: #2", "candidates=1", "total "} {
+	// The cost planner starts from the selective type probe, then chains
+	// through the connected patterns: 2 -> 1 -> 0.
+	for _, want := range []string{"plan: 2 -> 1 -> 0 (cost)", "stage 1: #2", "candidates=1", "est=", "total "} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Format output missing %q:\n%s", want, out)
 		}
@@ -96,8 +98,11 @@ func TestMatchMetricsAndSlowQuery(t *testing.T) {
 			t.Fatalf("slow_query event missing field %q: %+v", k, ev.Fields)
 		}
 	}
-	if ev.Fields["plan"] != "2,0,1" {
-		t.Fatalf("slow_query plan = %q, want 2,0,1", ev.Fields["plan"])
+	if ev.Fields["plan"] != "2,1,0" {
+		t.Fatalf("slow_query plan = %q, want 2,1,0", ev.Fields["plan"])
+	}
+	if ev.Fields["planner"] != "cost" {
+		t.Fatalf("slow_query planner = %q, want cost", ev.Fields["planner"])
 	}
 }
 

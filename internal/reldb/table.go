@@ -451,6 +451,29 @@ func (ix *Index) ScanPrefix(prefix Key, fn func(key Key, id RowID) bool) {
 	})
 }
 
+// ScanPrefixRows is ScanPrefix, but also hands fn the live row for each
+// index entry, fetched under the same single read-lock hold (avoiding the
+// per-row Table.Get re-lock + Clone). The row passed to fn must not be
+// retained or mutated; Clone it to keep it. Entries whose row has been
+// tombstoned are skipped.
+func (ix *Index) ScanPrefixRows(prefix Key, fn func(key Key, id RowID, r Row) bool) {
+	ix.owner.mu.RLock()
+	defer ix.owner.mu.RUnlock()
+	ix.tree.AscendRange(&prefix, nil, func(key Key, id int64) bool {
+		if len(key) < len(prefix) {
+			return false
+		}
+		if key[:len(prefix)].Compare(prefix) != 0 {
+			return false
+		}
+		r, err := ix.owner.getLocked(id)
+		if err != nil {
+			return true
+		}
+		return fn(key, id, r)
+	})
+}
+
 // Len returns the number of entries in the index.
 func (ix *Index) Len() int {
 	ix.owner.mu.RLock()

@@ -141,6 +141,7 @@ type queryResponse struct {
 
 type traceJSON struct {
 	PlanOrder []int       `json:"plan_order"`
+	Planner   string      `json:"planner,omitempty"`
 	Stages    []stageJSON `json:"stages"`
 	Rows      int         `json:"rows"`
 	TotalUS   int64       `json:"total_us"`
@@ -152,7 +153,10 @@ type stageJSON struct {
 	In         int    `json:"in"`
 	Candidates int    `json:"candidates"`
 	Out        int    `json:"out"`
-	DurationUS int64  `json:"duration_us"`
+	// EstRows is the planner's estimated output cardinality for the
+	// stage; omitted when the active planner does not estimate.
+	EstRows    *float64 `json:"est_rows,omitempty"`
+	DurationUS int64    `json:"duration_us"`
 }
 
 func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
@@ -210,12 +214,17 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 		s.met.onTruncated()
 	}
 	if req.Trace {
-		tj := &traceJSON{PlanOrder: trace.PlanOrder, Rows: trace.Rows, TotalUS: trace.Total.Microseconds()}
+		tj := &traceJSON{PlanOrder: trace.PlanOrder, Planner: trace.Planner, Rows: trace.Rows, TotalUS: trace.Total.Microseconds()}
 		for _, st := range trace.Stages {
-			tj.Stages = append(tj.Stages, stageJSON{
+			sj := stageJSON{
 				Index: st.Index, Pattern: st.Pattern, In: st.InBindings,
 				Candidates: st.Candidates, Out: st.OutBindings, DurationUS: st.Duration.Microseconds(),
-			})
+			}
+			if st.EstRows >= 0 {
+				est := st.EstRows
+				sj.EstRows = &est
+			}
+			tj.Stages = append(tj.Stages, sj)
 		}
 		resp.Trace = tj
 	}
