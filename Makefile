@@ -12,7 +12,7 @@ LINT_STRICT ?=
 
 .PHONY: all build vet test race cover bench bench-join-check fuzz \
 	experiments examples clean lint analyzers staticcheck govulncheck \
-	fuzz-smoke chaos server-smoke
+	fuzz-smoke chaos server-smoke lint-race
 
 all: build vet test
 
@@ -23,14 +23,25 @@ vet:
 	$(GO) vet ./...
 
 # Full lint gate: stock go vet, the repo's contract analyzers (lockcheck,
-# walcheck, errwrapcheck via go vet -vettool), staticcheck, govulncheck.
+# walcheck, errwrapcheck, viewcheck, releasecheck, ctxcheck via go vet
+# -vettool), staticcheck, govulncheck.
 lint: vet analyzers staticcheck govulncheck
 
 # Build the bundled analyzer binary and drive it through the vet protocol
-# so package enumeration and caching match stock go vet.
+# so package enumeration and caching match stock go vet. The standalone
+# -summary run afterwards prints the per-analyzer diagnostic counts
+# (zeros included), so the gate's coverage is visible in the log.
 analyzers:
 	$(GO) build -o bin/repro-vet ./tools/analyzers/cmd/repro-vet
 	$(GO) vet -vettool=$(CURDIR)/bin/repro-vet ./...
+	./bin/repro-vet -summary ./...
+
+# Race-enabled tests for the packages the flow-aware analyzers guard:
+# the admission/release paths (server), the supervisor state machine,
+# and the ReadView-scoped query engine. The race build tag also widens
+# timing budgets in latency-sensitive tests (see internal/match).
+lint-race:
+	$(GO) test -race -count=1 ./internal/server ./internal/supervise ./internal/match
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

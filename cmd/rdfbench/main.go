@@ -77,9 +77,12 @@ type config struct {
 	hangSlack time.Duration
 }
 
-func run(args []string, stdout io.Writer) error {
+// newFlagSet defines every rdfbench knob in one place; the knob table
+// in SERVING.md documents the same set, and main_test.go fails when
+// either side drifts.
+func newFlagSet() (*flag.FlagSet, *config) {
 	fs := flag.NewFlagSet("rdfbench", flag.ContinueOnError)
-	var cfg config
+	cfg := &config{}
 	fs.StringVar(&cfg.base, "base", "", "base URL of a running rdfserve (empty = self-serve chaos mode)")
 	fs.IntVar(&cfg.conns, "conns", 1000, "concurrent connections")
 	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "steady-state load duration")
@@ -90,9 +93,15 @@ func run(args []string, stdout io.Writer) error {
 	fs.IntVar(&cfg.burst, "burst", 256, "size of the synchronized heavy-query burst that must overflow admission")
 	fs.Int64Var(&cfg.inflight, "max-inflight", 32, "self-serve: server admission capacity (small, so the burst rejects)")
 	fs.DurationVar(&cfg.hangSlack, "hang-slack", 15*time.Second, "client-side hang budget past the server's max timeout")
+	return fs, cfg
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs, cfgp := newFlagSet()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	cfg := *cfgp
 	if cfg.conns < 1 {
 		return errors.New("-conns must be >= 1")
 	}

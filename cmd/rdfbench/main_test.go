@@ -1,0 +1,50 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// knobTable renders the flag set as the markdown table SERVING.md embeds
+// between the knob-table markers (same convention as cmd/rdfserve).
+func knobTable(fs *flag.FlagSet) string {
+	var b strings.Builder
+	b.WriteString("| Flag | Default | Description |\n")
+	b.WriteString("|------|---------|-------------|\n")
+	fs.VisitAll(func(f *flag.Flag) {
+		def := ""
+		if f.DefValue != "" {
+			def = "`" + f.DefValue + "`"
+		}
+		fmt.Fprintf(&b, "| `-%s` | %s | %s |\n", f.Name, def, f.Usage)
+	})
+	return strings.TrimSpace(b.String())
+}
+
+// TestServingKnobTableInSync keeps the SERVING.md rdfbench knob table
+// byte-identical to what the binary's flag set produces, in both
+// directions: every flag documented, every documented flag real.
+func TestServingKnobTableInSync(t *testing.T) {
+	fs, _ := newFlagSet()
+	want := knobTable(fs)
+	data, err := os.ReadFile(filepath.Join("..", "..", "SERVING.md"))
+	if err != nil {
+		t.Fatalf("reading SERVING.md: %v", err)
+	}
+	doc := string(data)
+	begin := "<!-- knob-table:rdfbench:begin -->"
+	end := "<!-- knob-table:rdfbench:end -->"
+	i := strings.Index(doc, begin)
+	j := strings.Index(doc, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("SERVING.md is missing the %s / %s markers", begin, end)
+	}
+	got := strings.TrimSpace(doc[i+len(begin) : j])
+	if got != want {
+		t.Fatalf("SERVING.md rdfbench knob table out of sync; regenerate it as:\n%s", want)
+	}
+}

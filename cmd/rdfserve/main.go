@@ -54,36 +54,76 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// serveFlags holds every rdfserve knob. newFlagSet is the single place
+// they are defined; the knob table in SERVING.md documents the same set,
+// and main_test.go fails when either side drifts.
+type serveFlags struct {
+	addr, model, load *string
+	walPath, snapPath *string
+	scrubInterval     *time.Duration
+	chaosWrite        *float64
+	chaosSync         *float64
+	chaosSeed         *int64
+	maxInflight       *int64
+	maxQueue          *int
+	queueWait         *time.Duration
+	tenantCap         *int64
+	defaultTimeout    *time.Duration
+	maxTimeout        *time.Duration
+	maxRows           *int
+	maxBindings       *int
+	maxResultBytes    *int64
+	degraded          *string
+	retryAfter        *time.Duration
+	drainGrace        *time.Duration
+	shutdownTimeout   *time.Duration
+}
+
+func newFlagSet() (*flag.FlagSet, *serveFlags) {
 	fs := flag.NewFlagSet("rdfserve", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
-	model := fs.String("model", "data", "default model for requests that name none (created if missing)")
-	load := fs.String("load", "", "N-Triples file to bulk-load into the model at startup")
+	f := &serveFlags{
+		addr:  fs.String("addr", "127.0.0.1:8080", "listen address"),
+		model: fs.String("model", "data", "default model for requests that name none (created if missing)"),
+		load:  fs.String("load", "", "N-Triples file to bulk-load into the model at startup"),
 
-	walPath := fs.String("wal", "", "write-ahead log: run under the supervisor with durable mutations")
-	snapPath := fs.String("snapshot", "", "checkpoint snapshot to load before replaying the WAL")
-	scrubInterval := fs.Duration("scrub-interval", 0, "background invariant scrub cadence (0 disables; requires -wal)")
-	chaosWrite := fs.Float64("chaos-wal-write-rate", 0, "probability each WAL write fails (fault-injection drill; requires -wal)")
-	chaosSync := fs.Float64("chaos-wal-sync-rate", 0, "probability each WAL sync fails (requires -wal)")
-	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for the WAL fault injector")
+		walPath:       fs.String("wal", "", "write-ahead log: run under the supervisor with durable mutations"),
+		snapPath:      fs.String("snapshot", "", "checkpoint snapshot to load before replaying the WAL"),
+		scrubInterval: fs.Duration("scrub-interval", 0, "background invariant scrub cadence (0 disables; requires -wal)"),
+		chaosWrite:    fs.Float64("chaos-wal-write-rate", 0, "probability each WAL write fails (fault-injection drill; requires -wal)"),
+		chaosSync:     fs.Float64("chaos-wal-sync-rate", 0, "probability each WAL sync fails (requires -wal)"),
+		chaosSeed:     fs.Int64("chaos-seed", 1, "deterministic seed for the WAL fault injector"),
 
-	maxInflight := fs.Int64("max-inflight", 64, "admission capacity in weight units (query/traverse 4, insert 2, find 1)")
-	maxQueue := fs.Int("max-queue", 128, "admission wait-queue bound (-1 = reject when saturated, no queueing)")
-	queueWait := fs.Duration("queue-wait", time.Second, "longest a request may wait for admission")
-	tenantCap := fs.Int64("tenant-cap", 0, "per-tenant in-flight weight cap (X-Tenant header; 0 disables)")
+		maxInflight: fs.Int64("max-inflight", 64, "admission capacity in weight units (query/traverse 4, insert 2, find 1)"),
+		maxQueue:    fs.Int("max-queue", 128, "admission wait-queue bound (negative = no queueing: reject the moment capacity is full)"),
+		queueWait:   fs.Duration("queue-wait", time.Second, "longest a request may wait for admission"),
+		tenantCap:   fs.Int64("tenant-cap", 0, "per-tenant in-flight weight cap (X-Tenant header; 0 disables)"),
 
-	defaultTimeout := fs.Duration("default-timeout", 5*time.Second, "deadline for requests without ?timeout=")
-	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "clamp on client-supplied ?timeout=")
-	maxRows := fs.Int("max-rows", 10000, "result-row cap per response")
-	maxBindings := fs.Int("max-bindings", 1<<20, "intermediate join-binding budget per query")
-	maxResultBytes := fs.Int64("max-result-bytes", 8<<20, "encoded response byte budget")
-	degraded := fs.String("degraded-reads", "reject", "non-Healthy read policy: reject (503 + Retry-After) or serve")
-	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503")
-	drainGrace := fs.Duration("drain-grace", 2*time.Second, "how long shutdown lets in-flight requests finish")
-	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "hard bound on the whole shutdown")
+		defaultTimeout:  fs.Duration("default-timeout", 5*time.Second, "deadline for requests without ?timeout="),
+		maxTimeout:      fs.Duration("max-timeout", 30*time.Second, "clamp on client-supplied ?timeout="),
+		maxRows:         fs.Int("max-rows", 10000, "result-row cap per response"),
+		maxBindings:     fs.Int("max-bindings", 1<<20, "intermediate join-binding budget per query"),
+		maxResultBytes:  fs.Int64("max-result-bytes", 8<<20, "encoded response byte budget"),
+		degraded:        fs.String("degraded-reads", "reject", "non-Healthy read policy: reject (503 + Retry-After) or serve"),
+		retryAfter:      fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503"),
+		drainGrace:      fs.Duration("drain-grace", 2*time.Second, "how long shutdown lets in-flight requests finish"),
+		shutdownTimeout: fs.Duration("shutdown-timeout", 10*time.Second, "hard bound on the whole shutdown"),
+	}
+	return fs, f
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs, f := newFlagSet()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	addr, model, load := f.addr, f.model, f.load
+	walPath, snapPath, scrubInterval := f.walPath, f.snapPath, f.scrubInterval
+	chaosWrite, chaosSync, chaosSeed := f.chaosWrite, f.chaosSync, f.chaosSeed
+	maxInflight, maxQueue, queueWait, tenantCap := f.maxInflight, f.maxQueue, f.queueWait, f.tenantCap
+	defaultTimeout, maxTimeout := f.defaultTimeout, f.maxTimeout
+	maxRows, maxBindings, maxResultBytes := f.maxRows, f.maxBindings, f.maxResultBytes
+	degraded, retryAfter := f.degraded, f.retryAfter
+	drainGrace, shutdownTimeout := f.drainGrace, f.shutdownTimeout
 
 	var degradedReads server.DegradedReads
 	switch *degraded {

@@ -22,6 +22,9 @@ func runStreaming(ctx context.Context, store *core.Store, scope []string, pats [
 	err := store.ReadView(ctx, func(tx *core.ReadTx) error {
 		mids := make([]int64, len(scope))
 		for i, m := range scope {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("match: %w", err)
+			}
 			mid, err := tx.ModelIDLocked(m)
 			if err != nil {
 				return err

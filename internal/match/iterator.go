@@ -186,6 +186,7 @@ func (j *joinIter) step() (row, bool, error) {
 		// Scan mode: collect exact matches through the best index.
 		j.cands = j.cands[:0]
 		j.ci = 0
+		//repro:vet-ignore viewcheck CollectLinksLocked polls the view context internally every cancelEvery rows and its error is returned below; the per-model loop itself is bounded by the request's scope
 		for m, mid := range j.mids {
 			ids := sp.ids[m]
 			if !ids.ok {

@@ -155,6 +155,7 @@ func (r *ResultSet) Len() int { return len(r.Rows) }
 // triples when rulebases are requested), applies the filter, and returns
 // the variable bindings.
 func Match(store *core.Store, query string, opts Options) (*ResultSet, error) {
+	//repro:vet-ignore ctxcheck compatibility wrapper for context-free callers (tools, tests); the serving path enters through MatchContext
 	return MatchContext(context.Background(), store, query, opts)
 }
 

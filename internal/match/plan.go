@@ -85,6 +85,7 @@ func buildPlan(tx *core.ReadTx, mids []int64, pats []TriplePattern, varIdx map[s
 			sp.oVar = varIdx[pat.O.Var]
 		}
 		anyOK := false
+		//repro:vet-ignore viewcheck bounded per-pattern/per-model ID resolution, not a row scan; buildPlan has no error path to surface a cancel and the engine polls before the first stage runs
 		for m, mid := range mids {
 			ids := patIDs{ok: true}
 			if !pat.S.IsVar() {
@@ -153,6 +154,7 @@ type aggStats struct {
 
 func gatherStats(tx *core.ReadTx, mids []int64) aggStats {
 	ag := aggStats{preds: map[int64]core.PredStats{}}
+	//repro:vet-ignore viewcheck bounded per-model merge of cached planner statistics (PlanStatsLocked returns a prebuilt snapshot), not a row scan
 	for _, mid := range mids {
 		ps := tx.PlanStatsLocked(mid)
 		ag.total += ps.Triples

@@ -50,6 +50,7 @@ type edgeTo struct {
 // ShortestPath returns a minimum-cost directed path from source to target
 // (Dijkstra; link costs must be non-negative, which AddLink enforces).
 func ShortestPath(g Graph, source, target int64) (Path, error) {
+	//repro:vet-ignore ctxcheck compatibility wrapper for context-free callers; the serving path enters through ShortestPathCtx
 	return ShortestPathCtx(context.Background(), g, source, target)
 }
 
@@ -129,6 +130,7 @@ type NodeCost struct {
 // <= maxCost (excluding source itself), sorted by cost then node ID — NDM's
 // "within cost" analysis.
 func WithinCost(g Graph, source int64, maxCost float64) ([]NodeCost, error) {
+	//repro:vet-ignore ctxcheck compatibility wrapper for context-free callers; the serving path enters through WithinCostCtx
 	return WithinCostCtx(context.Background(), g, source, maxCost)
 }
 
@@ -151,6 +153,7 @@ func WithinCostCtx(ctx context.Context, g Graph, source int64, maxCost float64) 
 // NearestNeighbors returns the k reachable nodes closest to source
 // (excluding source), sorted by cost then node ID.
 func NearestNeighbors(g Graph, source int64, k int) ([]NodeCost, error) {
+	//repro:vet-ignore ctxcheck compatibility wrapper for context-free callers; the serving path enters through NearestNeighborsCtx
 	return NearestNeighborsCtx(context.Background(), g, source, k)
 }
 
@@ -227,6 +230,7 @@ func dijkstraAll(ctx context.Context, g Graph, source int64, maxCost float64) (m
 // within maxDepth hops (maxDepth < 0 = unbounded), excluding source,
 // sorted by node ID.
 func Reachable(g Graph, source int64, maxDepth int) ([]int64, error) {
+	//repro:vet-ignore ctxcheck compatibility wrapper for context-free callers; the serving path enters through ReachableCtx
 	return ReachableCtx(context.Background(), g, source, maxDepth)
 }
 

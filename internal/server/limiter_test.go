@@ -270,3 +270,142 @@ func TestLimiterConcurrentStress(t *testing.T) {
 	}
 	t.Logf("admitted %d, rejected %d, peak weight %d", admitted.Load(), rejected.Load(), peak.Load())
 }
+
+// The release func's contract is "call exactly once", but the failure
+// mode of calling it twice must be a no-op, not gauge corruption: a
+// handler's defer plus an explicit release on an error path is an easy
+// bug, and a double-decrement would leak capacity forever (InUse going
+// negative admits unbounded load).
+func TestLimiterDoubleReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(8, 0, 4)
+	r, err := l.TryAcquire("a", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	r() // second call must be a no-op
+	st := l.Stats()
+	if st.InUse != 0 {
+		t.Fatalf("in-use after double release = %d, want 0", st.InUse)
+	}
+	if st.Tenants != 0 {
+		t.Fatalf("tenant entries after double release = %d, want 0", st.Tenants)
+	}
+	// The tenant's full cap must still be admissible — a double decrement
+	// would have corrupted the per-tenant ledger too.
+	r2, err := l.TryAcquire("a", 4)
+	if err != nil {
+		t.Fatalf("at-cap acquire after double release: %v", err)
+	}
+	r2()
+}
+
+// A double release must not double-promote: with a waiter queued behind
+// a full limiter, calling the same release twice may only free the one
+// grant's weight — the waiter's grant must remain booked.
+func TestLimiterDoubleReleaseDoesNotDoublePromote(t *testing.T) {
+	l := NewLimiter(4, 4, 0)
+	r, err := l.TryAcquire("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan func(), 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		wr, werr := l.Acquire(ctx, "", 2)
+		if werr != nil {
+			t.Errorf("queued acquire: %v", werr)
+			close(granted)
+			return
+		}
+		granted <- wr
+	}()
+	// Wait for the waiter to be queued before releasing.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r()
+	wr := <-granted
+	if wr == nil {
+		t.Fatal("waiter never granted")
+	}
+	r() // duplicate: must not free the waiter's 2 units
+	if st := l.Stats(); st.InUse != 2 {
+		t.Fatalf("in-use after duplicate release = %d, want 2 (waiter's grant)", st.InUse)
+	}
+	wr()
+	if st := l.Stats(); st.InUse != 0 {
+		t.Fatalf("in-use after full drain = %d, want 0", st.InUse)
+	}
+}
+
+// Many goroutines racing the same release func must decrement exactly
+// once (sync.Once), keeping every gauge consistent under -race.
+func TestLimiterConcurrentDoubleRelease(t *testing.T) {
+	l := NewLimiter(16, 0, 0)
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		r, err := l.TryAcquire("t", 4)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, r)
+	}
+	var wg sync.WaitGroup
+	for _, r := range releases {
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(rel func()) {
+				defer wg.Done()
+				rel()
+			}(r)
+		}
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.InUse != 0 || st.Tenants != 0 {
+		t.Fatalf("gauges after concurrent double release = %+v, want zero InUse/Tenants", st)
+	}
+}
+
+// A release that arrives after the limiter has fully drained — a slow
+// handler finishing long after its siblings, or a duplicate call on a
+// retired grant — must neither panic nor push a gauge negative, and the
+// tenant ledger must not resurrect an entry for the departed tenant.
+func TestLimiterLateReleaseAfterDrain(t *testing.T) {
+	l := NewLimiter(8, 0, 4)
+	ra, err := l.TryAcquire("a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := l.TryAcquire("b", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := ra // keep a handle past the drain
+	ra()
+	rb()
+	if st := l.Stats(); st.InUse != 0 || st.Tenants != 0 {
+		t.Fatalf("limiter did not drain: %+v", st)
+	}
+	late() // duplicate on a drained limiter: must be a no-op
+	st := l.Stats()
+	if st.InUse != 0 {
+		t.Fatalf("in-use after late release = %d, want 0", st.InUse)
+	}
+	if st.Tenants != 0 {
+		t.Fatalf("tenant entries after late release = %d, want 0", st.Tenants)
+	}
+	// Admission still works and the tenant cap is still enforced from a
+	// clean ledger.
+	if _, err := l.TryAcquire("a", 5); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("over-cap acquire after drain = %v, want ErrTenantLimit", err)
+	}
+	r, err := l.TryAcquire("a", 4)
+	if err != nil {
+		t.Fatalf("at-cap acquire after drain: %v", err)
+	}
+	r()
+}

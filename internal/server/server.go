@@ -217,6 +217,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.DrainGrace = 2 * time.Second
 	}
 
+	//repro:vet-ignore ctxcheck process-lifetime base context: the server outlives any request, and every request derives its own deadline from this root in wrap
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,

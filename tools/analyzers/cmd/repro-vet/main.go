@@ -1,22 +1,29 @@
 // Command repro-vet bundles the repository's contract analyzers —
-// lockcheck, walcheck, errwrapcheck — into one binary that runs two ways:
+// lockcheck, walcheck, errwrapcheck, viewcheck, releasecheck, ctxcheck —
+// into one binary that runs two ways:
 //
 //	go vet -vettool=$(pwd)/bin/repro-vet ./...   # vet protocol (CI, make lint)
 //	bin/repro-vet ./...                          # standalone, no go vet driver
+//	bin/repro-vet -summary ./...                 # standalone + per-analyzer counts
 //
 // Standalone mode loads packages with the framework's own loader, so it
 // works offline and without build-cache plumbing; the vet-protocol mode
 // is what the Makefile and CI use because it inherits go vet's caching
-// and package enumeration.
+// and package enumeration. -summary prints a diagnostic count for every
+// analyzer — zeros included — so a lint log shows which pass looked and
+// found nothing, not just which pass complained.
 package main
 
 import (
 	"fmt"
 	"os"
 
+	"repro/tools/analyzers/ctxcheck"
 	"repro/tools/analyzers/errwrapcheck"
 	"repro/tools/analyzers/framework"
 	"repro/tools/analyzers/lockcheck"
+	"repro/tools/analyzers/releasecheck"
+	"repro/tools/analyzers/viewcheck"
 	"repro/tools/analyzers/walcheck"
 )
 
@@ -24,18 +31,27 @@ var analyzers = []*framework.Analyzer{
 	lockcheck.Analyzer,
 	walcheck.Analyzer,
 	errwrapcheck.Analyzer,
+	viewcheck.Analyzer,
+	releasecheck.Analyzer,
+	ctxcheck.Analyzer,
 }
 
 func main() {
 	if framework.VetMain(os.Args[1:], analyzers) {
 		return
 	}
-	os.Exit(standalone(os.Args[1:]))
+	args := os.Args[1:]
+	summary := false
+	if len(args) > 0 && args[0] == "-summary" {
+		summary = true
+		args = args[1:]
+	}
+	os.Exit(standalone(args, summary))
 }
 
 // standalone analyzes the named packages ("./..." patterns or package
 // directories) without the go vet driver.
-func standalone(args []string) int {
+func standalone(args []string, summary bool) int {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -50,6 +66,7 @@ func standalone(args []string) int {
 		return 1
 	}
 	loader := framework.NewLoader(root, modPath)
+	counts := map[string]int{}
 	exit := 0
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir, "")
@@ -66,9 +83,15 @@ func standalone(args []string) int {
 		}
 		for _, d := range diags {
 			fmt.Println(framework.FormatRel(pkg.Fset, root, d))
+			counts[d.Analyzer]++
 			exit = 1
+		}
+	}
+	if summary {
+		fmt.Printf("repro-vet: %d packages analyzed\n", len(dirs))
+		for _, a := range analyzers {
+			fmt.Printf("  %-14s %d diagnostic(s)\n", a.Name, counts[a.Name])
 		}
 	}
 	return exit
 }
-

@@ -1,0 +1,15 @@
+package ctxcheck
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/framework"
+)
+
+func TestCtxcheck(t *testing.T) {
+	// The bad fixture stands in for a request-path package; the good one
+	// shows the relaxed rules everywhere else.
+	StrictPackages["badctx"] = true
+	defer delete(StrictPackages, "badctx")
+	framework.RunTest(t, "testdata", Analyzer, "badctx", "goodctx")
+}

@@ -1,0 +1,80 @@
+// Package badctx violates the context-threading contract: fresh
+// Background/TODO roots in a request-path package, and calls that drop a
+// context the caller already holds. The test registers this package in
+// ctxcheck.StrictPackages, standing in for internal/match et al.
+package badctx
+
+import (
+	"context"
+	"time"
+)
+
+func find(q string) int { return len(q) }
+
+func findCtx(ctx context.Context, q string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(q)
+}
+
+type store struct{}
+
+func (s *store) Match(q string) int { return len(q) }
+
+func (s *store) MatchContext(ctx context.Context, q string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(q)
+}
+
+// freshRoot mints a new root although the caller handed it a context:
+// the deadline below no longer descends from the request's.
+func freshRoot(ctx context.Context, d time.Duration) error {
+	wctx, cancel := context.WithTimeout(context.Background(), d) // want `context.Background inside a function that already has a context`
+	defer cancel()
+	<-wctx.Done()
+	return wctx.Err()
+}
+
+// strictRoot has no context parameter, but the package is a request
+// path: everything here runs downstream of a request context.
+func strictRoot() context.Context {
+	return context.Background() // want `context.Background in a request-path package`
+}
+
+func todoRoot() context.Context {
+	return context.TODO() // want `context.TODO in a request-path package`
+}
+
+// dropsCtx holds a context and calls the variant that loses it.
+func dropsCtx(ctx context.Context, q string) int {
+	return find(q) // want `use findCtx so cancellation and deadlines propagate`
+}
+
+// dropsMethodCtx drops it through a method call.
+func dropsMethodCtx(ctx context.Context, s *store, q string) int {
+	return s.Match(q) // want `use store.MatchContext so cancellation and deadlines propagate`
+}
+
+// inClosure shows a literal inheriting the enclosing context.
+func inClosure(ctx context.Context) func() int {
+	return func() int {
+		return find("x") // want `use findCtx so cancellation and deadlines propagate`
+	}
+}
+
+// threaded is clean even here: the context flows to every callee that
+// can take one.
+func threaded(ctx context.Context, s *store, q string) int {
+	return findCtx(ctx, q) + s.MatchContext(ctx, q)
+}
+
+// derived is the approved way to tighten a deadline: derive, don't root.
+func derived(ctx context.Context, d time.Duration) error {
+	wctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	<-wctx.Done()
+	return wctx.Err()
+}

@@ -1,0 +1,41 @@
+// Package goodctx holds the shapes ctxcheck accepts outside the strict
+// request-path packages.
+package goodctx
+
+import "context"
+
+func lookup(q string) int { return len(q) }
+
+func lookupCtx(ctx context.Context, q string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(q)
+}
+
+// helper has no context-taking sibling, so calling it from a context-
+// bearing function threads nothing and is fine.
+func helper(n int) int { return n * 2 }
+
+// root is allowed: no caller context to thread, and this package is not
+// a request path — command mains and test harnesses start here.
+func root() context.Context {
+	return context.Background()
+}
+
+// threads passes its context to the sibling that takes one.
+func threads(ctx context.Context, q string) int {
+	return lookupCtx(ctx, q) + helper(1)
+}
+
+// alreadyCtx calls the Ctx variant directly; nothing to flag even
+// though the context-free sibling exists.
+func alreadyCtx(ctx context.Context, q string) int {
+	return lookupCtx(ctx, q)
+}
+
+// noCtxCaller has no context, so calling the plain variant is the only
+// choice; rule 3 needs a context in hand to fire.
+func noCtxCaller(q string) int {
+	return lookup(q)
+}

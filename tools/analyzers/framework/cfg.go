@@ -1,0 +1,459 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Control-flow graphs. The flow-sensitive passes (releasecheck, and any
+// future must-reach analysis) need more than lockcheck's linear statement
+// walk: "the release closure is called on every path" is a property of
+// paths, not lines. BuildCFG lowers one function body to a graph of basic
+// blocks with condition-annotated edges, precise enough for an
+// intra-procedural dataflow fixpoint and nothing more — no SSA, no
+// interprocedural edges, function literals left opaque (a pass analyzes
+// each FuncLit body as its own function).
+//
+// Coverage: if/else, for (all three clauses), range, switch,
+// type-switch, select, labeled statements, break/continue (with and
+// without labels), goto, return, and panic(...) statements. Defer and go
+// statements stay in their block as ordinary nodes — when they run is a
+// property the consuming pass models (releasecheck treats a defer as
+// satisfying an obligation from that point on, because the deferred call
+// outlives every subsequent path).
+
+// Block is one basic block: a maximal run of straight-line nodes.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, dense).
+	Index int
+	// Nodes holds the statements and conditions of the block in source
+	// order. Condition expressions appear as their ast.Expr.
+	Nodes []ast.Node
+	// Succs are the outgoing edges. A block with no successors either
+	// ends the function (the Exit block) or ends in a terminating
+	// statement that the builder wired straight to Exit.
+	Succs []Edge
+	// Term notes how the block ends when it ends abruptly: a
+	// *ast.ReturnStmt, the panic *ast.CallExpr, or nil for ordinary
+	// fallthrough/branch blocks.
+	Term ast.Node
+}
+
+// Edge is one control-flow edge, annotated with the branch condition
+// when the transfer is conditional. For an if/for condition c, the true
+// edge carries {Cond: c, Negated: false} and the false edge
+// {Cond: c, Negated: true}; unconditional edges carry a nil Cond.
+// Passes use the annotation to refine state along a branch (releasecheck
+// waives an obligation on the edge where its paired error is non-nil).
+type Edge struct {
+	To      *Block
+	Cond    ast.Expr
+	Negated bool
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the virtual block every return, panic, and fall-off-the-end
+	// path reaches. It holds no nodes.
+	Exit *Block
+}
+
+// BuildCFG lowers body to basic blocks. body is the *ast.BlockStmt of a
+// FuncDecl or FuncLit; nested function literals are NOT descended into —
+// a FuncLit expression stays an opaque node of its containing block.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*labelFrame{}}
+	b.cfg.Exit = b.newBlock() // allocated first so Index 0 is Exit
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body reaches Exit.
+	b.jump(b.cfg.Exit, nil, false)
+	return b.cfg
+}
+
+// loopFrame tracks the jump targets a break/continue resolves to.
+type loopFrame struct {
+	breakTo    *Block
+	continueTo *Block // nil inside switch/select frames
+}
+
+// labelFrame resolves labeled break/continue/goto.
+type labelFrame struct {
+	frame *loopFrame // loop or switch the label names, for break/continue
+	start *Block     // goto target
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil after a terminator until the next block starts
+	frames []*loopFrame
+	labels map[string]*labelFrame
+	// pendingLabel carries a label to attach to the next loop/switch.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur→to and leaves cur unset; no-op when control is
+// already dead (cur == nil after return/break/...).
+func (b *cfgBuilder) jump(to *Block, cond ast.Expr, negated bool) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, Edge{To: to, Cond: cond, Negated: negated})
+	b.cur = nil
+}
+
+// branch adds a conditional edge without killing the current block, for
+// two-way splits out of one condition block.
+func (b *cfgBuilder) branch(to *Block, cond ast.Expr, negated bool) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, Edge{To: to, Cond: cond, Negated: negated})
+}
+
+// start opens blk as the current block.
+func (b *cfgBuilder) start(blk *Block) { b.cur = blk }
+
+// add appends a node to the current block, opening a fresh block when
+// control was dead (unreachable code still gets blocks, just no edges in).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		thenBlk := b.newBlock()
+		b.branch(thenBlk, s.Cond, false)
+		after := b.newBlock()
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.jump(elseBlk, s.Cond, true)
+			b.start(thenBlk)
+			b.stmt(s.Body)
+			b.jump(after, nil, false)
+			b.start(elseBlk)
+			b.stmt(s.Else)
+			b.jump(after, nil, false)
+		} else {
+			b.jump(after, s.Cond, true)
+			b.start(thenBlk)
+			b.stmt(s.Body)
+			b.jump(after, nil, false)
+		}
+		b.start(after)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.jump(head, nil, false)
+		b.start(head)
+		after := b.newBlock()
+		var bodyBlk *Block
+		if s.Cond != nil {
+			b.add(s.Cond)
+			bodyBlk = b.newBlock()
+			b.branch(bodyBlk, s.Cond, false)
+			b.jump(after, s.Cond, true)
+		} else {
+			bodyBlk = b.newBlock()
+			b.jump(bodyBlk, nil, false)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			b.start(post)
+			b.add(s.Post)
+			b.jump(head, nil, false)
+		}
+		b.pushFrame(&loopFrame{breakTo: after, continueTo: post})
+		b.start(bodyBlk)
+		b.stmt(s.Body)
+		b.jump(post, nil, false)
+		b.popFrame()
+		b.start(after)
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.jump(head, nil, false)
+		b.start(head)
+		// The head assigns the iteration variables each time around; the
+		// body is NOT part of the head (a range over an empty operand runs
+		// it zero times), so only Key/Value land here.
+		if s.Key != nil {
+			b.add(s.Key)
+		}
+		if s.Value != nil {
+			b.add(s.Value)
+		}
+		after := b.newBlock()
+		bodyBlk := b.newBlock()
+		b.branch(bodyBlk, nil, false)
+		b.jump(after, nil, false)
+		b.pushFrame(&loopFrame{breakTo: after, continueTo: head})
+		b.start(bodyBlk)
+		b.stmt(s.Body)
+		b.jump(head, nil, false)
+		b.popFrame()
+		b.start(after)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, nil)
+
+	case *ast.SelectStmt:
+		b.switchBody(s.Body, func(c *ast.CommClause) ast.Stmt { return c.Comm })
+
+	case *ast.LabeledStmt:
+		// Record the label; loops/switches consume it for break/continue,
+		// a goto jumps to its start block (which a forward goto may have
+		// allocated already).
+		lf := b.labels[s.Label.Name]
+		if lf == nil {
+			lf = &labelFrame{}
+			b.labels[s.Label.Name] = lf
+		}
+		if lf.start == nil {
+			lf.start = b.newBlock()
+		}
+		b.jump(lf.start, nil, false)
+		b.start(lf.start)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s.Label, true); t != nil {
+				b.jump(t, nil, false)
+			} else {
+				b.jump(b.cfg.Exit, nil, false)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s.Label, false); t != nil {
+				b.jump(t, nil, false)
+			} else {
+				b.jump(b.cfg.Exit, nil, false)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				lf := b.labels[s.Label.Name]
+				if lf == nil {
+					lf = &labelFrame{}
+					b.labels[s.Label.Name] = lf
+				}
+				if lf.start == nil {
+					lf.start = b.newBlock()
+				}
+				b.jump(lf.start, nil, false)
+			} else {
+				b.jump(b.cfg.Exit, nil, false)
+			}
+		case token.FALLTHROUGH:
+			// switchBody wires fallthrough edges; nothing to cut here.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.cur.Term = s
+		}
+		b.jump(b.cfg.Exit, nil, false)
+
+	default:
+		// Straight-line statement. A panic(...) call terminates the block.
+		b.add(s)
+		if call := panicCall(s); call != nil {
+			if b.cur != nil {
+				b.cur.Term = call
+			}
+			b.jump(b.cfg.Exit, nil, false)
+		}
+	}
+}
+
+// switchBody lowers the clause list shared by switch, type switch, and
+// select. comm extracts a select clause's communication statement (nil
+// for ordinary switches).
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, comm func(*ast.CommClause) ast.Stmt) {
+	after := b.newBlock()
+	frame := &loopFrame{breakTo: after}
+	head := b.cur
+	b.pushFrame(frame)
+
+	var clauseBlocks []*Block
+	var clauseStmts [][]ast.Stmt
+	hasDefault := false
+	for _, cl := range body.List {
+		blk := b.newBlock()
+		clauseBlocks = append(clauseBlocks, blk)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			clauseStmts = append(clauseStmts, cl.Body)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			clauseStmts = append(clauseStmts, cl.Body)
+		}
+	}
+	// The head may reach any clause, and — absent a default — fall through
+	// to after with no clause taken.
+	if head != nil {
+		for _, blk := range clauseBlocks {
+			head.Succs = append(head.Succs, Edge{To: blk})
+		}
+		if !hasDefault {
+			head.Succs = append(head.Succs, Edge{To: after})
+		}
+	}
+	b.cur = nil
+
+	for i, cl := range body.List {
+		b.start(clauseBlocks[i])
+		if comm != nil {
+			if c, ok := cl.(*ast.CommClause); ok && c.Comm != nil {
+				b.add(c.Comm)
+			}
+		} else if cc, ok := cl.(*ast.CaseClause); ok {
+			for _, e := range cc.List {
+				b.add(e)
+			}
+		}
+		b.stmtList(clauseStmts[i])
+		// An explicit fallthrough continues into the next clause body.
+		if fallsThrough(clauseStmts[i]) && i+1 < len(clauseBlocks) {
+			b.jump(clauseBlocks[i+1], nil, false)
+		} else {
+			b.jump(after, nil, false)
+		}
+	}
+	b.popFrame()
+	b.start(after)
+}
+
+func fallsThrough(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	br, ok := stmts[len(stmts)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) pushFrame(f *loopFrame) {
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel].frame = f
+		b.pendingLabel = ""
+	}
+	b.frames = append(b.frames, f)
+}
+
+func (b *cfgBuilder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+// branchTarget resolves break/continue, labeled or not, to its block.
+func (b *cfgBuilder) branchTarget(label *ast.Ident, isBreak bool) *Block {
+	if label != nil {
+		lf := b.labels[label.Name]
+		if lf == nil || lf.frame == nil {
+			return nil
+		}
+		if isBreak {
+			return lf.frame.breakTo
+		}
+		return lf.frame.continueTo
+	}
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if isBreak {
+			return f.breakTo
+		}
+		if f.continueTo != nil { // skip switch/select frames for continue
+			return f.continueTo
+		}
+	}
+	return nil
+}
+
+// Inspect walks n in source order like ast.Inspect but does not descend
+// into nested *ast.FuncLit bodies: a block's nodes describe the flow of
+// THIS function, and a literal's body is analyzed as its own CFG. The
+// FuncLit node itself is still visited (so a pass can see the value being
+// created, captured, or passed).
+func Inspect(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if !fn(m) {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return true
+	})
+}
+
+// panicCall returns the panic CallExpr when s is a bare `panic(...)`
+// statement, else nil.
+func panicCall(s ast.Stmt) *ast.CallExpr {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return nil
+	}
+	return call
+}

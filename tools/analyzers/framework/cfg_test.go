@@ -1,0 +1,259 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFor parses src, finds the function named name, and builds its CFG.
+func buildFor(t *testing.T, src, name string) (*token.FileSet, *CFG) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_fixture.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fset, BuildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("no function %q in fixture", name)
+	return nil, nil
+}
+
+// reachable collects the block indexes reachable from entry.
+func reachable(c *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	walk(c.Entry)
+	return seen
+}
+
+func TestCFGIfElseEdgesCarryCondition(t *testing.T) {
+	src := `package p
+func f(err error) int {
+	if err != nil {
+		return 1
+	}
+	return 0
+}`
+	_, cfg := buildFor(t, src, "f")
+	// Exactly one block must carry a true-edge and a false-edge annotated
+	// with the same condition expression.
+	var cond *Block
+	for _, b := range cfg.Blocks {
+		var pos, neg bool
+		for _, e := range b.Succs {
+			if e.Cond != nil && !e.Negated {
+				pos = true
+			}
+			if e.Cond != nil && e.Negated {
+				neg = true
+			}
+		}
+		if pos && neg {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatalf("no block with paired true/false condition edges")
+	}
+	if !reachable(cfg)[cfg.Exit.Index] {
+		t.Fatalf("exit not reachable from entry")
+	}
+}
+
+func TestCFGRangeBodyNotInHead(t *testing.T) {
+	src := `package p
+func f(xs []int) (n int) {
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}`
+	_, cfg := buildFor(t, src, "f")
+	// The body assignment must live in a block distinct from the one that
+	// can skip straight past the loop: an empty range runs the body zero
+	// times, so no block may both contain the body statement and lie on
+	// every entry→exit path.
+	var bodyBlk *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ADD_ASSIGN {
+				bodyBlk = b
+			}
+		}
+	}
+	if bodyBlk == nil {
+		t.Fatalf("loop body statement not placed in any block")
+	}
+	// There must exist an entry→exit path avoiding bodyBlk.
+	seen := map[int]bool{bodyBlk.Index: true}
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == cfg.Exit {
+			return true
+		}
+		if seen[b.Index] {
+			return false
+		}
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			if walk(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(cfg.Entry) {
+		t.Fatalf("no zero-iteration path around the range body")
+	}
+}
+
+func TestCFGReturnAndPanicTerminate(t *testing.T) {
+	src := `package p
+func f(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	if x == 0 {
+		return 0
+	}
+	return x + 1
+}`
+	_, cfg := buildFor(t, src, "f")
+	returns, panics := 0, 0
+	for _, b := range cfg.Blocks {
+		switch b.Term.(type) {
+		case *ast.ReturnStmt:
+			returns++
+		case *ast.CallExpr:
+			panics++
+		}
+		if b.Term != nil {
+			if len(b.Succs) != 1 || b.Succs[0].To != cfg.Exit {
+				t.Errorf("terminator block %d does not jump straight to exit", b.Index)
+			}
+		}
+	}
+	if returns != 2 || panics != 1 {
+		t.Fatalf("got %d return blocks and %d panic blocks, want 2 and 1", returns, panics)
+	}
+}
+
+func TestCFGLabeledBreakLeavesOuterLoop(t *testing.T) {
+	src := `package p
+func f(xs []int) int {
+outer:
+	for _, x := range xs {
+		for {
+			if x > 3 {
+				break outer
+			}
+			x++
+		}
+	}
+	return 1
+}`
+	_, cfg := buildFor(t, src, "f")
+	// The function must terminate: the return block is reachable, which
+	// requires the labeled break to exit the outer loop (an unlabeled
+	// break would leave only the inner for{} and spin).
+	var retBlk *Block
+	for _, b := range cfg.Blocks {
+		if _, ok := b.Term.(*ast.ReturnStmt); ok {
+			retBlk = b
+		}
+	}
+	if retBlk == nil {
+		t.Fatalf("no return block")
+	}
+	if !reachable(cfg)[retBlk.Index] {
+		t.Fatalf("return unreachable: labeled break did not resolve to the outer loop")
+	}
+}
+
+func TestCFGSwitchDefaultAndFallthrough(t *testing.T) {
+	src := `package p
+func f(x int) int {
+	n := 0
+	switch x {
+	case 1:
+		n = 1
+		fallthrough
+	case 2:
+		n += 2
+	default:
+		n = 9
+	}
+	return n
+}`
+	_, cfg := buildFor(t, src, "f")
+	r := reachable(cfg)
+	// Every clause body must be reachable, and the fallthrough must link
+	// clause 1 into clause 2's block (so n+=2 has two predecessors).
+	var addBlk *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ADD_ASSIGN {
+				addBlk = b
+			}
+		}
+	}
+	if addBlk == nil || !r[addBlk.Index] {
+		t.Fatalf("fallthrough target clause unreachable")
+	}
+	preds := 0
+	for _, b := range cfg.Blocks {
+		for _, e := range b.Succs {
+			if e.To == addBlk {
+				preds++
+			}
+		}
+	}
+	if preds < 2 {
+		t.Fatalf("fallthrough clause has %d predecessors, want >= 2 (head + fallthrough)", preds)
+	}
+}
+
+func TestCFGInspectSkipsFuncLitBodies(t *testing.T) {
+	src := `package p
+func f() {
+	g := func() { inner() }
+	g()
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	sawLit, sawInner := false, false
+	Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			sawLit = true
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == "inner" {
+			sawInner = true
+		}
+		return true
+	})
+	if !sawLit {
+		t.Fatalf("Inspect must visit the FuncLit node itself")
+	}
+	if sawInner {
+		t.Fatalf("Inspect descended into the FuncLit body")
+	}
+}

@@ -34,16 +34,19 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 
 	var out []Diagnostic
+	hit := make([]bool, len(sups))
 	for _, d := range raw {
 		if analyzerByName(analyzers, d.Analyzer).SkipTestFiles &&
 			strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
 			continue
 		}
 		suppressed := false
-		for _, s := range sups {
-			if s.matches(pkg.Fset, d) && s.reason != "" {
-				suppressed = true
-				break
+		for i, s := range sups {
+			if s.matches(pkg.Fset, d) {
+				hit[i] = true
+				if s.reason != "" {
+					suppressed = true
+				}
 			}
 		}
 		if !suppressed {
@@ -52,9 +55,11 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 
 	// Audit the suppressions themselves: an unjustified one is a
-	// diagnostic, and one naming an unknown analyzer is a typo that
-	// would silently fail to suppress anything.
-	for _, s := range sups {
+	// diagnostic, one naming an unknown analyzer is a typo that would
+	// silently fail to suppress anything, and one its analyzer no longer
+	// fires on is stale — the contract holds there now, so the exemption
+	// must go rather than linger and silence a future regression.
+	for i, s := range sups {
 		switch {
 		case s.reason == "":
 			out = append(out, Diagnostic{
@@ -67,6 +72,12 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pos:      s.pos,
 				Analyzer: s.analyzer,
 				Message:  fmt.Sprintf("vet-ignore names unknown analyzer %q", s.analyzer),
+			})
+		case !hit[i]:
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: s.analyzer,
+				Message:  fmt.Sprintf("stale vet-ignore: %s reports nothing here anymore; drop the suppression", s.analyzer),
 			})
 		}
 	}

@@ -75,7 +75,7 @@ func VetMain(args []string, analyzers []*Analyzer) bool {
 }
 
 // vetCacheEpoch feeds the -V=full output; see VetMain.
-const vetCacheEpoch = "epoch-1"
+const vetCacheEpoch = "epoch-2"
 
 // vetUnit analyzes one package unit and returns the process exit code.
 func vetUnit(cfgPath string, analyzers []*Analyzer) int {

@@ -1,0 +1,652 @@
+// Package releasecheck enforces the must-call contracts of the serving
+// stack: the release closure returned by an admission Acquire/TryAcquire
+// (result shape `(func(), error)`) must be called on every path, a
+// context.CancelFunc must not leak its derived context, and a
+// *time.Ticker must be stopped. All three are the same property — "a
+// cleanup value born here is consumed on every path out of the function"
+// — so one intra-procedural dataflow over the framework CFG covers them.
+//
+// The analysis is flow-sensitive and branch-aware:
+//
+//   - An obligation is born when the creating call's results are assigned
+//     (`release, err := lim.Acquire(...)`). Assigning the cleanup value to
+//     the blank identifier is an immediate diagnostic.
+//   - A deferred call, a direct call, passing the value to another
+//     function or goroutine, storing it in a struct/global, or returning
+//     it all satisfy the obligation (ownership moves with the value). For
+//     tickers only an explicit Stop — direct, deferred, or inside a
+//     deferred/spawned closure — or an escape counts; reading t.C does
+//     not.
+//   - On branches where the paired error is non-nil the obligation is
+//     waived: Acquire documents that release is nil on error. The waiver
+//     rides the CFG edge condition, so `if err != nil { return err }` is
+//     clean while the success path still owes the call.
+//   - A return reached with a live obligation is reported at the return;
+//     falling off the end of the function reports at the birth site.
+//     Paths that end in panic are exempt (deferred cleanup is the panic
+//     story, and the process is going down anyway).
+//
+// The check is intra-procedural: a function that receives an already-born
+// cleanup value as a parameter is the owner by convention and is not
+// checked here.
+package releasecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/analyzers/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "releasecheck",
+	Doc: "check that admission release closures, context cancel funcs, " +
+		"and ticker Stops are called on every path",
+	Run: run,
+	// Tests exercise leak paths deliberately (and the fixture trees are
+	// full of them); the contract binds production code.
+	SkipTestFiles: true,
+}
+
+type kind int
+
+const (
+	kindRelease kind = iota // func() paired with an error result
+	kindCancel              // context.CancelFunc
+	kindTicker              // *time.Ticker
+)
+
+func (k kind) label() string {
+	switch k {
+	case kindCancel:
+		return "context cancel func"
+	case kindTicker:
+		return "ticker"
+	}
+	return "release func"
+}
+
+func (k kind) verb() string {
+	if k == kindTicker {
+		return "stopped"
+	}
+	return "called"
+}
+
+// obligation is one cleanup value the function owes a call on.
+type obligation struct {
+	v      *types.Var // the local holding the value
+	kind   kind
+	errVar *types.Var // paired error result, nil for cancel/ticker
+	pos    token.Pos  // birth site, for fall-off-the-end reports
+}
+
+// obState is the per-obligation dataflow lattice. Merge is max: a value
+// released on one branch but live on another is still owed.
+type obState int
+
+const (
+	unborn  obState = iota // not created on this path
+	done                   // called, escaped, or waived
+	pending                // created and not yet consumed
+)
+
+type state map[*types.Var]obState
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func merge(dst, src state) bool {
+	changed := false
+	for v, st := range src {
+		if st > dst[v] {
+			dst[v] = st
+			changed = true
+		}
+	}
+	return changed
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				analyzeFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type funcAnalysis struct {
+	pass *framework.Pass
+	cfg  *framework.CFG
+	obs  map[*types.Var]*obligation
+	// reported dedups diagnostics by (var, position).
+	reported map[[2]uint64]bool
+	// report is false during the fixpoint and true in the final pass, so
+	// diagnostics land exactly once with converged input states.
+	report bool
+}
+
+func analyzeFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	fa := &funcAnalysis{
+		pass:     pass,
+		cfg:      framework.BuildCFG(body),
+		obs:      map[*types.Var]*obligation{},
+		reported: map[[2]uint64]bool{},
+	}
+	// Prepass: find every obligation birth so the transfer function knows
+	// which locals to track (and which error results waive which value).
+	for _, b := range fa.cfg.Blocks {
+		for _, n := range b.Nodes {
+			framework.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					fa.recordBirths(m)
+				case *ast.ValueSpec:
+					fa.recordBirths(specAsAssign(m))
+				}
+				return true
+			})
+		}
+	}
+	if len(fa.obs) == 0 {
+		return
+	}
+
+	in := make([]state, len(fa.cfg.Blocks))
+	for i := range in {
+		in[i] = state{}
+	}
+	work := []*framework.Block{fa.cfg.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := fa.transferBlock(b, in[b.Index].clone())
+		for _, e := range b.Succs {
+			st := out
+			if e.Cond != nil {
+				st = fa.applyEdge(e, out.clone())
+			}
+			if merge(in[e.To.Index], st) {
+				work = append(work, e.To)
+			}
+		}
+	}
+
+	// Final pass with converged states: re-run every block's transfer so
+	// in-block diagnostics (blank discards, reassignment leaks) land, and
+	// report obligations still pending where a block reaches Exit.
+	fa.report = true
+	for _, b := range fa.cfg.Blocks {
+		out := fa.transferBlock(b, in[b.Index].clone())
+		exits := false
+		for _, e := range b.Succs {
+			if e.To == fa.cfg.Exit {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		if _, isPanic := b.Term.(*ast.CallExpr); isPanic {
+			continue // panic path: deferred cleanup is the contract there
+		}
+		pos := token.NoPos
+		if ret, ok := b.Term.(*ast.ReturnStmt); ok {
+			pos = ret.Pos()
+		}
+		for v, st := range out {
+			if st != pending {
+				continue
+			}
+			ob := fa.obs[v]
+			at := pos
+			if at == token.NoPos {
+				at = ob.pos
+			}
+			fa.reportOnce(at, v, "%s %q may never be %s on this path; call it or defer it at the acquire site",
+				ob.kind.label(), v.Name(), ob.kind.verb())
+		}
+	}
+}
+
+func (fa *funcAnalysis) reportOnce(pos token.Pos, v *types.Var, format string, args ...any) {
+	if !fa.report {
+		return
+	}
+	key := [2]uint64{uint64(pos), uint64(v.Pos())}
+	if fa.reported[key] {
+		return
+	}
+	fa.reported[key] = true
+	fa.pass.Reportf(pos, format, args...)
+}
+
+// recordBirths registers the obligations an assignment creates.
+func (fa *funcAnalysis) recordBirths(as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	tv, ok := fa.pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	results, hasErr := resultTypes(tv.Type)
+	for i, rt := range results {
+		k, isOb := obligationKind(rt, hasErr)
+		if !isOb || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue // assigned into a field/index: the value escapes
+		}
+		if id.Name == "_" {
+			// Dropped on the floor: no flow analysis needed, the value
+			// can never be called. Reported here in the prepass so the
+			// finding stands even when it is the function's only
+			// obligation.
+			fa.blankDiscard(as.Pos(), k)
+			continue
+		}
+		v := fa.lhsVar(id)
+		if v == nil {
+			continue
+		}
+		ob := &obligation{v: v, kind: k, pos: as.Pos()}
+		if hasErr {
+			for j, et := range results {
+				if isErrorType(et) && j < len(as.Lhs) {
+					if eid, ok := as.Lhs[j].(*ast.Ident); ok {
+						if ev := fa.lhsVar(eid); ev != nil {
+							ob.errVar = ev
+						}
+					}
+				}
+			}
+		}
+		fa.obs[v] = ob
+	}
+}
+
+func (fa *funcAnalysis) lhsVar(id *ast.Ident) *types.Var {
+	if v, ok := fa.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := fa.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// transferBlock runs the block's nodes through the transfer function.
+func (fa *funcAnalysis) transferBlock(b *framework.Block, st state) state {
+	for _, n := range b.Nodes {
+		fa.transferNode(n, st)
+	}
+	return st
+}
+
+func (fa *funcAnalysis) transferNode(n ast.Node, st state) {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		fa.consumeCallLike(n.Call, st)
+	case *ast.GoStmt:
+		fa.consumeCallLike(n.Call, st)
+	case *ast.AssignStmt:
+		fa.transferAssign(n, st)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					fa.transferAssign(specAsAssign(vs), st)
+				}
+			}
+		}
+	default:
+		fa.scanUses(n, st)
+		// Statements may nest an obligation-bearing assignment (an if
+		// Init lands in the block as the IfStmt's Init only when the
+		// builder hoisted it, but defer/go bodies and composite
+		// statements can still carry one).
+		framework.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				fa.transferAssign(m, st)
+				return false
+			case *ast.DeferStmt:
+				fa.consumeCallLike(m.Call, st)
+				return false
+			case *ast.GoStmt:
+				fa.consumeCallLike(m.Call, st)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// transferAssign handles births, blank discards, and overwrites.
+func (fa *funcAnalysis) transferAssign(as *ast.AssignStmt, st state) {
+	// Uses on the RHS consume obligations first (x := release passes
+	// ownership; the new alias is the caller's problem, same convention
+	// as passing it to a function).
+	for _, r := range as.Rhs {
+		fa.scanUses(r, st)
+	}
+
+	var birth *ast.CallExpr
+	if len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			birth = call
+		}
+	}
+	if birth != nil {
+		if tv, ok := fa.pass.TypesInfo.Types[birth]; ok {
+			results, hasErr := resultTypes(tv.Type)
+			for i, rt := range results {
+				_, isOb := obligationKind(rt, hasErr)
+				if !isOb || i >= len(as.Lhs) {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue // field/index target: escapes immediately
+				}
+				if id.Name == "_" {
+					continue // reported once during the prepass
+				}
+				if v := fa.lhsVar(id); v != nil {
+					if st[v] == pending {
+						ob := fa.obs[v]
+						fa.reportOnce(as.Pos(), v, "%s %q reassigned before being %s; the previous value leaks",
+							ob.kind.label(), v.Name(), ob.kind.verb())
+					}
+					st[v] = pending
+				}
+			}
+			return
+		}
+	}
+	// A ticker stored into a field or slot escapes: the holder owns the
+	// Stop from here on.
+	for i, l := range as.Lhs {
+		if _, isIdent := l.(*ast.Ident); isIdent || i >= len(as.Rhs) {
+			continue
+		}
+		if id, ok := as.Rhs[i].(*ast.Ident); ok {
+			if v, ok := fa.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				if ob, tracked := fa.obs[v]; tracked && ob.kind == kindTicker {
+					st[v] = done
+				}
+			}
+		}
+	}
+	// Plain overwrite of a tracked local kills the obligation rather than
+	// false-positive on patterns the analysis cannot follow.
+	for _, l := range as.Lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			if v := fa.lhsVar(id); v != nil {
+				if _, tracked := fa.obs[v]; tracked {
+					if st[v] == pending {
+						ob := fa.obs[v]
+						fa.reportOnce(as.Pos(), v, "%s %q reassigned before being %s; the previous value leaks",
+							ob.kind.label(), v.Name(), ob.kind.verb())
+					}
+					st[v] = done
+				}
+			}
+		}
+	}
+}
+
+// specAsAssign views `var t = time.NewTicker(d)` as the equivalent
+// assignment so one code path handles both birth forms.
+func specAsAssign(vs *ast.ValueSpec) *ast.AssignStmt {
+	as := &ast.AssignStmt{TokPos: vs.Pos()}
+	for _, n := range vs.Names {
+		as.Lhs = append(as.Lhs, n)
+	}
+	as.Rhs = vs.Values
+	return as
+}
+
+// blankDiscard reports `ctx, _ := context.WithCancel(...)`-style drops.
+// Called from the prepass, which runs exactly once per function.
+func (fa *funcAnalysis) blankDiscard(pos token.Pos, k kind) {
+	key := [2]uint64{uint64(pos), uint64(k)}
+	if fa.reported[key] {
+		return
+	}
+	fa.reported[key] = true
+	fa.pass.Reportf(pos, "%s discarded with the blank identifier; it must be %s", k.label(), k.verb())
+}
+
+// consumeCallLike satisfies obligations referenced by a deferred or
+// spawned call: the call's fun/args for direct references, and for a
+// closure its whole body (deferred cleanup closures are the idiom the
+// serving stack uses).
+func (fa *funcAnalysis) consumeCallLike(call *ast.CallExpr, st state) {
+	for v, ob := range fa.obs {
+		if referencesForKind(fa.pass, call, v, ob.kind, true) {
+			st[v] = done
+		}
+	}
+}
+
+// scanUses marks obligations consumed by ordinary references in n,
+// without descending into nested function literals (a closure that
+// merely captures the value runs at an unknown time; only defer/go
+// closures are credited, by consumeCallLike).
+func (fa *funcAnalysis) scanUses(n ast.Node, st state) {
+	for v, ob := range fa.obs {
+		if st[v] != pending {
+			continue
+		}
+		if referencesForKind(fa.pass, n, v, ob.kind, false) {
+			st[v] = done
+		}
+	}
+}
+
+// referencesForKind reports whether node n consumes obligation v.
+// For func-valued obligations any use of the identifier counts (a call,
+// an argument, a return, a struct literal — ownership follows the
+// value). For tickers only x.Stop()/x.Reset-free semantics apply: an
+// explicit Stop call, or the ticker value itself escaping as an argument,
+// return value, or store; selecting on x.C is use of the channel, not a
+// stop, and must not satisfy the obligation.
+func referencesForKind(pass *framework.Pass, n ast.Node, v *types.Var, k kind, intoClosures bool) bool {
+	found := false
+	walk := framework.Inspect
+	if intoClosures {
+		walk = func(n ast.Node, fn func(ast.Node) bool) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == nil {
+					return true
+				}
+				return fn(m)
+			})
+		}
+	}
+	walk(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.Ident:
+			if k != kindTicker && pass.TypesInfo.Uses[m] == v {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if k != kindTicker {
+				return true
+			}
+			base, ok := m.X.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[base] != v {
+				return true
+			}
+			if m.Sel.Name == "Stop" {
+				found = true
+			}
+			// Any other selector (t.C, t.Reset) is not a stop; keep
+			// scanning but do not treat the base ident as an escape.
+			return false
+		case *ast.CallExpr:
+			if k != kindTicker {
+				return true
+			}
+			// Ticker escaping as a call argument transfers ownership.
+			for _, a := range m.Args {
+				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+					found = true
+				}
+			}
+		case *ast.ReturnStmt:
+			if k != kindTicker {
+				return true
+			}
+			for _, r := range m.Results {
+				if id, ok := r.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+					found = true
+				}
+			}
+		case *ast.CompositeLit:
+			if k != kindTicker {
+				return true
+			}
+			for _, el := range m.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if id, ok := el.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// applyEdge refines the state along a conditional edge: on a branch that
+// proves an obligation's paired error non-nil, the obligation is waived
+// (the creating call documents a nil cleanup value on error).
+func (fa *funcAnalysis) applyEdge(e framework.Edge, st state) state {
+	bin, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return st
+	}
+	var id *ast.Ident
+	switch {
+	case isNilIdent(bin.Y):
+		id, _ = bin.X.(*ast.Ident)
+	case isNilIdent(bin.X):
+		id, _ = bin.Y.(*ast.Ident)
+	}
+	if id == nil {
+		return st
+	}
+	obj, ok := fa.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return st
+	}
+	var nonNil bool
+	switch bin.Op {
+	case token.NEQ:
+		nonNil = !e.Negated
+	case token.EQL:
+		nonNil = e.Negated
+	default:
+		return st
+	}
+	if !nonNil {
+		return st
+	}
+	for v, ob := range fa.obs {
+		if ob.errVar == obj && st[v] == pending {
+			st[v] = done
+		}
+	}
+	return st
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// resultTypes flattens a call's result type into components and reports
+// whether one of them is an error.
+func resultTypes(t types.Type) ([]types.Type, bool) {
+	var out []types.Type
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			out = append(out, tup.At(i).Type())
+		}
+	} else {
+		out = []types.Type{t}
+	}
+	hasErr := false
+	for _, rt := range out {
+		if isErrorType(rt) {
+			hasErr = true
+		}
+	}
+	return out, hasErr
+}
+
+// obligationKind classifies one result component.
+func obligationKind(t types.Type, tupleHasErr bool) (kind, bool) {
+	if tn := namedOf(t); tn != nil {
+		if tn.Pkg() != nil && tn.Pkg().Path() == "context" && tn.Name() == "CancelFunc" {
+			return kindCancel, true
+		}
+		if tn.Pkg() != nil && tn.Pkg().Path() == "time" && tn.Name() == "Ticker" {
+			return kindTicker, true
+		}
+		return 0, false
+	}
+	if sig, ok := t.(*types.Signature); ok &&
+		sig.Params().Len() == 0 && sig.Results().Len() == 0 && tupleHasErr {
+		return kindRelease, true
+	}
+	return 0, false
+}
+
+func namedOf(t types.Type) *types.TypeName {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x.Obj()
+		default:
+			return nil
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,11 @@
+package releasecheck
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/framework"
+)
+
+func TestReleasecheck(t *testing.T) {
+	framework.RunTest(t, "testdata", Analyzer, "badrelease", "goodrelease")
+}

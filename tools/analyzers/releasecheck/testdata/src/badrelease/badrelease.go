@@ -1,0 +1,98 @@
+// Package badrelease holds must-call violations releasecheck flags: the
+// admission release closure, context cancel funcs, and tickers each leak
+// on at least one path.
+package badrelease
+
+import (
+	"context"
+	"time"
+)
+
+// limiter mirrors the admission Acquire shape: (func(), error).
+type limiter struct{}
+
+func (l *limiter) Acquire(ctx context.Context, tenant string, weight int64) (func(), error) {
+	return func() {}, nil
+}
+
+func work() error { return nil }
+
+// earlyReturn releases on the slow path but leaks on the fast one. The
+// error branch is clean: Acquire documents a nil release on error.
+func earlyReturn(ctx context.Context, l *limiter, fast bool) error {
+	release, err := l.Acquire(ctx, "t", 1)
+	if err != nil {
+		return err
+	}
+	if fast {
+		return nil // want `release func "release" may never be called on this path`
+	}
+	release()
+	return nil
+}
+
+// spawnWithout defers the release on the synchronous path, but the
+// asynchronous path spawns a goroutine that does not take the release
+// with it and returns with the slot still held.
+func spawnWithout(ctx context.Context, l *limiter, sync bool) error {
+	release, err := l.Acquire(ctx, "t", 1)
+	if err != nil {
+		return err
+	}
+	if sync {
+		defer release()
+		return work()
+	}
+	go func() {
+		_ = work()
+	}()
+	return nil // want `release func "release" may never be called on this path`
+}
+
+// discard drops the cancel func on the floor; the derived context can
+// never be released.
+func discard(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `context cancel func discarded with the blank identifier`
+	return ctx
+}
+
+// reassign overwrites a live cancel func; the first derived context
+// leaks even though the name is eventually called.
+func reassign(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	_ = ctx
+	ctx2, cancel := context.WithCancel(parent) // want `context cancel func "cancel" reassigned before being called`
+	_ = ctx2
+	cancel()
+}
+
+// tickLoop reads t.C but never stops the ticker: reading the channel is
+// not a Stop, so the ticker goroutine leaks.
+func tickLoop(n int) int {
+	t := time.NewTicker(time.Second)
+	s := 0
+	for i := 0; i < n; i++ {
+		<-t.C
+		s++
+	}
+	return s // want `ticker "t" may never be stopped on this path`
+}
+
+// fallOff leaks by falling off the end of the function; the report
+// anchors at the birth site because there is no return statement.
+func fallOff(d time.Duration) {
+	t := time.NewTicker(d) // want `ticker "t" may never be stopped on this path`
+	<-t.C
+}
+
+// deferOnlyOneBranch defers the cancel inside one arm of the branch; the
+// other arm returns with the obligation live.
+func deferOnlyOneBranch(parent context.Context, flag bool) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	if flag {
+		defer cancel()
+		<-ctx.Done()
+		return nil
+	}
+	return work() // want `context cancel func "cancel" may never be called on this path`
+}

@@ -1,0 +1,117 @@
+// Package goodrelease holds the clean shapes releasecheck must accept:
+// defers (direct and closure-wrapped), per-branch calls, ownership
+// transfer by return, goroutine hand-off, and ticker escapes.
+package goodrelease
+
+import (
+	"context"
+	"time"
+)
+
+type limiter struct{}
+
+func (l *limiter) Acquire(ctx context.Context, tenant string, weight int64) (func(), error) {
+	return func() {}, nil
+}
+
+func work() error { return nil }
+
+func doCtx(ctx context.Context) error { return ctx.Err() }
+
+// deferClosure is the server middleware idiom: the release rides a
+// deferred closure alongside other teardown.
+func deferClosure(ctx context.Context, l *limiter) error {
+	release, err := l.Acquire(ctx, "t", 1)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		release()
+	}()
+	return work()
+}
+
+// withTimeout is the canonical derived-context pattern.
+func withTimeout(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	return doCtx(ctx)
+}
+
+// perPath calls release explicitly before every return instead of
+// deferring it.
+func perPath(ctx context.Context, l *limiter, fast bool) error {
+	release, err := l.Acquire(ctx, "t", 1)
+	if err != nil {
+		return err
+	}
+	if fast {
+		release()
+		return nil
+	}
+	err = work()
+	release()
+	return err
+}
+
+// passOn returns the release to the caller: ownership moves with the
+// value, the callee owes nothing.
+func passOn(ctx context.Context, l *limiter) (func(), error) {
+	release, err := l.Acquire(ctx, "t", 1)
+	if err != nil {
+		return nil, err
+	}
+	return release, nil
+}
+
+// handOff moves the release into a goroutine that defers it.
+func handOff(ctx context.Context, l *limiter) error {
+	release, err := l.Acquire(ctx, "t", 1)
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer release()
+		_ = work()
+	}()
+	return nil
+}
+
+// tickerLoop stops the ticker with the standard defer directly after
+// creation; the select loop reads t.C freely.
+func tickerLoop(done chan struct{}) int {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	n := 0
+	for {
+		select {
+		case <-t.C:
+			n++
+		case <-done:
+			return n
+		}
+	}
+}
+
+type holder struct{ t *time.Ticker }
+
+// escape stores the ticker in a returned struct: the holder owns the
+// Stop now.
+func escape() *holder {
+	t := time.NewTicker(time.Second)
+	return &holder{t: t}
+}
+
+// panics may leave the obligation live on the panic path; deferred
+// cleanup is the panic story and the path is exempt.
+func panics(ctx context.Context, l *limiter, bad bool) error {
+	release, err := l.Acquire(ctx, "t", 1)
+	if err != nil {
+		return err
+	}
+	if bad {
+		panic("bad state")
+	}
+	release()
+	return nil
+}

@@ -12,9 +12,12 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/tools/analyzers/ctxcheck"
 	"repro/tools/analyzers/errwrapcheck"
 	"repro/tools/analyzers/framework"
 	"repro/tools/analyzers/lockcheck"
+	"repro/tools/analyzers/releasecheck"
+	"repro/tools/analyzers/viewcheck"
 	"repro/tools/analyzers/walcheck"
 )
 
@@ -22,10 +25,13 @@ var analyzers = []*framework.Analyzer{
 	lockcheck.Analyzer,
 	walcheck.Analyzer,
 	errwrapcheck.Analyzer,
+	viewcheck.Analyzer,
+	releasecheck.Analyzer,
+	ctxcheck.Analyzer,
 }
 
 // TestRepositoryIsClean loads each package of the module in-process and
-// runs the three analyzers over it.
+// runs every contract analyzer over it.
 func TestRepositoryIsClean(t *testing.T) {
 	root, modPath, err := framework.FindModule(".")
 	if err != nil {

@@ -1,0 +1,127 @@
+// Package badview violates the ReadView contract in every way viewcheck
+// knows: reentrant locking calls, ReadTx escapes through globals,
+// fields, channels, goroutines and returns, and snapshot scan loops that
+// never poll cancellation.
+package badview
+
+import (
+	"context"
+	"sync"
+)
+
+// The store/view shape mirrors internal/core: a ReadView method whose
+// closure receives a *ReadTx, locking entry points without the Locked
+// suffix, and *Locked snapshot accessors.
+type Store struct {
+	mu sync.RWMutex
+}
+
+type ReadTx struct {
+	s   *Store
+	ctx context.Context
+}
+
+func (s *Store) ReadView(ctx context.Context, fn func(tx *ReadTx) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fn(&ReadTx{s: s, ctx: ctx})
+}
+
+func (s *Store) Insert(k string) error { s.mu.Lock(); defer s.mu.Unlock(); return nil }
+
+func (s *Store) Find(k string) (int64, bool) { s.mu.RLock(); defer s.mu.RUnlock(); return 0, false }
+
+func (tx *ReadTx) tickLocked() error { return tx.ctx.Err() }
+
+func (tx *ReadTx) ModelIDLocked(name string) (int64, error) { return 0, nil }
+
+func (tx *ReadTx) ContainsLinkLocked(mid, sid int64) bool { return false }
+
+var leaked *ReadTx
+
+type holder struct{ tx *ReadTx }
+
+type txErr struct{ tx *ReadTx }
+
+func (e *txErr) Error() string { return "boom" }
+
+// reentrant calls locking entry points while the read lock is held.
+func reentrant(ctx context.Context, s *Store) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		if _, ok := s.Find("x"); ok { // want `call to locking Store.Find inside a ReadView closure`
+			return s.Insert("y") // want `call to locking Store.Insert inside a ReadView closure`
+		}
+		return nil
+	})
+}
+
+// nested opens a view inside a view: ReadView is itself a locking entry
+// point, and the RWMutex is not reentrant.
+func nested(ctx context.Context, s *Store) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		return s.ReadView(ctx, func(inner *ReadTx) error { // want `call to locking Store.ReadView inside a ReadView closure`
+			return nil
+		})
+	})
+}
+
+// escapes leaks the ReadTx through every door.
+func escapes(ctx context.Context, s *Store, ch chan *ReadTx, h *holder) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		leaked = tx // want `ReadTx escapes the ReadView closure: assigned to "leaked"`
+		h.tx = tx   // want `ReadTx escapes the ReadView closure: stored through h.tx`
+		ch <- tx    // want `ReadTx escapes the ReadView closure: sent on a channel`
+		go func() { // want `ReadTx escapes the ReadView closure: captured by a spawned goroutine`
+			_ = tx.tickLocked()
+		}()
+		return nil
+	})
+}
+
+var collected []*ReadTx
+
+// appends stashes the ReadTx in an outer slice: append stores its
+// arguments, unlike an ordinary synchronous call.
+func appends(ctx context.Context, s *Store) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		collected = append(collected, tx) // want `ReadTx escapes the ReadView closure: assigned to "collected"`
+		return nil
+	})
+}
+
+// returnsTx smuggles the ReadTx out inside the returned error value.
+func returnsTx(ctx context.Context, s *Store) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		return &txErr{tx: tx} // want `ReadTx escapes the ReadView closure: returned to the caller`
+	})
+}
+
+// unpolledScan loops over snapshot probes without ever polling
+// cancellation: a cancelled query would hold the read lock to the end.
+func unpolledScan(ctx context.Context, s *Store, names []string) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		for _, n := range names { // want `loop probes the snapshot via ReadTx.ModelIDLocked without polling cancellation`
+			if _, err := tx.ModelIDLocked(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// iterator shows the rule is package-wide: the ReadTx lives in a struct
+// field and the unpolled loop sits in an ordinary method.
+type iterator struct {
+	tx  *ReadTx
+	ids []int64
+}
+
+func (it *iterator) drain() int {
+	n := 0
+	for _, id := range it.ids { // want `loop probes the snapshot via ReadTx.ContainsLinkLocked without polling cancellation`
+		if it.tx.ContainsLinkLocked(id, id) {
+			n++
+		}
+	}
+	return n
+}

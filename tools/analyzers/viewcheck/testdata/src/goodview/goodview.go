@@ -1,0 +1,150 @@
+// Package goodview holds the shapes viewcheck must accept: closures
+// that reach the store only through *Locked methods, scan loops that
+// poll cancellation (via tickLocked, a tick helper, or the context),
+// synchronous helpers that borrow the ReadTx, and locking calls safely
+// outside any view.
+package goodview
+
+import (
+	"context"
+	"sync"
+)
+
+type Store struct {
+	mu sync.RWMutex
+}
+
+type ReadTx struct {
+	s   *Store
+	ctx context.Context
+}
+
+func (s *Store) ReadView(ctx context.Context, fn func(tx *ReadTx) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fn(&ReadTx{s: s, ctx: ctx})
+}
+
+func (s *Store) Insert(k string) error { s.mu.Lock(); defer s.mu.Unlock(); return nil }
+
+func (tx *ReadTx) tickLocked() error { return tx.ctx.Err() }
+
+func (tx *ReadTx) ModelIDLocked(name string) (int64, error) { return 0, nil }
+
+func (tx *ReadTx) ContainsLinkLocked(mid, sid int64) bool { return false }
+
+func (tx *ReadTx) ValueLocked(id int64) (string, error) { return "", nil }
+
+// lockedOnly reaches the store exclusively through the transaction.
+func lockedOnly(ctx context.Context, s *Store) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		id, err := tx.ModelIDLocked("m")
+		if err != nil {
+			return err
+		}
+		_, err = tx.ValueLocked(id)
+		return err
+	})
+}
+
+// polledScan ticks every iteration, so cancellation interrupts the scan.
+func polledScan(ctx context.Context, s *Store, names []string) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		for _, n := range names {
+			if err := tx.tickLocked(); err != nil {
+				return err
+			}
+			if _, err := tx.ModelIDLocked(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ctxPolled polls the view context directly instead of tickLocked.
+func ctxPolled(ctx context.Context, s *Store, ids []int64) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		for _, id := range ids {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			tx.ContainsLinkLocked(id, id)
+		}
+		return nil
+	})
+}
+
+// borrow passes the ReadTx to a synchronous helper — ordinary use, the
+// helper finishes before the closure returns.
+func borrow(ctx context.Context, s *Store) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		return resolve(tx, "m")
+	})
+}
+
+func resolve(tx *ReadTx, name string) error {
+	_, err := tx.ModelIDLocked(name)
+	return err
+}
+
+// iterator mirrors the streaming engine: the ReadTx sits in a field and
+// the method's loop polls through a local tick helper.
+type iterator struct {
+	tx      *ReadTx
+	ctx     context.Context
+	ids     []int64
+	scanned int
+}
+
+func (it *iterator) tick() error {
+	it.scanned++
+	if it.scanned%64 == 0 {
+		return it.ctx.Err()
+	}
+	return nil
+}
+
+func (it *iterator) drain() (int, error) {
+	n := 0
+	for _, id := range it.ids {
+		if err := it.tick(); err != nil {
+			return n, err
+		}
+		if it.tx.ContainsLinkLocked(id, id) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// outsideView may call locking entry points freely: no lock is held.
+func outsideView(s *Store) error {
+	if err := s.Insert("a"); err != nil {
+		return err
+	}
+	return s.Insert("b")
+}
+
+// resultStore copies a value computed from the transaction into an outer
+// variable — the whole point of a read view; only the tx itself may not
+// escape.
+func resultStore(ctx context.Context, s *Store) (int64, error) {
+	var out int64
+	err := s.ReadView(ctx, func(tx *ReadTx) error {
+		id, err := tx.ModelIDLocked("m")
+		out = id
+		return err
+	})
+	return out, err
+}
+
+// localAlias keeps a closure-local alias of the transaction — it dies
+// with the closure, so nothing escapes.
+func localAlias(ctx context.Context, s *Store) error {
+	return s.ReadView(ctx, func(tx *ReadTx) error {
+		view := tx
+		_, err := view.ModelIDLocked("m")
+		return err
+	})
+}

@@ -1,0 +1,357 @@
+// Package viewcheck enforces the ReadView safety contract from
+// internal/core/view.go. A ReadView closure runs with the store's read
+// lock held for its whole duration, so three things must be true of it:
+//
+//  1. No reentrant locking: the closure must not call locking store
+//     entry points — the RWMutex is not reentrant, so a nested RLock
+//     (or a writer Lock) on the same store deadlocks under contention.
+//     Inside the closure, only *Locked methods may touch the store type
+//     that provided the view (calling ReadView again is itself such a
+//     violation).
+//  2. No escape: the *ReadTx is only valid while the closure runs. It
+//     must not be stored in fields, globals, or outer locals, sent on a
+//     channel, captured by a spawned goroutine, or smuggled out through
+//     the closure's return value.
+//  3. Prompt cancellation: a loop that probes the snapshot through
+//     *Locked calls must poll cancellation each iteration — tickLocked,
+//     or a direct ctx.Err()/ctx.Done() check — so a runaway scan
+//     releases the read lock soon after a cancel or deadline. This rule
+//     is package-wide, not closure-local: the streaming iterators hold
+//     the ReadTx in a struct field and loop in their own methods.
+//
+// The pass is shape-driven, matching the contract the way the code
+// spells it: a method named ReadView whose final argument is a func
+// taking a *ReadTx marks the closure, and the method's receiver type is
+// the store whose locking surface is then off limits. This keeps the
+// fixtures self-contained and means any future store following the same
+// idiom is covered automatically.
+package viewcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/analyzers/framework"
+	"repro/tools/analyzers/guard"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "viewcheck",
+	Doc: "check ReadView closures for reentrant store calls, ReadTx escape, " +
+		"and unpolled snapshot scan loops",
+	Run: run,
+	// White-box core tests poke *Locked internals single-threaded.
+	SkipTestFiles: true,
+}
+
+const readTxTypeName = "ReadTx"
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if lit, storeTN, ok := readViewClosure(pass, call); ok {
+					checkClosure(pass, lit, storeTN)
+				}
+			}
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkScanLoops(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// readViewClosure matches `store.ReadView(ctx, func(tx *ReadTx) error
+// {...})` and returns the closure literal plus the store's type name.
+func readViewClosure(pass *framework.Pass, call *ast.CallExpr) (*ast.FuncLit, *types.TypeName, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ReadView" || len(call.Args) == 0 {
+		return nil, nil, false
+	}
+	lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+	if !ok || lit.Type.Params == nil || len(lit.Type.Params.List) != 1 {
+		return nil, nil, false
+	}
+	ptv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return nil, nil, false
+	}
+	storeTN := guard.NamedOf(ptv.Type)
+	if storeTN == nil {
+		return nil, nil, false
+	}
+	// The closure's one parameter must be the view transaction.
+	param := lit.Type.Params.List[0]
+	if tv, ok := pass.TypesInfo.Types[param.Type]; ok {
+		if tn := guard.NamedOf(tv.Type); tn != nil && tn.Name() == readTxTypeName {
+			return lit, storeTN, true
+		}
+	}
+	return nil, nil, false
+}
+
+// checkClosure applies the reentrancy and escape rules to one closure.
+func checkClosure(pass *framework.Pass, lit *ast.FuncLit, storeTN *types.TypeName) {
+	var txObj *types.Var
+	param := lit.Type.Params.List[0]
+	if len(param.Names) == 1 {
+		txObj, _ = pass.TypesInfo.Defs[param.Names[0]].(*types.Var)
+	}
+
+	// Collect nested literal ranges: their own return statements return
+	// from the nested function, not from the view closure.
+	var nested []*ast.FuncLit
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if nl, ok := n.(*ast.FuncLit); ok && nl != lit {
+			nested = append(nested, nl)
+		}
+		return true
+	})
+	inNested := func(n ast.Node) bool {
+		for _, nl := range nested {
+			if n.Pos() > nl.Pos() && n.End() <= nl.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Rule 1: no locking entry points on the store type. Nested
+			// literals are included — scan callbacks run under the view.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			rtv, ok := pass.TypesInfo.Types[sel.X]
+			if !ok {
+				return true
+			}
+			if tn := guard.NamedOf(rtv.Type); tn == storeTN &&
+				!strings.HasSuffix(sel.Sel.Name, "Locked") {
+				pass.Reportf(n.Pos(),
+					"call to locking %s.%s inside a ReadView closure; the read lock is already held and the RWMutex is not reentrant — use a *Locked method on the ReadTx",
+					storeTN.Name(), sel.Sel.Name)
+			}
+
+		case *ast.AssignStmt:
+			if txObj == nil {
+				return true
+			}
+			// Rule 2a: tx stored through a field/index, or into a binding
+			// declared outside the closure, outlives the view. Storing a
+			// *result* computed from tx is the whole point of a view
+			// (`out = tx.PlanStatsLocked(mid)`), so tx buried inside a
+			// call does not count — only the tx value itself escaping.
+			for i, lhs := range n.Lhs {
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if !escapesViaResult(pass, rhs, txObj) {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					obj := pass.TypesInfo.Defs[l]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[l]
+					}
+					if obj != nil && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+						pass.Reportf(n.Pos(),
+							"ReadTx escapes the ReadView closure: assigned to %q, which outlives the view", l.Name)
+					}
+				default:
+					pass.Reportf(n.Pos(),
+						"ReadTx escapes the ReadView closure: stored through %s, which outlives the view", guard.Render(lhs))
+				}
+			}
+
+		case *ast.SendStmt:
+			if txObj != nil && escapesViaResult(pass, n.Value, txObj) {
+				pass.Reportf(n.Pos(), "ReadTx escapes the ReadView closure: sent on a channel")
+			}
+
+		case *ast.GoStmt:
+			// Rule 2b: a goroutine outlives the closure even when spawned
+			// from a nested callback.
+			if txObj != nil && refersTo(pass, n.Call, txObj) {
+				pass.Reportf(n.Pos(), "ReadTx escapes the ReadView closure: captured by a spawned goroutine")
+			}
+			return false // reported (or clean) as a whole
+
+		case *ast.ReturnStmt:
+			if txObj == nil || inNested(n) {
+				return true
+			}
+			// Rule 2c: returning tx inside a composite value or closure
+			// smuggles it past the unlock. Passing tx to a call in the
+			// return expression is ordinary synchronous use and fine.
+			for _, res := range n.Results {
+				if escapesViaResult(pass, res, txObj) {
+					pass.Reportf(n.Pos(), "ReadTx escapes the ReadView closure: returned to the caller after the lock is released")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// refersTo reports whether expr mentions the object anywhere.
+func refersTo(pass *framework.Pass, n ast.Node, obj *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapesViaResult reports whether an expression carries obj itself out
+// of the closure: obj as the value, obj inside a composite literal, or
+// obj captured by a function literal. obj appearing only inside an
+// ordinary call does not count — the callee runs synchronously and only
+// its result flows out. append is the exception: it stores its arguments
+// in the destination slice.
+func escapesViaResult(pass *framework.Pass, res ast.Expr, obj *types.Var) bool {
+	if id, ok := res.(*ast.Ident); ok {
+		return pass.TypesInfo.Uses[id] == obj
+	}
+	found := false
+	ast.Inspect(res, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if id, ok := m.Fun.(*ast.Ident); ok && id.Name == "append" && len(m.Args) > 1 {
+				for _, a := range m.Args[1:] {
+					if refersTo(pass, a, obj) {
+						found = true
+					}
+				}
+			}
+			// Otherwise synchronous use; skip the call and its args.
+			return false
+		case *ast.CompositeLit, *ast.FuncLit:
+			if refersTo(pass, m, obj) {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkScanLoops enforces rule 3 over one function body: any for/range
+// loop whose own body (not a nested loop's, not a nested literal's)
+// probes the snapshot through *Locked calls must also poll cancellation.
+func checkScanLoops(pass *framework.Pass, body *ast.BlockStmt) {
+	type loopInfo struct {
+		loop    ast.Stmt
+		probe   string
+		nProbes int
+		hasPoll bool
+	}
+
+	var walk func(n ast.Node, cur *loopInfo)
+	report := func(li *loopInfo) {
+		if li.nProbes > 0 && !li.hasPoll {
+			pass.Reportf(li.loop.Pos(),
+				"loop probes the snapshot via %s without polling cancellation; call tickLocked (or check the view context) each iteration",
+				li.probe)
+		}
+	}
+	walk = func(n ast.Node, cur *loopInfo) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || m == n {
+				return true
+			}
+			switch m := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				li := &loopInfo{loop: m.(ast.Stmt)}
+				walk(m, li)
+				report(li)
+				return false
+			case *ast.FuncLit:
+				// A literal's body is its own scan context; run visits
+				// every FuncLit in the file, so it is checked separately.
+				return false
+			case *ast.CallExpr:
+				if cur == nil {
+					return true
+				}
+				if isPoll(pass, m) {
+					cur.hasPoll = true
+				} else if name, ok := isProbe(pass, m); ok {
+					cur.nProbes++
+					if cur.probe == "" {
+						cur.probe = name
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, nil)
+}
+
+// isProbe matches tx.XxxLocked(...) calls on a ReadTx-typed receiver.
+func isProbe(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") || sel.Sel.Name == "tickLocked" {
+		return "", false
+	}
+	rtv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	tn := guard.NamedOf(rtv.Type)
+	if tn == nil || tn.Name() != readTxTypeName {
+		return "", false
+	}
+	return tn.Name() + "." + sel.Sel.Name, true
+}
+
+// isPoll matches cancellation checks: tickLocked (and the iterator-local
+// tick helpers wrapping it), or Err/Done on a context.Context.
+func isPoll(pass *framework.Pass, call *ast.CallExpr) bool {
+	var name string
+	var recv ast.Expr
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+		recv = f.X
+	default:
+		return false
+	}
+	if name == "tickLocked" || name == "tick" {
+		return true
+	}
+	if (name == "Err" || name == "Done") && recv != nil {
+		if rtv, ok := pass.TypesInfo.Types[recv]; ok {
+			if tn := guard.NamedOf(rtv.Type); tn != nil &&
+				tn.Pkg() != nil && tn.Pkg().Path() == "context" && tn.Name() == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package viewcheck
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/framework"
+)
+
+func TestViewcheck(t *testing.T) {
+	framework.RunTest(t, "testdata", Analyzer, "badview", "goodview")
+}
