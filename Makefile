@@ -12,7 +12,7 @@ LINT_STRICT ?=
 
 .PHONY: all build vet test race cover bench bench-join-check fuzz \
 	experiments examples clean lint analyzers staticcheck govulncheck \
-	fuzz-smoke chaos server-smoke lint-race
+	fuzz-smoke chaos chaos-disk server-smoke lint-race
 
 all: build vet test
 
@@ -71,6 +71,21 @@ test:
 chaos:
 	$(GO) test -race -count=3 -run 'TestChaosCycle|TestDurabilityFault|TestDegradedReads' \
 		./internal/supervise/ ./internal/core/ -v
+
+# Disk-pressure chaos for the segmented WAL: the crash-point matrix over
+# every byte of a multi-segment run, checkpoint crash windows, the
+# supervisor-level ENOSPC chaos cycle (injected no-space and partial
+# writes under concurrent load, asserting zero acked-commit loss and
+# automatic return to Healthy), then an end-to-end rdfbench drill
+# against a live segmented-WAL rdfserve with ENOSPC faults armed —
+# every injected fault must surface as a typed 507/503, never a 500.
+chaos-disk:
+	$(GO) test -race -count=1 -run 'TestDirCrashMatrix|TestDirCheckpointCrashWindows' \
+		./internal/core/ -v
+	$(GO) test -race -count=1 -run 'TestChaosDiskENOSPC|TestHardBudgetDegradesAndSelfHeals|TestDiskRecoveryNeverReachesFailed' \
+		./internal/supervise/ -v
+	$(GO) run ./cmd/rdfbench -conns 32 -duration 3s -burst 64 \
+		-wal-segment-bytes 4096 -wal-soft-bytes 65536 -chaos-wal-enospc-rate 0.01
 
 race:
 	$(GO) test -race ./...

@@ -21,7 +21,11 @@
 // a supervised store whose WAL is wrapped with a deterministic fault
 // injector (-chaos-wal-write-rate), so the bench exercises the
 // Degraded/Recovering 503 paths and WAL recovery under fire, then
-// shuts the server down mid-load to verify the drain contract. Results
+// shuts the server down mid-load to verify the drain contract. With
+// -segmented-wal (or any of the -wal-*-bytes / -chaos-wal-enospc-rate
+// knobs) the store runs on the segmented WAL instead: rotation, disk
+// budgets, automatic checkpoints, and the Degraded(disk) 507 path under
+// injected ENOSPC. Results
 // (p50/p99 latency per endpoint, status and rejection tallies,
 // corruption and hang counts) print as a table and, with -json, land
 // in a machine-readable report (BENCH_6.json in CI).
@@ -65,16 +69,21 @@ const (
 )
 
 type config struct {
-	base      string
-	conns     int
-	duration  time.Duration
-	model     string
-	jsonPath  string
-	chaosRate float64
-	chaosSeed int64
-	burst     int
-	inflight  int64
-	hangSlack time.Duration
+	base         string
+	conns        int
+	duration     time.Duration
+	model        string
+	jsonPath     string
+	chaosRate    float64
+	chaosSeed    int64
+	burst        int
+	inflight     int64
+	hangSlack    time.Duration
+	segmented    bool
+	segmentBytes int64
+	softBytes    int64
+	hardBytes    int64
+	enospcRate   float64
 }
 
 // newFlagSet defines every rdfbench knob in one place; the knob table
@@ -90,6 +99,11 @@ func newFlagSet() (*flag.FlagSet, *config) {
 	fs.StringVar(&cfg.jsonPath, "json", "", "write the machine-readable report to this file")
 	fs.Float64Var(&cfg.chaosRate, "chaos-wal-write-rate", 0.02, "self-serve: probability each WAL write fails")
 	fs.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "self-serve: fault injector seed")
+	fs.BoolVar(&cfg.segmented, "segmented-wal", false, "self-serve: segmented WAL directory instead of a single log file")
+	fs.Int64Var(&cfg.segmentBytes, "wal-segment-bytes", 0, "self-serve: segment rotation threshold in bytes (0 = 64 MiB default; implies -segmented-wal)")
+	fs.Int64Var(&cfg.softBytes, "wal-soft-bytes", 0, "self-serve: soft disk watermark triggering automatic checkpoints (implies -segmented-wal)")
+	fs.Int64Var(&cfg.hardBytes, "wal-hard-bytes", 0, "self-serve: hard disk budget — writes past it answer 507 until recovery frees segments (implies -segmented-wal)")
+	fs.Float64Var(&cfg.enospcRate, "chaos-wal-enospc-rate", 0, "self-serve: probability each segment write fails with injected ENOSPC (implies -segmented-wal)")
 	fs.IntVar(&cfg.burst, "burst", 256, "size of the synchronized heavy-query burst that must overflow admission")
 	fs.Int64Var(&cfg.inflight, "max-inflight", 32, "self-serve: server admission capacity (small, so the burst rejects)")
 	fs.DurationVar(&cfg.hangSlack, "hang-slack", 15*time.Second, "client-side hang budget past the server's max timeout")
@@ -104,6 +118,9 @@ func run(args []string, stdout io.Writer) error {
 	cfg := *cfgp
 	if cfg.conns < 1 {
 		return errors.New("-conns must be >= 1")
+	}
+	if cfg.segmentBytes > 0 || cfg.softBytes > 0 || cfg.hardBytes > 0 || cfg.enospcRate > 0 {
+		cfg.segmented = true
 	}
 
 	b := newBench(cfg)
@@ -194,11 +211,41 @@ func (b *bench) startSelfServe(stdout io.Writer) (stop func(), injected func() (
 	var flakies []*wal.FlakyFile
 	var armed bool // faults arm after the seed insert (armChaos)
 	scfg := supervise.Config{
-		WALPath:      filepath.Join(dir, "bench.wal"),
 		SnapshotPath: filepath.Join(dir, "bench.snap"),
 		Obs:          obs.NewRegistry(),
 	}
-	if b.cfg.chaosRate > 0 {
+	if b.cfg.segmented {
+		scfg.WALDir = filepath.Join(dir, "bench.wal.d")
+		scfg.Segment = wal.DirOptions{
+			SegmentBytes: b.cfg.segmentBytes,
+			Budget:       wal.Budget{SoftBytes: b.cfg.softBytes, HardBytes: b.cfg.hardBytes},
+		}
+		if b.cfg.enospcRate > 0 {
+			var seq int64
+			scfg.Segment.Wrap = func(f wal.File) wal.File {
+				fl := wal.NewFlaky(f)
+				flakyMu.Lock()
+				seq++
+				if armed {
+					fl.SetNoSpaceRate(b.cfg.enospcRate, b.cfg.chaosSeed+seq)
+				}
+				flakies = append(flakies, fl)
+				flakyMu.Unlock()
+				return fl
+			}
+			b.armChaos = func() {
+				flakyMu.Lock()
+				defer flakyMu.Unlock()
+				armed = true
+				for i, fl := range flakies {
+					fl.SetNoSpaceRate(b.cfg.enospcRate, b.cfg.chaosSeed+int64(i)+1)
+				}
+			}
+		}
+	} else {
+		scfg.WALPath = filepath.Join(dir, "bench.wal")
+	}
+	if b.cfg.chaosRate > 0 && !b.cfg.segmented {
 		scfg.OpenWAL = func(path string) (*wal.Log, wal.ScanResult, error) {
 			return wal.OpenFileWith(path, func(f wal.File) wal.File {
 				fl := wal.NewFlaky(f)
@@ -250,8 +297,13 @@ func (b *bench) startSelfServe(stdout io.Writer) (stop func(), injected func() (
 	}
 	go srv.Serve(ln)
 	b.cfg.base = "http://" + ln.Addr().String()
-	fmt.Fprintf(stdout, "self-serve: %s (chaos write rate %.2f, capacity %d)\n",
-		b.cfg.base, b.cfg.chaosRate, b.cfg.inflight)
+	if b.cfg.segmented {
+		fmt.Fprintf(stdout, "self-serve: %s (segmented WAL, ENOSPC rate %.2f, capacity %d)\n",
+			b.cfg.base, b.cfg.enospcRate, b.cfg.inflight)
+	} else {
+		fmt.Fprintf(stdout, "self-serve: %s (chaos write rate %.2f, capacity %d)\n",
+			b.cfg.base, b.cfg.chaosRate, b.cfg.inflight)
+	}
 
 	injected = func() (int, int) {
 		flakyMu.Lock()
@@ -527,7 +579,9 @@ func (b *bench) burstPhase(stdout io.Writer) {
 			switch {
 			case err == nil && status == 200:
 				atomic.AddInt64(&ok, 1)
-			case err == nil && (status == 429 || status == 503):
+			case err == nil && (status == 429 || status == 503 || status == 507):
+				// 507 joins the typed-rejection family: under disk-pressure
+				// chaos the burst can land while the store is Degraded(disk).
 				atomic.AddInt64(&rejected, 1)
 			}
 		}()

@@ -21,6 +21,12 @@
 // keep loading into a checkpointed store, pass the snapshot back with
 // -snapshot alongside -wal.
 //
+// -wal-dir selects the segmented WAL instead of a single file: rotating
+// segment files (-wal-segment-bytes) under an optional disk budget
+// (-wal-hard-bytes). With -save the checkpoint records a segment
+// watermark in the snapshot and retires the segments it covers; pass
+// the same -snapshot and -wal-dir back to continue.
+//
 // Bulk-load fast path: -workers parses the input with parallel workers
 // (0 = all CPUs), and -batch inserts triples through the store's batch
 // API — one write-lock acquisition and one WAL commit per batch instead
@@ -69,6 +75,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	keepOrig := fs.Bool("keep-orig", false, "store original quad-resource URIs alongside DBUris")
 	save := fs.String("save", "", "write a store snapshot to this file after loading (readable by rdfquery -snapshot)")
 	walPath := fs.String("wal", "", "write-ahead log file: mutations are logged durably, and an existing log is replayed before loading")
+	walDir := fs.String("wal-dir", "", "segmented write-ahead log directory (rotating segments; mutually exclusive with -wal)")
+	segmentBytes := fs.Int64("wal-segment-bytes", 0, "segment rotation threshold in bytes (0 = 64 MiB default; requires -wal-dir)")
+	hardBytes := fs.Int64("wal-hard-bytes", 0, "hard disk budget for the WAL directory: appends past it fail with a typed disk-full error (0 disables; requires -wal-dir)")
 	snapPath := fs.String("snapshot", "", "checkpoint snapshot to load before replaying the WAL (continue a store checkpointed with -save -wal)")
 	format := fs.String("format", "nt", "input format: nt (N-Triples) or xml (RDF/XML)")
 	base := fs.String("base", "", "base URI for resolving rdf:ID in RDF/XML input")
@@ -85,6 +94,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *syncEvery < 1 {
 		return fmt.Errorf("-sync-every must be >= 1 (got %d)", *syncEvery)
+	}
+	if *walPath != "" && *walDir != "" {
+		return errors.New("-wal and -wal-dir are mutually exclusive")
+	}
+	if (*segmentBytes > 0 || *hardBytes > 0) && *walDir == "" {
+		return errors.New("-wal-segment-bytes/-wal-hard-bytes require -wal-dir")
 	}
 
 	// Admin surface: a registry plus an HTTP listener started before the
@@ -115,7 +130,43 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	store := core.New()
-	if *snapPath != "" {
+	var dir *wal.Dir
+	if *walDir != "" {
+		// Segmented WAL: snapshot (with its segment watermark), retention
+		// cleanup, and replay happen in one recovery step.
+		if *snapPath != "" {
+			if _, err := os.Stat(*snapPath); err != nil {
+				return err
+			}
+		}
+		var info core.RecoverInfo
+		var err error
+		store, dir, info, err = core.RecoverDir(*snapPath, *walDir, wal.DirOptions{
+			SegmentBytes: *segmentBytes,
+			Budget:       wal.Budget{HardBytes: *hardBytes},
+		})
+		if err != nil {
+			switch {
+			case errors.Is(err, core.ErrSnapshotVersion):
+				return fmt.Errorf("snapshot %s was written by an incompatible format version — regenerate it with this build's -save (%v)", *snapPath, err)
+			case errors.Is(err, core.ErrSnapshotCorrupt):
+				return fmt.Errorf("snapshot %s is damaged and cannot be loaded (%v)", *snapPath, err)
+			case errors.Is(err, wal.ErrSegmentCorrupt):
+				return fmt.Errorf("WAL directory %s is damaged (a non-final segment is torn or missing): %v", *walDir, err)
+			}
+			return err
+		}
+		defer dir.Close()
+		if *snapPath != "" {
+			fmt.Fprintf(stdout, "loaded checkpoint snapshot %s\n", *snapPath)
+		}
+		if info.Applied > 0 {
+			fmt.Fprintf(stdout, "replayed %d WAL records from %d segment(s) in %s\n", info.Applied, info.Segments, *walDir)
+		}
+		if info.Truncated {
+			fmt.Fprintf(os.Stderr, "rdfload: warning: WAL had a torn tail (truncated to last valid record): %v\n", info.TailErr)
+		}
+	} else if *snapPath != "" {
 		f, err := os.Open(*snapPath)
 		if err != nil {
 			return err
@@ -154,7 +205,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "replayed %d WAL records from %s\n", len(res.Records), *walPath)
 		}
 		if res.Truncated {
-			fmt.Fprintf(stdout, "WAL had a torn tail (%v); truncated to last valid record\n", res.TailErr)
+			fmt.Fprintf(os.Stderr, "rdfload: warning: WAL had a torn tail (truncated to last valid record): %v\n", res.TailErr)
 		}
 		// Log mutations from here on; replayed records are already durable.
 		if *syncEvery > 1 {
@@ -172,6 +223,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				group.SetMetrics(m) // also attaches to the underlying log
 			} else {
 				log.SetMetrics(m)
+			}
+		}
+	}
+	if dir != nil {
+		// Same durability wiring over the segmented sink: group commit
+		// composes with rotation (each flushed batch lands in one segment).
+		if *syncEvery > 1 {
+			group = wal.GroupSink(dir, wal.GroupOptions{SyncEvery: *syncEvery})
+			store.SetDurability(group)
+		} else {
+			store.SetDurability(dir)
+		}
+		if reg != nil {
+			m := wal.NewMetrics(reg)
+			if group != nil {
+				group.SetMetrics(m) // also attaches to the underlying dir
+			} else {
+				dir.SetMetrics(m)
 			}
 		}
 	}
@@ -250,19 +319,30 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			saved, 100*float64(stats.QuadsFolded)/float64(4*stats.QuadsFolded))
 	}
 	if *save != "" {
-		// Atomic checkpoint: tmp file + fsync + rename, so a crash
-		// mid-save never clobbers an existing good snapshot.
-		if err := store.SaveFile(*save); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "snapshot written to %s\n", *save)
-		if log != nil {
-			// Checkpoint: the snapshot now holds everything the log did,
-			// so the log restarts empty.
-			if err := log.Reset(); err != nil {
-				return fmt.Errorf("truncating WAL after checkpoint: %w", err)
+		switch {
+		case dir != nil:
+			// Segmented checkpoint: rotate, write the snapshot with the new
+			// segment number as its watermark, then retire older segments.
+			if err := core.CheckpointDir(store, *save, dir); err != nil {
+				return fmt.Errorf("checkpointing WAL directory: %w", err)
 			}
-			fmt.Fprintf(stdout, "WAL %s checkpointed (truncated)\n", *walPath)
+			fmt.Fprintf(stdout, "snapshot written to %s\n", *save)
+			fmt.Fprintf(stdout, "WAL %s checkpointed (stale segments retired)\n", *walDir)
+		default:
+			// Atomic checkpoint: tmp file + fsync + rename, so a crash
+			// mid-save never clobbers an existing good snapshot.
+			if err := store.SaveFile(*save); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "snapshot written to %s\n", *save)
+			if log != nil {
+				// Checkpoint: the snapshot now holds everything the log did,
+				// so the log restarts empty.
+				if err := log.Reset(); err != nil {
+					return fmt.Errorf("truncating WAL after checkpoint: %w", err)
+				}
+				fmt.Fprintf(stdout, "WAL %s checkpointed (truncated)\n", *walPath)
+			}
 		}
 	}
 	if *adminAddr != "" && *adminLinger > 0 {

@@ -89,6 +89,7 @@ func run(args []string, stdout io.Writer) error {
 	data := fs.String("data", "", "N-Triples file to load (default: stdin)")
 	snapshot := fs.String("snapshot", "", "store snapshot to open instead of loading N-Triples (see rdfload -save)")
 	walPath := fs.String("wal", "", "write-ahead log to replay (on top of -snapshot when both are given; see rdfload -wal)")
+	walDir := fs.String("wal-dir", "", "segmented write-ahead log directory to replay (see rdfload -wal-dir; mutually exclusive with -wal)")
 	query := fs.String("query", "", "match query, e.g. '(?s ?p ?o)'")
 	queryModel := fs.String("model", "data", "model to query when opening a snapshot")
 	stats := fs.Bool("stats", false, "print model storage statistics instead of running a query")
@@ -109,6 +110,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *query == "" && !*stats {
 		return fmt.Errorf("-query is required (or pass -stats)")
+	}
+	if *walPath != "" && *walDir != "" {
+		return errors.New("-wal and -wal-dir are mutually exclusive")
 	}
 
 	// Admin surface: serve the metrics registry while the command runs.
@@ -148,9 +152,9 @@ func run(args []string, stdout io.Writer) error {
 
 	var store *core.Store
 	model := *queryModel
-	if *snapshot != "" || *walPath != "" {
+	if *snapshot != "" || *walPath != "" || *walDir != "" {
 		var err error
-		store, err = openDurable(*snapshot, *walPath, stdout)
+		store, err = openDurable(*snapshot, *walPath, *walDir, stdout)
 		if err != nil {
 			return err
 		}
@@ -312,9 +316,42 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // openDurable rebuilds a store from a snapshot (checkpoint) and/or a
-// write-ahead log, translating the typed failure modes into actionable
-// messages.
-func openDurable(snapPath, walPath string, stdout io.Writer) (*core.Store, error) {
+// write-ahead log — single-file (walPath) or segmented (walDir) —
+// translating the typed failure modes into actionable messages.
+func openDurable(snapPath, walPath, walDir string, stdout io.Writer) (*core.Store, error) {
+	if walDir != "" {
+		if snapPath != "" {
+			if _, err := os.Stat(snapPath); err != nil {
+				return nil, err
+			}
+		}
+		store, d, info, err := core.RecoverDir(snapPath, walDir, wal.DirOptions{})
+		if err != nil {
+			switch {
+			case errors.Is(err, core.ErrSnapshotVersion):
+				return nil, fmt.Errorf("snapshot %s was written by an incompatible format version — regenerate it with this build's rdfload -save (%v)", snapPath, err)
+			case errors.Is(err, core.ErrSnapshotCorrupt):
+				return nil, fmt.Errorf("snapshot %s is damaged and cannot be loaded — regenerate it with rdfload -save (%v)", snapPath, err)
+			case errors.Is(err, wal.ErrSegmentCorrupt):
+				return nil, fmt.Errorf("WAL directory %s is damaged (a non-final segment is torn or missing): %v", walDir, err)
+			case errors.Is(err, wal.ErrNotWAL):
+				return nil, fmt.Errorf("%s does not hold WAL segments — pass the directory written by rdfload -wal-dir (%v)", walDir, err)
+			}
+			return nil, err
+		}
+		d.Close() // read-only use: the query never appends
+		if snapPath != "" {
+			fmt.Fprintf(stdout, "recovered from snapshot %s + WAL directory %s (%d records replayed, %d segments)\n",
+				snapPath, walDir, info.Applied, info.Segments)
+		} else {
+			fmt.Fprintf(stdout, "recovered from WAL directory %s (%d records replayed, %d segments)\n",
+				walDir, info.Applied, info.Segments)
+		}
+		if info.Truncated {
+			fmt.Fprintf(os.Stderr, "rdfquery: warning: WAL had a torn tail (recovered to the last valid record): %v\n", info.TailErr)
+		}
+		return store, nil
+	}
 	var snapR io.Reader
 	if snapPath != "" {
 		f, err := os.Open(snapPath)
@@ -354,7 +391,7 @@ func openDurable(snapPath, walPath string, stdout io.Writer) (*core.Store, error
 		fmt.Fprintf(stdout, "opened snapshot %s\n", snapPath)
 	}
 	if info.Truncated {
-		fmt.Fprintf(stdout, "WAL had a torn tail (%v); recovered to the last valid record\n", info.TailErr)
+		fmt.Fprintf(os.Stderr, "rdfquery: warning: WAL had a torn tail (recovered to the last valid record): %v\n", info.TailErr)
 	}
 	return store, nil
 }

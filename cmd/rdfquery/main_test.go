@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -296,15 +297,44 @@ func TestQueryTornWALRecovers(t *testing.T) {
 	}
 
 	var out strings.Builder
+	stderr := captureStderr(t)
 	err = run([]string{
 		"-wal", walPath,
 		"-query", "(?s ?p ?o)",
 	}, &out)
+	warnings := stderr()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "torn tail") {
-		t.Errorf("torn tail not reported:\n%s", out.String())
+	// The torn-tail repair is an operational warning: it must land on
+	// stderr (one line), not pollute the query output on stdout.
+	if !strings.Contains(warnings, "torn tail") {
+		t.Errorf("torn tail warning not on stderr:\n%s", warnings)
+	}
+	if strings.Contains(out.String(), "torn tail") {
+		t.Errorf("torn tail warning leaked to stdout:\n%s", out.String())
+	}
+}
+
+// captureStderr swaps os.Stderr for a pipe; the returned func restores
+// it and yields everything written in between.
+func captureStderr(t *testing.T) func() string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	return func() string {
+		w.Close()
+		os.Stderr = old
+		return <-done
 	}
 }
 
@@ -415,5 +445,64 @@ func TestQueryAdminBadAddr(t *testing.T) {
 	}, &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "-admin") {
 		t.Fatalf("bad -admin addr error = %v", err)
+	}
+}
+
+// TestQueryWALDirRecovers reads a store back from a segmented WAL
+// directory, including the torn-tail repair warning on stderr.
+func TestQueryWALDirRecovers(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal.d")
+	d, _, err := wal.OpenDir(walDir, 0, wal.DirOptions{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.New()
+	st.SetDurability(d)
+	if _, err := st.CreateRDFModel("data", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	loader := &reify.Loader{Store: st, Model: "data"}
+	if _, err := loader.Load(strings.NewReader(icData)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Segments() < 2 {
+		t.Fatalf("load spans only %d segment(s); shrink SegmentBytes", d.Segments())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean read via -wal-dir.
+	var out strings.Builder
+	if err := run([]string{"-wal-dir", walDir, "-query", "(?s ?p ?o)"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recovered from WAL directory") {
+		t.Errorf("recovery banner missing:\n%s", out.String())
+	}
+
+	// Tear the final segment's tail: one stderr warning, query still runs.
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v (err %v)", segs, err)
+	}
+	last := segs[len(segs)-1]
+	img, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, img[:len(img)-3], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	stderr := captureStderr(t)
+	err = run([]string{"-wal-dir", walDir, "-query", "(?s ?p ?o)"}, &out)
+	warnings := stderr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warnings, "torn tail") {
+		t.Errorf("torn tail warning not on stderr:\n%s", warnings)
 	}
 }

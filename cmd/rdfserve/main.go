@@ -10,14 +10,20 @@
 //
 //	rdfserve -addr 127.0.0.1:8080 -model data -load data.nt
 //	rdfserve -addr :8080 -wal store.wal -snapshot store.snap
+//	rdfserve -addr :8080 -wal-dir store.d -snapshot store.snap -wal-soft-bytes 268435456
 //	rdfserve -addr :8080 -wal store.wal -chaos-wal-write-rate 0.05
 //
-// Without -wal the store is memory-only and always Healthy. With -wal
-// (and optionally -snapshot) the store runs under the supervisor:
-// recovery, scrubbing, and the health states that gate admission
-// (Degraded/Recovering answer 503 + Retry-After; Failed answers 503).
-// The -chaos-wal-* flags wrap the WAL file with a deterministic fault
-// injector — every write/sync fails with the given probability — for
+// Without -wal/-wal-dir the store is memory-only and always Healthy.
+// With -wal (and optionally -snapshot) the store runs under the
+// supervisor: recovery, scrubbing, and the health states that gate
+// admission (Degraded/Recovering answer 503 + Retry-After; Failed
+// answers 503). -wal-dir selects the segmented WAL instead: rotating
+// segment files with checkpoint-driven retention and a disk budget —
+// crossing -wal-soft-bytes triggers an automatic checkpoint, exhausting
+// -wal-hard-bytes (or a real ENOSPC) moves the store to Degraded(disk),
+// where writes answer 507 + Retry-After until space is freed. The
+// -chaos-wal-* flags wrap the WAL file(s) with a deterministic fault
+// injector — writes/syncs fail with the given probability — for
 // robustness drills: the server keeps serving reads while the
 // supervisor degrades and recovers underneath it.
 //
@@ -36,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -60,9 +67,16 @@ func main() {
 type serveFlags struct {
 	addr, model, load *string
 	walPath, snapPath *string
+	walDir            *string
+	segmentBytes      *int64
+	softBytes         *int64
+	hardBytes         *int64
+	ckptInterval      *time.Duration
+	ckptWALBytes      *int64
 	scrubInterval     *time.Duration
 	chaosWrite        *float64
 	chaosSync         *float64
+	chaosENOSPC       *float64
 	chaosSeed         *int64
 	maxInflight       *int64
 	maxQueue          *int
@@ -88,9 +102,16 @@ func newFlagSet() (*flag.FlagSet, *serveFlags) {
 
 		walPath:       fs.String("wal", "", "write-ahead log: run under the supervisor with durable mutations"),
 		snapPath:      fs.String("snapshot", "", "checkpoint snapshot to load before replaying the WAL"),
-		scrubInterval: fs.Duration("scrub-interval", 0, "background invariant scrub cadence (0 disables; requires -wal)"),
+		walDir:        fs.String("wal-dir", "", "segmented WAL directory (rotating segments, checkpoint retention, disk budget); mutually exclusive with -wal"),
+		segmentBytes:  fs.Int64("wal-segment-bytes", 0, "segment rotation threshold in bytes (0 = 64 MiB default; requires -wal-dir)"),
+		softBytes:     fs.Int64("wal-soft-bytes", 0, "soft disk watermark: crossing it triggers an automatic checkpoint (0 disables; requires -wal-dir and -snapshot)"),
+		hardBytes:     fs.Int64("wal-hard-bytes", 0, "hard disk budget: appends past it are rejected and the store enters Degraded(disk) (0 disables; requires -wal-dir)"),
+		ckptInterval:  fs.Duration("checkpoint-interval", 0, "automatic checkpoint age trigger (0 disables; requires -snapshot)"),
+		ckptWALBytes:  fs.Int64("checkpoint-wal-bytes", 0, "automatic checkpoint WAL-size trigger in bytes (0 disables; requires -snapshot)"),
+		scrubInterval: fs.Duration("scrub-interval", 0, "background invariant scrub cadence (0 disables; requires -wal/-wal-dir)"),
 		chaosWrite:    fs.Float64("chaos-wal-write-rate", 0, "probability each WAL write fails (fault-injection drill; requires -wal)"),
 		chaosSync:     fs.Float64("chaos-wal-sync-rate", 0, "probability each WAL sync fails (requires -wal)"),
+		chaosENOSPC:   fs.Float64("chaos-wal-enospc-rate", 0, "probability each segment write fails with injected ENOSPC (requires -wal-dir)"),
 		chaosSeed:     fs.Int64("chaos-seed", 1, "deterministic seed for the WAL fault injector"),
 
 		maxInflight: fs.Int64("max-inflight", 64, "admission capacity in weight units (query/traverse 4, insert 2, find 1)"),
@@ -118,6 +139,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	addr, model, load := f.addr, f.model, f.load
 	walPath, snapPath, scrubInterval := f.walPath, f.snapPath, f.scrubInterval
+	walDir := f.walDir
 	chaosWrite, chaosSync, chaosSeed := f.chaosWrite, f.chaosSync, f.chaosSeed
 	maxInflight, maxQueue, queueWait, tenantCap := f.maxInflight, f.maxQueue, f.queueWait, f.tenantCap
 	defaultTimeout, maxTimeout := f.defaultTimeout, f.maxTimeout
@@ -134,21 +156,63 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("-degraded-reads %q: want reject or serve", *degraded)
 	}
-	if (*chaosWrite > 0 || *chaosSync > 0 || *snapPath != "" || *scrubInterval > 0) && *walPath == "" {
-		return errors.New("-snapshot/-scrub-interval/-chaos-wal-* require -wal")
+	durable := *walPath != "" || *walDir != ""
+	if *walPath != "" && *walDir != "" {
+		return errors.New("-wal and -wal-dir are mutually exclusive")
+	}
+	if (*snapPath != "" || *scrubInterval > 0) && !durable {
+		return errors.New("-snapshot/-scrub-interval require -wal or -wal-dir")
+	}
+	if (*chaosWrite > 0 || *chaosSync > 0) && *walPath == "" {
+		return errors.New("-chaos-wal-write-rate/-chaos-wal-sync-rate require -wal")
+	}
+	if (*f.segmentBytes > 0 || *f.softBytes > 0 || *f.hardBytes > 0 || *f.chaosENOSPC > 0) && *walDir == "" {
+		return errors.New("-wal-segment-bytes/-wal-soft-bytes/-wal-hard-bytes/-chaos-wal-enospc-rate require -wal-dir")
+	}
+	if (*f.ckptInterval > 0 || *f.ckptWALBytes > 0 || *f.softBytes > 0) && *snapPath == "" {
+		return errors.New("-checkpoint-interval/-checkpoint-wal-bytes/-wal-soft-bytes require -snapshot (checkpoints need a target)")
 	}
 
 	reg := obs.NewRegistry()
 
-	// Backend: supervised (durable, health-gated) with -wal, bare
-	// in-memory store otherwise.
+	// Backend: supervised (durable, health-gated) with -wal or -wal-dir,
+	// bare in-memory store otherwise.
 	var backend server.Backend
-	if *walPath != "" {
+	if durable {
 		cfg := supervise.Config{
 			SnapshotPath:  *snapPath,
 			WALPath:       *walPath,
+			WALDir:        *walDir,
 			ScrubInterval: *scrubInterval,
 			Obs:           reg,
+			Checkpoint: supervise.CheckpointPolicy{
+				Interval: *f.ckptInterval,
+				WALBytes: *f.ckptWALBytes,
+			},
+			OnRecover: func(info core.RecoverInfo) {
+				if info.Truncated {
+					fmt.Fprintf(os.Stderr,
+						"rdfserve: warning: WAL had a torn tail (replayed %d records, kept %d bytes): %v\n",
+						info.Applied, info.ValidBytes, info.TailErr)
+				}
+			},
+		}
+		if *walDir != "" {
+			cfg.Segment = wal.DirOptions{
+				SegmentBytes: *f.segmentBytes,
+				Budget:       wal.Budget{SoftBytes: *f.softBytes, HardBytes: *f.hardBytes},
+			}
+			if *f.chaosENOSPC > 0 {
+				var nextSeed atomic.Int64
+				nextSeed.Store(*chaosSeed)
+				cfg.Segment.Wrap = func(f0 wal.File) wal.File {
+					fl := wal.NewFlaky(f0)
+					fl.SetNoSpaceRate(*f.chaosENOSPC, nextSeed.Add(1))
+					return fl
+				}
+				fmt.Fprintf(stdout, "chaos: WAL ENOSPC faults armed (rate %g, seed %d)\n",
+					*f.chaosENOSPC, *chaosSeed)
+			}
 		}
 		if *chaosWrite > 0 || *chaosSync > 0 {
 			cfg.OpenWAL = func(path string) (*wal.Log, wal.ScanResult, error) {

@@ -21,12 +21,18 @@ const tmpSuffix = ".tmp"
 
 // SaveFile writes a snapshot of the store to path atomically.
 func (s *Store) SaveFile(path string) error {
+	return s.SaveFileAt(path, 0)
+}
+
+// SaveFileAt is SaveFile recording walSeq as the segmented-WAL
+// watermark (see SaveAt).
+func (s *Store) SaveFileAt(path string, walSeq int64) error {
 	tmp := path + tmpSuffix
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
-	if err := s.Save(f); err != nil {
+	if err := s.SaveAt(f, walSeq); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint: writing %s: %w", tmp, err)
@@ -73,13 +79,20 @@ func RemoveStaleSnapshot(path string) {
 // may be truncated mid-write — so a crash during checkpoint can only
 // surface the previous good snapshot.
 func LoadFile(path string) (*Store, error) {
+	s, _, err := LoadFileAt(path)
+	return s, err
+}
+
+// LoadFileAt is LoadFile returning also the snapshot's segmented-WAL
+// watermark (0 when the snapshot predates segmented logs).
+func LoadFileAt(path string) (*Store, int64, error) {
 	RemoveStaleSnapshot(path)
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadAt(f)
 }
 
 // RecoverFiles rebuilds a store from an on-disk checkpoint + WAL pair:
@@ -131,7 +144,8 @@ func RecoverFilesWith(snapPath, walPath string, openWAL func(string) (*wal.Log, 
 // free. A crash after the snapshot rename but before the truncation
 // leaves a WAL whose records the snapshot already contains; replaying
 // them fails loudly on duplicate IDs rather than corrupting silently —
-// restart recovery from the snapshot alone in that case.
+// restart recovery from the snapshot alone in that case. (The segmented
+// CheckpointDir closes that window with a watermark.)
 func Checkpoint(s *Store, snapPath string, log *wal.Log) error {
 	t0 := s.met.startTimer()
 	if err := s.SaveFile(snapPath); err != nil {
@@ -144,4 +158,79 @@ func Checkpoint(s *Store, snapPath string, log *wal.Log) error {
 	}
 	s.met.onCheckpoint(t0)
 	return nil
+}
+
+// CheckpointDir is Checkpoint for a segmented WAL, with the crash window
+// the single-file protocol documents closed by a watermark:
+//
+//  1. Rotate — every mutation the snapshot will contain now lives in
+//     segments below the fresh segment's number N.
+//  2. SaveFileAt(snapPath, N) — the snapshot lands atomically, recording
+//     N as its watermark.
+//  3. RemoveBelow(N) — the old segments are deleted.
+//
+// A crash before 2 leaves extra segments that replay idempotently onto
+// the old snapshot; a crash between 2 and 3 leaves segments below the
+// new snapshot's watermark, which recovery deletes instead of replaying
+// (wal.OpenDir finishes the retention). No window double-applies or
+// loses an acked commit. The caller must exclude mutations for the
+// duration, exactly as for Checkpoint.
+func CheckpointDir(s *Store, snapPath string, d *wal.Dir) error {
+	t0 := s.met.startTimer()
+	seq, err := d.Rotate()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := s.SaveFileAt(snapPath, seq); err != nil {
+		return err
+	}
+	if _, err := d.RemoveBelow(seq); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	s.met.onCheckpoint(t0)
+	return nil
+}
+
+// RecoverDir rebuilds a store from an on-disk checkpoint + segmented WAL
+// directory: stale snapshot tmp removed, snapshot loaded when present
+// (fresh store otherwise), segments below the snapshot's watermark
+// deleted, the rest scanned (torn tail tolerated in the final segment
+// only) and replayed. The returned Dir is positioned for appending.
+func RecoverDir(snapPath, walDir string, opts wal.DirOptions) (*Store, *wal.Dir, RecoverInfo, error) {
+	return RecoverDirWith(snapPath, walDir, opts, wal.OpenDir)
+}
+
+// RecoverDirWith is RecoverDir with an injectable opener (tests
+// substitute fault-wrapped segment files).
+func RecoverDirWith(snapPath, walDir string, opts wal.DirOptions,
+	openDir func(string, int64, wal.DirOptions) (*wal.Dir, wal.DirScanResult, error)) (*Store, *wal.Dir, RecoverInfo, error) {
+	var s *Store
+	var walSeq int64
+	if snapPath != "" {
+		var err error
+		s, walSeq, err = LoadFileAt(snapPath)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, nil, RecoverInfo{}, err
+		}
+	}
+	if s == nil {
+		s = New()
+		walSeq = 0
+	}
+	d, res, err := openDir(walDir, walSeq, opts)
+	if err != nil {
+		return nil, nil, RecoverInfo{}, err
+	}
+	if err := s.Replay(res.Records); err != nil {
+		d.Close()
+		return nil, nil, RecoverInfo{}, err
+	}
+	return s, d, RecoverInfo{
+		Applied:    len(res.Records),
+		ValidBytes: res.TotalBytes,
+		Truncated:  res.Truncated,
+		TailErr:    res.TailErr,
+		Segments:   res.Segments,
+		Retired:    res.Removed,
+	}, nil
 }

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// Segment crash matrix: the single-file matrix (walcrash_test.go) driven
+// through a segmented wal.Dir with a rotation threshold small enough
+// that the workload spans many segments — so the injected crashes land
+// inside segment bodies, on rotation boundaries (the old segment's last
+// frame, the new segment's header write), and everywhere between. The
+// property is the same: whatever survives on disk recovers to a
+// consistent store holding a prefix of the golden history, with commit
+// boundaries reproducing the golden store exactly. Corruption that
+// violates the segmented invariant (damage in a non-final segment) must
+// be *detected* (typed ErrSegmentCorrupt), never silently replayed.
+
+// crashSegmentBytes forces rotation every few records.
+const crashSegmentBytes = 128
+
+// dirInjector injects one fault at a global byte offset counted across
+// every segment the Dir writes, in creation order — the segmented
+// equivalent of wal.FaultFile's FailAt. It also swallows fsyncs (the
+// matrix reads files back through the page cache; real fsyncs would
+// dominate the runtime at thousands of cases).
+type dirInjector struct {
+	mu      sync.Mutex
+	failAt  int64
+	mode    wal.FaultMode
+	written int64
+	tripped bool
+	open    []wal.File // inner files, for cleanup after an abandoned crash
+}
+
+func (inj *dirInjector) wrap(f wal.File) wal.File {
+	inj.mu.Lock()
+	inj.open = append(inj.open, f)
+	inj.mu.Unlock()
+	return &dirFaultFile{inj: inj, inner: f}
+}
+
+// closeAll releases the abandoned post-crash file handles.
+func (inj *dirInjector) closeAll() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for _, f := range inj.open {
+		f.Close()
+	}
+	inj.open = nil
+}
+
+type dirFaultFile struct {
+	inj   *dirInjector
+	inner wal.File
+}
+
+func (f *dirFaultFile) Write(p []byte) (int, error) {
+	inj := f.inj
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.tripped {
+		return 0, wal.ErrInjected
+	}
+	end := inj.written + int64(len(p))
+	if end <= inj.failAt || inj.mode == wal.CorruptByte {
+		if inj.mode == wal.CorruptByte && inj.written <= inj.failAt && inj.failAt < end {
+			q := append([]byte(nil), p...)
+			q[inj.failAt-inj.written] ^= 0x01
+			p = q
+		}
+		n, err := f.inner.Write(p)
+		inj.written += int64(n)
+		return n, err
+	}
+	inj.tripped = true
+	switch inj.mode {
+	case wal.FailStop:
+		return 0, wal.ErrInjected
+	default: // ShortWrite: a prefix lands, then the crash
+		n := int(inj.failAt - inj.written)
+		if n > 0 {
+			m, _ := f.inner.Write(p[:n])
+			inj.written += int64(m)
+			n = m
+		}
+		return n, wal.ErrInjected
+	}
+}
+
+func (f *dirFaultFile) Sync() error {
+	f.inj.mu.Lock()
+	defer f.inj.mu.Unlock()
+	if f.inj.tripped {
+		return wal.ErrInjected
+	}
+	return nil // skip the real fsync; see dirInjector
+}
+
+func (f *dirFaultFile) Close() error { return f.inner.Close() }
+
+// goldenDirRun records the workload through a fault-free segmented WAL
+// and returns the total bytes written through the sinks (the matrix's
+// offset space).
+func goldenDirRun(t *testing.T, dir string, ops []walOp) int64 {
+	t.Helper()
+	inj := &dirInjector{failAt: 1 << 62}
+	d, _, err := wal.OpenDir(dir, 0, wal.DirOptions{SegmentBytes: crashSegmentBytes, Wrap: inj.wrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.SetDurability(d)
+	for _, op := range ops {
+		if err := op.do(s); err != nil {
+			t.Fatalf("golden dir run, op %q: %v", op.name, err)
+		}
+	}
+	assertInvariants(t, s)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Segments() < 4 {
+		t.Fatalf("workload spans only %d segments; shrink crashSegmentBytes", d.Segments())
+	}
+	return inj.written
+}
+
+// TestDirCrashMatrix kills the writer at every sampled global byte
+// offset — including across segment rotations — and proves recovery.
+func TestDirCrashMatrix(t *testing.T) {
+	ops := walWorkload()
+
+	// The single-file golden run supplies the record stream and the
+	// commit-boundary fingerprints; the ops are deterministic, so the
+	// segmented run emits the identical records.
+	_, golden, commits := goldenRun(t, ops)
+	goldenBytes := goldenDirRun(t, t.TempDir(), ops)
+
+	stride := 3
+	if testing.Short() {
+		stride = 17
+	}
+	var offsets []int64
+	for c := int64(0); c <= goldenBytes; c += int64(stride) {
+		offsets = append(offsets, c)
+	}
+
+	cases := 0
+	for _, mode := range []wal.FaultMode{wal.FailStop, wal.ShortWrite, wal.CorruptByte} {
+		for _, cut := range offsets {
+			cases++
+			label := fmt.Sprintf("%s@%d", mode, cut)
+			dir := t.TempDir()
+
+			// The crash run: first WAL error is the process dying.
+			inj := &dirInjector{failAt: cut, mode: mode}
+			d, _, err := wal.OpenDir(dir, 0, wal.DirOptions{SegmentBytes: crashSegmentBytes, Wrap: inj.wrap})
+			if err == nil {
+				live := New()
+				live.SetDurability(d)
+				for _, op := range ops {
+					if err := op.do(live); err != nil {
+						break
+					}
+				}
+			}
+			inj.closeAll()
+
+			// Recover from the surviving directory with plain options.
+			d2, res, err := wal.OpenDir(dir, 0, wal.DirOptions{SegmentBytes: crashSegmentBytes})
+			if err != nil {
+				// The only acceptable open failure is *detected* damage from
+				// silent corruption: a flipped byte in a non-final segment
+				// (or in a segment header) must be refused, not replayed.
+				if mode == wal.CorruptByte &&
+					(errors.Is(err, wal.ErrSegmentCorrupt) || errors.Is(err, wal.ErrNotWAL)) {
+					continue
+				}
+				t.Fatalf("%s: recovery open: %v", label, err)
+			}
+			d2.Close()
+			if !recordsArePrefix(res.Records, golden) {
+				t.Fatalf("%s: recovered %d records are not a golden prefix", label, len(res.Records))
+			}
+			rec := New()
+			if err := rec.Replay(res.Records); err != nil {
+				t.Fatalf("%s: replay: %v", label, err)
+			}
+			if errs := rec.CheckInvariants(); len(errs) > 0 {
+				t.Fatalf("%s: invariants after recovery: %v", label, errs)
+			}
+			if want, ok := commits[len(res.Records)]; ok {
+				if got := fingerprint(t, rec); !bytes.Equal(got, want) {
+					t.Fatalf("%s: recovered store differs from golden at commit with %d records",
+						label, len(res.Records))
+				}
+				if _, err := rec.CreateRDFModel("post", "", ""); err != nil {
+					t.Fatalf("%s: store not writable after recovery: %v", label, err)
+				}
+			}
+		}
+	}
+	t.Logf("segment crash matrix: %d fault points over %d bytes across segments (%d records)",
+		cases, goldenBytes, len(golden))
+}
+
+// TestDirCheckpointCrashWindows walks a crash through every step of the
+// segmented checkpoint protocol (rotate → snapshot-with-watermark →
+// retention) and proves each window converges to the same store.
+func TestDirCheckpointCrashWindows(t *testing.T) {
+	ops := walWorkload()
+
+	// Build the pre-checkpoint state and capture its fingerprint.
+	setup := func(t *testing.T) (dir, snap string, d *wal.Dir, s *Store, want []byte) {
+		t.Helper()
+		base := t.TempDir()
+		dir, snap = filepath.Join(base, "wal"), filepath.Join(base, "snap.gob")
+		d, _, err := wal.OpenDir(dir, 0, wal.DirOptions{SegmentBytes: crashSegmentBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s = New()
+		s.SetDurability(d)
+		for _, op := range ops {
+			if err := op.do(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir, snap, d, s, fingerprint(t, s)
+	}
+
+	// recoverAndCompare recovers from disk and checks the store matches.
+	recoverAndCompare := func(t *testing.T, label, snap, dir string, want []byte) RecoverInfo {
+		t.Helper()
+		st, d, info, err := RecoverDir(snap, dir, wal.DirOptions{SegmentBytes: crashSegmentBytes})
+		if err != nil {
+			t.Fatalf("%s: recover: %v", label, err)
+		}
+		defer d.Close()
+		if errs := st.CheckInvariants(); len(errs) > 0 {
+			t.Fatalf("%s: invariants: %v", label, errs)
+		}
+		if got := fingerprint(t, st); !bytes.Equal(got, want) {
+			t.Fatalf("%s: recovered store differs from pre-crash store", label)
+		}
+		// Still writable through the recovered Dir.
+		st.SetDurability(d)
+		if _, err := st.CreateRDFModel("post", "", ""); err != nil {
+			t.Fatalf("%s: not writable after recovery: %v", label, err)
+		}
+		return info
+	}
+
+	t.Run("after-rotate", func(t *testing.T) {
+		dir, snap, d, _, want := setup(t)
+		if _, err := d.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		d.Close() // crash before the snapshot lands: no snapshot file at all
+		info := recoverAndCompare(t, "after-rotate", snap, dir, want)
+		if info.Retired != 0 {
+			t.Errorf("retired %d segments with no snapshot watermark", info.Retired)
+		}
+		if info.Applied == 0 {
+			t.Error("nothing replayed; the pre-checkpoint segments are gone")
+		}
+	})
+
+	t.Run("after-snapshot-before-retention", func(t *testing.T) {
+		dir, snap, d, s, want := setup(t)
+		seq, err := d.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SaveFileAt(snap, seq); err != nil {
+			t.Fatal(err)
+		}
+		d.Close() // crash before RemoveBelow: stale segments linger
+		info := recoverAndCompare(t, "after-snapshot", snap, dir, want)
+		if info.Retired == 0 {
+			t.Error("recovery did not finish the interrupted retention")
+		}
+		if info.Applied != 0 {
+			t.Errorf("replayed %d records the snapshot already contains", info.Applied)
+		}
+	})
+
+	t.Run("mid-retention", func(t *testing.T) {
+		dir, snap, d, s, want := setup(t)
+		seq, err := d.Rotate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SaveFileAt(snap, seq); err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+		// Retention got through some of the stale segments before dying.
+		removed := 0
+		for i := int64(1); i < seq && removed < 2; i++ {
+			if err := os.Remove(filepath.Join(dir, fmt.Sprintf("wal-%06d.log", i))); err == nil {
+				removed++
+			}
+		}
+		if removed == 0 {
+			t.Fatal("no stale segments to half-remove")
+		}
+		recoverAndCompare(t, "mid-retention", snap, dir, want)
+	})
+
+	t.Run("completed", func(t *testing.T) {
+		dir, snap, d, s, want := setup(t)
+		if err := CheckpointDir(s, snap, d); err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+		info := recoverAndCompare(t, "completed", snap, dir, want)
+		if info.Applied != 0 || info.Retired != 0 {
+			t.Errorf("clean checkpoint left work for recovery: %+v", info)
+		}
+	})
+
+	t.Run("post-checkpoint-mutations", func(t *testing.T) {
+		dir, snap, d, s, _ := setup(t)
+		if err := CheckpointDir(s, snap, d); err != nil {
+			t.Fatal(err)
+		}
+		a := govAliases()
+		if _, err := s.NewTripleS("gov", "gov:late", "gov:p", "gov:o", a); err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprint(t, s)
+		d.Close()
+		info := recoverAndCompare(t, "post-checkpoint", snap, dir, want)
+		if info.Applied == 0 {
+			t.Error("post-checkpoint mutations were not replayed")
+		}
+	})
+}

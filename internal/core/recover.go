@@ -25,6 +25,12 @@ type RecoverInfo struct {
 	Truncated bool
 	// TailErr describes the damage when Truncated is set.
 	TailErr error
+	// Segments is the number of retained WAL segments (segmented
+	// recovery only; 0 for a single-file WAL).
+	Segments int
+	// Retired is the number of segments below the snapshot's watermark
+	// deleted at open — an interrupted checkpoint's retention, finished.
+	Retired int
 }
 
 // Recover rebuilds a store from an optional snapshot reader (nil for

@@ -43,6 +43,12 @@ type snapshot struct {
 	Blanks  []snapBlank
 	// Next sequence values.
 	ValueSeq, LinkSeq, ModelSeq, BlankSeq int64
+	// WALSeq is the segmented-WAL watermark: the snapshot contains every
+	// mutation from segments numbered below it, so recovery replays only
+	// segments >= WALSeq and may delete the rest. 0 (the value decoded
+	// from snapshots written before the field existed — gob tolerates the
+	// addition, so no version bump) means "replay everything".
+	WALSeq int64
 }
 
 type snapModel struct {
@@ -79,10 +85,18 @@ type snapBlank struct {
 // Save writes a snapshot of the whole store. It takes the read lock, so
 // concurrent readers proceed while the checkpoint image is taken.
 func (s *Store) Save(w io.Writer) error {
+	return s.SaveAt(w, 0)
+}
+
+// SaveAt is Save recording walSeq as the segmented-WAL watermark: the
+// snapshot asserts it contains every mutation from segments below
+// walSeq. Single-file checkpoints pass 0.
+func (s *Store) SaveAt(w io.Writer, walSeq int64) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	snap := snapshot{
 		Version:  snapshotVersion,
+		WALSeq:   walSeq,
 		ValueSeq: s.valueSeq.Current(),
 		LinkSeq:  s.linkSeq.Current(),
 		ModelSeq: s.modelSeq.Current(),
@@ -147,12 +161,19 @@ func (s *Store) Save(w io.Writer) error {
 // Load reads a snapshot into a fresh store. Model views and all indexes
 // are rebuilt; rdf_node$ is re-derived from the live links.
 func Load(r io.Reader) (*Store, error) {
+	s, _, err := LoadAt(r)
+	return s, err
+}
+
+// LoadAt is Load returning also the snapshot's segmented-WAL watermark
+// (0 for single-file snapshots and snapshots predating the field).
+func LoadAt(r io.Reader) (*Store, int64, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("%w: reading stream: %v", ErrSnapshotCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: reading stream: %v", ErrSnapshotCorrupt, err)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("%w: got version %d, want %d", ErrSnapshotVersion, snap.Version, snapshotVersion)
+		return nil, 0, fmt.Errorf("%w: got version %d, want %d", ErrSnapshotVersion, snap.Version, snapshotVersion)
 	}
 	s := New()
 	s.mu.Lock()
@@ -173,13 +194,13 @@ func Load(r io.Reader) (*Store, error) {
 			cn = reldb.String_(m.Column)
 		}
 		if _, err := s.models.Insert(reldb.Row{reldb.Int(m.ID), reldb.String_(m.Name), tn, cn}); err != nil {
-			return nil, corrupt("rdf_model$", err)
+			return nil, 0, corrupt("rdf_model$", err)
 		}
 		mid := m.ID
 		if _, err := s.db.CreateView("rdfm_"+strings.ToLower(m.Name), s.links, func(row reldb.Row) bool {
 			return row[lcModelID].Int64() == mid
 		}); err != nil {
-			return nil, corrupt("model views", err)
+			return nil, 0, corrupt("model views", err)
 		}
 	}
 	for _, v := range snap.Values {
@@ -195,7 +216,7 @@ func Load(r io.Reader) (*Store, error) {
 		}
 		row := reldb.Row{reldb.Int(v.ID), reldb.String_(v.Name), reldb.String_(v.Type), lit, lang, long}
 		if _, err := s.values.Insert(row); err != nil {
-			return nil, corrupt("rdf_value$", err)
+			return nil, 0, corrupt("rdf_value$", err)
 		}
 	}
 	for _, l := range snap.Links {
@@ -209,18 +230,18 @@ func Load(r io.Reader) (*Store, error) {
 			reldb.String_(l.Context), reldb.String_(reif), reldb.Int(l.Model),
 		}
 		if _, err := s.links.Insert(row); err != nil {
-			return nil, corrupt("rdf_link$", err)
+			return nil, 0, corrupt("rdf_link$", err)
 		}
 		if err := s.internNodeLocked(l.Start); err != nil {
-			return nil, corrupt("rdf_node$", err)
+			return nil, 0, corrupt("rdf_node$", err)
 		}
 		if err := s.internNodeLocked(l.End); err != nil {
-			return nil, corrupt("rdf_node$", err)
+			return nil, 0, corrupt("rdf_node$", err)
 		}
 	}
 	for _, b := range snap.Blanks {
 		if _, err := s.blanks.Insert(reldb.Row{reldb.Int(b.Model), reldb.String_(b.OrigName), reldb.Int(b.ValueID)}); err != nil {
-			return nil, corrupt("rdf_blank_node$", err)
+			return nil, 0, corrupt("rdf_blank_node$", err)
 		}
 	}
 	// Restore sequence positions (New() starts them at the paper's bases;
@@ -229,5 +250,5 @@ func Load(r io.Reader) (*Store, error) {
 	s.linkSeq.AdvanceTo(snap.LinkSeq)
 	s.modelSeq.AdvanceTo(snap.ModelSeq)
 	s.blankSeq.AdvanceTo(snap.BlankSeq)
-	return s, nil
+	return s, snap.WALSeq, nil
 }

@@ -27,6 +27,7 @@ const (
 	CodeWaitTimeout  = "wait_timeout"  // 429: queued past the admission wait bound
 	CodeTenantLimit  = "tenant_limit"  // 429: per-tenant concurrency cap reached
 	CodeInternal     = "internal"      // 500: handler error or recovered panic
+	CodeDiskFull     = "disk_full"     // 507: supervisor Degraded(disk) — WAL disk budget exhausted (retryable)
 	CodeDegraded     = "degraded"      // 503: supervisor Degraded (retryable)
 	CodeRecovering   = "recovering"    // 503: supervisor Recovering (retryable)
 	CodeFailed       = "failed"        // 503: supervisor Failed (terminal, no Retry-After)

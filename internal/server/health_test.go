@@ -3,13 +3,18 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
+	"syscall"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/supervise"
+	"repro/internal/wal"
 )
 
 // fakeBackend is a Backend whose health state flips on demand, mimicking
@@ -50,6 +55,8 @@ func (b *fakeBackend) Mutate(fn func(*core.Store) error) error {
 		return fn(b.s)
 	case supervise.Failed:
 		return supervise.ErrFailed
+	case supervise.DegradedDisk:
+		return supervise.ErrDiskFull
 	default:
 		return supervise.ErrDegraded
 	}
@@ -75,11 +82,12 @@ var healthEndpoints = []struct {
 // TestHealthStateMapping pins the documented supervisor-state → HTTP
 // contract for every endpoint under both degraded-read policies:
 //
-//	state       writes              reads (RejectDegraded)  reads (ServeDegraded)
-//	Healthy     200                 200                     200
-//	Degraded    503 + Retry-After   503 + Retry-After       200
-//	Recovering  503 + Retry-After   503 + Retry-After       200
-//	Failed      503 (no Retry-After) same                   200
+//	state           writes              reads (RejectDegraded)  reads (ServeDegraded)
+//	Healthy         200                 200                     200
+//	Degraded        503 + Retry-After   503 + Retry-After       200
+//	Degraded(disk)  507 + Retry-After   507 + Retry-After       200
+//	Recovering      503 + Retry-After   503 + Retry-After       200
+//	Failed          503 (no Retry-After) same                   200
 func TestHealthStateMapping(t *testing.T) {
 	type want struct {
 		status     int
@@ -96,6 +104,8 @@ func TestHealthStateMapping(t *testing.T) {
 		{supervise.Healthy, ServeDegraded, want{200, "", false}, want{200, "", false}},
 		{supervise.Degraded, RejectDegraded, want{503, CodeDegraded, true}, want{503, CodeDegraded, true}},
 		{supervise.Degraded, ServeDegraded, want{200, "", false}, want{503, CodeDegraded, true}},
+		{supervise.DegradedDisk, RejectDegraded, want{507, CodeDiskFull, true}, want{507, CodeDiskFull, true}},
+		{supervise.DegradedDisk, ServeDegraded, want{200, "", false}, want{507, CodeDiskFull, true}},
 		{supervise.Recovering, RejectDegraded, want{503, CodeRecovering, true}, want{503, CodeRecovering, true}},
 		{supervise.Recovering, ServeDegraded, want{200, "", false}, want{503, CodeRecovering, true}},
 		{supervise.Failed, RejectDegraded, want{503, CodeFailed, false}, want{503, CodeFailed, false}},
@@ -142,6 +152,7 @@ func TestHealthzReflectsState(t *testing.T) {
 	}{
 		{supervise.Healthy, 200},
 		{supervise.Degraded, 503},
+		{supervise.DegradedDisk, 503},
 		{supervise.Recovering, 503},
 		{supervise.Failed, 503},
 	} {
@@ -203,5 +214,60 @@ func TestMidRequestTransitionRunsToCompletion(t *testing.T) {
 	close(release)
 	if r := <-done; r.rr != 200 {
 		t.Fatalf("in-flight request = %d after mid-flight degradation, want 200", r.rr)
+	}
+}
+
+// faultBackend reports Healthy but fails every mutation with a fixed
+// error, modelling the window where a write hits a disk fault before
+// the supervisor has transitioned to Degraded(disk).
+type faultBackend struct {
+	*fakeBackend
+	err error
+}
+
+func (b *faultBackend) Mutate(func(*core.Store) error) error { return b.err }
+
+// TestInFlightDiskFaultMapsToTyped pins the other half of the disk
+// contract: not just the gate (TestHealthStateMapping) but an in-flight
+// mutation that fails at the WAL itself. The client must see a typed,
+// retryable rejection — never a 500 and never raw syscall text like
+// "no space left on device".
+func TestInFlightDiskFaultMapsToTyped(t *testing.T) {
+	insert := map[string]any{
+		"model":   "m",
+		"triples": []map[string]string{{"s": "<http://x#h>", "p": "<http://x#p>", "o": "<http://x#h2>"}},
+	}
+	cases := []struct {
+		name   string
+		err    error
+		status int
+		code   string
+	}{
+		{"budget rejection", fmt.Errorf("%w: append: %w", core.ErrDurability, wal.ErrNoSpace), 507, CodeDiskFull},
+		{"real enospc", fmt.Errorf("%w: append: write: %w", core.ErrDurability, syscall.ENOSPC), 507, CodeDiskFull},
+		{"short write", fmt.Errorf("%w: append: %w", core.ErrDurability, io.ErrShortWrite), 507, CodeDiskFull},
+		{"other wal failure", fmt.Errorf("%w: sync: device error", core.ErrDurability), 503, CodeDegraded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := &faultBackend{fakeBackend: newFakeBackend(t), err: tc.err}
+			srv, err := New(Config{Backend: b, DefaultModels: []string{"m"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr := do(t, srv.Handler(), "POST", "/insert", insert, nil)
+			if rr.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", rr.Code, tc.status, rr.Body.String())
+			}
+			if got := errCode(t, rr); got != tc.code {
+				t.Fatalf("code = %q, want %q", got, tc.code)
+			}
+			if rr.Header().Get("Retry-After") == "" {
+				t.Fatalf("missing Retry-After on %d response", rr.Code)
+			}
+			if body := rr.Body.String(); strings.Contains(body, "no space left on device") {
+				t.Fatalf("raw ENOSPC text leaked to client: %s", body)
+			}
+		})
 	}
 }

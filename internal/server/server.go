@@ -48,6 +48,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/obs"
 	"repro/internal/supervise"
+	"repro/internal/wal"
 )
 
 // Backend is the store surface the server queries. *supervise.Supervisor
@@ -410,11 +411,17 @@ func (s *Server) wrap(ep endpoint) http.Handler {
 // healthGate maps the supervisor state to an admission decision.
 // Documented mapping (SERVING.md):
 //
-//	state       writes              reads (RejectDegraded)  reads (ServeDegraded)
-//	Healthy     admitted            admitted                admitted
-//	Degraded    503 + Retry-After   503 + Retry-After       admitted
-//	Recovering  503 + Retry-After   503 + Retry-After       admitted
-//	Failed      503 (terminal)      503 (terminal)          admitted
+//	state           writes              reads (RejectDegraded)  reads (ServeDegraded)
+//	Healthy         admitted            admitted                admitted
+//	Degraded        503 + Retry-After   503 + Retry-After       admitted
+//	Degraded(disk)  507 + Retry-After   507 + Retry-After       admitted
+//	Recovering      503 + Retry-After   503 + Retry-After       admitted
+//	Failed          503 (terminal)      503 (terminal)          admitted
+//
+// Degraded(disk) answers 507 Insufficient Storage rather than 503: the
+// store is out of WAL disk budget, a condition an automatic checkpoint
+// or an operator freeing space clears — retry after Retry-After. A raw
+// ENOSPC never reaches a client.
 //
 // Requests admitted before a transition run to completion under their
 // deadline; the gate is checked once at admission.
@@ -430,6 +437,9 @@ func (s *Server) healthGate(write bool) *apiError {
 	case supervise.Degraded:
 		return &apiError{status: http.StatusServiceUnavailable, code: CodeDegraded,
 			msg: "store is degraded (recovery in progress)", retryAfter: s.cfg.RetryAfter}
+	case supervise.DegradedDisk:
+		return &apiError{status: http.StatusInsufficientStorage, code: CodeDiskFull,
+			msg: "store is out of WAL disk budget (checkpoint or free space to recover)", retryAfter: s.cfg.RetryAfter}
 	case supervise.Recovering:
 		return &apiError{status: http.StatusServiceUnavailable, code: CodeRecovering,
 			msg: "store is recovering", retryAfter: s.cfg.RetryAfter}
@@ -479,11 +489,26 @@ func (s *Server) writeHandlerError(w *statusWriter, err error) {
 		e = &apiError{status: http.StatusRequestEntityTooLarge, code: CodeBudget, msg: err.Error()}
 	case errors.Is(err, core.ErrNoSuchModel):
 		e = &apiError{status: http.StatusNotFound, code: CodeUnknownModel, msg: err.Error()}
+	case errors.Is(err, supervise.ErrDiskFull), wal.IsNoSpace(err):
+		// Before the generic ErrDegraded case: ErrDiskFull wraps it. The
+		// IsNoSpace arm catches an in-flight mutation that hit the disk
+		// fault directly (budget rejection, real ENOSPC, short write)
+		// before the supervisor transitioned — the client gets the same
+		// typed, retryable 507, never a raw filesystem error.
+		e = &apiError{status: http.StatusInsufficientStorage, code: CodeDiskFull,
+			msg: "store is out of WAL disk budget (checkpoint or free space to recover)",
+			retryAfter: s.cfg.RetryAfter}
 	case errors.Is(err, supervise.ErrDegraded):
 		e = &apiError{status: http.StatusServiceUnavailable, code: CodeDegraded,
 			msg: err.Error(), retryAfter: s.cfg.RetryAfter}
 	case errors.Is(err, supervise.ErrFailed):
 		e = &apiError{status: http.StatusServiceUnavailable, code: CodeFailed, msg: err.Error()}
+	case errors.Is(err, core.ErrDurability):
+		// The write failed at the WAL and the supervisor is about to
+		// degrade and recover; retryable, not an internal error.
+		e = &apiError{status: http.StatusServiceUnavailable, code: CodeDegraded,
+			msg: "mutation failed at the write-ahead log; store is recovering",
+			retryAfter: s.cfg.RetryAfter}
 	default:
 		e = &apiError{status: http.StatusInternalServerError, code: CodeInternal, msg: err.Error()}
 	}

@@ -27,6 +27,8 @@ type Metrics struct {
 	scrubPasses      *obs.Counter
 	scrubViolations  *obs.Counter
 	scrubDur         *obs.Histogram
+	autoCheckpoints  *obs.Counter
+	ckptDur          *obs.Histogram
 	events           *obs.EventLog
 }
 
@@ -37,7 +39,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		return nil
 	}
 	return &Metrics{
-		state:            reg.Gauge("supervise_state", "current health state (0 Healthy, 1 Degraded, 2 Recovering, 3 Failed)"),
+		state:            reg.Gauge("supervise_state", "current health state (0 Healthy, 1 Degraded, 2 Recovering, 3 Failed, 4 Degraded(disk))"),
 		transitions:      reg.Counter("supervise_transitions_total", "health-state transitions"),
 		degraded:         reg.Counter("supervise_degraded_total", "faults that tripped the store into Degraded"),
 		recoveryAttempts: reg.Counter("supervise_recovery_attempts_total", "recovery attempts started"),
@@ -45,6 +47,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		scrubPasses:      reg.Counter("supervise_scrub_passes_total", "completed background scrub sweeps"),
 		scrubViolations:  reg.Counter("supervise_scrub_violations_total", "invariant violations found by scrub sweeps"),
 		scrubDur:         reg.Histogram("supervise_scrub_seconds", "scrub sweep duration", obs.DurationBuckets),
+		autoCheckpoints:  reg.Counter("supervise_auto_checkpoints_total", "checkpoints taken by the automatic policy loop"),
+		ckptDur:          reg.Histogram("supervise_checkpoint_seconds", "automatic checkpoint duration", obs.DurationBuckets),
 		events:           reg.Events(),
 	}
 }
@@ -67,7 +71,7 @@ func (m *Metrics) onTransition(tr Transition) {
 	m.state.Set(int64(tr.To))
 	m.transitions.Inc()
 	switch tr.To {
-	case Degraded:
+	case Degraded, DegradedDisk:
 		m.degraded.Inc()
 	case Recovering:
 		m.recoveryAttempts.Inc()
@@ -115,6 +119,38 @@ func (m *Metrics) onScrub(t0 time.Time, rep core.ScrubReport) {
 			"first":      rep.Violations[0].Error(),
 		})
 	}
+}
+
+// onAutoCheckpoint records a policy-driven checkpoint. urgent marks
+// soft-watermark (disk pressure) triggers vs routine interval/size ones.
+func (m *Metrics) onAutoCheckpoint(urgent bool, t0 time.Time) {
+	if m == nil {
+		return
+	}
+	m.autoCheckpoints.Inc()
+	m.ckptDur.ObserveSince(t0)
+	m.events.Emit("supervise", "auto_checkpoint", map[string]string{
+		"trigger": ckptTrigger(urgent),
+	})
+}
+
+// onAutoCheckpointError records a policy-driven checkpoint that failed
+// (and degraded the supervisor).
+func (m *Metrics) onAutoCheckpointError(urgent bool, err error) {
+	if m == nil {
+		return
+	}
+	m.events.Emit("supervise", "auto_checkpoint_error", map[string]string{
+		"trigger": ckptTrigger(urgent),
+		"error":   err.Error(),
+	})
+}
+
+func ckptTrigger(urgent bool) string {
+	if urgent {
+		return "soft_watermark"
+	}
+	return "policy"
 }
 
 // onScrubError records a sweep that could not complete (and is being

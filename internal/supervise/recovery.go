@@ -42,10 +42,17 @@ func (sv *Supervisor) recoverLoop() {
 
 // runRecovery retries recovery with capped exponential backoff and
 // jitter until it succeeds, the attempt budget runs out (→Failed), or
-// the supervisor closes.
+// the supervisor closes. Disk-pressure episodes are exempt from the
+// attempt budget: running out of space is an environmental condition
+// that clears when space is freed (an automatic checkpoint, an operator
+// deleting files), so the loop keeps retrying at the capped cadence and
+// the store returns to Healthy on its own — never Failed.
 func (sv *Supervisor) runRecovery() {
 	b := sv.cfg.Backoff
 	delay := b.Initial
+	sv.mu.Lock()
+	rootCause := sv.rootCause
+	sv.mu.Unlock()
 	for attempt := 1; ; attempt++ {
 		if sv.stopped() {
 			return
@@ -56,11 +63,16 @@ func (sv *Supervisor) runRecovery() {
 			sv.transition(Healthy, nil, attempt)
 			return
 		}
-		if b.MaxAttempts > 0 && attempt >= b.MaxAttempts {
+		disk := wal.IsNoSpace(err) || wal.IsNoSpace(rootCause)
+		if !disk && b.MaxAttempts > 0 && attempt >= b.MaxAttempts {
 			sv.transition(Failed, fmt.Errorf("supervise: recovery attempt %d/%d: %w", attempt, b.MaxAttempts, err), attempt)
 			return
 		}
-		sv.transition(Degraded, fmt.Errorf("supervise: recovery attempt %d: %w", attempt, err), attempt)
+		to := Degraded
+		if disk {
+			to = DegradedDisk
+		}
+		sv.transition(to, fmt.Errorf("supervise: recovery attempt %d: %w", attempt, err), attempt)
 		select {
 		case <-sv.stop:
 			return
@@ -94,25 +106,47 @@ func (sv *Supervisor) attemptRecovery() error {
 	sv.opMu.Lock()
 	defer sv.opMu.Unlock()
 	sv.mu.Lock()
-	st, oldLog, rootCause := sv.store, sv.log, sv.rootCause
+	st, oldLog, oldDir, rootCause := sv.store, sv.log, sv.dir, sv.rootCause
 	sv.mu.Unlock()
 
 	var scrubErr *ScrubError
 	if errors.As(rootCause, &scrubErr) {
-		return sv.recoverFromCorruption(st, oldLog)
+		return sv.recoverFromCorruption(st, oldLog, oldDir)
 	}
-	return sv.rebaseline(st, oldLog)
+	return sv.rebaseline(st, oldLog, oldDir)
 }
 
 // rebaseline re-establishes durability for the authoritative in-memory
-// image: close the broken log, reopen the WAL file, checkpoint memory,
-// truncate. Called with opMu held exclusively.
-func (sv *Supervisor) rebaseline(st *core.Store, oldLog *wal.Log) error {
+// image: close the broken log, reopen the WAL, checkpoint memory, and
+// reclaim the old log's space (truncation for a single file; rotate +
+// watermark + segment retention for a directory — which is also what
+// frees disk in a DegradedDisk episode). Called with opMu held
+// exclusively.
+func (sv *Supervisor) rebaseline(st *core.Store, oldLog *wal.Log, oldDir *wal.Dir) error {
+	if sv.cfg.WALDir != "" {
+		sv.closeOldDir(oldDir)
+		dir, _, err := sv.cfg.OpenDir(sv.cfg.WALDir, 0, sv.cfg.Segment)
+		if err != nil {
+			return fmt.Errorf("reopening WAL dir: %w", err)
+		}
+		dir.SetMetrics(sv.walMet)
+		if err := core.CheckpointDir(st, sv.cfg.SnapshotPath, dir); err != nil {
+			dir.Close()
+			return fmt.Errorf("re-baselining: %w", err)
+		}
+		st.SetDurability(dir)
+		sv.mu.Lock()
+		sv.dir = dir
+		sv.mu.Unlock()
+		sv.noteCheckpoint()
+		return nil
+	}
 	sv.closeOldLog(oldLog)
 	log, _, err := sv.cfg.OpenWAL(sv.cfg.WALPath)
 	if err != nil {
 		return fmt.Errorf("reopening WAL: %w", err)
 	}
+	log.SetMetrics(sv.walMet)
 	if err := core.Checkpoint(st, sv.cfg.SnapshotPath, log); err != nil {
 		log.Close()
 		return fmt.Errorf("re-baselining: %w", err)
@@ -121,15 +155,33 @@ func (sv *Supervisor) rebaseline(st *core.Store, oldLog *wal.Log) error {
 	sv.mu.Lock()
 	sv.log = log
 	sv.mu.Unlock()
+	sv.noteCheckpoint()
 	return nil
 }
 
 // recoverFromCorruption handles a scrubber-confirmed invariant failure:
 // re-verify memory (the scrub may predate a fix), and rebuild from disk
 // when the damage is real. Called with opMu held exclusively.
-func (sv *Supervisor) recoverFromCorruption(st *core.Store, oldLog *wal.Log) error {
+func (sv *Supervisor) recoverFromCorruption(st *core.Store, oldLog *wal.Log, oldDir *wal.Dir) error {
 	if len(sv.cfg.Verify(st)) == 0 {
 		// Memory verifies clean now; keep it and its log.
+		return nil
+	}
+	if sv.cfg.WALDir != "" {
+		sv.closeOldDir(oldDir)
+		fresh, dir, _, err := core.RecoverDirWith(sv.cfg.SnapshotPath, sv.cfg.WALDir, sv.cfg.Segment, sv.cfg.OpenDir)
+		if err != nil {
+			return fmt.Errorf("rebuilding from disk: %w", err)
+		}
+		if errs := sv.cfg.Verify(fresh); len(errs) > 0 {
+			dir.Close()
+			return fmt.Errorf("disk image fails verification too: %w", errs[0])
+		}
+		dir.SetMetrics(sv.walMet)
+		fresh.SetDurability(dir)
+		sv.mu.Lock()
+		sv.store, sv.dir = fresh, dir
+		sv.mu.Unlock()
 		return nil
 	}
 	sv.closeOldLog(oldLog)
@@ -141,6 +193,7 @@ func (sv *Supervisor) recoverFromCorruption(st *core.Store, oldLog *wal.Log) err
 		log.Close()
 		return fmt.Errorf("disk image fails verification too: %w", errs[0])
 	}
+	log.SetMetrics(sv.walMet)
 	fresh.SetDurability(log)
 	sv.mu.Lock()
 	sv.store, sv.log = fresh, log
@@ -158,6 +211,19 @@ func (sv *Supervisor) closeOldLog(oldLog *wal.Log) {
 	sv.mu.Lock()
 	if sv.log == oldLog {
 		sv.log = nil
+	}
+	sv.mu.Unlock()
+}
+
+// closeOldDir is closeOldLog for the segmented WAL.
+func (sv *Supervisor) closeOldDir(oldDir *wal.Dir) {
+	if oldDir == nil {
+		return
+	}
+	oldDir.Close()
+	sv.mu.Lock()
+	if sv.dir == oldDir {
+		sv.dir = nil
 	}
 	sv.mu.Unlock()
 }

@@ -52,6 +52,14 @@ const (
 	// Failed is terminal: the attempt budget is exhausted. Reads still
 	// serve; mutations fail with ErrFailed until the process restarts.
 	Failed
+	// DegradedDisk is Degraded caused by disk pressure: the WAL's byte
+	// budget is exhausted or the filesystem returned ENOSPC/short-write.
+	// Mutations fail with ErrDiskFull (which also matches ErrDegraded);
+	// reads keep serving. Unlike other faults it never escalates to
+	// Failed — the recovery loop retries indefinitely, so freeing space
+	// (an automatic checkpoint, an operator deleting files) brings the
+	// store back to Healthy without a restart.
+	DegradedDisk
 )
 
 // String returns the state name.
@@ -65,6 +73,8 @@ func (s State) String() string {
 		return "Recovering"
 	case Failed:
 		return "Failed"
+	case DegradedDisk:
+		return "Degraded(disk)"
 	}
 	return fmt.Sprintf("State(%d)", int32(s))
 }
@@ -77,6 +87,13 @@ var (
 	ErrFailed   = errors.New("supervise: store failed (recovery exhausted)")
 	ErrClosed   = errors.New("supervise: supervisor closed")
 )
+
+// ErrDiskFull is the DegradedDisk gate's sentinel. It wraps ErrDegraded,
+// so callers that only know the generic read-only state keep working,
+// while disk-aware layers (the HTTP server's 507 mapping) match it
+// first. A raw ENOSPC never reaches a client: the gate rejects with
+// this sentinel before the store is touched.
+var ErrDiskFull = fmt.Errorf("%w: disk pressure", ErrDegraded)
 
 // Backoff shapes the recovery retry schedule.
 type Backoff struct {
@@ -109,15 +126,50 @@ type Transition struct {
 	Attempt int
 }
 
+// CheckpointPolicy drives the supervisor's automatic checkpoints — the
+// retention mechanism that keeps a segmented WAL's disk footprint
+// bounded without operator involvement. The zero value disables the
+// policy loop (manual Checkpoint still works); the soft disk watermark
+// (Config.Segment.Budget.SoftBytes) additionally triggers an immediate
+// checkpoint regardless of these thresholds.
+type CheckpointPolicy struct {
+	// Interval checkpoints whenever at least this much time has passed
+	// since the last checkpoint and mutations have landed since. 0
+	// disables the age trigger.
+	Interval time.Duration
+	// WALBytes checkpoints whenever the WAL's on-disk size reaches this
+	// many bytes. 0 disables the size trigger.
+	WALBytes int64
+	// Poll is how often the policy is evaluated (default 1s).
+	Poll time.Duration
+}
+
 // Config configures Open.
 type Config struct {
 	// SnapshotPath and WALPath locate the durable state. Checkpoints are
 	// written atomically (core.SaveFile): tmp + fsync + rename.
 	SnapshotPath string
 	WALPath      string
+	// WALDir selects the segmented WAL instead of the single file: a
+	// directory of rotating segment files with checkpoint-driven
+	// retention and an optional disk budget (see wal.Dir). Mutually
+	// exclusive with WALPath.
+	WALDir string
+	// Segment configures the segmented WAL (rotation size, disk budget,
+	// fault-injection wrap). The supervisor chains its own checkpoint
+	// trigger onto Segment.OnSoft. Ignored without WALDir.
+	Segment wal.DirOptions
+	// Checkpoint shapes the automatic checkpoint policy (zero disables).
+	// Requires SnapshotPath.
+	Checkpoint CheckpointPolicy
 	// OpenWAL opens/creates the WAL (default wal.OpenFile). Tests inject
 	// fault-wrapped files via wal.OpenFileWith here.
 	OpenWAL func(path string) (*wal.Log, wal.ScanResult, error)
+	// OpenDir opens/creates the segmented WAL (default wal.OpenDir).
+	OpenDir func(dir string, fromSeq int64, opts wal.DirOptions) (*wal.Dir, wal.DirScanResult, error)
+	// OnRecover, when set, observes the startup recovery's outcome —
+	// CLIs surface torn-tail repairs to stderr from here.
+	OnRecover func(core.RecoverInfo)
 	// ScrubInterval is the pause between background invariant sweeps;
 	// 0 disables the scrubber.
 	ScrubInterval time.Duration
@@ -167,29 +219,43 @@ type Supervisor struct {
 	rootCause  error            //repro:guarded-by mu
 	store      *core.Store      //repro:guarded-by mu
 	log        *wal.Log         //repro:guarded-by mu
+	dir        *wal.Dir         //repro:guarded-by mu
 	closed     bool             //repro:guarded-by mu
 	recoveries int              //repro:guarded-by mu
 	scrubs     int              //repro:guarded-by mu
 	lastScrub  core.ScrubReport //repro:guarded-by mu
+	dirty      int64            //repro:guarded-by mu
+	lastCkpt   time.Time        //repro:guarded-by mu
 
 	wake      chan struct{}
+	ckptWake  chan struct{} // soft-watermark → immediate checkpoint
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	scrubCtx  context.Context
 	scrubStop context.CancelFunc
 	rng       *rand.Rand // recovery-loop goroutine only
 
-	// met is set once in Open (attach-before-share) and read by the
-	// notification funnel; nil when Config.Obs is unset.
-	met *Metrics
+	// met and walMet are set once in Open (attach-before-share) and read
+	// by the notification funnel; nil when Config.Obs is unset.
+	met    *Metrics
+	walMet *wal.Metrics
 }
 
-// Open recovers the store from SnapshotPath + WALPath (either or both
-// may be absent — a fresh pair is created), attaches the WAL, and starts
-// the supervisor's background loops.
+// Open recovers the store from SnapshotPath + WALPath or WALDir (the
+// snapshot may be absent — a fresh baseline is created), attaches the
+// WAL, and starts the supervisor's background loops.
 func Open(cfg Config) (*Supervisor, error) {
+	if cfg.WALPath != "" && cfg.WALDir != "" {
+		return nil, errors.New("supervise: open: WALPath and WALDir are mutually exclusive")
+	}
+	if cfg.WALPath == "" && cfg.WALDir == "" {
+		return nil, errors.New("supervise: open: one of WALPath or WALDir is required")
+	}
 	if cfg.OpenWAL == nil {
 		cfg.OpenWAL = wal.OpenFile
+	}
+	if cfg.OpenDir == nil {
+		cfg.OpenDir = wal.OpenDir
 	}
 	if cfg.Backoff.Initial <= 0 {
 		cfg.Backoff.Initial = 50 * time.Millisecond
@@ -216,24 +282,62 @@ func Open(cfg Config) (*Supervisor, error) {
 		seed = time.Now().UnixNano()
 	}
 
-	st, log, _, err := core.RecoverFilesWith(cfg.SnapshotPath, cfg.WALPath, cfg.OpenWAL)
-	if err != nil {
-		return nil, fmt.Errorf("supervise: open: %w", err)
-	}
-	st.SetDurability(log)
-
 	ctx, cancel := context.WithCancel(context.Background())
 	sv := &Supervisor{
 		cfg:       cfg,
 		state:     Healthy,
-		store:     st,
-		log:       log,
 		wake:      make(chan struct{}, 1),
+		ckptWake:  make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		scrubCtx:  ctx,
 		scrubStop: cancel,
 		rng:       rand.New(rand.NewSource(seed)),
 		met:       NewMetrics(cfg.Obs),
+		walMet:    wal.NewMetrics(cfg.Obs),
+		lastCkpt:  time.Now(),
+	}
+	// Chain the supervisor's immediate-checkpoint trigger onto the
+	// segmented WAL's soft watermark (preserving any user callback). The
+	// chained callback only pokes a buffered channel, so it is safe to
+	// fire from inside an Append.
+	if cfg.WALDir != "" {
+		userSoft := cfg.Segment.OnSoft
+		sv.cfg.Segment.OnSoft = func(total int64) {
+			if userSoft != nil {
+				userSoft(total)
+			}
+			select {
+			case sv.ckptWake <- struct{}{}:
+			default:
+			}
+		}
+	}
+
+	var info core.RecoverInfo
+	if cfg.WALDir != "" {
+		st, dir, inf, err := core.RecoverDirWith(cfg.SnapshotPath, cfg.WALDir, sv.cfg.Segment, cfg.OpenDir)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("supervise: open: %w", err)
+		}
+		dir.SetMetrics(sv.walMet)
+		st.SetDurability(dir)
+		sv.store, sv.dir, info = st, dir, inf
+	} else {
+		st, log, inf, err := core.RecoverFilesWith(cfg.SnapshotPath, cfg.WALPath, cfg.OpenWAL)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("supervise: open: %w", err)
+		}
+		log.SetMetrics(sv.walMet)
+		st.SetDurability(log)
+		sv.store, sv.log, info = st, log, inf
+	}
+	if info.Truncated {
+		sv.walMet.OnTornTail(sv.walSource(), info.ValidBytes, info.TailErr)
+	}
+	if cfg.OnRecover != nil {
+		cfg.OnRecover(info)
 	}
 	sv.met.markHealthy()
 	sv.wg.Add(1)
@@ -242,7 +346,32 @@ func Open(cfg Config) (*Supervisor, error) {
 		sv.wg.Add(1)
 		go sv.scrubLoop()
 	}
+	if sv.checkpointLoopEnabled() {
+		sv.wg.Add(1)
+		go sv.checkpointLoop()
+	}
 	return sv, nil
+}
+
+// walSource names the WAL for diagnostics: the directory in segmented
+// mode, the file otherwise.
+func (sv *Supervisor) walSource() string {
+	if sv.cfg.WALDir != "" {
+		return sv.cfg.WALDir
+	}
+	return sv.cfg.WALPath
+}
+
+// checkpointLoopEnabled reports whether the automatic checkpoint loop
+// has anything to do: a policy trigger or a soft disk watermark, plus a
+// snapshot path to checkpoint into.
+func (sv *Supervisor) checkpointLoopEnabled() bool {
+	if sv.cfg.SnapshotPath == "" {
+		return false
+	}
+	p := sv.cfg.Checkpoint
+	return p.Interval > 0 || p.WALBytes > 0 ||
+		(sv.cfg.WALDir != "" && sv.cfg.Segment.Budget.SoftBytes > 0)
 }
 
 // State returns the current health state.
@@ -306,6 +435,11 @@ func (sv *Supervisor) gate() (*core.Store, error) {
 		return nil, ErrClosed
 	case sv.state == Failed:
 		return nil, fmt.Errorf("%w: %w", ErrFailed, sv.reason)
+	case sv.state == DegradedDisk:
+		if sv.reason != nil {
+			return nil, fmt.Errorf("%w: %w", ErrDiskFull, sv.reason)
+		}
+		return nil, ErrDiskFull
 	case sv.state != Healthy:
 		if sv.reason != nil {
 			return nil, fmt.Errorf("%w: %w", ErrDegraded, sv.reason)
@@ -334,7 +468,16 @@ func (sv *Supervisor) Mutate(fn func(*core.Store) error) error {
 		}
 		return err
 	}
+	sv.noteMutation()
 	return nil
+}
+
+// noteMutation counts a successful mutation for the checkpoint policy's
+// "anything new since the last checkpoint?" test.
+func (sv *Supervisor) noteMutation() {
+	sv.mu.Lock()
+	sv.dirty++
+	sv.mu.Unlock()
 }
 
 // InsertBatch is Mutate(core.InsertBatch) with the result threaded out.
@@ -371,10 +514,12 @@ func (sv *Supervisor) FindModels(ctx context.Context, models []string, pat core.
 	return sv.Store().FindModelsCtx(ctx, models, pat)
 }
 
-// Checkpoint snapshots the current state atomically and truncates the
-// WAL, excluding mutations for the duration. A failed checkpoint trips
-// the supervisor to Degraded (the previous snapshot is intact — SaveFile
-// never overwrites in place).
+// Checkpoint snapshots the current state atomically and reclaims WAL
+// space (truncation for a single file, rotate + watermark + segment
+// retention for a directory), excluding mutations for the duration. A
+// failed checkpoint trips the supervisor to Degraded — or to
+// DegradedDisk when the failure is disk exhaustion — while the previous
+// snapshot stays intact (SaveFile never overwrites in place).
 func (sv *Supervisor) Checkpoint() error {
 	sv.opMu.Lock()
 	defer sv.opMu.Unlock()
@@ -383,14 +528,28 @@ func (sv *Supervisor) Checkpoint() error {
 		return err
 	}
 	sv.mu.Lock()
-	log := sv.log
+	log, dir := sv.log, sv.dir
 	sv.mu.Unlock()
-	if err := core.Checkpoint(st, sv.cfg.SnapshotPath, log); err != nil {
+	if dir != nil {
+		err = core.CheckpointDir(st, sv.cfg.SnapshotPath, dir)
+	} else {
+		err = core.Checkpoint(st, sv.cfg.SnapshotPath, log)
+	}
+	if err != nil {
 		err = fmt.Errorf("supervise: checkpoint: %w", err)
 		sv.degrade(err)
 		return err
 	}
+	sv.noteCheckpoint()
 	return nil
+}
+
+// noteCheckpoint resets the checkpoint policy's triggers.
+func (sv *Supervisor) noteCheckpoint() {
+	sv.mu.Lock()
+	sv.dirty = 0
+	sv.lastCkpt = time.Now()
+	sv.mu.Unlock()
 }
 
 // Close stops the background loops and closes the WAL. Safe to call
@@ -414,11 +573,16 @@ func (sv *Supervisor) Close() error {
 	sv.opMu.Lock()
 	defer sv.opMu.Unlock()
 	sv.mu.Lock()
-	log := sv.log
-	sv.log = nil
+	log, dir := sv.log, sv.dir
+	sv.log, sv.dir = nil, nil
 	sv.mu.Unlock()
 	if log != nil {
 		if err := log.Close(); err != nil {
+			return fmt.Errorf("supervise: close: %w", err)
+		}
+	}
+	if dir != nil {
+		if err := dir.Close(); err != nil {
 			return fmt.Errorf("supervise: close: %w", err)
 		}
 	}
@@ -427,22 +591,28 @@ func (sv *Supervisor) Close() error {
 
 // degrade records a fault and wakes the recovery loop. No-op unless the
 // supervisor is currently Healthy: an already-degraded store keeps its
-// first fault as the root cause, and Failed is terminal.
+// first fault as the root cause, and Failed is terminal. Disk-space
+// faults (wal.IsNoSpace anywhere in the chain) land in DegradedDisk,
+// whose recovery never gives up.
 func (sv *Supervisor) degrade(cause error) {
+	to := Degraded
+	if wal.IsNoSpace(cause) {
+		to = DegradedDisk
+	}
 	sv.mu.Lock()
 	if sv.closed || sv.state != Healthy {
 		sv.mu.Unlock()
 		return
 	}
-	sv.state = Degraded
+	sv.state = to
 	sv.reason = cause
 	// rootCause is the fault that started this Degraded episode. Unlike
 	// reason it is never overwritten by per-attempt retry errors, so the
-	// recovery loop's fault classification (corruption vs durability)
-	// stays stable across failed attempts.
+	// recovery loop's fault classification (corruption vs durability vs
+	// disk) stays stable across failed attempts.
 	sv.rootCause = cause
 	sv.mu.Unlock()
-	sv.notify(Transition{From: Healthy, To: Degraded, Reason: cause, RootCause: cause})
+	sv.notify(Transition{From: Healthy, To: to, Reason: cause, RootCause: cause})
 	select {
 	case sv.wake <- struct{}{}:
 	default:

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"syscall"
 )
 
 // Fault injection for crash testing. A FaultFile stands in for the WAL's
@@ -135,30 +136,38 @@ func (b *BufferFile) Close() error { return nil }
 //
 // Two injection modes compose:
 //
-//   - counted: FailWrites(n)/FailSyncs(n) arm the next n calls to fail,
-//     after which calls succeed again ("fail N times then succeed");
-//   - rated: SetErrorRate(writeRate, syncRate, seed) makes each call fail
-//     with the given probability, deterministically from the seed.
+//   - counted: FailWrites(n)/FailSyncs(n)/FailWithENOSPC(n) arm the next
+//     n calls to fail, after which calls succeed again ("fail N times
+//     then succeed");
+//   - rated: SetErrorRate(writeRate, syncRate, seed) and
+//     SetNoSpaceRate(rate, seed) make each call fail with the given
+//     probability, deterministically from the seed.
 //
-// A failing write is atomic (nothing lands), so the backing image never
-// tears mid-frame; torn writes stay FaultFile's job. When inner is nil
-// the FlakyFile is its own in-memory backing store; otherwise successful
-// calls pass through to inner (typically an *os.File via OpenFileWith),
-// so the surviving on-disk image is real.
+// By default a failing write is atomic (nothing lands), so the backing
+// image never tears mid-frame; SetPartialWriteFraction opts into torn
+// writes, where a failing write lands a prefix first — the shape a real
+// ENOSPC takes when write(2) runs out of blocks partway. When inner is
+// nil the FlakyFile is its own in-memory backing store; otherwise
+// successful calls pass through to inner (typically an *os.File via
+// OpenFileWith), so the surviving on-disk image is real.
 type FlakyFile struct {
 	mu    sync.Mutex
 	inner File   // nil = self-backed in-memory image
 	buf   []byte // in-memory image when inner == nil
 
-	failWrites int // remaining forced write failures
-	failSyncs  int // remaining forced sync failures
-	writeRate  float64
-	syncRate   float64
-	rng        *rand.Rand
+	failWrites  int // remaining forced write failures
+	failSyncs   int // remaining forced sync failures
+	failNoSpace int // remaining forced ENOSPC write failures
+	writeRate   float64
+	syncRate    float64
+	noSpaceRate float64
+	partialFrac float64 // fraction of a failing write that lands anyway
+	rng         *rand.Rand
 
-	writeFails int // total injected write failures (for assertions)
-	syncFails  int // total injected sync failures
-	closed     bool
+	writeFails   int // total injected write failures (for assertions)
+	syncFails    int // total injected sync failures
+	noSpaceFails int // total injected ENOSPC failures
+	closed       bool
 }
 
 // NewFlaky wraps inner (nil for a self-backed in-memory file) with no
@@ -182,6 +191,38 @@ func (f *FlakyFile) FailSyncs(n int) {
 	f.failSyncs += n
 }
 
+// FailWithENOSPC arms the next n Write calls to fail with an error that
+// wraps syscall.ENOSPC (wal.IsNoSpace matches it) — a full filesystem,
+// without filling a real disk. Combine with SetPartialWriteFraction for
+// the mid-write form where some blocks land before the disk runs out.
+func (f *FlakyFile) FailWithENOSPC(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failNoSpace += n
+}
+
+// SetNoSpaceRate makes every Write fail with ENOSPC with the given
+// probability, driven by a deterministic PRNG (seed is used only when no
+// PRNG was seeded yet via SetErrorRate). A rate of 0 disables the mode.
+func (f *FlakyFile) SetNoSpaceRate(rate float64, seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.noSpaceRate = rate
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// SetPartialWriteFraction makes injected write failures tear instead of
+// failing atomically: roughly frac of the payload lands before the error
+// is returned (always at least one byte short of the whole write). 0
+// restores atomic failures.
+func (f *FlakyFile) SetPartialWriteFraction(frac float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partialFrac = frac
+}
+
 // SetErrorRate makes every Write fail with probability writeRate and
 // every Sync with probability syncRate, driven by a deterministic PRNG
 // seeded with seed. Rates of 0 disable the mode.
@@ -194,11 +235,18 @@ func (f *FlakyFile) SetErrorRate(writeRate, syncRate float64, seed int64) {
 }
 
 // InjectedFailures reports how many writes and syncs have been failed so
-// far.
+// far (ENOSPC failures count as write failures).
 func (f *FlakyFile) InjectedFailures() (writes, syncs int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.writeFails, f.syncFails
+}
+
+// InjectedNoSpace reports how many writes were failed with ENOSPC.
+func (f *FlakyFile) InjectedNoSpace() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.noSpaceFails
 }
 
 // failWriteLocked decides whether this write fails. Caller holds f.mu.
@@ -210,6 +258,16 @@ func (f *FlakyFile) failWriteLocked() bool {
 	return f.writeRate > 0 && f.rng != nil && f.rng.Float64() < f.writeRate
 }
 
+// failNoSpaceLocked decides whether this write fails with ENOSPC.
+// Caller holds f.mu.
+func (f *FlakyFile) failNoSpaceLocked() bool {
+	if f.failNoSpace > 0 {
+		f.failNoSpace--
+		return true
+	}
+	return f.noSpaceRate > 0 && f.rng != nil && f.rng.Float64() < f.noSpaceRate
+}
+
 // failSyncLocked decides whether this sync fails. Caller holds f.mu.
 func (f *FlakyFile) failSyncLocked() bool {
 	if f.failSyncs > 0 {
@@ -219,22 +277,56 @@ func (f *FlakyFile) failSyncLocked() bool {
 	return f.syncRate > 0 && f.rng != nil && f.rng.Float64() < f.syncRate
 }
 
-// Write appends p, or fails atomically when a fault is armed or drawn.
+// Write appends p, or fails when a fault is armed or drawn: atomically
+// by default, tearing a prefix in when SetPartialWriteFraction is set.
 func (f *FlakyFile) Write(p []byte) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
 		return 0, fmt.Errorf("%w: write on closed file", ErrInjected)
 	}
-	if f.failWriteLocked() {
+	var ferr error
+	switch {
+	case f.failNoSpaceLocked():
+		f.noSpaceFails++
 		f.writeFails++
-		return 0, fmt.Errorf("%w: transient write failure", ErrInjected)
+		ferr = fmt.Errorf("%w: injected disk full: %w", ErrInjected, syscall.ENOSPC)
+	case f.failWriteLocked():
+		f.writeFails++
+		ferr = fmt.Errorf("%w: transient write failure", ErrInjected)
 	}
+	if ferr != nil {
+		n := 0
+		if f.partialFrac > 0 && len(p) > 0 {
+			n = int(float64(len(p)) * f.partialFrac)
+			if n >= len(p) {
+				n = len(p) - 1 // a "partial" write must actually be short
+			}
+		}
+		if n > 0 {
+			if err := f.landLocked(p[:n]); err != nil {
+				return 0, err
+			}
+		}
+		return n, ferr
+	}
+	if err := f.landLocked(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// landLocked writes p to the backing store. Caller holds f.mu.
+func (f *FlakyFile) landLocked(p []byte) error {
 	if f.inner != nil {
-		return f.inner.Write(p)
+		n, err := f.inner.Write(p)
+		if err == nil && n < len(p) {
+			return io.ErrShortWrite
+		}
+		return err
 	}
 	f.buf = append(f.buf, p...)
-	return len(p), nil
+	return nil
 }
 
 // Sync flushes, or fails when a fault is armed or drawn.

@@ -183,3 +183,115 @@ func TestGroupLogReopen(t *testing.T) {
 		t.Fatalf("reopened log holds %d records, want 1 (stale pre-fault buffer must be discarded)", len(res.Records))
 	}
 }
+
+// TestFlakyFileENOSPC: FailWithENOSPC fails exactly the next n writes
+// with an error in the ENOSPC family (IsNoSpace matches), atomically by
+// default, then recovers.
+func TestFlakyFileENOSPC(t *testing.T) {
+	f := NewFlaky(nil)
+	f.FailWithENOSPC(2)
+	for i := 0; i < 2; i++ {
+		n, err := f.Write([]byte("doomed"))
+		if err == nil || n != 0 {
+			t.Fatalf("armed ENOSPC write %d: n=%d err=%v", i, n, err)
+		}
+		if !IsNoSpace(err) {
+			t.Fatalf("IsNoSpace(%v) = false", err)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("ENOSPC injection lost ErrInjected: %v", err)
+		}
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after ENOSPC burst: %v", err)
+	}
+	if got := f.InjectedNoSpace(); got != 2 {
+		t.Errorf("InjectedNoSpace = %d, want 2", got)
+	}
+	if w, _ := f.InjectedFailures(); w != 2 {
+		t.Errorf("ENOSPC failures not counted as write failures: %d", w)
+	}
+	if !bytes.Equal(f.Bytes(), []byte("ok")) {
+		t.Errorf("image = %q, want only the successful write", f.Bytes())
+	}
+}
+
+// TestFlakyFileNoSpaceRate: rated ENOSPC injection is deterministic from
+// the seed and fails roughly the requested fraction.
+func TestFlakyFileNoSpaceRate(t *testing.T) {
+	run := func() (fails int, image []byte) {
+		f := NewFlaky(nil)
+		f.SetNoSpaceRate(0.5, 42)
+		for i := 0; i < 200; i++ {
+			if _, err := f.Write([]byte{byte(i)}); err != nil && !IsNoSpace(err) {
+				t.Fatalf("write %d: non-ENOSPC error %v", i, err)
+			}
+		}
+		return f.InjectedNoSpace(), f.Bytes()
+	}
+	fails1, img1 := run()
+	fails2, img2 := run()
+	if fails1 != fails2 || !bytes.Equal(img1, img2) {
+		t.Fatalf("same seed diverged: %d vs %d failures", fails1, fails2)
+	}
+	if fails1 < 50 || fails1 > 150 {
+		t.Errorf("rate 0.5 over 200 writes failed %d times", fails1)
+	}
+}
+
+// TestFlakyFilePartialWrite: SetPartialWriteFraction turns failing writes
+// into torn ones — a prefix lands, but always at least one byte short.
+func TestFlakyFilePartialWrite(t *testing.T) {
+	f := NewFlaky(nil)
+	f.SetPartialWriteFraction(0.5)
+	f.FailWithENOSPC(1)
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if err == nil || !IsNoSpace(err) {
+		t.Fatalf("torn ENOSPC write: n=%d err=%v", n, err)
+	}
+	if n != 5 {
+		t.Errorf("landed %d bytes of 10 at fraction 0.5, want 5", n)
+	}
+	if !bytes.Equal(f.Bytes(), payload[:n]) {
+		t.Errorf("image %q does not match the reported prefix", f.Bytes())
+	}
+
+	// Even fraction 1.0 must stay short of the full write.
+	f2 := NewFlaky(nil)
+	f2.SetPartialWriteFraction(1.0)
+	f2.FailWrites(1)
+	n, err = f2.Write(payload)
+	if err == nil {
+		t.Fatal("armed write succeeded")
+	}
+	if n >= len(payload) {
+		t.Errorf("partial write landed the whole payload (n=%d)", n)
+	}
+
+	// A torn frame is exactly what recovery truncates: write a valid log
+	// through a tearing file and prove the scan survives.
+	f3 := NewFlaky(nil)
+	l, err := NewLog(f3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: TypeDeleteLink, LinkID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f3.SetPartialWriteFraction(0.4)
+	f3.FailWithENOSPC(1)
+	if err := l.Append(Record{Type: TypeDeleteLink, LinkID: 2}); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	res, err := ScanBytes(f3.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("torn frame not detected by scan")
+	}
+	if len(res.Records) != 1 || res.Records[0].LinkID != 1 {
+		t.Fatalf("surviving prefix = %+v", res.Records)
+	}
+}

@@ -29,11 +29,24 @@ type GroupOptions struct {
 	Interval time.Duration
 }
 
-// GroupLog wraps a Log with group commit. It satisfies the same
+// Sink is a group-commit target: a *Log (single file) or a *Dir
+// (segmented). The interface is satisfiable only inside this package —
+// group commit composes with the WAL's own framing, not arbitrary
+// writers.
+type Sink interface {
+	// writeRaw lands already-framed bytes; the sink may rotate segments
+	// before (never inside) the batch.
+	writeRaw(b []byte) error
+	Commit() error
+	Close() error
+	SetMetrics(m *Metrics)
+}
+
+// GroupLog wraps a Sink with group commit. It satisfies the same
 // Append/Commit contract as Log (core.Durability), so the store cannot
-// tell the difference. Close flushes and closes the underlying Log.
+// tell the difference. Close flushes and closes the underlying sink.
 type GroupLog struct {
-	log  *Log
+	log  Sink
 	opts GroupOptions
 
 	mu      sync.Mutex
@@ -61,10 +74,18 @@ func (g *GroupLog) SetMetrics(m *Metrics) {
 // goroutine flushes periodically; call Close (or Flush + stopping use)
 // before discarding the GroupLog.
 func Group(l *Log, opts GroupOptions) *GroupLog {
+	return GroupSink(l, opts)
+}
+
+// GroupSink is Group for any Sink — in particular a segmented *Dir,
+// where each flushed batch lands in one segment (the Dir rotates between
+// batches, so group commit and segment handoff compose without the
+// GroupLog knowing).
+func GroupSink(s Sink, opts GroupOptions) *GroupLog {
 	if opts.SyncEvery < 1 {
 		opts.SyncEvery = 1
 	}
-	g := &GroupLog{log: l, opts: opts}
+	g := &GroupLog{log: s, opts: opts}
 	if opts.Interval > 0 {
 		g.stop = make(chan struct{})
 		g.done = make(chan struct{})
@@ -180,10 +201,20 @@ func (g *GroupLog) Err() error {
 // Appends and commits that failed before Reopen keep the error they were
 // given — Reopen only unlatches future operations.
 func (g *GroupLog) Reopen(l *Log) {
+	if l == nil {
+		g.ReopenSink(nil)
+		return
+	}
+	g.ReopenSink(l)
+}
+
+// ReopenSink is Reopen for any Sink (nil keeps the current one); see
+// Reopen for the checkpoint-first contract.
+func (g *GroupLog) ReopenSink(s Sink) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if l != nil {
-		g.log = l
+	if s != nil {
+		g.log = s
 	}
 	g.err = nil
 	g.buf = g.buf[:0]

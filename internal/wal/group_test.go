@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -195,5 +196,147 @@ func TestGroupLogCloseFlushes(t *testing.T) {
 	res, err := ScanBytes(f.Bytes())
 	if err != nil || len(res.Records) != 1 {
 		t.Fatalf("scan after Close: %v records=%d", err, len(res.Records))
+	}
+}
+
+// TestGroupLogLatchRaces: the flush-error latch and Reopen are exercised
+// under -race with concurrent appenders. Appenders hammer Append/Commit
+// while the "supervisor" goroutine injects flush failures and Reopens
+// onto fresh sinks, repeatedly. The invariants:
+//
+//   - no data race (the point of running under -race);
+//   - an appender either succeeds or gets the latched error — never a
+//     partial/torn state;
+//   - after the final Reopen onto a healthy sink, appends succeed and
+//     the sink's image is scannable.
+func TestGroupLogLatchRaces(t *testing.T) {
+	f := NewFlaky(nil)
+	l, err := NewLog(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group(l, GroupOptions{SyncEvery: 4})
+
+	const appenders = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := Record{Type: TypeDeleteLink, LinkID: int64(id*1_000_000 + i)}
+				if err := g.Append(r); err != nil {
+					continue // latched; wait for Reopen
+				}
+				g.Commit() // may latch; next iteration observes it
+			}
+		}(a)
+	}
+
+	// Supervisor side: fault, observe the latch, recover, repeat.
+	for cycle := 0; cycle < 20; cycle++ {
+		f.FailSyncs(1)
+		// Drive commits until the latch trips (the appenders' commits may
+		// trip it first; either way Err() goes non-nil).
+		for i := 0; g.Err() == nil && i < 1000; i++ {
+			g.Append(Record{Type: TypeDeleteLink, LinkID: int64(-cycle)})
+			g.Commit()
+		}
+		if g.Err() == nil {
+			t.Fatalf("cycle %d: latch never tripped", cycle)
+		}
+		// Checkpoint-equivalent: fresh sink, then unlatch.
+		f = NewFlaky(nil)
+		nl, err := NewLog(f, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Reopen(nl)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The final sink is healthy: appends flush and the image scans clean.
+	if err := g.Append(Record{Type: TypeDeleteLink, LinkID: 7}); err != nil {
+		t.Fatalf("append after final reopen: %v", err)
+	}
+	if err := g.Flush(); err != nil {
+		t.Fatalf("flush after final reopen: %v", err)
+	}
+	res, err := ScanBytes(f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("healthy sink image torn: %v", res.TailErr)
+	}
+
+	// Idle-sink guard: the latch must reject both Append and Commit with
+	// the same error instance semantics while tripped.
+	f2 := NewFlaky(nil)
+	l2, err := NewLog(f2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := Group(l2, GroupOptions{SyncEvery: 1})
+	f2.FailSyncs(1)
+	g2.Append(Record{Type: TypeDeleteLink, LinkID: 1})
+	if err := g2.Commit(); err == nil {
+		t.Fatal("failing sync did not latch")
+	}
+	if aerr := g2.Append(Record{Type: TypeDeleteLink, LinkID: 2}); !errors.Is(aerr, g2.Err()) {
+		t.Fatalf("Append error %v does not match latched %v", aerr, g2.Err())
+	}
+	g2.Close()
+	g.Close()
+}
+
+// TestGroupLogReopenSinkSwapsToDir: ReopenSink rebinds a GroupLog from a
+// single-file Log to a segmented Dir — the supervisor's upgrade path —
+// and the post-swap records land in segments.
+func TestGroupLogReopenSinkSwapsToDir(t *testing.T) {
+	bf := &BufferFile{}
+	l, err := NewLog(bf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group(l, GroupOptions{SyncEvery: 2})
+	g.Append(Record{Type: TypeDeleteLink, LinkID: 1})
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	d, _, err := OpenDir(dir, 0, DirOptions{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ReopenSink(d)
+	for i := 10; i < 50; i++ {
+		if err := g.Append(Record{Type: TypeDeleteLink, LinkID: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Close(); err != nil { // closes the Dir
+		t.Fatal(err)
+	}
+	_, res, err := OpenDir(dir, 0, DirOptions{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 40 {
+		t.Fatalf("dir replayed %d records after sink swap, want 40", len(res.Records))
+	}
+	if res.Segments < 2 {
+		t.Errorf("sink swap never rotated: %d segments", res.Segments)
 	}
 }

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -23,6 +24,16 @@ type Metrics struct {
 	groupFlushErrs  *obs.Counter
 	groupCommitsPer *obs.Histogram
 	groupBuffered   *obs.Gauge
+
+	segments      *obs.Gauge
+	diskBytes     *obs.Gauge
+	rotations     *obs.Counter
+	retired       *obs.Counter
+	budgetRejects *obs.Counter
+	softCrossings *obs.Counter
+	tornTails     *obs.Counter
+
+	events *obs.EventLog
 }
 
 // NewMetrics registers the WAL metric families on reg. Returns nil when
@@ -43,7 +54,36 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		groupFlushErrs:  reg.Counter("wal_group_flush_errors_total", "group-commit flushes that failed and latched an error"),
 		groupCommitsPer: reg.Histogram("wal_group_commits_per_flush", "commits acknowledged per group flush", obs.CountBuckets),
 		groupBuffered:   reg.Gauge("wal_group_buffered_commits", "commits currently buffered in memory (max loss on crash)"),
+
+		segments:      reg.Gauge("wal_segments", "retained WAL segment files (segmented mode)"),
+		diskBytes:     reg.Gauge("wal_disk_bytes", "total bytes across retained WAL segments"),
+		rotations:     reg.Counter("wal_rotations_total", "segment rotations (full segment sealed, fresh one opened)"),
+		retired:       reg.Counter("wal_segments_retired_total", "segments deleted by checkpoint retention"),
+		budgetRejects: reg.Counter("wal_budget_rejections_total", "appends rejected by the hard disk budget"),
+		softCrossings: reg.Counter("wal_soft_watermark_total", "soft disk-watermark crossings (auto-checkpoint triggers)"),
+		tornTails:     reg.Counter("wal_torn_tails_total", "torn tails detected and truncated during recovery"),
+
+		events: reg.Events(),
 	}
+}
+
+// OnTornTail records a torn-tail repair observed during recovery: the
+// counter ticks and a structured event lands in the registry's event
+// ring so operators learn a crash ate bytes. source names the log
+// ("store.wal", a segment file, ...).
+func (m *Metrics) OnTornTail(source string, validBytes int64, tailErr error) {
+	if m == nil {
+		return
+	}
+	m.tornTails.Inc()
+	fields := map[string]string{
+		"source":      source,
+		"valid_bytes": strconv.FormatInt(validBytes, 10),
+	}
+	if tailErr != nil {
+		fields["tail_error"] = tailErr.Error()
+	}
+	m.events.Emit("wal", "torn_tail", fields)
 }
 
 // startTimer returns now, or the zero time when metrics are disabled so
@@ -106,4 +146,41 @@ func (m *Metrics) setBuffered(n int) {
 		return
 	}
 	m.groupBuffered.Set(int64(n))
+}
+
+func (m *Metrics) setDiskUsage(segments int, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.segments.Set(int64(segments))
+	m.diskBytes.Set(bytes)
+}
+
+func (m *Metrics) onRotate() {
+	if m == nil {
+		return
+	}
+	m.rotations.Inc()
+}
+
+func (m *Metrics) onRetire(n int) {
+	if m == nil {
+		return
+	}
+	m.retired.Add(int64(n))
+}
+
+func (m *Metrics) onBudgetReject() {
+	if m == nil {
+		return
+	}
+	m.budgetRejects.Inc()
+}
+
+func (m *Metrics) onSoftWatermark() {
+	if m == nil {
+		return
+	}
+	m.softCrossings.Inc()
+	m.events.Emit("wal", "soft_watermark", nil)
 }

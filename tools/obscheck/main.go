@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	obscheck -base http://127.0.0.1:9090 [-min-series 20] [-prefixes wal_,core_]
+//	obscheck -base http://127.0.0.1:9090 [-min-series 20] [-prefixes wal_,core_] [-series wal_disk_bytes,wal_segments]
 //
 // It GETs /metrics, parses it with the strict Prometheus-text parser
-// the admin handler's golden test uses, and checks the family count and
-// per-subsystem prefixes; then GETs /healthz and requires a well-formed
+// the admin handler's golden test uses, and checks the family count,
+// per-subsystem prefixes, and any exact family names demanded with
+// -series; then GETs /healthz and requires a well-formed
 // JSON health payload. Exit status 0 means the endpoint serves what a
 // scraper needs.
 package main
@@ -37,6 +38,7 @@ func run(args []string) error {
 	base := fs.String("base", "http://127.0.0.1:9090", "admin endpoint base URL")
 	minSeries := fs.Int("min-series", 20, "minimum metric families /metrics must expose")
 	prefixes := fs.String("prefixes", "", "comma-separated series prefixes that must be present (e.g. wal_,core_)")
+	series := fs.String("series", "", "comma-separated exact family names that must be present (e.g. wal_disk_bytes,wal_segments)")
 	wait := fs.Duration("wait", 10*time.Second, "keep retrying the first scrape this long (endpoint may still be starting)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +55,16 @@ func run(args []string) error {
 		for _, p := range strings.Split(*prefixes, ",") {
 			if p = strings.TrimSpace(p); p != "" && !exp.HasPrefix(p) {
 				return fmt.Errorf("/metrics has no %s* series", p)
+			}
+		}
+	}
+	if *series != "" {
+		for _, name := range strings.Split(*series, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			if _, ok := exp.Types[name]; !ok {
+				return fmt.Errorf("/metrics has no %s family", name)
 			}
 		}
 	}
