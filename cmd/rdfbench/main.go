@@ -53,6 +53,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/supervise"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -143,6 +144,9 @@ func run(args []string, stdout io.Writer) error {
 	b.steadyState(stdout)
 	b.burstPhase(stdout)
 	if cfg.base == "" {
+		if err := b.tracePhase(stdout); err != nil {
+			return err
+		}
 		if err := b.drainPhase(stdout); err != nil {
 			return err
 		}
@@ -161,6 +165,7 @@ type bench struct {
 	latencies map[string][]time.Duration // endpoint -> samples
 	statuses  map[int]int64
 	codes     map[string]int64
+	slowest   []slowSample // ten slowest requests with their trace IDs
 
 	corrupt  atomic.Int64
 	hung     atomic.Int64
@@ -170,8 +175,18 @@ type bench struct {
 	burstRejected    int64
 	burstOK          int64
 	drainResult      *drainReport
+	traceResult      *traceReport
 	injectedFailures func() (int, int)
 	armChaos         func()
+}
+
+// traceReport is the self-serve trace-retention verification: after the
+// chaos run, /debug/traces must hold at least one slow or errored trace
+// and a retained trace must be retrievable by its ID.
+type traceReport struct {
+	Retained     int    `json:"retained"`
+	VerifiedID   string `json:"verified_id,omitempty"`
+	LookupStatus int    `json:"lookup_status"`
 }
 
 type drainReport struct {
@@ -278,10 +293,14 @@ func (b *bench) startSelfServe(stdout io.Writer) (stop func(), injected func() (
 		Backend:       sup,
 		DefaultModels: []string{b.cfg.model},
 		Registry:      scfg.Obs,
-		MaxInflight:   b.cfg.inflight,
-		MaxQueue:      64,
-		QueueWait:     200 * time.Millisecond,
-		DrainGrace:    time.Second,
+		// Tail-sampling defaults: the chaos run's injected faults and
+		// the burst's slow joins must land in the retained set, which
+		// tracePhase verifies through /debug/traces.
+		Tracer:      trace.New(trace.Config{SlowThreshold: 100 * time.Millisecond, SampleRate: 0.01}),
+		MaxInflight: b.cfg.inflight,
+		MaxQueue:    64,
+		QueueWait:   200 * time.Millisecond,
+		DrainGrace:  time.Second,
 	})
 	if err != nil {
 		sup.Close()
@@ -397,19 +416,27 @@ func (b *bench) prepare() error {
 
 func sentinelValue(i int) string { return fmt.Sprintf("%q", fmt.Sprintf("sval-%d", i)) }
 
-// do issues one request and returns (status, body, latency).
+// do issues one request and returns (status, body, latency). The
+// response's X-Trace-Id (empty when the server traces nothing) lands in
+// b.lastTrace bookkeeping via record.
 func (b *bench) do(method, path string, body any, tenant string) (int, []byte, time.Duration, error) {
+	status, data, _, lat, err := b.doTraced(method, path, body, tenant)
+	return status, data, lat, err
+}
+
+// doTraced is do plus the response's X-Trace-Id.
+func (b *bench) doTraced(method, path string, body any, tenant string) (int, []byte, string, time.Duration, error) {
 	var rd io.Reader
 	if body != nil {
 		bb, err := json.Marshal(body)
 		if err != nil {
-			return 0, nil, 0, err
+			return 0, nil, "", 0, err
 		}
 		rd = bytes.NewReader(bb)
 	}
 	req, err := http.NewRequest(method, b.cfg.base+path, rd)
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, "", 0, err
 	}
 	if tenant != "" {
 		req.Header.Set("X-Tenant", tenant)
@@ -418,18 +445,35 @@ func (b *bench) do(method, path string, body any, tenant string) (int, []byte, t
 	resp, err := b.client.Do(req)
 	lat := time.Since(t0)
 	if err != nil {
-		return 0, nil, lat, err
+		return 0, nil, "", lat, err
 	}
 	defer resp.Body.Close()
+	traceID := resp.Header.Get("X-Trace-Id")
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return resp.StatusCode, nil, time.Since(t0), err
+		return resp.StatusCode, nil, traceID, time.Since(t0), err
 	}
-	return resp.StatusCode, data, time.Since(t0), nil
+	return resp.StatusCode, data, traceID, time.Since(t0), nil
+}
+
+// slowSample is one of the run's slowest requests, with the trace ID an
+// operator needs to pull its span tree from /debug/traces.
+type slowSample struct {
+	Endpoint  string  `json:"endpoint"`
+	Status    int     `json:"status"`
+	LatencyMS float64 `json:"latency_ms"`
+	TraceID   string  `json:"trace_id,omitempty"`
+	lat       time.Duration
 }
 
 // record books one completed request into the tallies.
 func (b *bench) record(endpoint string, status int, bodyBytes []byte, lat time.Duration, err error) {
+	b.recordTraced(endpoint, status, bodyBytes, "", lat, err)
+}
+
+// recordTraced is record plus slowest-request bookkeeping: the ten
+// slowest requests keep their trace IDs for the final report.
+func (b *bench) recordTraced(endpoint string, status int, bodyBytes []byte, traceID string, lat time.Duration, err error) {
 	b.requests.Add(1)
 	if err != nil {
 		var nerr net.Error
@@ -453,6 +497,14 @@ func (b *bench) record(endpoint string, status int, bodyBytes []byte, lat time.D
 		}
 	}
 	b.latencies[endpoint] = append(b.latencies[endpoint], lat)
+	b.slowest = append(b.slowest, slowSample{
+		Endpoint: endpoint, Status: status, TraceID: traceID,
+		LatencyMS: float64(lat.Microseconds()) / 1000, lat: lat,
+	})
+	if len(b.slowest) > 10 {
+		sort.Slice(b.slowest, func(i, j int) bool { return b.slowest[i].lat > b.slowest[j].lat })
+		b.slowest = b.slowest[:10]
+	}
 	b.mu.Unlock()
 }
 
@@ -499,38 +551,38 @@ func (b *bench) steadyState(stdout io.Writer) {
 					i := rng.Intn(numSentinels)
 					// Name the model explicitly: against an external
 					// rdfserve the default model is not ours.
-					status, body, lat, err := b.do("GET",
+					status, body, tid, lat, err := b.doTraced("GET",
 						fmt.Sprintf("/find?model=%s&s=%%3Curn%%3Abench%%3Asentinel%%3A%d%%3E",
 							url.QueryEscape(b.cfg.model), i), nil, tenant)
-					b.record("find", status, body, lat, err)
+					b.recordTraced("find", status, body, tid, lat, err)
 					if err == nil {
 						b.verifySentinel(i, status, body)
 					}
 				case r < 0.72: // pattern query
-					status, body, lat, err := b.do("POST", "/query", map[string]any{
+					status, body, tid, lat, err := b.doTraced("POST", "/query", map[string]any{
 						"query": "(?s <urn:bench:p> ?o)", "limit": 100,
 						"models": []string{b.cfg.model},
 					}, tenant)
-					b.record("query", status, body, lat, err)
+					b.recordTraced("query", status, body, tid, lat, err)
 				case r < 0.80: // join-heavy query (selective chain / star)
 					q := `(?x <urn:bench:cp1> ?y) (?y <urn:bench:cp2> ?z) (?z <urn:bench:ctype> "target")`
 					if seq%2 == 0 {
 						q = `(?h <urn:bench:ctype> "hub") (?h <urn:bench:hp1> ?a) (?h <urn:bench:hp2> ?b)`
 					}
-					status, body, lat, err := b.do("POST", "/query", map[string]any{
+					status, body, tid, lat, err := b.doTraced("POST", "/query", map[string]any{
 						"query": q, "limit": 200,
 						"models": []string{b.cfg.model},
 					}, tenant)
-					b.record("query", status, body, lat, err)
+					b.recordTraced("query", status, body, tid, lat, err)
 				case r < 0.90: // graph traversal
-					status, body, lat, err := b.do("POST", "/traverse", map[string]any{
+					status, body, tid, lat, err := b.doTraced("POST", "/traverse", map[string]any{
 						"op": "shortest_path", "source": "<urn:bench:n0>",
 						"target": fmt.Sprintf("<urn:bench:n%d>", numChain),
 						"models": []string{b.cfg.model},
 					}, tenant)
-					b.record("traverse", status, body, lat, err)
+					b.recordTraced("traverse", status, body, tid, lat, err)
 				default: // write — the chaos trigger
-					status, body, lat, err := b.do("POST", "/insert", map[string]any{
+					status, body, tid, lat, err := b.doTraced("POST", "/insert", map[string]any{
 						"model": b.cfg.model,
 						"triples": []map[string]string{{
 							"s": fmt.Sprintf("<urn:bench:w%d:%d>", w, seq),
@@ -538,7 +590,7 @@ func (b *bench) steadyState(stdout io.Writer) {
 							"o": fmt.Sprintf("%q", fmt.Sprintf("v%d", seq)),
 						}},
 					}, tenant)
-					b.record("insert", status, body, lat, err)
+					b.recordTraced("insert", status, body, tid, lat, err)
 				}
 			}
 		}(w)
@@ -570,12 +622,12 @@ func (b *bench) burstPhase(stdout io.Writer) {
 			b.do("GET", "/healthz", nil, "")
 			warm.Done()
 			<-start
-			status, body, lat, err := b.do("POST", "/query", map[string]any{
+			status, body, tid, lat, err := b.doTraced("POST", "/query", map[string]any{
 				"query":    "(?a <urn:bench:join> ?b) (?b <urn:bench:join> ?c)",
 				"order_by": []string{"a", "c"}, "limit": 10000,
 				"models": []string{b.cfg.model},
 			}, "")
-			b.record("query", status, body, lat, err)
+			b.recordTraced("query", status, body, tid, lat, err)
 			switch {
 			case err == nil && status == 200:
 				atomic.AddInt64(&ok, 1)
@@ -591,6 +643,47 @@ func (b *bench) burstPhase(stdout io.Writer) {
 	wg.Wait()
 	b.burstOK, b.burstRejected = ok, rejected
 	fmt.Fprintf(stdout, "burst: %d served, %d rejected with typed 429/503\n", ok, rejected)
+}
+
+// tracePhase verifies trace retention end to end (self-serve only, runs
+// before drain closes the server): the chaos run's slow and errored
+// requests must have left at least one retained trace in /debug/traces,
+// and a retained trace must be retrievable by its ID.
+func (b *bench) tracePhase(stdout io.Writer) error {
+	status, body, _, err := b.do("GET", "/debug/traces?limit=5", nil, "")
+	if err != nil || status != 200 {
+		return fmt.Errorf("trace check: GET /debug/traces: status %d, err %v", status, err)
+	}
+	var list struct {
+		Retained int `json:"retained"`
+		Traces   []struct {
+			ID string `json:"id"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		return fmt.Errorf("trace check: decoding list: %w", err)
+	}
+	tr := &traceReport{Retained: list.Retained}
+	b.traceResult = tr
+	if list.Retained == 0 || len(list.Traces) == 0 {
+		return errors.New("trace check: chaos run retained no traces — tail sampling never kept a slow/errored request")
+	}
+	id := list.Traces[0].ID
+	status, body, _, err = b.do("GET", "/debug/traces/"+id, nil, "")
+	tr.LookupStatus = status
+	if err != nil || status != 200 {
+		return fmt.Errorf("trace check: GET /debug/traces/%s: status %d, err %v", id, status, err)
+	}
+	var td struct {
+		ID    string            `json:"id"`
+		Spans []json.RawMessage `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &td); err != nil || td.ID != id || len(td.Spans) == 0 {
+		return fmt.Errorf("trace check: trace %s lookup returned id=%q spans=%d (err %v)", id, td.ID, len(td.Spans), err)
+	}
+	tr.VerifiedID = id
+	fmt.Fprintf(stdout, "traces: %d retained, %s retrievable by ID (%d spans)\n", list.Retained, id, len(td.Spans))
+	return nil
 }
 
 // drainPhase shuts the in-process server down while load is still
@@ -692,6 +785,8 @@ type report struct {
 	Hung        int64                    `json:"hung_requests"`
 	NetErrs     int64                    `json:"transport_errors"`
 	InjectedWAL int                      `json:"injected_wal_write_failures"`
+	Slowest     []slowSample             `json:"slowest_requests,omitempty"`
+	Traces      *traceReport             `json:"traces,omitempty"`
 	Drain       *drainReport             `json:"drain,omitempty"`
 }
 
@@ -718,8 +813,11 @@ func (b *bench) report(stdout io.Writer) error {
 		Corrupt:     b.corrupt.Load(),
 		Hung:        b.hung.Load(),
 		NetErrs:     b.netErrs.Load(),
+		Traces:      b.traceResult,
 		Drain:       b.drainResult,
 	}
+	sort.Slice(b.slowest, func(i, j int) bool { return b.slowest[i].lat > b.slowest[j].lat })
+	rep.Slowest = b.slowest
 	if b.injectedFailures != nil {
 		rep.InjectedWAL, _ = b.injectedFailures()
 	}
@@ -749,6 +847,16 @@ func (b *bench) report(stdout io.Writer) error {
 	fmt.Fprintf(stdout, "statuses: %v\nerror codes: %v\n", rep.Statuses, rep.ErrorCodes)
 	fmt.Fprintf(stdout, "requests %d, corrupt reads %d, hung %d, transport errors %d, injected WAL faults %d\n",
 		rep.Requests, rep.Corrupt, rep.Hung, rep.NetErrs, rep.InjectedWAL)
+	if len(rep.Slowest) > 0 {
+		fmt.Fprintf(stdout, "\nslowest requests (trace IDs fetchable from %s/debug/traces/{id} while the server runs):\n", rep.Base)
+		for _, s := range rep.Slowest {
+			id := s.TraceID
+			if id == "" {
+				id = "-" // server ran without tracing, or the trace was not sampled
+			}
+			fmt.Fprintf(stdout, "  %-10s %4d %10.2fms  %s\n", s.Endpoint, s.Status, s.LatencyMS, id)
+		}
+	}
 
 	if b.cfg.jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -58,6 +58,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rdfxml"
 	"repro/internal/reify"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -84,6 +85,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	batch := fs.Int("batch", 1024, "insert triples in batches of this size (1 = one insert, one WAL commit per triple)")
 	workers := fs.Int("workers", 0, "parallel N-Triples parse workers (0 = all CPUs, 1 = serial)")
 	syncEvery := fs.Int("sync-every", 1, "with -wal, fsync once every N commits instead of every commit (group commit)")
+	traceWAL := fs.Bool("trace-wal", false, "record wal.flush span trees during a group-committed load and print the slowest flush (requires -sync-every > 1)")
 	adminAddr := fs.String("admin", "", "serve /metrics, /healthz, /events, and /debug/pprof on this address (e.g. 127.0.0.1:9090) while loading")
 	adminLinger := fs.Duration("admin-linger", 0, "with -admin, keep serving this long after the load finishes so the endpoint can be scraped")
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +99,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *walPath != "" && *walDir != "" {
 		return errors.New("-wal and -wal-dir are mutually exclusive")
+	}
+	if *traceWAL && (*syncEvery < 2 || (*walPath == "" && *walDir == "")) {
+		return errors.New("-trace-wal requires -wal or -wal-dir with -sync-every > 1 (flush spans come from group commit)")
 	}
 	if (*segmentBytes > 0 || *hardBytes > 0) && *walDir == "" {
 		return errors.New("-wal-segment-bytes/-wal-hard-bytes require -wal-dir")
@@ -244,6 +249,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			}
 		}
 	}
+	// -trace-wal: every group-commit flush records a wal.flush root span
+	// (wal.write + wal.fsync children); retain them all (sample 1.0) in a
+	// modest ring and print the slowest tree after the load.
+	var flushTracer *trace.Tracer
+	if *traceWAL && group != nil {
+		flushTracer = trace.New(trace.Config{SlowThreshold: time.Hour, SampleRate: 1, Capacity: 1024})
+		group.SetTracer(flushTracer)
+	}
 	if _, err := store.GetModelID(*model); err != nil {
 		if _, err := store.CreateRDFModel(*model, "", ""); err != nil {
 			return err
@@ -317,6 +330,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		saved := 3 * stats.QuadsFolded
 		fmt.Fprintf(stdout, "rows saved by DBUri reification: %d (%.0f%% of quad storage)\n",
 			saved, 100*float64(stats.QuadsFolded)/float64(4*stats.QuadsFolded))
+	}
+	if flushTracer != nil {
+		var slowest trace.TraceData
+		flushes := flushTracer.Snapshot()
+		for _, td := range flushes {
+			if td.Duration > slowest.Duration {
+				slowest = td
+			}
+		}
+		fmt.Fprintf(stdout, "WAL flushes traced:   %d (last %d retained)\n", len(flushes), flushTracer.Len())
+		if slowest.ID != "" {
+			fmt.Fprintf(stdout, "slowest flush:\n")
+			trace.WriteTree(stdout, slowest)
+		}
 	}
 	if *save != "" {
 		switch {

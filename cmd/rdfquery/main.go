@@ -47,6 +47,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rdfterm"
 	"repro/internal/reify"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -100,6 +101,7 @@ func run(args []string, stdout io.Writer) error {
 	planner := fs.String("planner", "cost", "pattern ordering strategy: cost, heuristic, or naive")
 	engine := fs.String("engine", "streaming", "join execution engine: streaming or materialize")
 	slow := fs.Duration("slow", 0, "log queries slower than this threshold with their full trace (0 = off)")
+	spans := fs.Bool("trace", false, "run the query under a span tree and print it after the rows (planner + per-stage spans)")
 	adminAddr := fs.String("admin", "", "serve /metrics, /healthz, /events, and /debug/pprof on this address while the command runs")
 	adminLinger := fs.Duration("admin-linger", 0, "with -admin, keep serving this long after the query finishes so the endpoint can be scraped")
 	var aliases, rules multiFlag
@@ -229,9 +231,9 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("bad -engine %q (want streaming or materialize)", *engine)
 	}
-	var trace match.Trace
+	var mtrace match.Trace
 	if *explain || *slow > 0 {
-		opts.Trace = &trace
+		opts.Trace = &mtrace
 	}
 	if len(rules) > 0 || *rdfs {
 		cat := inference.NewCatalog(store)
@@ -283,7 +285,20 @@ func run(args []string, stdout io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// -trace: a one-trace tracer that retains everything (sample 1.0),
+	// so the tree is printable no matter how fast the query was.
+	var tracer *trace.Tracer
+	var rootSpan *trace.Span
+	if *spans {
+		tracer = trace.New(trace.Config{SlowThreshold: time.Hour, SampleRate: 1, Capacity: 1})
+		rootSpan = tracer.StartRoot("rdfquery.query")
+		ctx = trace.WithSpan(ctx, rootSpan)
+	}
 	rs, err := match.MatchContext(ctx, store, *query, opts)
+	if rootSpan != nil {
+		rootSpan.SetError(err)
+		rootSpan.End()
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -306,11 +321,17 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "\n%d rows\n", rs.Len())
 	if *explain {
 		fmt.Fprintln(stdout, "\nexplain:")
-		trace.Format(stdout)
+		mtrace.Format(stdout)
 	}
-	if *slow > 0 && trace.Total >= *slow {
-		fmt.Fprintf(os.Stderr, "slow query (total %s >= -slow %s):\n", trace.Total.Round(time.Microsecond), *slow)
-		trace.Format(os.Stderr)
+	if rootSpan != nil {
+		if td, ok := tracer.Get(rootSpan.TraceID()); ok {
+			fmt.Fprintf(stdout, "\ntrace %s:\n", td.ID)
+			trace.WriteTree(stdout, td)
+		}
+	}
+	if *slow > 0 && mtrace.Total >= *slow {
+		fmt.Fprintf(os.Stderr, "slow query (total %s >= -slow %s):\n", mtrace.Total.Round(time.Microsecond), *slow)
+		mtrace.Format(os.Stderr)
 	}
 	return nil
 }

@@ -51,6 +51,7 @@ import (
 	"repro/internal/reify"
 	"repro/internal/server"
 	"repro/internal/supervise"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -82,6 +83,9 @@ type serveFlags struct {
 	maxQueue          *int
 	queueWait         *time.Duration
 	tenantCap         *int64
+	traceSample       *float64
+	traceSlow         *time.Duration
+	traceStore        *int
 	defaultTimeout    *time.Duration
 	maxTimeout        *time.Duration
 	maxRows           *int
@@ -113,6 +117,10 @@ func newFlagSet() (*flag.FlagSet, *serveFlags) {
 		chaosSync:     fs.Float64("chaos-wal-sync-rate", 0, "probability each WAL sync fails (requires -wal)"),
 		chaosENOSPC:   fs.Float64("chaos-wal-enospc-rate", 0, "probability each segment write fails with injected ENOSPC (requires -wal-dir)"),
 		chaosSeed:     fs.Int64("chaos-seed", 1, "deterministic seed for the WAL fault injector"),
+
+		traceSample: fs.Float64("trace-sample", 0.01, "probability a fast clean request's trace is retained (slow/errored/rejected traces are always kept)"),
+		traceSlow:   fs.Duration("trace-slow", 100*time.Millisecond, "duration past which a request trace is retained as slow"),
+		traceStore:  fs.Int("trace-store", 256, "retained-trace ring capacity behind /debug/traces (0 disables tracing entirely)"),
 
 		maxInflight: fs.Int64("max-inflight", 64, "admission capacity in weight units (query/traverse 4, insert 2, find 1)"),
 		maxQueue:    fs.Int("max-queue", 128, "admission wait-queue bound (negative = no queueing: reject the moment capacity is full)"),
@@ -175,6 +183,18 @@ func run(args []string, stdout io.Writer) error {
 
 	reg := obs.NewRegistry()
 
+	// Tracer: nil when -trace-store 0, which turns every span call in
+	// the request path into a no-op (the nil-instrument discipline obs
+	// uses for metrics).
+	var tracer *trace.Tracer
+	if *f.traceStore > 0 {
+		tracer = trace.New(trace.Config{
+			SlowThreshold: *f.traceSlow,
+			SampleRate:    *f.traceSample,
+			Capacity:      *f.traceStore,
+		})
+	}
+
 	// Backend: supervised (durable, health-gated) with -wal or -wal-dir,
 	// bare in-memory store otherwise.
 	var backend server.Backend
@@ -185,6 +205,7 @@ func run(args []string, stdout io.Writer) error {
 			WALDir:        *walDir,
 			ScrubInterval: *scrubInterval,
 			Obs:           reg,
+			Tracer:        tracer,
 			Checkpoint: supervise.CheckpointPolicy{
 				Interval: *f.ckptInterval,
 				WALBytes: *f.ckptWALBytes,
@@ -272,6 +293,7 @@ func run(args []string, stdout io.Writer) error {
 		Backend:        backend,
 		DefaultModels:  []string{*model},
 		Registry:       reg,
+		Tracer:         tracer,
 		MaxInflight:    *maxInflight,
 		MaxQueue:       *maxQueue,
 		QueueWait:      *queueWait,

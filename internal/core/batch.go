@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/rdfterm"
+	"repro/internal/trace"
 )
 
 // Bulk-insert fast path. The per-triple insert path takes the store's
@@ -44,6 +48,17 @@ type BatchResult struct {
 // individually consistent) and the WAL is left uncommitted; the error
 // identifies the failing entry by batch index.
 func (s *Store) InsertBatch(model string, batch []BatchTriple) (BatchResult, error) {
+	return s.InsertBatchCtx(context.Background(), model, batch)
+}
+
+// InsertBatchCtx is InsertBatch under a request context. The context is
+// not consulted for cancellation — a batch is one commit point and runs
+// to completion once the write lock is held — but a span in ctx (see
+// internal/trace) records the batch's phases: intern, links, and the
+// WAL commit, each with its row counts. Without a span the batch never
+// reads the clock beyond its existing metrics, preserving the
+// zero-overhead-when-disabled budget.
+func (s *Store) InsertBatchCtx(ctx context.Context, model string, batch []BatchTriple) (BatchResult, error) {
 	if len(batch) == 0 {
 		return BatchResult{}, nil
 	}
@@ -52,6 +67,12 @@ func (s *Store) InsertBatch(model string, batch []BatchTriple) (BatchResult, err
 	defer s.mu.Unlock()
 	s.met.onWriteLockAcquired(t0)
 	s.met.onBatch(len(batch))
+	sp := trace.FromContext(ctx)
+	var batchStart, phaseStart time.Time
+	if sp != nil {
+		batchStart = time.Now()
+		phaseStart = batchStart
+	}
 	mid, err := s.getModelIDLocked(model)
 	if err != nil {
 		return BatchResult{}, err
@@ -63,9 +84,18 @@ func (s *Store) InsertBatch(model string, batch []BatchTriple) (BatchResult, err
 	for i, bt := range batch {
 		it, err := s.internTripleLocked(mid, bt.Subject, bt.Predicate, bt.Object)
 		if err != nil {
-			return BatchResult{}, fmt.Errorf("core: batch entry %d: %w", i, err)
+			err = fmt.Errorf("core: batch entry %d: %w", i, err)
+			s.spanBatch(sp, batchStart, []batchPhase{{"core.intern", phaseStart, since(sp, phaseStart), nil, true}}, len(batch), err)
+			return BatchResult{}, err
 		}
 		interned[i] = it
+	}
+	var phases []batchPhase
+	if sp != nil {
+		now := time.Now()
+		phases = append(phases, batchPhase{"core.intern", phaseStart, now.Sub(phaseStart),
+			map[string]string{"triples": strconv.Itoa(len(batch))}, false})
+		phaseStart = now
 	}
 
 	// Phase 2: links.
@@ -77,7 +107,9 @@ func (s *Store) InsertBatch(model string, batch []BatchTriple) (BatchResult, err
 		}
 		ts, created, err := s.insertLinkLocked(mid, it, context)
 		if err != nil {
-			return res, fmt.Errorf("core: batch entry %d: %w", i, err)
+			err = fmt.Errorf("core: batch entry %d: %w", i, err)
+			s.spanBatch(sp, batchStart, append(phases, batchPhase{"core.links", phaseStart, since(sp, phaseStart), nil, true}), len(batch), err)
+			return res, err
 		}
 		res.Triples[i] = ts
 		if created {
@@ -85,5 +117,50 @@ func (s *Store) InsertBatch(model string, batch []BatchTriple) (BatchResult, err
 		}
 	}
 	s.met.setTriples(s.links.Len())
-	return res, s.logCommit()
+	if sp != nil {
+		now := time.Now()
+		phases = append(phases, batchPhase{"core.links", phaseStart, now.Sub(phaseStart),
+			map[string]string{"new_links": strconv.Itoa(res.NewLinks)}, false})
+		phaseStart = now
+	}
+	err = s.logCommit()
+	if sp != nil {
+		phases = append(phases, batchPhase{"core.wal_commit", phaseStart, time.Since(phaseStart), nil, err != nil})
+		s.spanBatch(sp, batchStart, phases, len(batch), err)
+	}
+	return res, err
+}
+
+// batchPhase is one timed InsertBatch phase awaiting span attachment.
+type batchPhase struct {
+	name   string
+	start  time.Time
+	d      time.Duration
+	attrs  map[string]string
+	failed bool
+}
+
+// spanBatch attaches the batch's phase spans under one
+// "core.insert_batch" grouping span. No-op without a span.
+func (s *Store) spanBatch(sp *trace.Span, start time.Time, phases []batchPhase, n int, err error) {
+	if sp == nil {
+		return
+	}
+	attrs := map[string]string{"triples": strconv.Itoa(n)}
+	if err != nil {
+		attrs["error"] = err.Error()
+	}
+	b := sp.AddCompleted("core.insert_batch", start, time.Since(start), attrs, err != nil)
+	for _, p := range phases {
+		b.AddCompleted(p.name, p.start, p.d, p.attrs, p.failed)
+	}
+}
+
+// since is time.Since gated on a span being present, so untraced paths
+// never read the clock.
+func since(sp *trace.Span, t time.Time) time.Duration {
+	if sp == nil {
+		return 0
+	}
+	return time.Since(t)
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -147,15 +150,37 @@ func RecoverFilesWith(snapPath, walPath string, openWAL func(string) (*wal.Log, 
 // restart recovery from the snapshot alone in that case. (The segmented
 // CheckpointDir closes that window with a watermark.)
 func Checkpoint(s *Store, snapPath string, log *wal.Log) error {
+	return CheckpointCtx(context.Background(), s, snapPath, log)
+}
+
+// CheckpointCtx is Checkpoint recording its phases — snapshot write,
+// WAL truncation — on the span carried by ctx (see internal/trace).
+// The context is not consulted for cancellation: a checkpoint, once
+// started, must reach one of its documented crash-safe states.
+func CheckpointCtx(ctx context.Context, s *Store, snapPath string, log *wal.Log) error {
 	t0 := s.met.startTimer()
+	sp := trace.FromContext(ctx)
+	var phaseStart time.Time
+	if sp != nil {
+		phaseStart = time.Now()
+	}
 	if err := s.SaveFile(snapPath); err != nil {
+		sp.AddCompleted("core.snapshot", phaseStart, since(sp, phaseStart), nil, true)
 		return err
+	}
+	if sp != nil {
+		now := time.Now()
+		sp.AddCompleted("core.snapshot", phaseStart, now.Sub(phaseStart),
+			map[string]string{"path": snapPath}, false)
+		phaseStart = now
 	}
 	if log != nil {
 		if err := log.Reset(); err != nil {
+			sp.AddCompleted("core.wal_reset", phaseStart, since(sp, phaseStart), nil, true)
 			return fmt.Errorf("core: checkpoint: truncating WAL: %w", err)
 		}
 	}
+	sp.AddCompleted("core.wal_reset", phaseStart, since(sp, phaseStart), nil, false)
 	s.met.onCheckpoint(t0)
 	return nil
 }
@@ -176,16 +201,47 @@ func Checkpoint(s *Store, snapPath string, log *wal.Log) error {
 // loses an acked commit. The caller must exclude mutations for the
 // duration, exactly as for Checkpoint.
 func CheckpointDir(s *Store, snapPath string, d *wal.Dir) error {
+	return CheckpointDirCtx(context.Background(), s, snapPath, d)
+}
+
+// CheckpointDirCtx is CheckpointDir recording its phases — rotate,
+// snapshot write, retention — on the span carried by ctx.
+func CheckpointDirCtx(ctx context.Context, s *Store, snapPath string, d *wal.Dir) error {
 	t0 := s.met.startTimer()
+	sp := trace.FromContext(ctx)
+	var phaseStart time.Time
+	if sp != nil {
+		phaseStart = time.Now()
+	}
 	seq, err := d.Rotate()
 	if err != nil {
+		sp.AddCompleted("core.wal_rotate", phaseStart, since(sp, phaseStart), nil, true)
 		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if sp != nil {
+		now := time.Now()
+		sp.AddCompleted("core.wal_rotate", phaseStart,
+			now.Sub(phaseStart), map[string]string{"watermark": fmt.Sprint(seq)}, false)
+		phaseStart = now
 	}
 	if err := s.SaveFileAt(snapPath, seq); err != nil {
+		sp.AddCompleted("core.snapshot", phaseStart, since(sp, phaseStart), nil, true)
 		return err
 	}
-	if _, err := d.RemoveBelow(seq); err != nil {
+	if sp != nil {
+		now := time.Now()
+		sp.AddCompleted("core.snapshot", phaseStart, now.Sub(phaseStart),
+			map[string]string{"path": snapPath}, false)
+		phaseStart = now
+	}
+	removed, err := d.RemoveBelow(seq)
+	if err != nil {
+		sp.AddCompleted("core.wal_retention", phaseStart, since(sp, phaseStart), nil, true)
 		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if sp != nil {
+		sp.AddCompleted("core.wal_retention", phaseStart, time.Since(phaseStart),
+			map[string]string{"removed_segments": fmt.Sprint(removed)}, false)
 	}
 	s.met.onCheckpoint(t0)
 	return nil

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/obs"
 	"repro/internal/rdfterm"
+	"repro/internal/trace"
 )
 
 // TestStoreMetricsSeries: one instrumented batch insert populates the
@@ -93,6 +95,27 @@ func benchmarkInsertBatch(b *testing.B, m *Metrics) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.InsertBatch("m", batches[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsertBatchNilTracer is the disabled-path tracing
+// counterpart of BenchmarkInsertBatch: InsertBatchCtx through a context
+// carrying no span (nil Tracer → nil Span → WithSpan no-op), metrics
+// nil too. The per-phase span hooks must cost one nil check each, so
+// this must track the uninstrumented baseline within noise.
+func BenchmarkInsertBatchNilTracer(b *testing.B) {
+	var tr *trace.Tracer // nil: tracing disabled
+	ctx := trace.WithSpan(context.Background(), tr.StartRoot("bench"))
+	batches := benchBatches(b.N)
+	s := New()
+	if _, err := s.CreateRDFModel("m", "", ""); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.InsertBatchCtx(ctx, "m", batches[i]); err != nil {
 			b.Fatal(err)
 		}
 	}

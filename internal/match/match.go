@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rdfterm"
+	"repro/internal/trace"
 )
 
 // ErrBudget is the sentinel for a query that exceeded its caller-imposed
@@ -202,40 +203,49 @@ func MatchContext(ctx context.Context, store *core.Store, query string, opts Opt
 		scope = append(scope, idxModel)
 	}
 
-	// Tracing, metrics, and the slow-query log share one gate: when none
-	// is requested the engines take the untimed path and never call
-	// time.Now (the "zero overhead when disabled" budget, DESIGN.md §7).
-	traced := opts.Trace != nil || opts.Metrics != nil || opts.SlowQuery > 0
-	var trace *Trace
+	// Tracing, metrics, the slow-query log, and the request span share
+	// one gate: when none is requested the engines take the untimed path
+	// and never call time.Now (the "zero overhead when disabled" budget,
+	// DESIGN.md §7). A span in ctx forces the timed path — the request
+	// is being traced, so the per-stage wall times must be real.
+	sp := trace.FromContext(ctx)
+	traced := opts.Trace != nil || opts.Metrics != nil || opts.SlowQuery > 0 || sp != nil
+	var tr *Trace
 	var queryStart time.Time
 	if traced {
-		trace = opts.Trace
-		if trace == nil {
-			trace = &Trace{}
+		tr = opts.Trace
+		if tr == nil {
+			tr = &Trace{}
 		}
-		trace.Query = query
-		trace.PlanOrder = trace.PlanOrder[:0]
-		trace.Stages = trace.Stages[:0]
-		trace.Planner = ""
+		tr.Query = query
+		tr.PlanOrder = tr.PlanOrder[:0]
+		tr.Stages = tr.Stages[:0]
+		tr.Planner = ""
+		tr.TraceID = sp.TraceID()
 		queryStart = time.Now()
 	}
 
 	vars := collectVars(pats)
 	var rs *ResultSet
 	if opts.Engine == EngineMaterialize {
-		rs, err = runMaterialize(ctx, store, scope, pats, vars, filter, opts, traced, trace)
+		rs, err = runMaterialize(ctx, store, scope, pats, vars, filter, opts, traced, tr)
 	} else {
-		rs, err = runStreaming(ctx, store, scope, pats, vars, filter, opts, traced, trace)
+		rs, err = runStreaming(ctx, store, scope, pats, vars, filter, opts, traced, tr)
 	}
 	if err != nil {
+		if sp != nil {
+			sp.AddCompleted("match.query", queryStart, time.Since(queryStart),
+				map[string]string{"query": query, "error": err.Error()}, true)
+		}
 		return nil, err
 	}
 	if traced {
-		trace.Rows = rs.Len()
-		trace.Total = time.Since(queryStart)
-		opts.Metrics.onQuery(trace)
-		if opts.SlowQuery > 0 && trace.Total >= opts.SlowQuery {
-			opts.Metrics.onSlowQuery(trace)
+		tr.Rows = rs.Len()
+		tr.Total = time.Since(queryStart)
+		tr.attachSpan(sp, queryStart)
+		opts.Metrics.onQuery(tr)
+		if opts.SlowQuery > 0 && tr.Total >= opts.SlowQuery {
+			opts.Metrics.onSlowQuery(tr)
 		}
 	}
 	return rs, nil

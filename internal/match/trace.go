@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // EXPLAIN-style tracing for Match. A Trace records what the heuristic
@@ -53,6 +54,11 @@ type Trace struct {
 	// Rows is the final row count after filter, distinct, and order-by.
 	Rows  int
 	Total time.Duration
+	// TraceID correlates this query with its request trace when the call
+	// ran under a span (see internal/trace); "" otherwise. It rides the
+	// slow-query event, so an operator can jump from the event log
+	// straight to /debug/traces/{id}.
+	TraceID string
 }
 
 // Format renders the trace, one stage per line:
@@ -102,13 +108,55 @@ func (t *Trace) summary() map[string]string {
 			st.Index, st.InBindings, st.Candidates, st.OutBindings, est,
 			st.Duration.Round(time.Microsecond))
 	}
-	return map[string]string{
+	m := map[string]string{
 		"query":   t.Query,
 		"plan":    strings.Join(plan, ","),
 		"planner": t.Planner,
 		"stages":  strings.Join(stages, "; "),
 		"rows":    strconv.Itoa(t.Rows),
 		"total":   t.Total.Round(time.Microsecond).String(),
+	}
+	if t.TraceID != "" {
+		m["trace_id"] = t.TraceID
+	}
+	return m
+}
+
+// attachSpan records the completed query on the request's span as a
+// pre-measured subtree: one "match.query" child carrying the plan and
+// row counts, with one child per executed join stage reusing the
+// EXPLAIN counters (in/candidates/out/est) as attributes. Pre-measured
+// (AddCompleted) rather than live because the streaming engine
+// interleaves stages — per-stage wall time is only known after the
+// run, so stage start offsets here are synthesized cumulatively and
+// only the durations are exact.
+func (t *Trace) attachSpan(sp *trace.Span, start time.Time) {
+	if sp == nil {
+		return
+	}
+	plan := make([]string, len(t.PlanOrder))
+	for i, pi := range t.PlanOrder {
+		plan[i] = strconv.Itoa(pi)
+	}
+	q := sp.AddCompleted("match.query", start, t.Total, map[string]string{
+		"planner": t.Planner,
+		"plan":    strings.Join(plan, ","),
+		"rows":    strconv.Itoa(t.Rows),
+	}, false)
+	stageStart := start
+	for i := range t.Stages {
+		st := &t.Stages[i]
+		attrs := map[string]string{
+			"pattern":    st.Pattern,
+			"in":         strconv.Itoa(st.InBindings),
+			"candidates": strconv.Itoa(st.Candidates),
+			"out":        strconv.Itoa(st.OutBindings),
+		}
+		if st.EstRows >= 0 {
+			attrs["est"] = formatEst(st.EstRows)
+		}
+		q.AddCompleted(fmt.Sprintf("match.stage %d: #%d", i+1, st.Index), stageStart, st.Duration, attrs, false)
+		stageStart = stageStart.Add(st.Duration)
 	}
 }
 

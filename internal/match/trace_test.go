@@ -1,11 +1,13 @@
 package match
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // TestTraceThreePatternJoin pins the EXPLAIN contract on the chain
@@ -131,6 +133,29 @@ func BenchmarkThreePatternJoinTraced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rs, err := Match(s, threeJoinQuery, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Len() != 1 {
+			b.Fatalf("join returned %d rows", rs.Len())
+		}
+	}
+}
+
+// BenchmarkThreePatternJoinNilTracer is the disabled-path tracing
+// benchmark: MatchContext through a context that carries no span (the
+// nil-Tracer wiring — StartRoot on a nil Tracer yields a nil Span and
+// WithSpan drops it). Every span hook on the join hot path must reduce
+// to a one-branch nil check, so this must track
+// BenchmarkThreePatternJoin within noise.
+func BenchmarkThreePatternJoinNilTracer(b *testing.B) {
+	s := chainStore(b, 1000)
+	var tr *trace.Tracer // nil: tracing disabled
+	ctx := trace.WithSpan(context.Background(), tr.StartRoot("bench"))
+	opts := Options{Models: []string{"g"}, Aliases: govAliases()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := MatchContext(ctx, s, threeJoinQuery, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

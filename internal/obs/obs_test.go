@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -265,5 +266,101 @@ func TestParseExpositionRejectsGarbage(t *testing.T) {
 	in := "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n"
 	if _, err := ParseExposition(strings.NewReader(in)); err == nil {
 		t.Fatal("ParseExposition accepted inconsistent histogram")
+	}
+}
+
+// TestEventLogConcurrentWrapAround hammers a ring at exact capacity
+// from many writers and checks the wrap-around invariants: the ring
+// never holds more than its capacity, the retained window is the
+// *newest* contiguous run of sequence numbers (the latest event is
+// never lost to an older writer racing the wrap), and a snapshot is
+// strictly ordered with no duplicates or gaps.
+func TestEventLogConcurrentWrapAround(t *testing.T) {
+	const (
+		capacity = 64
+		workers  = 8
+		perW     = 1000
+	)
+	l := NewEventLog(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fields := map[string]string{"worker": strconv.Itoa(w)}
+			for i := 0; i < perW; i++ {
+				l.Emit("test", "wrap", fields)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := l.Len(); got != capacity {
+		t.Fatalf("Len = %d, want exactly %d after wrap", got, capacity)
+	}
+	events := l.Snapshot()
+	if len(events) != capacity {
+		t.Fatalf("snapshot holds %d events, want %d", len(events), capacity)
+	}
+	const total = workers * perW
+	// The retained window must be the newest `capacity` sequence
+	// numbers, contiguous and in order: total-capacity+1 .. total.
+	for i, ev := range events {
+		want := int64(total - capacity + 1 + i)
+		if ev.Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d (window must be the newest contiguous run)", i, ev.Seq, want)
+		}
+		if ev.Scope != "test" || ev.Name != "wrap" || ev.Fields["worker"] == "" {
+			t.Fatalf("event %d lost payload across wrap: %+v", i, ev)
+		}
+	}
+	if last := events[capacity-1].Seq; last != total {
+		t.Fatalf("latest event Seq = %d, want %d (last emit must never be evicted by an older racer)", last, total)
+	}
+}
+
+// TestParseExpositionLabelEscapes feeds the strict parser
+// exotic-but-legal label values: escaped quotes, escaped backslashes
+// (including a trailing one), escaped newlines, commas and spaces
+// inside quoted values, and the +Inf bucket boundary. All must parse,
+// and labelValue must still find keys around them.
+func TestParseExpositionLabelEscapes(t *testing.T) {
+	in := strings.Join([]string{
+		`# TYPE exotic_total counter`,
+		`exotic_total{msg="say \"hi\", ok",path="C:\\tmp\\x"} 1`,
+		`exotic_total{msg="line1\nline2",trailer="x\\"} 2`,
+		`exotic_total{a="comma, inside",b="spaced out value"} 3`,
+		`# TYPE lat_seconds histogram`,
+		`lat_seconds_bucket{tag="q\"uoted",le="0.5"} 4`,
+		`lat_seconds_bucket{tag="q\"uoted",le="+Inf"} 4`,
+		`lat_seconds_sum{tag="q\"uoted"} 1.5`,
+		`lat_seconds_count{tag="q\"uoted"} 4`,
+		``,
+	}, "\n")
+	exp, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseExposition rejected legal escapes: %v", err)
+	}
+	if got := len(exp.Samples); got != 7 {
+		t.Fatalf("parsed %d samples, want 7", got)
+	}
+	// Escaped quote and comma inside one value must not split the pair.
+	if v := labelValue(exp.Samples[0].Labels, "msg"); v != `say "hi", ok` {
+		t.Fatalf("msg = %q, want escaped quotes and comma preserved", v)
+	}
+	if v := labelValue(exp.Samples[0].Labels, "path"); v != `C:\\tmp\\x` {
+		t.Fatalf("path = %q (raw backslash escapes must survive extraction)", v)
+	}
+	// A second key after an escape-heavy first value must still resolve.
+	if v := labelValue(exp.Samples[1].Labels, "trailer"); v != `x\\` {
+		t.Fatalf("trailer = %q, want the trailing-backslash value", v)
+	}
+	if v := labelValue(exp.Samples[2].Labels, "b"); v != "spaced out value" {
+		t.Fatalf("b = %q, want spaces preserved", v)
+	}
+	// The histogram consistency pass must find le despite the escaped
+	// quote in the neighbouring label.
+	if v := labelValue(exp.Samples[3].Labels, "le"); v != "0.5" {
+		t.Fatalf("le = %q, want 0.5 next to an escaped-quote label", v)
 	}
 }

@@ -10,13 +10,17 @@ import (
 
 // Every failure leaves the server as a typed JSON envelope:
 //
-//	{"error": {"code": "queue_full", "message": "...", "retry_after": "1s"}}
+//	{"error": {"code": "queue_full", "message": "...", "retry_after": "1s", "trace_id": "4bf9..."}}
 //
 // The HTTP status selects the class (4xx client / 429 admission / 5xx
 // availability), the machine-readable code names the exact condition,
 // and 429/503 responses carry a Retry-After header so well-behaved
 // clients back off instead of hammering a saturated or degraded store.
-// The full catalogue lives in SERVING.md.
+// trace_id, present whenever the server traces (Config.Tracer), names
+// the request's span tree: rejected and 5xx/507-mapped requests are
+// force-retained by the tail sampler, so the ID in the envelope is
+// fetchable from /debug/traces/{id}. The full catalogue lives in
+// SERVING.md.
 
 // Error codes. These are API surface — clients switch on them.
 const (
@@ -59,13 +63,17 @@ type errorDetail struct {
 	Code       string `json:"code"`
 	Message    string `json:"message"`
 	RetryAfter string `json:"retry_after,omitempty"`
+	// TraceID correlates the failure with its retained span tree at
+	// /debug/traces/{id}; empty when the server runs without a tracer.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // writeError renders an apiError. Must be called before any body bytes
-// have been written.
-func writeError(w http.ResponseWriter, e *apiError) {
+// have been written. traceID ("" when untraced) rides the envelope so
+// a client error report carries everything needed to pull the trace.
+func writeError(w http.ResponseWriter, e *apiError, traceID string) {
 	w.Header().Set("Content-Type", "application/json")
-	body := errorBody{Error: errorDetail{Code: e.code, Message: e.msg}}
+	body := errorBody{Error: errorDetail{Code: e.code, Message: e.msg, TraceID: traceID}}
 	if e.retryAfter > 0 {
 		secs := int(e.retryAfter.Round(time.Second) / time.Second)
 		if secs < 1 {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/ndm"
 	"repro/internal/rdfterm"
+	"repro/internal/trace"
 )
 
 // Wire types. Terms travel as N-Triples-style strings in both
@@ -38,9 +39,12 @@ func (c *capWriter) Write(p []byte) (int, error) {
 
 // writeJSON encodes v under the byte budget and, only then, writes the
 // response — so a blown budget still has a clean 413 status line.
-func (s *Server) writeJSON(w http.ResponseWriter, v any) error {
+func (s *Server) writeJSON(ctx context.Context, w http.ResponseWriter, v any) error {
+	sp := trace.FromContext(ctx).Child("server.response_encode")
+	defer sp.End()
 	cw := &capWriter{max: s.cfg.MaxResultBytes}
 	if err := json.NewEncoder(cw).Encode(v); err != nil {
+		sp.SetError(err)
 		if errors.Is(err, errBodyBudget) {
 			return &apiError{status: http.StatusRequestEntityTooLarge, code: CodeBudget,
 				msg: fmt.Sprintf("response exceeds the %d-byte result budget; narrow the query or lower limit", s.cfg.MaxResultBytes)}
@@ -48,15 +52,19 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) error {
 		return err
 	}
 	w.Header().Set("Content-Type", "application/json")
+	sp.SetInt("bytes", int64(cw.buf.Len()))
 	_, err := w.Write(cw.buf.Bytes())
 	return err
 }
 
 // decodeBody strictly decodes a JSON request body under the body cap.
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
+func (s *Server) decodeBody(ctx context.Context, w http.ResponseWriter, r *http.Request, into any) error {
+	sp := trace.FromContext(ctx).Child("server.body_decode")
+	defer sp.End()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		sp.SetError(err)
 		return errBadRequest("bad request body: %v", err)
 	}
 	return nil
@@ -161,7 +169,7 @@ type stageJSON struct {
 
 func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
 	var req queryRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(ctx, w, r, &req); err != nil {
 		return err
 	}
 	if req.Query == "" {
@@ -191,9 +199,9 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 		Limit:       s.limit(req.Limit),
 		MaxBindings: s.cfg.MaxBindings,
 	}
-	var trace match.Trace
+	var explain match.Trace
 	if req.Trace {
-		opts.Trace = &trace
+		opts.Trace = &explain
 	}
 	rs, err := match.MatchContext(ctx, s.cfg.Backend.Store(), req.Query, opts)
 	if err != nil {
@@ -214,8 +222,8 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 		s.met.onTruncated()
 	}
 	if req.Trace {
-		tj := &traceJSON{PlanOrder: trace.PlanOrder, Planner: trace.Planner, Rows: trace.Rows, TotalUS: trace.Total.Microseconds()}
-		for _, st := range trace.Stages {
+		tj := &traceJSON{PlanOrder: explain.PlanOrder, Planner: explain.Planner, Rows: explain.Rows, TotalUS: explain.Total.Microseconds()}
+		for _, st := range explain.Stages {
 			sj := stageJSON{
 				Index: st.Index, Pattern: st.Pattern, In: st.InBindings,
 				Candidates: st.Candidates, Out: st.OutBindings, DurationUS: st.Duration.Microseconds(),
@@ -228,7 +236,7 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 		}
 		resp.Trace = tj
 	}
-	return s.writeJSON(w, resp)
+	return s.writeJSON(ctx, w, resp)
 }
 
 // queryError classifies a match failure: parse and planning problems are
@@ -311,7 +319,7 @@ func (s *Server) handleFind(ctx context.Context, w http.ResponseWriter, r *http.
 		})
 	}
 	resp.Count = len(resp.Triples)
-	return s.writeJSON(w, resp)
+	return s.writeJSON(ctx, w, resp)
 }
 
 func atoiDefault(s string, def int) int {
@@ -371,7 +379,7 @@ type traverseResponse struct {
 
 func (s *Server) handleTraverse(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
 	var req traverseRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(ctx, w, r, &req); err != nil {
 		return err
 	}
 	models, err := s.models(req.Models)
@@ -439,7 +447,7 @@ func (s *Server) handleTraverse(ctx context.Context, w http.ResponseWriter, r *h
 		path, err := ndm.ShortestPathCtx(ctx, g, src, dst)
 		if errors.Is(err, ndm.ErrNoPath) {
 			resp.Found = false
-			return s.writeJSON(w, resp)
+			return s.writeJSON(ctx, w, resp)
 		}
 		if err != nil {
 			return err
@@ -493,7 +501,7 @@ func (s *Server) handleTraverse(ctx context.Context, w http.ResponseWriter, r *h
 	default:
 		return errBadRequest("unknown op %q (want shortest_path, within_cost, nearest, or reachable)", req.Op)
 	}
-	return s.writeJSON(w, resp)
+	return s.writeJSON(ctx, w, resp)
 }
 
 // ---- POST /insert ----
@@ -512,7 +520,7 @@ type insertResponse struct {
 
 func (s *Server) handleInsert(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
 	var req insertRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(ctx, w, r, &req); err != nil {
 		return err
 	}
 	if req.Model == "" {
@@ -558,11 +566,11 @@ func (s *Server) handleInsert(ctx context.Context, w http.ResponseWriter, r *htt
 			}
 		}
 		var err error
-		res, err = st.InsertBatch(req.Model, batch)
+		res, err = st.InsertBatchCtx(ctx, req.Model, batch)
 		return err
 	})
 	if err != nil {
 		return err
 	}
-	return s.writeJSON(w, insertResponse{Inserted: len(res.Triples), NewLinks: res.NewLinks})
+	return s.writeJSON(ctx, w, insertResponse{Inserted: len(res.Triples), NewLinks: res.NewLinks})
 }

@@ -48,6 +48,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/obs"
 	"repro/internal/supervise"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -107,6 +108,10 @@ type Config struct {
 	// Registry receives the server's metrics and events and backs the
 	// /debug admin surface; nil disables instrumentation.
 	Registry *obs.Registry
+	// Tracer records per-request span trees with tail-based sampling
+	// and backs /debug/traces; nil disables tracing with zero overhead
+	// (no span, no clock reads, no headers). See internal/trace.
+	Tracer *trace.Tracer
 
 	// MaxInflight is the limiter capacity in weight units (default 64).
 	// Endpoint weights: query 4, traverse 4, insert 2, find 1.
@@ -328,48 +333,91 @@ func (s *Server) buildMux() *http.ServeMux {
 	admin := obs.NewHandler(s.cfg.Registry, func() obs.Health { return s.cfg.Backend.Healthz() })
 	mux.Handle("/debug/pprof/", admin)
 	mux.Handle("/debug/", http.StripPrefix("/debug", admin))
+
+	// Trace explorer: list + single-trace lookup. More specific than
+	// the /debug/ mount, so it wins under ServeMux precedence; mounted
+	// even without a tracer (it then serves an empty list), so the URL
+	// is stable across configurations.
+	traces := http.StripPrefix("/debug/traces", trace.NewHandler(s.cfg.Tracer))
+	mux.Handle("GET /debug/traces", traces)
+	mux.Handle("GET /debug/traces/", traces)
 	return mux
 }
 
-// wrap is the middleware chain shared by every query endpoint: panic
-// containment, drain gate, health gate, deadline derivation, slow-client
-// write deadline, admission, and response accounting.
+// wrap is the middleware chain shared by every query endpoint: root
+// span, panic containment, drain gate, health gate, deadline derivation,
+// slow-client write deadline, admission, and response accounting.
 func (s *Server) wrap(ep endpoint) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
+
+		// Root span: opened before any gate so rejected requests are
+		// traced too (and force-retained — a 429/503 postmortem is
+		// exactly what the trace store is for). An incoming W3C
+		// traceparent continues the caller's trace; either way the
+		// response carries X-Trace-Id and a traceparent for the next hop.
+		// Nil tracer → nil span → every call below is a no-op.
+		spCtx, sp := s.cfg.Tracer.StartRemote(r.Context(), ep.name+".request", r.Header.Get("traceparent"))
+		if sp != nil {
+			sw.Header().Set("X-Trace-Id", sp.TraceID())
+			sw.Header().Set("traceparent", sp.Traceparent())
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("path", r.URL.Path)
+			if tenant := r.Header.Get("X-Tenant"); tenant != "" {
+				sp.SetAttr("tenant", tenant)
+			}
+		}
 		defer func() {
 			if v := recover(); v != nil {
 				s.met.onPanic(ep.name, v)
 				if !sw.wrote {
 					writeError(sw, &apiError{status: http.StatusInternalServerError, code: CodeInternal,
-						msg: fmt.Sprintf("internal error in %s: %s", ep.name, renderPanic(v))})
+						msg: fmt.Sprintf("internal error in %s: %s", ep.name, renderPanic(v))}, sp.TraceID())
 				}
 			}
 			s.met.onResponse(sw.status())
+			if sp != nil {
+				st := sw.status()
+				sp.SetInt("status", int64(st))
+				if st == http.StatusTooManyRequests || st >= http.StatusInternalServerError {
+					// Rejections and server faults are always retained:
+					// they are the traces an operator comes looking for.
+					sp.Force()
+					if st >= http.StatusInternalServerError {
+						sp.SetError(fmt.Errorf("status %d", st))
+					}
+				}
+				sp.End()
+			}
 		}()
 
 		if s.draining.Load() {
 			s.met.onRejected(CodeShuttingDown)
 			writeError(sw, &apiError{status: http.StatusServiceUnavailable, code: CodeShuttingDown,
-				msg: "server is shutting down", retryAfter: s.cfg.RetryAfter})
+				msg: "server is shutting down", retryAfter: s.cfg.RetryAfter}, sp.TraceID())
 			return
 		}
-		if e := s.healthGate(ep.write); e != nil {
+		hg := sp.Child("server.health_gate")
+		e := s.healthGate(ep.write)
+		if e != nil { // typed-nil *apiError must not reach SetError
+			hg.SetError(e)
+		}
+		hg.End()
+		if e != nil {
 			s.met.onRejected(e.code)
-			writeError(sw, e)
+			writeError(sw, e, sp.TraceID())
 			return
 		}
 
 		// Deadline: client ?timeout= clamped by MaxTimeout, default
-		// DefaultTimeout. The request context already derives from the
-		// server's base context (Serve.BaseContext), so drain's cancel
-		// reaches it too.
+		// DefaultTimeout. The span rides the request context from here
+		// down, so handler stages attach their own children.
 		d, err := s.requestTimeout(r)
 		if err != nil {
-			writeError(sw, errBadRequest("%v", err))
+			writeError(sw, errBadRequest("%v", err), sp.TraceID())
 			return
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), d)
+		ctx, cancel := context.WithTimeout(spCtx, d)
 		defer cancel()
 
 		// Slow-client write deadline: the response must be fully written
@@ -384,13 +432,17 @@ func (s *Server) wrap(ep endpoint) http.Handler {
 		// deadline) for a slot.
 		waitCtx, waitCancel := context.WithTimeout(ctx, s.cfg.QueueWait)
 		t0 := s.met.startTimer()
+		aw := sp.Child("server.admission_wait")
+		aw.SetInt("weight", ep.weight)
 		release, aerr := s.lim.Acquire(waitCtx, r.Header.Get("X-Tenant"), ep.weight)
+		aw.SetError(aerr)
+		aw.End()
 		waitCancel()
 		s.met.setQueueDepth(s.lim.Stats().Queued)
 		if aerr != nil {
 			e := admissionError(aerr, s.cfg.RetryAfter)
 			s.met.onRejected(e.code)
-			writeError(sw, e)
+			writeError(sw, e, sp.TraceID())
 			return
 		}
 		s.met.onAdmitted(t0, ep.weight)
@@ -403,7 +455,7 @@ func (s *Server) wrap(ep endpoint) http.Handler {
 		}()
 
 		if err := ep.handle(ctx, sw, r); err != nil {
-			s.writeHandlerError(sw, err)
+			s.writeHandlerError(sw, err, sp.TraceID())
 		}
 	})
 }
@@ -470,8 +522,8 @@ func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 
 // writeHandlerError maps a handler error onto the wire. Client
 // disconnects (context.Canceled without a deadline) get no body — the
-// connection is gone.
-func (s *Server) writeHandlerError(w *statusWriter, err error) {
+// connection is gone. traceID ("" when untraced) rides the envelope.
+func (s *Server) writeHandlerError(w *statusWriter, err error, traceID string) {
 	var e *apiError
 	switch {
 	case errors.As(err, &e):
@@ -515,7 +567,7 @@ func (s *Server) writeHandlerError(w *statusWriter, err error) {
 	if w.wrote {
 		return // body already streaming; too late to change the status
 	}
-	writeError(w, e)
+	writeError(w, e, traceID)
 }
 
 // admissionError maps limiter rejections to typed 429s.

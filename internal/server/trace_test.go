@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// retainAll traces everything: an hour-long slow threshold would retain
+// nothing, so sample at 1.0 instead.
+func retainAll() *trace.Tracer {
+	return trace.New(trace.Config{SlowThreshold: time.Hour, SampleRate: 1})
+}
+
+func TestTraceHeaderAndRetention(t *testing.T) {
+	tr := retainAll()
+	s := newTestServer(t, func(c *Config) { c.Tracer = tr })
+
+	rr := do(t, s.Handler(), "POST", "/query", map[string]any{
+		"query": "(?s <http://x#p> ?o)",
+	}, nil)
+	wantStatus(t, rr, 200)
+	id := rr.Header().Get("X-Trace-Id")
+	if len(id) != 32 {
+		t.Fatalf("X-Trace-Id = %q, want 32 hex chars", id)
+	}
+	if tp := rr.Header().Get("traceparent"); !strings.HasPrefix(tp, "00-"+id+"-") {
+		t.Fatalf("traceparent = %q, want prefix 00-%s-", tp, id)
+	}
+
+	td, ok := tr.Get(id)
+	if !ok {
+		t.Fatalf("trace %s not retained", id)
+	}
+	if td.Root != "query.request" {
+		t.Fatalf("root = %q, want query.request", td.Root)
+	}
+	names := map[string]bool{}
+	for _, sp := range td.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"server.health_gate", "server.admission_wait",
+		"server.body_decode", "server.response_encode", "match.query"} {
+		if !names[want] {
+			t.Fatalf("span %q missing from trace (have %v)", want, names)
+		}
+	}
+	if got := td.RootAttr("status"); got != "200" {
+		t.Fatalf("status attr = %q, want 200", got)
+	}
+}
+
+func TestTraceContinuesRemoteTraceparent(t *testing.T) {
+	tr := retainAll()
+	s := newTestServer(t, func(c *Config) { c.Tracer = tr })
+	remote := "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+
+	rr := do(t, s.Handler(), "GET", "/find?s=%3Chttp%3A%2F%2Fx%23a%3E", nil,
+		map[string]string{"traceparent": remote})
+	wantStatus(t, rr, 200)
+	if id := rr.Header().Get("X-Trace-Id"); id != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("X-Trace-Id = %q, want the remote trace id", id)
+	}
+	td, ok := tr.Get("0123456789abcdef0123456789abcdef")
+	if !ok {
+		t.Fatal("remote-continued trace not retained")
+	}
+	if got := td.RootAttr("remote_parent"); got != "00f067aa0ba902b7" {
+		t.Fatalf("remote_parent = %q", got)
+	}
+}
+
+func TestErrorEnvelopeCarriesTraceID(t *testing.T) {
+	tr := retainAll()
+	s := newTestServer(t, func(c *Config) { c.Tracer = tr })
+
+	rr := do(t, s.Handler(), "POST", "/query", map[string]any{"query": ""}, nil)
+	wantStatus(t, rr, 400)
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			TraceID string `json:"trace_id"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeBadRequest {
+		t.Fatalf("code = %q", env.Error.Code)
+	}
+	if env.Error.TraceID != rr.Header().Get("X-Trace-Id") {
+		t.Fatalf("envelope trace_id %q != header %q", env.Error.TraceID, rr.Header().Get("X-Trace-Id"))
+	}
+}
+
+func TestRejectedRequestForceRetained(t *testing.T) {
+	// Sample rate 0 and an unreachable slow threshold: only forced
+	// retention can keep a trace, and a 429 must force it.
+	tr := trace.New(trace.Config{SlowThreshold: time.Hour, SampleRate: 0})
+	s := newTestServer(t, func(c *Config) {
+		c.Tracer = tr
+		c.MaxQueue = -1 // no queueing: over-limit rejects immediately
+		c.TenantCap = 1
+	})
+
+	// Hold the only tenant slot, then collide with it.
+	release, err := s.lim.Acquire(t.Context(), "acme", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	rr := do(t, s.Handler(), "GET", "/find?s=%3Chttp%3A%2F%2Fx%23a%3E", nil,
+		map[string]string{"X-Tenant": "acme"})
+	wantStatus(t, rr, http.StatusTooManyRequests)
+
+	id := rr.Header().Get("X-Trace-Id")
+	td, ok := tr.Get(id)
+	if !ok {
+		t.Fatalf("rejected trace %s not force-retained", id)
+	}
+	if td.Reason != trace.ReasonForced {
+		t.Fatalf("reason = %q, want forced", td.Reason)
+	}
+	if got := td.RootAttr("tenant"); got != "acme" {
+		t.Fatalf("tenant attr = %q", got)
+	}
+	// And a clean request under SampleRate 0 must NOT be retained.
+	ok2 := do(t, s.Handler(), "GET", "/find?s=%3Chttp%3A%2F%2Fx%23a%3E", nil,
+		map[string]string{"X-Tenant": "beta"})
+	wantStatus(t, ok2, 200)
+	if _, found := tr.Get(ok2.Header().Get("X-Trace-Id")); found {
+		t.Fatal("unsampled clean request was retained")
+	}
+}
+
+func TestDebugTracesEndpoint(t *testing.T) {
+	tr := retainAll()
+	s := newTestServer(t, func(c *Config) { c.Tracer = tr })
+
+	rr := do(t, s.Handler(), "POST", "/query", map[string]any{
+		"query": "(?s <http://x#p> ?o)",
+	}, nil)
+	wantStatus(t, rr, 200)
+	id := rr.Header().Get("X-Trace-Id")
+
+	list := do(t, s.Handler(), "GET", "/debug/traces", nil, nil)
+	wantStatus(t, list, 200)
+	var lst struct {
+		Retained int `json:"retained"`
+		Traces   []struct {
+			ID string `json:"id"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(list.Body.Bytes(), &lst); err != nil {
+		t.Fatal(err)
+	}
+	if lst.Retained < 1 {
+		t.Fatalf("retained = %d, want >= 1", lst.Retained)
+	}
+
+	one := do(t, s.Handler(), "GET", "/debug/traces/"+id, nil, nil)
+	wantStatus(t, one, 200)
+	var td trace.TraceData
+	if err := json.Unmarshal(one.Body.Bytes(), &td); err != nil {
+		t.Fatal(err)
+	}
+	if td.ID != id || len(td.Spans) == 0 {
+		t.Fatalf("single-trace lookup: id=%q spans=%d", td.ID, len(td.Spans))
+	}
+
+	miss := do(t, s.Handler(), "GET", "/debug/traces/"+strings.Repeat("f", 32), nil, nil)
+	wantStatus(t, miss, 404)
+}
+
+func TestNilTracerServesEmptyExplorerAndNoHeaders(t *testing.T) {
+	s := newTestServer(t, nil) // no tracer
+	rr := do(t, s.Handler(), "POST", "/query", map[string]any{
+		"query": "(?s <http://x#p> ?o)",
+	}, nil)
+	wantStatus(t, rr, 200)
+	if id := rr.Header().Get("X-Trace-Id"); id != "" {
+		t.Fatalf("untraced server set X-Trace-Id %q", id)
+	}
+	list := do(t, s.Handler(), "GET", "/debug/traces", nil, nil)
+	wantStatus(t, list, 200)
+	var lst struct {
+		Retained int `json:"retained"`
+	}
+	if err := json.Unmarshal(list.Body.Bytes(), &lst); err != nil {
+		t.Fatal(err)
+	}
+	if lst.Retained != 0 {
+		t.Fatalf("retained = %d, want 0", lst.Retained)
+	}
+}
+
+func TestInsertTraceRecordsCorePhases(t *testing.T) {
+	tr := retainAll()
+	s := newTestServer(t, func(c *Config) { c.Tracer = tr })
+	triples := []map[string]string{{
+		"s": "<http://x#new>", "p": "<http://x#p>", "o": fmt.Sprintf("%q", "v"),
+	}}
+	rr := do(t, s.Handler(), "POST", "/insert", map[string]any{
+		"model": "m", "triples": triples,
+	}, nil)
+	wantStatus(t, rr, 200)
+	td, ok := tr.Get(rr.Header().Get("X-Trace-Id"))
+	if !ok {
+		t.Fatal("insert trace not retained")
+	}
+	names := map[string]bool{}
+	for _, sp := range td.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"core.insert_batch", "core.intern", "core.links"} {
+		if !names[want] {
+			t.Fatalf("span %q missing (have %v)", want, names)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package supervise
 
 import (
+	"context"
 	"os"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Automatic checkpointing. The policy loop turns the manual-only
@@ -52,7 +55,16 @@ func (sv *Supervisor) checkpointLoop() {
 			continue
 		}
 		t0 := sv.met.startTimer()
-		if err := sv.Checkpoint(); err != nil {
+		sp := sv.cfg.Tracer.StartRoot("supervise.checkpoint")
+		if urgent {
+			sp.SetAttr("trigger", "soft-watermark")
+		} else {
+			sp.SetAttr("trigger", "policy")
+		}
+		err := sv.CheckpointCtx(trace.WithSpan(context.Background(), sp))
+		sp.SetError(err)
+		sp.End()
+		if err != nil {
 			// Checkpoint already degraded the supervisor; the recovery
 			// loop takes over from here.
 			sv.met.onAutoCheckpointError(urgent, err)

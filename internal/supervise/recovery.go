@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -58,7 +59,15 @@ func (sv *Supervisor) runRecovery() {
 			return
 		}
 		sv.transition(Recovering, nil, attempt)
-		err := sv.attemptRecovery()
+		// Each attempt is a force-retained background root span:
+		// recoveries are rare and always worth a postmortem, so they
+		// never compete with request traces for the sampler's budget.
+		sp := sv.cfg.Tracer.StartRoot("supervise.recovery")
+		sp.Force()
+		sp.SetInt("attempt", int64(attempt))
+		err := sv.attemptRecovery(trace.WithSpan(context.Background(), sp))
+		sp.SetError(err)
+		sp.End()
 		if err == nil {
 			sv.transition(Healthy, nil, attempt)
 			return
@@ -102,7 +111,7 @@ func (sv *Supervisor) jitter(d time.Duration) time.Duration {
 // corruption fault into a durability fault on the next attempt —
 // rebaseline() would then checkpoint the known-corrupt memory image
 // over the good snapshot.
-func (sv *Supervisor) attemptRecovery() error {
+func (sv *Supervisor) attemptRecovery(ctx context.Context) error {
 	sv.opMu.Lock()
 	defer sv.opMu.Unlock()
 	sv.mu.Lock()
@@ -113,7 +122,7 @@ func (sv *Supervisor) attemptRecovery() error {
 	if errors.As(rootCause, &scrubErr) {
 		return sv.recoverFromCorruption(st, oldLog, oldDir)
 	}
-	return sv.rebaseline(st, oldLog, oldDir)
+	return sv.rebaseline(ctx, st, oldLog, oldDir)
 }
 
 // rebaseline re-establishes durability for the authoritative in-memory
@@ -122,7 +131,7 @@ func (sv *Supervisor) attemptRecovery() error {
 // watermark + segment retention for a directory — which is also what
 // frees disk in a DegradedDisk episode). Called with opMu held
 // exclusively.
-func (sv *Supervisor) rebaseline(st *core.Store, oldLog *wal.Log, oldDir *wal.Dir) error {
+func (sv *Supervisor) rebaseline(ctx context.Context, st *core.Store, oldLog *wal.Log, oldDir *wal.Dir) error {
 	if sv.cfg.WALDir != "" {
 		sv.closeOldDir(oldDir)
 		dir, _, err := sv.cfg.OpenDir(sv.cfg.WALDir, 0, sv.cfg.Segment)
@@ -130,7 +139,7 @@ func (sv *Supervisor) rebaseline(st *core.Store, oldLog *wal.Log, oldDir *wal.Di
 			return fmt.Errorf("reopening WAL dir: %w", err)
 		}
 		dir.SetMetrics(sv.walMet)
-		if err := core.CheckpointDir(st, sv.cfg.SnapshotPath, dir); err != nil {
+		if err := core.CheckpointDirCtx(ctx, st, sv.cfg.SnapshotPath, dir); err != nil {
 			dir.Close()
 			return fmt.Errorf("re-baselining: %w", err)
 		}
@@ -147,7 +156,7 @@ func (sv *Supervisor) rebaseline(st *core.Store, oldLog *wal.Log, oldDir *wal.Di
 		return fmt.Errorf("reopening WAL: %w", err)
 	}
 	log.SetMetrics(sv.walMet)
-	if err := core.Checkpoint(st, sv.cfg.SnapshotPath, log); err != nil {
+	if err := core.CheckpointCtx(ctx, st, sv.cfg.SnapshotPath, log); err != nil {
 		log.Close()
 		return fmt.Errorf("re-baselining: %w", err)
 	}
@@ -263,8 +272,13 @@ func (sv *Supervisor) scrubLoop() {
 			continue // recovery owns the store right now
 		}
 		t0 := sv.met.startTimer()
-		rep, err := sv.cfg.Scrub(sv.scrubCtx, sv.Store(), sv.cfg.ScrubSlice)
+		sp := sv.cfg.Tracer.StartRoot("supervise.scrub")
+		rep, err := sv.cfg.Scrub(trace.WithSpan(sv.scrubCtx, sp), sv.Store(), sv.cfg.ScrubSlice)
+		sp.SetInt("links", int64(rep.Links))
+		sp.SetInt("violations", int64(len(rep.Violations)))
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				continue // sweep cancelled at shutdown
 			}
@@ -275,6 +289,13 @@ func (sv *Supervisor) scrubLoop() {
 			sv.degrade(fmt.Errorf("supervise: scrub failed: %w", err))
 			continue
 		}
+		if len(rep.Violations) > 0 {
+			// A violating sweep is a corruption postmortem in the making:
+			// force-retain it alongside the recovery spans it triggers.
+			sp.Force()
+			sp.SetError(&ScrubError{Report: rep})
+		}
+		sp.End()
 		sv.met.onScrub(t0, rep)
 		sv.noteScrub(rep)
 		if len(rep.Violations) > 0 {

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -198,6 +199,12 @@ type Config struct {
 	// every transition and scrub notification into the registry's event
 	// log with structured fields (see NewMetrics).
 	Obs *obs.Registry
+	// Tracer, when set, records background root spans for recovery
+	// attempts, scrub passes, and automatic checkpoints (see
+	// internal/trace). Recovery spans are force-retained — a recovery is
+	// rare enough that losing one to sampling would be a debugging hole.
+	// Nil disables with zero overhead.
+	Tracer *trace.Tracer
 }
 
 // Supervisor wraps a store with the health-state machine. Reads go to
@@ -521,6 +528,13 @@ func (sv *Supervisor) FindModels(ctx context.Context, models []string, pat core.
 // DegradedDisk when the failure is disk exhaustion — while the previous
 // snapshot stays intact (SaveFile never overwrites in place).
 func (sv *Supervisor) Checkpoint() error {
+	return sv.CheckpointCtx(context.Background())
+}
+
+// CheckpointCtx is Checkpoint recording its phases on the span carried
+// by ctx (see internal/trace) — the automatic checkpoint loop passes a
+// "supervise.checkpoint" root span through here.
+func (sv *Supervisor) CheckpointCtx(ctx context.Context) error {
 	sv.opMu.Lock()
 	defer sv.opMu.Unlock()
 	st, err := sv.gate()
@@ -531,9 +545,9 @@ func (sv *Supervisor) Checkpoint() error {
 	log, dir := sv.log, sv.dir
 	sv.mu.Unlock()
 	if dir != nil {
-		err = core.CheckpointDir(st, sv.cfg.SnapshotPath, dir)
+		err = core.CheckpointDirCtx(ctx, st, sv.cfg.SnapshotPath, dir)
 	} else {
-		err = core.Checkpoint(st, sv.cfg.SnapshotPath, log)
+		err = core.CheckpointCtx(ctx, st, sv.cfg.SnapshotPath, log)
 	}
 	if err != nil {
 		err = fmt.Errorf("supervise: checkpoint: %w", err)

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The /debug/traces explorer. Mounted (prefix-stripped) by the server:
+//
+//	GET /debug/traces             — JSON list of retained-trace summaries
+//	GET /debug/traces/{trace-id}  — one full span tree (JSON; ?format=text renders it)
+//
+// List filters, combinable:
+//
+//	?min_ms=250   only traces at least this slow
+//	?error=true   only traces with a failed span
+//	?tenant=acme  only traces whose root span has tenant=acme
+//	?limit=20     at most this many traces (default 50, newest first)
+//
+// The list carries summaries, not span trees — an operator scans it
+// for the outlier, then fetches the one trace worth reading.
+
+// traceSummary is the list element: everything needed to pick a trace,
+// nothing more.
+type traceSummary struct {
+	ID       string    `json:"id"`
+	Root     string    `json:"root"`
+	Start    time.Time `json:"start"`
+	Duration int64     `json:"duration_ns"`
+	Error    bool      `json:"error,omitempty"`
+	Reason   string    `json:"reason"`
+	Tenant   string    `json:"tenant,omitempty"`
+	Spans    int       `json:"span_count"`
+}
+
+type traceList struct {
+	Retained int            `json:"retained"`
+	Traces   []traceSummary `json:"traces"`
+}
+
+// NewHandler serves the explorer over t's retained traces. The handler
+// expects its mount prefix already stripped (the server mounts it with
+// http.StripPrefix). A nil Tracer serves an empty list and 404s every
+// lookup, so the route can be mounted unconditionally.
+func NewHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := strings.Trim(r.URL.Path, "/")
+		if id == "" {
+			serveList(t, w, r)
+			return
+		}
+		td, ok := t.Get(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("trace %s not retained (sampled out or evicted)", id), http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteTree(w, td)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(td)
+	})
+}
+
+func serveList(t *Tracer, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var minDur time.Duration
+	if raw := q.Get("min_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, fmt.Sprintf("bad min_ms %q", raw), http.StatusBadRequest)
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	onlyErr := false
+	if raw := q.Get("error"); raw != "" {
+		onlyErr = raw == "1" || raw == "true"
+	}
+	tenant := q.Get("tenant")
+	limit := 50
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q", raw), http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+
+	all := t.Snapshot() // newest first
+	list := traceList{Retained: len(all), Traces: []traceSummary{}}
+	for i := range all {
+		td := &all[i]
+		if td.Duration < minDur || (onlyErr && !td.Error) {
+			continue
+		}
+		if tenant != "" && td.RootAttr("tenant") != tenant {
+			continue
+		}
+		list.Traces = append(list.Traces, traceSummary{
+			ID:       td.ID,
+			Root:     td.Root,
+			Start:    td.Start,
+			Duration: int64(td.Duration),
+			Error:    td.Error,
+			Reason:   td.Reason,
+			Tenant:   td.RootAttr("tenant"),
+			Spans:    len(td.Spans),
+		})
+		if len(list.Traces) >= limit {
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(list)
+}
+
+// WriteTree renders one trace as an indented span tree:
+//
+//	trace 4bf92f3577b34da6a3ce929d0e0e4736  request.query  12.4ms  reason=slow
+//	  request.query                      12.4ms  +0s      status=200 tenant=acme
+//	    admission.wait                   1.1ms   +12µs
+//	    match.query                      10.9ms  +1.3ms   rows=120 planner=cost
+//	      stage 0 ?s <urn:p> ?o          9.7ms   +1.3ms   in=1 out=4000
+//
+// Durations are span wall time; the + column is the span's start
+// offset from the trace root. Spans whose parent was not recorded
+// (dropped past MaxSpans) render at the top level.
+func WriteTree(w io.Writer, td TraceData) {
+	errs := ""
+	if td.Error {
+		errs = "  ERROR"
+	}
+	fmt.Fprintf(w, "trace %s  %s  %s  reason=%s%s\n",
+		td.ID, td.Root, td.Duration.Round(time.Microsecond), td.Reason, errs)
+	if td.Truncated {
+		fmt.Fprintf(w, "(truncated: span budget exhausted; later spans dropped)\n")
+	}
+
+	present := make(map[string]bool, len(td.Spans))
+	for i := range td.Spans {
+		present[td.Spans[i].ID] = true
+	}
+	children := make(map[string][]int, len(td.Spans))
+	var roots []int
+	for i := range td.Spans {
+		p := td.Spans[i].Parent
+		if p == "" || !present[p] {
+			roots = append(roots, i)
+			continue
+		}
+		children[p] = append(children[p], i)
+	}
+	byStart := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool { return td.Spans[idx[a]].Start.Before(td.Spans[idx[b]].Start) })
+	}
+	byStart(roots)
+	var render func(idx, depth int)
+	render = func(idx, depth int) {
+		sp := &td.Spans[idx]
+		mark := ""
+		if sp.Error {
+			mark = "  ERROR"
+		}
+		fmt.Fprintf(w, "%s%-*s  %8s  +%s%s%s\n",
+			strings.Repeat("  ", depth+1), 36-2*depth, sp.Name,
+			sp.Duration.Round(time.Microsecond),
+			sp.Start.Sub(td.Start).Round(time.Microsecond),
+			formatAttrs(sp.Attrs), mark)
+		kids := children[sp.ID]
+		byStart(kids)
+		for _, k := range kids {
+			render(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+}
+
+// formatAttrs renders attributes deterministically (sorted by key).
+func formatAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString("  ")
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(attrs[k])
+	}
+	return b.String()
+}

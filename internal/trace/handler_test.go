@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seedTraces retains three traces: a slow one for tenant acme, an
+// errored one for tenant beta, and a fast sampled one with no tenant.
+// Returns the tracer plus the slow trace's ID.
+func seedTraces(t *testing.T) (*Tracer, string) {
+	t.Helper()
+	tr := New(Config{SlowThreshold: 10 * time.Millisecond, SampleRate: 1})
+
+	slow := tr.StartRoot("query.request")
+	slow.SetAttr("tenant", "acme")
+	c := slow.Child("match.query")
+	time.Sleep(15 * time.Millisecond)
+	c.End()
+	slow.End()
+
+	bad := tr.StartRoot("insert.request")
+	bad.SetAttr("tenant", "beta")
+	bad.SetError(errors.New("wal: boom"))
+	bad.End()
+
+	fast := tr.StartRoot("find.request")
+	fast.End()
+
+	if tr.Len() != 3 {
+		t.Fatalf("seed retained %d traces, want 3", tr.Len())
+	}
+	return tr, slow.TraceID()
+}
+
+func getJSON(t *testing.T, h *httptest.Server, path string, into any) int {
+	t.Helper()
+	resp, err := h.Client().Get(h.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == 200 {
+		dec := json.NewDecoder(resp.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(into); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHandlerListAndFilters(t *testing.T) {
+	tr, slowID := seedTraces(t)
+	srv := httptest.NewServer(NewHandler(tr))
+	defer srv.Close()
+
+	var list traceList
+	if code := getJSON(t, srv, "/", &list); code != 200 {
+		t.Fatalf("list status %d", code)
+	}
+	if list.Retained != 3 || len(list.Traces) != 3 {
+		t.Fatalf("list = %+v", list)
+	}
+	// Newest first: find.request landed last.
+	if list.Traces[0].Root != "find.request" {
+		t.Fatalf("list not newest-first: %+v", list.Traces)
+	}
+
+	if getJSON(t, srv, "/?min_ms=10", &list); len(list.Traces) != 1 || list.Traces[0].ID != slowID {
+		t.Fatalf("min_ms filter: %+v", list.Traces)
+	}
+	if getJSON(t, srv, "/?error=true", &list); len(list.Traces) != 1 || list.Traces[0].Root != "insert.request" {
+		t.Fatalf("error filter: %+v", list.Traces)
+	}
+	if getJSON(t, srv, "/?tenant=acme", &list); len(list.Traces) != 1 || list.Traces[0].Tenant != "acme" {
+		t.Fatalf("tenant filter: %+v", list.Traces)
+	}
+	if getJSON(t, srv, "/?limit=2", &list); len(list.Traces) != 2 || list.Retained != 3 {
+		t.Fatalf("limit: %+v", list)
+	}
+	if code := getJSON(t, srv, "/?min_ms=junk", &list); code != 400 {
+		t.Fatalf("bad min_ms status %d", code)
+	}
+}
+
+func TestHandlerSingleTrace(t *testing.T) {
+	tr, slowID := seedTraces(t)
+	srv := httptest.NewServer(NewHandler(tr))
+	defer srv.Close()
+
+	var td TraceData
+	if code := getJSON(t, srv, "/"+slowID, &td); code != 200 {
+		t.Fatalf("single status %d", code)
+	}
+	if td.ID != slowID || len(td.Spans) != 2 || td.Reason != ReasonSlow {
+		t.Fatalf("single trace = %+v", td)
+	}
+
+	if code := getJSON(t, srv, "/"+strings.Repeat("0", 32), &td); code != 404 {
+		t.Fatalf("missing trace status %d", code)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/" + slowID + "?format=text")
+	if err != nil {
+		t.Fatalf("text form: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read text: %v", err)
+	}
+	if !strings.Contains(string(body), "match.query") {
+		t.Fatalf("text tree missing child span:\n%s", body)
+	}
+}
+
+func TestHandlerNilTracer(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(nil))
+	defer srv.Close()
+	var list traceList
+	if code := getJSON(t, srv, "/", &list); code != 200 || list.Retained != 0 {
+		t.Fatalf("nil tracer list: code=%d %+v", code, list)
+	}
+	var td TraceData
+	if code := getJSON(t, srv, "/"+strings.Repeat("a", 32), &td); code != 404 {
+		t.Fatalf("nil tracer lookup status %d", code)
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+// W3C trace-context interop (https://www.w3.org/TR/trace-context/),
+// the minimal slice the server needs: parse an incoming `traceparent`
+// request header so an external load balancer's trace ID carries
+// through, and render the outgoing form on responses. Only version 00
+// is understood; anything else starts a fresh trace — per the spec,
+// a malformed header is ignored, never an error.
+
+// ParseTraceparent parses a version-00 traceparent header
+// ("00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>"). ok is
+// false — and the trace IDs empty — for malformed or all-zero input.
+func ParseTraceparent(h string) (traceID, spanID string, ok bool) {
+	if len(h) != 55 {
+		return "", "", false
+	}
+	if h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	traceID, spanID = h[3:35], h[36:52]
+	if !isHex(traceID) || !isHex(spanID) || !isHex(h[53:55]) {
+		return "", "", false
+	}
+	if allZero(traceID) || allZero(spanID) {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+// Traceparent renders the span's outgoing traceparent header, with the
+// sampled flag set ("" for a nil span).
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return "00-" + s.rec.id + "-" + fmtSpanID(s.id) + "-01"
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

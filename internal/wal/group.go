@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Group commit: a bulk load that fsyncs once per triple is bounded by
@@ -50,10 +52,11 @@ type GroupLog struct {
 	opts GroupOptions
 
 	mu      sync.Mutex
-	buf     []byte   // framed records not yet written to the file
-	pending int      // commits since the last sync
-	err     error    // first flush failure, latched: the log is behind memory
-	met     *Metrics // nil when instrumentation is disabled
+	buf     []byte         // framed records not yet written to the file
+	pending int            // commits since the last sync
+	err     error          // first flush failure, latched: the log is behind memory
+	met     *Metrics       // nil when instrumentation is disabled
+	tracer  *trace.Tracer  // nil when tracing is disabled
 
 	stop chan struct{} // closes the interval flusher
 	done chan struct{}
@@ -68,6 +71,18 @@ func (g *GroupLog) SetMetrics(m *Metrics) {
 	g.met = m
 	g.mu.Unlock()
 	g.log.SetMetrics(m)
+}
+
+// SetTracer attaches a span tracer: every flush records a background
+// "wal.flush" root span with "wal.write" and "wal.fsync" children, so
+// the tail sampler retains slow or failed flushes — the group-commit
+// half of a slow insert that the request span alone cannot see. Call
+// before the GroupLog is shared; nil disables (the default) and the
+// flush path then never touches the tracer or the clock for spans.
+func (g *GroupLog) SetTracer(tr *trace.Tracer) {
+	g.mu.Lock()
+	g.tracer = tr
+	g.mu.Unlock()
 }
 
 // Group wraps l with group commit. With an Interval, a background
@@ -161,22 +176,49 @@ func (g *GroupLog) Flush() error {
 // failure is latched: the in-memory store is ahead of the log from that
 // point on, and every later Append/Commit reports it. Caller holds g.mu.
 func (g *GroupLog) flushLocked() error {
+	sp := g.tracer.StartRoot("wal.flush") // nil tracer → nil span, no clock read
+	defer sp.End()
+	sp.SetInt("records", int64(g.pending))
+	sp.SetInt("bytes", int64(len(g.buf)))
+	var phaseStart time.Time
+	if sp != nil {
+		phaseStart = time.Now()
+	}
 	if len(g.buf) > 0 {
 		if err := g.log.writeRaw(g.buf); err != nil {
 			g.err = fmt.Errorf("wal: group flush: %w", err)
 			g.met.onGroupFlushError()
+			sp.AddCompleted("wal.write", phaseStart, spanSince(sp, phaseStart), nil, true)
+			sp.SetError(g.err)
 			return g.err
 		}
 		g.buf = g.buf[:0]
 	}
+	if sp != nil {
+		now := time.Now()
+		sp.AddCompleted("wal.write", phaseStart, now.Sub(phaseStart), nil, false)
+		phaseStart = now
+	}
 	if err := g.log.Commit(); err != nil {
 		g.err = err
 		g.met.onGroupFlushError()
+		sp.AddCompleted("wal.fsync", phaseStart, spanSince(sp, phaseStart), nil, true)
+		sp.SetError(err)
 		return g.err
 	}
+	sp.AddCompleted("wal.fsync", phaseStart, spanSince(sp, phaseStart), nil, false)
 	g.met.onGroupFlush(g.pending)
 	g.pending = 0
 	return nil
+}
+
+// spanSince is time.Since gated on a span being present, so the
+// untraced flush path never reads the clock for spans.
+func spanSince(sp *trace.Span, t time.Time) time.Duration {
+	if sp == nil {
+		return 0
+	}
+	return time.Since(t)
 }
 
 // Err returns the latched flush error, if any: non-nil means the

@@ -1,10 +1,14 @@
 // Package releasecheck enforces the must-call contracts of the serving
 // stack: the release closure returned by an admission Acquire/TryAcquire
 // (result shape `(func(), error)`) must be called on every path, a
-// context.CancelFunc must not leak its derived context, and a
-// *time.Ticker must be stopped. All three are the same property — "a
-// cleanup value born here is consumed on every path out of the function"
-// — so one intra-procedural dataflow over the framework CFG covers them.
+// context.CancelFunc must not leak its derived context, a *time.Ticker
+// must be stopped, and a trace *Span born from
+// Start/StartRoot/StartRemote/Child must be ended (End or Finish) — an
+// unended span pins its trace buffer until the tracer is dropped, so a
+// leak here grows per-request memory. All four are the same property —
+// "a cleanup value born here is consumed on every path out of the
+// function" — so one intra-procedural dataflow over the framework CFG
+// covers them.
 //
 // The analysis is flow-sensitive and branch-aware:
 //
@@ -16,7 +20,12 @@
 //     it all satisfy the obligation (ownership moves with the value). For
 //     tickers only an explicit Stop — direct, deferred, or inside a
 //     deferred/spawned closure — or an escape counts; reading t.C does
-//     not.
+//     not. Spans mirror the ticker rules with End/Finish in place of
+//     Stop: SetAttr/SetError/Child calls on the span are use of the
+//     handle, not an end, and must not satisfy the obligation, while
+//     passing or returning the span hands its owner the End. Spans
+//     fetched with FromContext (or pre-ended handles from AddCompleted)
+//     are borrowed, not born, and carry no obligation.
 //   - On branches where the paired error is non-nil the obligation is
 //     waived: Acquire documents that release is nil on error. The waiver
 //     rides the CFG edge condition, so `if err != nil { return err }` is
@@ -42,7 +51,7 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "releasecheck",
 	Doc: "check that admission release closures, context cancel funcs, " +
-		"and ticker Stops are called on every path",
+		"ticker Stops, and trace span Ends are called on every path",
 	Run: run,
 	// Tests exercise leak paths deliberately (and the fixture trees are
 	// full of them); the contract binds production code.
@@ -55,6 +64,7 @@ const (
 	kindRelease kind = iota // func() paired with an error result
 	kindCancel              // context.CancelFunc
 	kindTicker              // *time.Ticker
+	kindSpan                // *trace.Span born from Start/StartRoot/StartRemote/Child
 )
 
 func (k kind) label() string {
@@ -63,15 +73,38 @@ func (k kind) label() string {
 		return "context cancel func"
 	case kindTicker:
 		return "ticker"
+	case kindSpan:
+		return "trace span"
 	}
 	return "release func"
 }
 
 func (k kind) verb() string {
-	if k == kindTicker {
+	switch k {
+	case kindTicker:
 		return "stopped"
+	case kindSpan:
+		return "ended"
 	}
 	return "called"
+}
+
+// methodConsumed reports whether this kind is consumed only by a named
+// method (Stop for tickers, End/Finish for spans) or an escape — as
+// opposed to the func-valued kinds, where any reference transfers
+// ownership.
+func (k kind) methodConsumed() bool { return k == kindTicker || k == kindSpan }
+
+// endsObligation reports whether calling the named method on the tracked
+// value satisfies this kind's obligation.
+func (k kind) endsObligation(method string) bool {
+	switch k {
+	case kindTicker:
+		return method == "Stop"
+	case kindSpan:
+		return method == "End" || method == "Finish"
+	}
+	return false
 }
 
 // obligation is one cleanup value the function owes a call on.
@@ -257,6 +290,9 @@ func (fa *funcAnalysis) recordBirths(as *ast.AssignStmt) {
 		if !isOb || i >= len(as.Lhs) {
 			continue
 		}
+		if k == kindSpan && !spanBirthCall(call) {
+			continue // borrowed (FromContext) or pre-ended (AddCompleted)
+		}
 		id, ok := as.Lhs[i].(*ast.Ident)
 		if !ok {
 			continue // assigned into a field/index: the value escapes
@@ -365,9 +401,12 @@ func (fa *funcAnalysis) transferAssign(as *ast.AssignStmt, st state) {
 		if tv, ok := fa.pass.TypesInfo.Types[birth]; ok {
 			results, hasErr := resultTypes(tv.Type)
 			for i, rt := range results {
-				_, isOb := obligationKind(rt, hasErr)
+				k, isOb := obligationKind(rt, hasErr)
 				if !isOb || i >= len(as.Lhs) {
 					continue
+				}
+				if k == kindSpan && !spanBirthCall(birth) {
+					continue // borrowed or pre-ended: no obligation born
 				}
 				id, ok := as.Lhs[i].(*ast.Ident)
 				if !ok {
@@ -388,15 +427,15 @@ func (fa *funcAnalysis) transferAssign(as *ast.AssignStmt, st state) {
 			return
 		}
 	}
-	// A ticker stored into a field or slot escapes: the holder owns the
-	// Stop from here on.
+	// A ticker or span stored into a field or slot escapes: the holder
+	// owns the Stop/End from here on.
 	for i, l := range as.Lhs {
 		if _, isIdent := l.(*ast.Ident); isIdent || i >= len(as.Rhs) {
 			continue
 		}
 		if id, ok := as.Rhs[i].(*ast.Ident); ok {
 			if v, ok := fa.pass.TypesInfo.Uses[id].(*types.Var); ok {
-				if ob, tracked := fa.obs[v]; tracked && ob.kind == kindTicker {
+				if ob, tracked := fa.obs[v]; tracked && ob.kind.methodConsumed() {
 					st[v] = done
 				}
 			}
@@ -472,10 +511,11 @@ func (fa *funcAnalysis) scanUses(n ast.Node, st state) {
 // referencesForKind reports whether node n consumes obligation v.
 // For func-valued obligations any use of the identifier counts (a call,
 // an argument, a return, a struct literal — ownership follows the
-// value). For tickers only x.Stop()/x.Reset-free semantics apply: an
-// explicit Stop call, or the ticker value itself escaping as an argument,
-// return value, or store; selecting on x.C is use of the channel, not a
-// stop, and must not satisfy the obligation.
+// value). For tickers and spans only the kind's ending method counts —
+// Stop, or End/Finish — plus the value itself escaping as an argument,
+// return value, or store; selecting anything else (t.C on a ticker,
+// SetAttr/SetError/Child on a span) is use of the handle, not an end,
+// and must not satisfy the obligation.
 func referencesForKind(pass *framework.Pass, n ast.Node, v *types.Var, k kind, intoClosures bool) bool {
 	found := false
 	walk := framework.Inspect
@@ -495,35 +535,35 @@ func referencesForKind(pass *framework.Pass, n ast.Node, v *types.Var, k kind, i
 		}
 		switch m := m.(type) {
 		case *ast.Ident:
-			if k != kindTicker && pass.TypesInfo.Uses[m] == v {
+			if !k.methodConsumed() && pass.TypesInfo.Uses[m] == v {
 				found = true
 			}
 		case *ast.SelectorExpr:
-			if k != kindTicker {
+			if !k.methodConsumed() {
 				return true
 			}
 			base, ok := m.X.(*ast.Ident)
 			if !ok || pass.TypesInfo.Uses[base] != v {
 				return true
 			}
-			if m.Sel.Name == "Stop" {
+			if k.endsObligation(m.Sel.Name) {
 				found = true
 			}
-			// Any other selector (t.C, t.Reset) is not a stop; keep
+			// Any other selector (t.C, sp.SetAttr) is not an end; keep
 			// scanning but do not treat the base ident as an escape.
 			return false
 		case *ast.CallExpr:
-			if k != kindTicker {
+			if !k.methodConsumed() {
 				return true
 			}
-			// Ticker escaping as a call argument transfers ownership.
+			// The value escaping as a call argument transfers ownership.
 			for _, a := range m.Args {
 				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
 					found = true
 				}
 			}
 		case *ast.ReturnStmt:
-			if k != kindTicker {
+			if !k.methodConsumed() {
 				return true
 			}
 			for _, r := range m.Results {
@@ -532,7 +572,7 @@ func referencesForKind(pass *framework.Pass, n ast.Node, v *types.Var, k kind, i
 				}
 			}
 		case *ast.CompositeLit:
-			if k != kindTicker {
+			if !k.methodConsumed() {
 				return true
 			}
 			for _, el := range m.Elts {
@@ -547,6 +587,27 @@ func referencesForKind(pass *framework.Pass, n ast.Node, v *types.Var, k kind, i
 		return !found
 	})
 	return found
+}
+
+// spanBirthCall reports whether call is one of the span-creating
+// entry points. FromContext hands back a span owned by the request, and
+// AddCompleted returns an already-ended handle; neither births an
+// obligation.
+func spanBirthCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	switch name {
+	case "Start", "StartRoot", "StartRemote", "Child":
+		return true
+	}
+	return false
 }
 
 // applyEdge refines the state along a conditional edge: on a branch that
@@ -624,6 +685,13 @@ func obligationKind(t types.Type, tupleHasErr bool) (kind, bool) {
 		}
 		if tn.Pkg() != nil && tn.Pkg().Path() == "time" && tn.Name() == "Ticker" {
 			return kindTicker, true
+		}
+		// Matched by package *name* so the contract binds any span
+		// implementation with this shape (and fixtures need not import
+		// the real module). Births are further gated on the creating
+		// call's name by spanBirthCall.
+		if tn.Pkg() != nil && tn.Pkg().Name() == "trace" && tn.Name() == "Span" {
+			return kindSpan, true
 		}
 		return 0, false
 	}

@@ -7,5 +7,5 @@ import (
 )
 
 func TestReleasecheck(t *testing.T) {
-	framework.RunTest(t, "testdata", Analyzer, "badrelease", "goodrelease")
+	framework.RunTest(t, "testdata", Analyzer, "badrelease", "goodrelease", "badspan", "goodspan")
 }

@@ -1,0 +1,62 @@
+// Package badspan holds span must-end violations releasecheck flags: a
+// span born from Start/StartRoot/Child leaks its trace buffer on at
+// least one path in each function here.
+package badspan
+
+import (
+	"context"
+
+	"badspan/trace"
+)
+
+func work() error { return nil }
+
+// earlyReturn ends the span on the slow path but leaks it on the fast
+// one.
+func earlyReturn(tr *trace.Tracer, fast bool) error {
+	sp := tr.StartRoot("query")
+	if fast {
+		return nil // want `trace span "sp" may never be ended on this path`
+	}
+	sp.End()
+	return work()
+}
+
+// childLeak ends the root but not the child — SetAttr is use of the
+// handle, not an end. The function falls off the end, so the report
+// lands at the birth site.
+func childLeak(tr *trace.Tracer) {
+	sp := tr.StartRoot("insert")
+	defer sp.End()
+	child := sp.Child("insert.links") // want `trace span "child" may never be ended on this path`
+	child.SetAttr("rows", "10")
+}
+
+// reassign overwrites a live span; the first one's buffer leaks even
+// though the name is eventually ended.
+func reassign(tr *trace.Tracer) {
+	sp := tr.StartRoot("first")
+	sp = tr.StartRoot("second") // want `trace span "sp" reassigned before being ended`
+	sp.End()
+}
+
+// discard drops the span half of Start on the floor; nothing can ever
+// end it.
+func discard(tr *trace.Tracer, ctx context.Context) context.Context {
+	ctx, _ = tr.Start(ctx, "request") // want `trace span discarded with the blank identifier`
+	return ctx
+}
+
+// goroutineWithout spawns a goroutine that does not take the span with
+// it and returns with the span still open.
+func goroutineWithout(tr *trace.Tracer, ctx context.Context, async bool) error {
+	_, sp := tr.StartRemote(ctx, "request", "")
+	if !async {
+		defer sp.End()
+		return work()
+	}
+	go func() {
+		_ = work()
+	}()
+	return nil // want `trace span "sp" may never be ended on this path`
+}

@@ -12,6 +12,13 @@
 // -series; then GETs /healthz and requires a well-formed
 // JSON health payload. Exit status 0 means the endpoint serves what a
 // scraper needs.
+//
+// With -trace it additionally validates the /debug/traces explorer of a
+// full rdfserve: the list must be well-formed JSON, every listed trace
+// must be retrievable by its ID with a parseable span tree, and with
+// -trace-min-retained N the store must hold at least N traces — the CI
+// server-smoke job demands >= 1 after its slow-query burst, proving
+// tail sampling retained something worth debugging.
 package main
 
 import (
@@ -40,6 +47,8 @@ func run(args []string) error {
 	prefixes := fs.String("prefixes", "", "comma-separated series prefixes that must be present (e.g. wal_,core_)")
 	series := fs.String("series", "", "comma-separated exact family names that must be present (e.g. wal_disk_bytes,wal_segments)")
 	wait := fs.Duration("wait", 10*time.Second, "keep retrying the first scrape this long (endpoint may still be starting)")
+	checkTraces := fs.Bool("trace", false, "also validate the /debug/traces explorer (list JSON, per-ID lookup)")
+	minRetained := fs.Int("trace-min-retained", 0, "with -trace, minimum retained traces the store must hold")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,8 +90,82 @@ func run(args []string) error {
 	if h.State == "" {
 		return fmt.Errorf("/healthz payload has no state: %+v", h)
 	}
+	if *checkTraces {
+		retained, err := checkTraceExplorer(*base, *minRetained)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok: %d families, healthz %s (%s), %d traces retained\n",
+			exp.Families(), resp.Status, h.State, retained)
+		return nil
+	}
 	fmt.Printf("ok: %d families, healthz %s (%s)\n", exp.Families(), resp.Status, h.State)
 	return nil
+}
+
+// checkTraceExplorer validates the trace explorer: a well-formed list,
+// at least minRetained retained traces, and every listed ID retrievable
+// as a parseable span tree. The explorer is a sibling of /metrics and
+// /healthz under the same base — rdfserve serves all three under
+// /debug, so the -base used for the scrape works unchanged.
+func checkTraceExplorer(base string, minRetained int) (int, error) {
+	resp, err := http.Get(base + "/traces")
+	if err != nil {
+		return 0, fmt.Errorf("/debug/traces: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/debug/traces: status %s", resp.Status)
+	}
+	var list struct {
+		Retained int `json:"retained"`
+		Traces   []struct {
+			ID       string `json:"id"`
+			Root     string `json:"root"`
+			Reason   string `json:"reason"`
+			Duration int64  `json:"duration_ns"`
+			Spans    int    `json:"span_count"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return 0, fmt.Errorf("/debug/traces is not valid JSON: %w", err)
+	}
+	if list.Retained < minRetained {
+		return list.Retained, fmt.Errorf("/debug/traces retains %d traces, want >= %d", list.Retained, minRetained)
+	}
+	for _, t := range list.Traces {
+		if t.ID == "" || t.Root == "" || t.Reason == "" {
+			return list.Retained, fmt.Errorf("/debug/traces lists a malformed summary: %+v", t)
+		}
+		one, err := http.Get(base + "/traces/" + t.ID)
+		if err != nil {
+			return list.Retained, fmt.Errorf("/debug/traces/%s: %w", t.ID, err)
+		}
+		var td struct {
+			ID    string `json:"id"`
+			Spans []struct {
+				ID   string `json:"id"`
+				Name string `json:"name"`
+			} `json:"spans"`
+		}
+		derr := json.NewDecoder(one.Body).Decode(&td)
+		one.Body.Close()
+		if one.StatusCode != http.StatusOK {
+			return list.Retained, fmt.Errorf("/debug/traces/%s: status %s (listed but not retrievable)", t.ID, one.Status)
+		}
+		if derr != nil {
+			return list.Retained, fmt.Errorf("/debug/traces/%s is not valid JSON: %w", t.ID, derr)
+		}
+		if td.ID != t.ID || len(td.Spans) == 0 {
+			return list.Retained, fmt.Errorf("/debug/traces/%s: id=%q with %d spans", t.ID, td.ID, len(td.Spans))
+		}
+		for _, sp := range td.Spans {
+			if sp.ID == "" || sp.Name == "" {
+				return list.Retained, fmt.Errorf("/debug/traces/%s has a malformed span: %+v", t.ID, sp)
+			}
+		}
+	}
+	return list.Retained, nil
 }
 
 // scrape GETs and strictly parses the exposition, retrying until the
